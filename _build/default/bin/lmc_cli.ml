@@ -1,0 +1,739 @@
+(* lmc-cli: command-line front end for the local model checker.
+
+   Subcommands:
+     list   - the bundled protocol instances
+     check  - model-check a protocol offline (B-DFS, LMC-GEN, LMC-OPT)
+     hunt   - online checking against a simulated lossy deployment *)
+
+open Cmdliner
+
+type checker_kind = Bdfs | Lmc_gen | Lmc_opt | Lmc_auto
+
+type check_params = {
+  kind : checker_kind;
+  max_depth : int option;
+  time_limit : float option;
+  verbose : bool;
+  minimize : bool;
+  dot : string option;  (* write the witness sequence chart here *)
+  json : bool;  (* machine-readable result on stdout *)
+}
+
+(* One bundled protocol instance, closed over its invariant, its
+   optional LMC-OPT abstraction, and an online-hunt setup. *)
+type runner = {
+  name : string;
+  description : string;
+  check : check_params -> int;
+  hunt :
+    (seed:int -> drop:float -> interval:float -> max_live:float ->
+     budget:float -> steer:bool -> int)
+    option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generic drivers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Check_driver (P : Dsm.Protocol.S) = struct
+  module G = Mc_global.Bdfs.Make (P)
+  module L = Lmc.Checker.Make (P)
+  module W = Lmc.Witness.Make (P)
+
+  let pp_violation_trace trace =
+    Format.printf "witness schedule:@.%a"
+      (Dsm.Trace.pp ~pp_message:P.pp_message ~pp_action:P.pp_action)
+      trace
+
+  let maybe_minimize ~params ~invariant schedule =
+    if not params.minimize then schedule
+    else begin
+      let init = Dsm.Protocol.initial_system (module P) in
+      let predicate sys = Dsm.Invariant.check invariant sys <> None in
+      let minimal = W.minimize ~init ~predicate schedule in
+      if not params.json then
+        Format.printf "minimized witness: %d of %d events@."
+          (List.length minimal) (List.length schedule);
+      minimal
+    end
+
+  let maybe_dot ~params schedule =
+    match params.dot with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (W.to_dot ~title:P.name schedule);
+        close_out oc;
+        if not params.json then
+          Format.printf "witness sequence chart written to %s@." path
+
+  let step_strings schedule =
+    List.map
+      (fun step ->
+        Format.asprintf "%a"
+          (Dsm.Trace.pp_step ~pp_message:P.pp_message ~pp_action:P.pp_action)
+          step)
+      schedule
+
+  let emit_json ~checker ~violation ~stats =
+    print_endline
+      (Dsm.Json.to_string
+         (Dsm.Json.Obj
+            ([ ("protocol", Dsm.Json.String P.name);
+               ("checker", Dsm.Json.String checker) ]
+            @ stats
+            @ [
+                ( "violation",
+                  match violation with
+                  | None -> Dsm.Json.Null
+                  | Some (name, detail, schedule) ->
+                      Dsm.Json.Obj
+                        [
+                          ("invariant", Dsm.Json.String name);
+                          ("detail", Dsm.Json.String detail);
+                          ( "witness",
+                            Dsm.Json.List
+                              (List.map
+                                 (fun s -> Dsm.Json.String s)
+                                 (step_strings schedule)) );
+                        ] );
+              ])))
+
+  let run ?strategy ~invariant params =
+    let init = Dsm.Protocol.initial_system (module P) in
+    match params.kind with
+    | Bdfs ->
+        let cfg =
+          {
+            G.default_config with
+            max_depth = params.max_depth;
+            time_limit = params.time_limit;
+          }
+        in
+        let o = G.run cfg ~invariant init in
+        if not params.json then
+          Format.printf
+            "B-DFS: %d transitions, %d global states, %d system states, \
+             depth %d, %.3f s, completed=%b@."
+            o.stats.transitions o.stats.global_states o.stats.system_states
+            o.stats.max_depth_reached o.stats.elapsed o.completed;
+        let violation =
+          Option.map
+            (fun (v : G.violation) ->
+              let trace = maybe_minimize ~params ~invariant v.trace in
+              maybe_dot ~params trace;
+              (v.violation.Dsm.Invariant.invariant,
+               v.violation.Dsm.Invariant.detail, trace))
+            o.violation
+        in
+        if params.json then
+          emit_json ~checker:"bdfs" ~violation
+            ~stats:
+              [
+                ("transitions", Dsm.Json.Int o.stats.transitions);
+                ("global_states", Dsm.Json.Int o.stats.global_states);
+                ("system_states", Dsm.Json.Int o.stats.system_states);
+                ("max_depth", Dsm.Json.Int o.stats.max_depth_reached);
+                ("elapsed_s", Dsm.Json.Float o.stats.elapsed);
+                ("completed", Dsm.Json.Bool o.completed);
+              ];
+        (match violation with
+        | Some (_, _, trace) ->
+            if not params.json then begin
+              Format.printf "VIOLATION: %a@." Dsm.Invariant.pp_violation
+                (match o.violation with
+                | Some v -> v.violation
+                | None -> assert false);
+              if params.verbose then pp_violation_trace trace
+            end;
+            1
+        | None ->
+            if not params.json then Format.printf "no violation@.";
+            0)
+    | Lmc_gen | Lmc_opt | Lmc_auto ->
+        let strategy =
+          match (params.kind, strategy) with
+          | Lmc_opt, Some s -> s
+          | Lmc_opt, None ->
+              if not params.json then
+                Format.printf
+                  "note: no invariant-specific abstraction for this \
+                   protocol; using the general strategy@.";
+              L.General
+          | Lmc_auto, _ -> L.Automatic
+          | _ -> L.General
+        in
+        let cfg =
+          {
+            L.default_config with
+            max_depth = params.max_depth;
+            time_limit = params.time_limit;
+          }
+        in
+        let r = L.run cfg ~strategy ~invariant init in
+        if not params.json then
+          Format.printf
+            "LMC: %d transitions, %d node states, |I+|=%d, %d system \
+             states, %d preliminary violations (%d rejected), %.3f s, \
+             completed=%b@."
+            r.transitions r.total_node_states r.net_messages
+            r.system_states_created r.preliminary_violations
+            r.soundness_rejections r.elapsed r.completed;
+        let violation =
+          Option.map
+            (fun (v : L.violation) ->
+              let schedule = maybe_minimize ~params ~invariant v.schedule in
+              maybe_dot ~params schedule;
+              (v.violation.Dsm.Invariant.invariant,
+               v.violation.Dsm.Invariant.detail, schedule))
+            r.sound_violation
+        in
+        if params.json then
+          emit_json
+            ~checker:
+              (match params.kind with
+              | Lmc_gen -> "lmc-gen"
+              | Lmc_opt -> "lmc-opt"
+              | Lmc_auto -> "lmc-auto"
+              | Bdfs -> assert false)
+            ~violation
+            ~stats:
+              [
+                ("transitions", Dsm.Json.Int r.transitions);
+                ("node_states", Dsm.Json.Int r.total_node_states);
+                ("net_messages", Dsm.Json.Int r.net_messages);
+                ("system_states", Dsm.Json.Int r.system_states_created);
+                ("preliminary_violations",
+                 Dsm.Json.Int r.preliminary_violations);
+                ("soundness_rejections", Dsm.Json.Int r.soundness_rejections);
+                ("elapsed_s", Dsm.Json.Float r.elapsed);
+                ("completed", Dsm.Json.Bool r.completed);
+              ];
+        (match violation with
+        | Some (_, _, schedule) ->
+            if not params.json then begin
+              Format.printf "SOUND VIOLATION (%d events): %a@."
+                (List.length schedule) Dsm.Invariant.pp_violation
+                (match r.sound_violation with
+                | Some v -> v.violation
+                | None -> assert false);
+              if params.verbose then pp_violation_trace schedule
+            end;
+            1
+        | None ->
+            if not params.json then Format.printf "no sound violation@.";
+            0)
+end
+
+module Hunt_driver
+    (Live : Dsm.Protocol.S)
+    (Check : Dsm.Protocol.S
+               with type state = Live.state
+                and type message = Live.message
+                and type action = Live.action) =
+struct
+  module O = Online.Online_mc.Make (Live) (Check)
+  module S = Sim.Live_sim.Make (Live)
+
+  let run ?strategy ?action_prob ~invariant ~seed ~drop ~interval ~max_live
+      ~budget ~steer () =
+    let link =
+      Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
+        ()
+    in
+    let config =
+      {
+        O.sim = { S.seed; link; timer_min = 2.0; timer_max = 20.0; action_prob };
+        check_interval = interval;
+        max_live_time = max_live;
+        checker =
+          {
+            O.Checker.default_config with
+            time_limit = Some budget;
+            max_transitions = Some 100_000;
+          };
+        action_bounds = [ 1; 2 ];
+        steer;
+        steer_scope = `Node;
+      }
+    in
+    let strategy =
+      match strategy with Some s -> s | None -> O.Checker.General
+    in
+    let outcome = O.run config ~strategy ~invariant in
+    (if steer then
+       Format.printf
+         "steering: %d veto(s) installed; live system %s@."
+         (List.length outcome.vetoed)
+         (match outcome.live_violation_time with
+         | None -> "never violated the invariant"
+         | Some t -> Printf.sprintf "violated anyway at t=%.0f s" t));
+    match outcome.report with
+    | Some report ->
+        Format.printf "%a@." O.pp_report report;
+        Format.printf "(%d LMC runs, %.2f s total checking time)@."
+          outcome.total_checks outcome.total_check_time;
+        1
+    | None ->
+        Format.printf
+          "no violation within %.0f simulated seconds (%d LMC runs)@."
+          max_live outcome.total_checks;
+        0
+end
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tree_runner =
+  let module T = Protocols.Tree.Make (Protocols.Tree.Paper_config) in
+  let module D = Check_driver (T) in
+  {
+    name = "tree";
+    description = "the 5-node forwarding tree of the paper's primer (2)";
+    check =
+      (fun params ->
+        D.run ~invariant:T.received_implies_sent params);
+    hunt = None;
+  }
+
+let chain_runner =
+  let module C = Protocols.Chain.Make (struct
+    let length = 8
+  end) in
+  let module D = Check_driver (C) in
+  {
+    name = "chain";
+    description = "8-node sequential forwarding chain (4.3's worst case)";
+    check =
+      (fun params ->
+        D.run ~invariant:C.prefix_closed params);
+    hunt = None;
+  }
+
+let ping_runner =
+  let module P = Protocols.Ping.Make (struct
+    let num_servers = 2
+  end) in
+  let module D = Check_driver (P) in
+  {
+    name = "ping";
+    description = "client/2-server request-response micro-protocol";
+    check =
+      (fun params ->
+        D.run ~invariant:P.no_excess_pongs params);
+    hunt = None;
+  }
+
+let randtree_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Randtree.Double_bookkeeping
+    else Protocols.Randtree.No_bug
+  in
+  let module R = Protocols.Randtree.Make (struct
+    let num_nodes = 4
+    let max_children = 2
+    let max_attempts = 1
+    let bug = bug
+  end) in
+  let module D = Check_driver (R) in
+  {
+    name = (if buggy then "randtree-buggy" else "randtree");
+    description =
+      (if buggy then
+         "4-node RandTree overlay with the double-bookkeeping bug"
+       else "4-node RandTree overlay (children/siblings disjointness)");
+    check =
+      (fun params ->
+        D.run ~invariant:R.disjointness params);
+    hunt = None;
+  }
+
+let paxos_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Paxos_core.Last_response_wins
+    else Protocols.Paxos_core.No_bug
+  in
+  let module Live = Protocols.Paxos.Make (struct
+    let num_nodes = 3
+    let proposers = [ 0; 1; 2 ]
+    let max_attempts = 2
+    let max_index = 16
+    let fresh_proposals = true
+    let bug = bug
+  end) in
+  let module Check = Protocols.Paxos.Make (struct
+    let num_nodes = 3
+    let proposers = [ 0; 1; 2 ]
+    let max_attempts = 2
+    let max_index = 16
+    let fresh_proposals = false
+    let bug = bug
+  end) in
+  let module Bench = Protocols.Paxos.Make (struct
+    include Protocols.Paxos.Bench_config
+
+    let bug = bug
+  end) in
+  let module D = Check_driver (Bench) in
+  let module H = Hunt_driver (Live) (Check) in
+  {
+    name = (if buggy then "paxos-buggy" else "paxos");
+    description =
+      (if buggy then "3-node Paxos with the 5.5 last-response bug"
+       else "3-node Paxos, one proposal (the 5.1 benchmark space)");
+    check =
+      (fun params ->
+        D.run
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = Bench.abstraction; conflict = Bench.conflicts })
+          ~invariant:Bench.safety params);
+    hunt =
+      Some
+        (fun ~seed ~drop ~interval ~max_live ~budget ~steer ->
+          H.run
+            ~strategy:
+              (H.O.Checker.Invariant_specific
+                 { abstract = Check.abstraction; conflict = Check.conflicts })
+            ~invariant:Check.safety ~seed ~drop ~interval ~max_live ~budget
+            ~steer ());
+  }
+
+let onepaxos_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Onepaxos.Postfix_increment
+    else Protocols.Onepaxos.No_bug
+  in
+  let module OP = Protocols.Onepaxos.Make (struct
+    let num_nodes = 3
+    let max_leader_claims = 2
+    let max_attempts = 1
+    let max_index = 12
+    let max_util_entries = 3
+    let max_util_attempts = 2
+    let bug = bug
+  end) in
+  let module D = Check_driver (OP) in
+  let module H = Hunt_driver (OP) (OP) in
+  {
+    name = (if buggy then "onepaxos-buggy" else "onepaxos");
+    description =
+      (if buggy then "3-node 1Paxos with the 5.6 postfix-increment bug"
+       else "3-node 1Paxos over an embedded PaxosUtility");
+    check =
+      (fun params ->
+        D.run
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = OP.abstraction; conflict = OP.conflicts })
+          ~invariant:OP.safety params);
+    hunt =
+      Some
+        (fun ~seed ~drop ~interval ~max_live ~budget ~steer ->
+          H.run
+            ~strategy:
+              (H.O.Checker.Invariant_specific
+                 { abstract = OP.abstraction; conflict = OP.conflicts })
+            ~action_prob:(fun _ a ->
+              match a with
+              | Protocols.Onepaxos.Claim_leadership -> 0.1
+              | _ -> 1.0)
+            ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
+            ~steer ());
+  }
+
+let twophase_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Twophase.Commit_on_majority
+    else Protocols.Twophase.No_bug
+  in
+  let module T = Protocols.Twophase.Make (struct
+    let num_nodes = 4
+    let no_voters = [ 2 ]
+    let bug = bug
+  end) in
+  let module D = Check_driver (T) in
+  {
+    name = (if buggy then "2pc-buggy" else "2pc");
+    description =
+      (if buggy then
+         "two-phase commit deciding on a majority instead of unanimity"
+       else "two-phase commit, 1 coordinator + 3 participants (one no-voter)");
+    check =
+      (fun params ->
+        D.run
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = T.abstraction; conflict = T.conflicts })
+          ~invariant:T.atomicity params);
+    hunt = None;
+  }
+
+let ring_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Ring_election.Forward_smaller
+    else Protocols.Ring_election.No_bug
+  in
+  let module R = Protocols.Ring_election.Make (struct
+    let num_nodes = 3
+    let starters = [ 0; 1 ]
+    let bug = bug
+  end) in
+  let module D = Check_driver (R) in
+  {
+    name = (if buggy then "ring-buggy" else "ring");
+    description =
+      (if buggy then
+         "Chang-Roberts election forwarding losing tokens (two leaders)"
+       else "Chang-Roberts leader election on a 3-node ring");
+    check =
+      (fun params ->
+        D.run
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = R.abstraction; conflict = R.conflicts })
+          ~invariant:R.agreement params);
+    hunt = None;
+  }
+
+let mutex_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Token_mutex.Regenerate_token
+    else Protocols.Token_mutex.No_bug
+  in
+  let module M = Protocols.Token_mutex.Make (struct
+    let num_nodes = 3
+    let contenders = [ 1; 2 ]
+    let max_regenerations = 1
+    let bug = bug
+  end) in
+  let module D = Check_driver (M) in
+  {
+    name = (if buggy then "mutex-buggy" else "mutex");
+    description =
+      (if buggy then
+         "token-ring mutual exclusion regenerating an unlost token"
+       else "token-ring mutual exclusion, 3 nodes, 2 contenders");
+    check =
+      (fun params ->
+        D.run
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = M.abstraction; conflict = M.conflicts })
+          ~invariant:M.mutual_exclusion params);
+    hunt = None;
+  }
+
+let abp_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Alternating_bit.Ignore_bit
+    else Protocols.Alternating_bit.No_bug
+  in
+  let module A = Protocols.Alternating_bit.Make (struct
+    let data = [ 10; 20 ]
+    let max_retransmits = 1
+    let bug = bug
+  end) in
+  let module FA = Protocols.Fifo.Make (A) in
+  let module D = Check_driver (FA) in
+  {
+    name = (if buggy then "abp-buggy" else "abp");
+    description =
+      (if buggy then
+         "alternating-bit over FIFO channels, receiver ignoring the bit"
+       else "alternating-bit protocol over FIFO (TCP-like) channels");
+    check =
+      (fun params ->
+        D.run
+          ~invariant:(FA.lift_invariant A.prefix_delivery)
+          params);
+    hunt = None;
+  }
+
+let pb_runner ~buggy =
+  let bug =
+    if buggy then Protocols.Pb_store.Ack_before_replication
+    else Protocols.Pb_store.No_bug
+  in
+  let module P = Protocols.Pb_store.Make (struct
+    let key = 7
+    let value = 42
+    let bug = bug
+  end) in
+  let module D = Check_driver (P) in
+  {
+    name = (if buggy then "pb-store-buggy" else "pb-store");
+    description =
+      (if buggy then
+         "primary-backup store acknowledging before replication"
+       else "primary-backup store with fail-over reads");
+    check =
+      (fun params -> D.run ~invariant:P.read_your_writes params);
+    hunt = None;
+  }
+
+let runners =
+  [
+    tree_runner;
+    chain_runner;
+    ping_runner;
+    randtree_runner ~buggy:false;
+    randtree_runner ~buggy:true;
+    paxos_runner ~buggy:false;
+    paxos_runner ~buggy:true;
+    onepaxos_runner ~buggy:false;
+    onepaxos_runner ~buggy:true;
+    twophase_runner ~buggy:false;
+    twophase_runner ~buggy:true;
+    ring_runner ~buggy:false;
+    ring_runner ~buggy:true;
+    mutex_runner ~buggy:false;
+    mutex_runner ~buggy:true;
+    abp_runner ~buggy:false;
+    abp_runner ~buggy:true;
+    pb_runner ~buggy:false;
+    pb_runner ~buggy:true;
+  ]
+
+let find_runner name =
+  match List.find_opt (fun r -> r.name = name) runners with
+  | Some r -> Ok r
+  | None ->
+      Error
+        (Printf.sprintf "unknown protocol %S; try `lmc_cli list'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List the bundled protocol instances." in
+  let run () =
+    Format.printf "%-16s %s@." "NAME" "DESCRIPTION";
+    List.iter (fun r -> Format.printf "%-16s %s@." r.name r.description) runners;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let protocol_arg =
+  let doc = "Protocol instance to check (see `list')." in
+  Arg.(required & opt (some string) None & info [ "p"; "protocol" ] ~doc)
+
+let checker_arg =
+  let doc = "Checker: bdfs, lmc-gen, lmc-opt or lmc-auto." in
+  let parse = function
+    | "bdfs" -> Ok Bdfs
+    | "lmc-gen" -> Ok Lmc_gen
+    | "lmc-opt" -> Ok Lmc_opt
+    | "lmc-auto" -> Ok Lmc_auto
+    | s -> Error (`Msg (Printf.sprintf "unknown checker %S" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | Bdfs -> "bdfs"
+      | Lmc_gen -> "lmc-gen"
+      | Lmc_opt -> "lmc-opt"
+      | Lmc_auto -> "lmc-auto")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Lmc_opt
+    & info [ "c"; "checker" ] ~doc)
+
+let depth_arg =
+  let doc = "Depth bound (events)." in
+  Arg.(value & opt (some int) None & info [ "d"; "max-depth" ] ~doc)
+
+let time_arg =
+  let doc = "Wall-clock budget in seconds." in
+  Arg.(value & opt (some float) (Some 60.0) & info [ "t"; "time-limit" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print witness schedules." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let minimize_arg =
+  let doc = "Shrink witness schedules with delta debugging before printing." in
+  Arg.(value & flag & info [ "m"; "minimize" ] ~doc)
+
+let dot_arg =
+  let doc = "Write the witness as a Graphviz sequence chart to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~doc ~docv:"FILE")
+
+let json_arg =
+  let doc = "Emit a single JSON object on stdout instead of prose." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let check_cmd =
+  let doc = "Model-check a protocol offline from its initial state." in
+  let run protocol checker max_depth time_limit verbose minimize dot json =
+    match find_runner protocol with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok r ->
+        r.check
+          { kind = checker; max_depth; time_limit; verbose; minimize; dot;
+            json }
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
+      $ verbose_arg $ minimize_arg $ dot_arg $ json_arg)
+
+let seed_arg =
+  let doc = "Simulation seed." in
+  Arg.(value & opt int 7 & info [ "s"; "seed" ] ~doc)
+
+let drop_arg =
+  let doc = "Non-loopback message drop probability." in
+  Arg.(value & opt float 0.3 & info [ "drop" ] ~doc)
+
+let interval_arg =
+  let doc = "Simulated seconds between checker restarts." in
+  Arg.(value & opt float 30.0 & info [ "interval" ] ~doc)
+
+let max_live_arg =
+  let doc = "Give up after this much simulated time." in
+  Arg.(value & opt float 3600.0 & info [ "max-live" ] ~doc)
+
+let budget_arg =
+  let doc = "Wall-clock budget per checker restart (seconds)." in
+  Arg.(value & opt float 5.0 & info [ "budget" ] ~doc)
+
+let steer_arg =
+  let doc =
+    "Execution steering: veto predicted violation triggers in the live \
+     system and keep running instead of stopping at the first report."
+  in
+  Arg.(value & flag & info [ "steer" ] ~doc)
+
+let hunt_cmd =
+  let doc =
+    "Run a simulated lossy deployment with periodic LMC restarts (online \
+     model checking, 3.3)."
+  in
+  let run protocol seed drop interval max_live budget steer =
+    match find_runner protocol with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok { hunt = None; _ } ->
+        prerr_endline "this protocol has no online-hunt setup";
+        2
+    | Ok { hunt = Some h; _ } ->
+        h ~seed ~drop ~interval ~max_live ~budget ~steer
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc)
+    Term.(
+      const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
+      $ max_live_arg $ budget_arg $ steer_arg)
+
+let () =
+  let doc = "local model checking of distributed protocols (NSDI'11)" in
+  let info = Cmd.info "lmc_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; hunt_cmd ]))

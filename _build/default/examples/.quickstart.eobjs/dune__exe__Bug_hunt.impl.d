@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Format Net Online Protocols Sim

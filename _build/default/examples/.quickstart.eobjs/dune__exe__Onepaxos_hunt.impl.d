@@ -1,0 +1,1 @@
+examples/onepaxos_hunt.ml: Format Net Online Protocols Sim

@@ -1,0 +1,1 @@
+examples/onepaxos_hunt.mli:

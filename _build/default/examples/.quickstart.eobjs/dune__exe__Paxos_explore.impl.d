@@ -1,0 +1,1 @@
+examples/paxos_explore.ml: Dsm Format Lmc Mc_global Protocols

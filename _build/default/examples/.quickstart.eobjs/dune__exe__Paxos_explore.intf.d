@@ -1,0 +1,1 @@
+examples/paxos_explore.mli:

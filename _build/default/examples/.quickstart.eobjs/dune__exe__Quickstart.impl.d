@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dsm Format List Lmc Mc_global Protocols String

@@ -1,0 +1,1 @@
+examples/randtree_check.ml: Dsm Format Lmc Mc_global Protocols

@@ -1,0 +1,1 @@
+examples/randtree_check.mli:

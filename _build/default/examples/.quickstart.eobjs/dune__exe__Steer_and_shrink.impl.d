@@ -1,0 +1,1 @@
+examples/steer_and_shrink.ml: Dsm Filename Format List Lmc Net Online Protocols Sim

@@ -1,0 +1,1 @@
+examples/steer_and_shrink.mli:

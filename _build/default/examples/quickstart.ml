@@ -1,0 +1,64 @@
+(* Quickstart: the paper's primer (§2) end to end.
+
+   We model-check the five-node distributed tree of Fig. 2 twice:
+   first with the classic global approach (B-DFS over global states,
+   Fig. 3), then with the local approach (LMC, Fig. 4).  The run shows
+   the numbers the primer walks through: the global state space versus
+   the handful of system states LMC materialises, and the invalid
+   system state "----r" being caught — and rejected — by soundness
+   verification. *)
+
+module Tree = Protocols.Tree.Make (Protocols.Tree.Paper_config)
+module Global = Mc_global.Bdfs.Make (Tree)
+module Local = Lmc.Checker.Make (Tree)
+
+let pp_system ppf system =
+  Array.iter (fun s -> Tree.pp_state ppf s) system
+
+let () =
+  let init = Dsm.Protocol.initial_system (module Tree) in
+  let invariant = Tree.received_implies_sent in
+
+  Format.printf "== Global model checking (B-DFS, Fig. 3) ==@.";
+  let g = Global.run Global.default_config ~invariant init in
+  Format.printf "  transitions executed : %d@." g.stats.transitions;
+  Format.printf "  global states        : %d@." g.stats.global_states;
+  Format.printf "  system states        : %d@." g.stats.system_states;
+  Format.printf "  violations reported  : %s@."
+    (match g.violation with None -> "none" | Some _ -> "yes");
+
+  Format.printf "@.== Local model checking (LMC, Fig. 4) ==@.";
+  let l =
+    Local.run Local.default_config ~strategy:Local.General ~invariant init
+  in
+  Format.printf "  transitions executed : %d@." l.transitions;
+  Format.printf "  node states stored   : %d (per node: %s)@."
+    l.total_node_states
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int l.node_states)));
+  Format.printf "  shared network |I+|  : %d messages@." l.net_messages;
+  Format.printf "  system states created: %d@." l.system_states_created;
+  Format.printf "  preliminary violations: %d@." l.preliminary_violations;
+  Format.printf "  rejected as unsound  : %d@." l.soundness_rejections;
+  Format.printf "  sound violations     : %s@."
+    (match l.sound_violation with None -> "none" | Some _ -> "yes");
+  Format.printf
+    "@.The invalid system state \"----r\" (target received before the origin \
+     sent)@.is produced by combining node states, flagged as a preliminary \
+     violation,@.and discarded by soundness verification — no false positive \
+     reaches the user.@.";
+
+  (* Show the four system states of Fig. 4 by replaying the valid runs. *)
+  Format.printf "@.Valid system states of the primer:@.";
+  List.iter
+    (fun system -> Format.printf "  %a@." pp_system system)
+    [
+      Dsm.Protocol.initial_system (module Tree);
+      (let s = Dsm.Protocol.initial_system (module Tree) in
+       s.(0) <- Protocols.Tree.Sent;
+       s);
+      (let s = Dsm.Protocol.initial_system (module Tree) in
+       s.(0) <- Protocols.Tree.Sent;
+       s.(4) <- Protocols.Tree.Received;
+       s);
+    ]

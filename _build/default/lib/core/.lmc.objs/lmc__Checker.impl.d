@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Atomic Combination Domain Dsm Hashtbl List Soundness Unix

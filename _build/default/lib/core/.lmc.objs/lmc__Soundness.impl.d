@@ -1,0 +1,1 @@
+lib/core/soundness.ml: Array Buffer Digest Dsm Hashtbl List Option Printf

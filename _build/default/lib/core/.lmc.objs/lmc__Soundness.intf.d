@@ -1,0 +1,1 @@
+lib/core/soundness.mli: Dsm

@@ -1,0 +1,1 @@
+lib/core/witness.ml: Array Buffer Dsm Format Hashtbl List Net Option Printf String

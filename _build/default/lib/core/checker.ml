@@ -1,0 +1,940 @@
+module Make (P : Dsm.Protocol.S) = struct
+  module Envelope = Dsm.Envelope
+  module Fingerprint = Dsm.Fingerprint
+  module Vec = Dsm.Vec
+  module Trace = Dsm.Trace
+
+  type 'k strategy =
+    | General
+    | Invariant_specific of {
+        abstract : P.state -> 'k option;
+        conflict : 'k -> 'k -> bool;
+      }
+    | Automatic
+
+  type config = {
+    max_depth : int option;
+    time_limit : float option;
+    max_transitions : int option;
+    local_action_bound : int option;
+    create_system_states : bool;
+    verify_soundness : bool;
+    use_history : bool;
+    stop_on_violation : bool;
+    max_paths_per_entry : int;
+    max_sequence_combos : int;
+    soundness_budget : int;
+    max_preds_per_entry : int;
+    reverify_rejected : bool;
+    max_rejected_cache : int;
+    soundness_via_sequences : bool;
+    defer_soundness : bool;
+    verify_domains : int;
+    on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
+  }
+
+  let default_config =
+    {
+      max_depth = None;
+      time_limit = None;
+      max_transitions = None;
+      local_action_bound = None;
+      create_system_states = true;
+      verify_soundness = true;
+      use_history = true;
+      stop_on_violation = true;
+      max_paths_per_entry = 64;
+      max_sequence_combos = 4096;
+      soundness_budget = 50_000;
+      max_preds_per_entry = 256;
+      reverify_rejected = true;
+      max_rejected_cache = 20_000;
+      soundness_via_sequences = false;
+      defer_soundness = false;
+      verify_domains = 1;
+      on_new_node_state = None;
+    }
+
+  type violation = {
+    system : P.state array;
+    violation : Dsm.Invariant.violation;
+    schedule : (P.message, P.action) Trace.t;
+    system_depth : int;
+  }
+
+  type result = {
+    node_states : int array;
+    total_node_states : int;
+    transitions : int;
+    net_messages : int;
+    system_states_created : int;
+    preliminary_violations : int;
+    sound_violation : violation option;
+    soundness_calls : int;
+    sequences_checked : int;
+    soundness_rejections : int;
+    soundness_budget_exhausted : int;
+    local_assert_drops : int;
+    completed : bool;
+    elapsed : float;
+    system_state_time : float;
+    soundness_time : float;
+    retained_bytes : int;
+    max_system_depth : int;
+    max_node_depth : int;
+  }
+
+  let explore_time r = r.elapsed -. r.system_state_time -. r.soundness_time
+
+  type event_kind = Net_event of int | Action_event of P.action
+
+  type event_info = {
+    label : Fingerprint.t;
+    kind : event_kind;
+    requires : Fingerprint.t option;
+    produces : Fingerprint.t list;
+  }
+
+  type pred = { prev : int option; event : event_info }
+
+  type 'k entry = {
+    idx : int;
+    node : Dsm.Node_id.t;
+    root : bool;
+    state : P.state;
+    fp : Fingerprint.t;
+    history : Fingerprint.Set.t;
+    depth : int;
+    local_count : int;
+    key : 'k option;
+    mutable preds : pred list;
+  }
+
+  type net_entry = {
+    net_id : int;
+    env : P.message Envelope.t;
+    net_fp : Fingerprint.t;
+    mutable cursor : int;  (* states of [env.dst] already served *)
+  }
+
+  (* A soundness-rejected preliminary violation, cached so it can be
+     re-verified once exploration has added more predecessor pointers
+     (the remedy §4.2 suggests for the simplification of verifying only
+     at state-creation time). *)
+  type 'k rejected = {
+    r_tuple : 'k entry array;
+    r_system : P.state array;
+    r_violation : Dsm.Invariant.violation;
+    r_depth : int;
+  }
+
+  type 'k t = {
+    config : config;
+    strategy : 'k strategy;
+    invariant : P.state Dsm.Invariant.t;
+    stores : 'k entry Vec.t array;
+    by_fp : (Fingerprint.t, int) Hashtbl.t array;
+    action_cursor : int array;  (* states already expanded for actions *)
+    net : net_entry Vec.t;
+    net_by_fp : (Fingerprint.t, int) Hashtbl.t;
+    seen_combos : (Fingerprint.t, unit) Hashtbl.t;
+    rejected : 'k rejected Vec.t;
+    started : float;
+    mutable transitions : int;
+    mutable system_states_created : int;
+    mutable preliminary_violations : int;
+    mutable soundness_calls : int;
+    mutable sequences_checked : int;
+    mutable soundness_rejections : int;
+    mutable local_assert_drops : int;
+    mutable soundness_budget_exhausted : int;
+    mutable sound_violation : violation option;
+    mutable system_state_time : float;
+    mutable soundness_time : float;
+    mutable max_system_depth : int;
+    mutable max_node_depth : int;
+    mutable truncated : bool;
+  }
+
+  exception Stop
+
+  let now () = Unix.gettimeofday ()
+
+  let check_budget t =
+    let over_time =
+      match t.config.time_limit with
+      | Some limit -> now () -. t.started > limit
+      | None -> false
+    in
+    let over_transitions =
+      match t.config.max_transitions with
+      | Some limit -> t.transitions >= limit
+      | None -> false
+    in
+    if over_time || over_transitions then begin
+      t.truncated <- true;
+      raise Stop
+    end
+
+  let abstract_key t state =
+    match t.strategy with
+    | General | Automatic -> None
+    | Invariant_specific { abstract; _ } -> abstract state
+
+  let depth_allows t d =
+    match t.config.max_depth with Some bound -> d <= bound | None -> true
+
+  (* Add a generated message to the shared network I+, deduplicating by
+     fingerprint (the paper's duplicate limit of zero).  The returned
+     fingerprint always enters the producing event's [produces] list:
+     soundness bookkeeping counts productions, not distinct contents. *)
+  let add_message t env =
+    let fp = Fingerprint.of_value env in
+    if not (Hashtbl.mem t.net_by_fp fp) then begin
+      let id = Vec.length t.net in
+      ignore (Vec.push t.net { net_id = id; env; net_fp = fp; cursor = 0 });
+      Hashtbl.replace t.net_by_fp fp id
+    end;
+    fp
+
+  (* ----- soundness verification (isStateSound, Fig. 9) ----- *)
+
+  (* All event sequences that can lead to [entry], by following the
+     predecessor pointers backwards.  Self-references are ignored
+     (§4.2) and cycles are cut by an on-path guard; the number of
+     sequences is capped. *)
+  let enumerate_paths t (entry : 'k entry) : event_info list list =
+    let store = t.stores.(entry.node) in
+    let results = ref [] in
+    let count = ref 0 in
+    let max_paths = t.config.max_paths_per_entry in
+    let rec walk e suffix on_path =
+      if !count >= max_paths then ()
+      else if e.root then begin
+        results := suffix :: !results;
+        incr count
+      end
+      else
+        List.iter
+          (fun p ->
+            if !count < max_paths then
+              match p.prev with
+              | None -> ()
+              | Some i when i = e.idx -> ()
+              | Some i when List.mem i on_path -> ()
+              | Some i ->
+                  walk (Vec.get store i) (p.event :: suffix) (e.idx :: on_path))
+          e.preds
+    in
+    walk entry [] [];
+    !results
+
+  let to_soundness_sequence node events : Soundness.sequence =
+    List.map
+      (fun (e : event_info) ->
+        {
+          Soundness.node;
+          label = e.label;
+          requires = e.requires;
+          produces = e.produces;
+        })
+      events
+
+  let step_of_event t node (e : event_info) : (P.message, P.action) Trace.step =
+    match e.kind with
+    | Net_event id -> Trace.Deliver (Vec.get t.net id).env
+    | Action_event a -> Trace.Execute (node, a)
+
+  (* The predecessor DAG of one component node state, restricted to the
+     backward closure of the target.  Self-references are ignored
+     (§4.2); cycles are tolerated, the memoised search handles them. *)
+  let build_graph t (entry : 'k entry)
+      (by_label : (Dsm.Node_id.t * Fingerprint.t, event_info) Hashtbl.t) :
+      Soundness.node_graph =
+    (* Even a snapshot-state target can carry self-edges (events that
+       produced messages without changing the state), so the closure is
+       built uniformly. *)
+    begin
+      let store = t.stores.(entry.node) in
+      let seen = Hashtbl.create 64 in
+      let edges = ref [] in
+      let stack = ref [ entry.idx ] in
+      Hashtbl.replace seen entry.idx ();
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | i :: rest ->
+            stack := rest;
+            let e = Vec.get store i in
+            List.iter
+              (fun (p : pred) ->
+                match p.prev with
+                | None -> ()
+                | Some j ->
+                    (* self-edges (j = i) carry productions of events
+                       that left the state unchanged; the DAG search
+                       may traverse them *)
+                    Hashtbl.replace by_label (entry.node, p.event.label) p.event;
+                    edges :=
+                      ( j,
+                        {
+                          Soundness.node = entry.node;
+                          label = p.event.label;
+                          requires = p.event.requires;
+                          produces = p.event.produces;
+                        },
+                        i )
+                      :: !edges;
+                    if not (Hashtbl.mem seen j) then begin
+                      Hashtbl.replace seen j ();
+                      stack := j :: !stack
+                    end)
+              e.preds
+      done;
+      { Soundness.root = 0; target = entry.idx; edges = !edges }
+    end
+
+  (* Confirm a preliminary violation (isStateSound): either search the
+     product of the per-node predecessor DAGs directly (default), or
+     enumerate explicit event-sequence combinations as in the paper. *)
+  let verify_soundness ?(cache_rejection = true) t (tuple : 'k entry array)
+      system violation sdepth =
+    t.soundness_calls <- t.soundness_calls + 1;
+    let t0 = now () in
+    (* Map a scheduled event back to its protocol-level step. *)
+    let by_label : (Dsm.Node_id.t * Fingerprint.t, event_info) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let found = ref None in
+    if t.config.soundness_via_sequences then begin
+      let paths =
+        Array.map (fun e -> Array.of_list (enumerate_paths t e)) tuple
+      in
+      Array.iteri
+        (fun n node_paths ->
+          Array.iter
+            (List.iter (fun (e : event_info) ->
+                 Hashtbl.replace by_label (n, e.label) e))
+            node_paths)
+        paths;
+      let combos = ref 0 in
+      ignore
+        (Combination.iter paths (fun sequences ->
+             incr combos;
+             t.sequences_checked <- t.sequences_checked + 1;
+             let seqs =
+               Array.mapi (fun n evs -> to_soundness_sequence n evs) sequences
+             in
+             match
+               Soundness.check ~budget:t.config.soundness_budget
+                 ~initial_net:[] seqs
+             with
+             | Soundness.Valid order ->
+                 found := Some order;
+                 `Stop
+             | Soundness.Invalid | Soundness.Budget_exhausted ->
+                 if !combos >= t.config.max_sequence_combos then `Stop
+                 else `Continue))
+    end
+    else begin
+      let graphs = Array.map (fun e -> build_graph t e by_label) tuple in
+      t.sequences_checked <- t.sequences_checked + 1;
+      (match
+         Soundness.check_dag ~budget:t.config.soundness_budget ~initial_net:[]
+           graphs
+       with
+      | Soundness.Valid order -> found := Some order
+      | Soundness.Invalid -> ()
+      | Soundness.Budget_exhausted ->
+          t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1);
+      ()
+    end;
+    t.soundness_time <- t.soundness_time +. (now () -. t0);
+    match !found with
+    | None ->
+        if cache_rejection then begin
+          t.soundness_rejections <- t.soundness_rejections + 1;
+          if
+            t.config.reverify_rejected
+            && Vec.length t.rejected < t.config.max_rejected_cache
+          then
+            ignore
+              (Vec.push t.rejected
+                 {
+                   r_tuple = tuple;
+                   r_system = system;
+                   r_violation = violation;
+                   r_depth = sdepth;
+                 })
+        end
+    | Some order ->
+        let schedule =
+          List.map
+            (fun (sev : Soundness.event) ->
+              match Hashtbl.find_opt by_label (sev.node, sev.label) with
+              | Some e -> step_of_event t sev.node e
+              | None -> assert false)
+            order
+        in
+        ignore sdepth;
+        t.sound_violation <-
+          Some
+            {
+              system = Array.copy system;
+              violation;
+              schedule;
+              (* the witness may include productive events that left a
+                 node state unchanged, so its length can exceed the sum
+                 of the component state depths *)
+              system_depth = List.length schedule;
+            };
+        if t.config.stop_on_violation then raise Stop
+
+  (* ----- system state creation (checkSystemInvariant, Fig. 9) ----- *)
+
+  let consider_combo t (tuple : 'k entry array) =
+    check_budget t;
+    let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
+    if depth_allows t sdepth then begin
+      t.system_states_created <- t.system_states_created + 1;
+      if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
+      let system = Array.map (fun e -> e.state) tuple in
+      match Dsm.Invariant.check t.invariant system with
+      | None -> ()
+      | Some violation ->
+          t.preliminary_violations <- t.preliminary_violations + 1;
+          if t.config.verify_soundness then begin
+            if
+              t.config.defer_soundness
+              && Vec.length t.rejected < t.config.max_rejected_cache
+            then
+              (* Contribution 3 of the paper: exploration, system-state
+                 creation and soundness verification are decoupled, so
+                 verification can be postponed (and parallelised) after
+                 exploration settles.  When the queue overflows we fall
+                 back to verifying inline — never drop a preliminary
+                 violation silently. *)
+              ignore
+                (Vec.push t.rejected
+                   {
+                     r_tuple = Array.copy tuple;
+                     r_system = system;
+                     r_violation = violation;
+                     r_depth = sdepth;
+                   })
+            else verify_soundness t (Array.copy tuple) system violation sdepth
+          end
+    end
+
+  let general_combos t (new_entry : 'k entry) =
+    let candidates =
+      Array.init P.num_nodes (fun k ->
+          if k = new_entry.node then [| new_entry |]
+          else Vec.to_array t.stores.(k))
+    in
+    ignore
+      (Combination.iter candidates (fun tuple ->
+           consider_combo t tuple;
+           if t.sound_violation <> None && t.config.stop_on_violation then
+             `Stop
+           else `Continue))
+
+  (* LMC-OPT: "we select only the node states that at least two of them
+     are mapped to different values" — pin a conflicting pair (the new
+     state plus one conflicting state of another node) and complete the
+     system state from the full stores of the remaining nodes.  States
+     that map to [None] never seed a combination, which is why a
+     bug-free run creates no system states at all. *)
+  let tuple_fp tuple =
+    Fingerprint.combine (Array.to_list (Array.map (fun e -> e.fp) tuple))
+
+  (* Pin [new_entry] together with each partner the filter accepts and
+     complete the system state from the remaining nodes' full stores. *)
+  let pinned_pair_combos t (new_entry : 'k entry) ~partner =
+    try
+      for m = 0 to P.num_nodes - 1 do
+        if m <> new_entry.node then
+          Vec.iteri
+            (fun _ (other : 'k entry) ->
+              if partner m other then begin
+                let candidates =
+                  Array.init P.num_nodes (fun j ->
+                      if j = new_entry.node then [| new_entry |]
+                      else if j = m then [| other |]
+                      else Vec.to_array t.stores.(j))
+                in
+                ignore
+                  (Combination.iter candidates (fun tuple ->
+                       let cfp = tuple_fp tuple in
+                       if not (Hashtbl.mem t.seen_combos cfp) then begin
+                         Hashtbl.replace t.seen_combos cfp ();
+                         consider_combo t (Array.copy tuple)
+                       end;
+                       if
+                         t.sound_violation <> None
+                         && t.config.stop_on_violation
+                       then `Stop
+                       else `Continue));
+                if t.sound_violation <> None && t.config.stop_on_violation
+                then raise Exit
+              end)
+            t.stores.(m)
+      done
+    with Exit -> ()
+
+  let opt_combos t conflict (new_entry : 'k entry) =
+    match new_entry.key with
+    | None -> ()
+    | Some k ->
+        pinned_pair_combos t new_entry ~partner:(fun _ (other : 'k entry) ->
+            match other.key with Some k' -> conflict k k' | None -> false)
+
+  (* The paper's future-work pruning, derived from the invariant's
+     shape: a pairwise invariant needs a violating pair in the
+     combination, a node-local one needs the new component itself to
+     violate.  Anything else falls back to the general product. *)
+  let auto_combos t (new_entry : 'k entry) =
+    match Dsm.Invariant.pairwise_witness t.invariant with
+    | Some pair ->
+        pinned_pair_combos t new_entry ~partner:(fun m (other : 'k entry) ->
+            pair new_entry.node new_entry.state m other.state)
+    | None -> (
+        match Dsm.Invariant.nodewise_witness t.invariant with
+        | Some local ->
+            if local new_entry.node new_entry.state then
+              general_combos t new_entry
+        | None -> general_combos t new_entry)
+
+  let check_system_invariant t (new_entry : 'k entry) =
+    if t.config.create_system_states then begin
+      let t0 = now () in
+      let soundness_before = t.soundness_time in
+      (match t.strategy with
+      | General -> general_combos t new_entry
+      | Invariant_specific { conflict; _ } -> opt_combos t conflict new_entry
+      | Automatic -> auto_combos t new_entry);
+      let phase = now () -. t0 in
+      t.system_state_time <-
+        t.system_state_time +. phase -. (t.soundness_time -. soundness_before)
+    end
+
+  (* ----- exploration (findBugs main loop, Fig. 9) ----- *)
+
+  let add_next_state t ~node ~state ~fp ~history ~depth ~local_count ~pred =
+    let store = t.stores.(node) in
+    match Hashtbl.find_opt t.by_fp.(node) fp with
+    | Some i ->
+        (* Known node state reached by a new path: record one more
+           predecessor pointer (Fig. 9 line 14); the history keeps its
+           first value (§4.2 simplification). *)
+        let e = Vec.get store i in
+        if List.length e.preds < t.config.max_preds_per_entry then
+          e.preds <- pred :: e.preds;
+        false
+    | None ->
+        let idx = Vec.length store in
+        let entry =
+          {
+            idx;
+            node;
+            root = false;
+            state;
+            fp;
+            history;
+            depth;
+            local_count;
+            key = abstract_key t state;
+            preds = [ pred ];
+          }
+        in
+        ignore (Vec.push store entry);
+        Hashtbl.replace t.by_fp.(node) fp idx;
+        if depth > t.max_node_depth then t.max_node_depth <- depth;
+        (match t.config.on_new_node_state with
+        | Some f -> f node state
+        | None -> ());
+        check_system_invariant t entry;
+        true
+
+  let try_net_event t (m : net_entry) (entry : 'k entry) =
+    let skip_by_history =
+      t.config.use_history && Fingerprint.Set.mem m.net_fp entry.history
+    in
+    if (not skip_by_history) && depth_allows t (entry.depth + 1) then begin
+      t.transitions <- t.transitions + 1;
+      check_budget t;
+      let node = m.env.Envelope.dst in
+      match P.handle_message ~self:node entry.state m.env with
+      | exception Dsm.Protocol.Local_assert _ ->
+          t.local_assert_drops <- t.local_assert_drops + 1;
+          false
+      | state', out ->
+          let produces = List.map (add_message t) out in
+          let event =
+            {
+              label = m.net_fp;
+              kind = Net_event m.net_id;
+              requires = Some m.net_fp;
+              produces;
+            }
+          in
+          let changed =
+            let fp' = Fingerprint.of_value state' in
+            if Fingerprint.equal fp' entry.fp then begin
+              (* Self-loop predecessor (Fig. 9 line 14 with s' = s): the
+                 event did not change the node state but its message
+                 productions matter to other nodes' soundness DAGs —
+                 e.g. a tree node forwarding a token untouched. *)
+              if
+                produces <> []
+                && List.length entry.preds < t.config.max_preds_per_entry
+              then
+                entry.preds <- { prev = Some entry.idx; event } :: entry.preds;
+              false
+            end
+            else
+              add_next_state t ~node ~state:state' ~fp:fp'
+                ~history:
+                  (if t.config.use_history then
+                     Fingerprint.Set.add m.net_fp entry.history
+                   else entry.history)
+                ~depth:(entry.depth + 1) ~local_count:entry.local_count
+                ~pred:{ prev = Some entry.idx; event }
+          in
+          changed || produces <> []
+    end
+    else false
+
+  let try_actions t node (entry : 'k entry) =
+    let bound_ok =
+      match t.config.local_action_bound with
+      | Some b -> entry.local_count < b
+      | None -> true
+    in
+    if bound_ok && depth_allows t (entry.depth + 1) then
+      List.fold_left
+        (fun progress action ->
+          t.transitions <- t.transitions + 1;
+          check_budget t;
+          match P.handle_action ~self:node entry.state action with
+          | exception Dsm.Protocol.Local_assert _ ->
+              t.local_assert_drops <- t.local_assert_drops + 1;
+              progress
+          | state', out ->
+              let produces = List.map (add_message t) out in
+              let changed =
+                let fp' = Fingerprint.of_value state' in
+                if Fingerprint.equal fp' entry.fp then false
+                else
+                  let event =
+                    {
+                      label = Fingerprint.of_value (node, action);
+                      kind = Action_event action;
+                      requires = None;
+                      produces;
+                    }
+                  in
+                  add_next_state t ~node ~state:state' ~fp:fp'
+                    ~history:entry.history ~depth:(entry.depth + 1)
+                    ~local_count:(entry.local_count + 1)
+                    ~pred:{ prev = Some entry.idx; event }
+              in
+              progress || changed || produces <> [])
+        false
+        (P.enabled_actions ~self:node entry.state)
+    else false
+
+  let round t =
+    let progress = ref false in
+    (* Network events: each message visits the states of its
+       destination that it has not been applied to yet (§4.2); messages
+       generated during this round wait for the next one. *)
+    let net_len = Vec.length t.net in
+    for mi = 0 to net_len - 1 do
+      let m = Vec.get t.net mi in
+      let store = t.stores.(m.env.Envelope.dst) in
+      let upto = Vec.length store in
+      let from = m.cursor in
+      if from < upto then begin
+        m.cursor <- upto;
+        progress := true;
+        for si = from to upto - 1 do
+          if try_net_event t m (Vec.get store si) then progress := true
+        done
+      end
+    done;
+    (* Local events: expand each newly visited node state once. *)
+    for n = 0 to P.num_nodes - 1 do
+      let store = t.stores.(n) in
+      let upto = Vec.length store in
+      let from = t.action_cursor.(n) in
+      if from < upto then begin
+        t.action_cursor.(n) <- upto;
+        progress := true;
+        for si = from to upto - 1 do
+          if try_actions t n (Vec.get store si) then progress := true
+        done
+      end
+    done;
+    !progress
+
+  (* Parallel a-posteriori verification: the paper's third contribution
+     notes that with exploration, system-state creation and soundness
+     verification decoupled, "the model checking process can be
+     embarrassingly parallelized".  The predecessor DAGs are extracted
+     on the main domain (they read the mutable stores, which are
+     quiescent by now); the pure [Soundness.check_dag] calls fan out
+     across worker domains; results are folded back in deterministic
+     cache order. *)
+  let verify_parallel t (pending : 'k rejected array) =
+    let t0 = now () in
+    let jobs =
+      Array.map
+        (fun r ->
+          let by_label :
+              (Dsm.Node_id.t * Fingerprint.t, event_info) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          let graphs =
+            Array.map (fun e -> build_graph t e by_label) r.r_tuple
+          in
+          (r, graphs, by_label))
+        pending
+    in
+    let n = Array.length jobs in
+    let verdicts = Array.make n Soundness.Invalid in
+    let domains = max 1 t.config.verify_domains in
+    let next = Atomic.make 0 in
+    let budget = t.config.soundness_budget in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let _, graphs, _ = jobs.(i) in
+          verdicts.(i) <- Soundness.check_dag ~budget ~initial_net:[] graphs;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (domains - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    t.soundness_calls <- t.soundness_calls + n;
+    t.sequences_checked <- t.sequences_checked + n;
+    t.soundness_time <- t.soundness_time +. (now () -. t0);
+    (* Fold the verdicts deterministically. *)
+    Array.iteri
+      (fun i verdict ->
+        let r, _, by_label = jobs.(i) in
+        match verdict with
+        | Soundness.Invalid -> t.soundness_rejections <- t.soundness_rejections + 1
+        | Soundness.Budget_exhausted ->
+            t.soundness_rejections <- t.soundness_rejections + 1;
+            t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1
+        | Soundness.Valid order ->
+            if t.sound_violation = None then begin
+              let schedule =
+                List.map
+                  (fun (sev : Soundness.event) ->
+                    match Hashtbl.find_opt by_label (sev.node, sev.label) with
+                    | Some e -> step_of_event t sev.node e
+                    | None -> assert false)
+                  order
+              in
+              t.sound_violation <-
+                Some
+                  {
+                    system = Array.copy r.r_system;
+                    violation = r.r_violation;
+                    schedule;
+                    system_depth = List.length schedule;
+                  }
+            end)
+      verdicts
+
+  (* Final verification pass.  In deferred mode this is where all the
+     preliminary violations are decided; otherwise it re-verifies
+     soundness-rejected ones, whose later-added predecessor pointers
+     can have made them schedulable (§4.2's completeness caveat and
+     suggested remedy). *)
+  let reverify_rejected t =
+    let wanted =
+      t.config.verify_soundness
+      && (t.config.defer_soundness || t.config.reverify_rejected)
+    in
+    if wanted then begin
+      let pending = Vec.to_array t.rejected in
+      Vec.clear t.rejected;
+      if
+        t.config.verify_domains > 1
+        && not t.config.soundness_via_sequences
+        && not (t.config.stop_on_violation && t.sound_violation <> None)
+      then verify_parallel t pending
+      else
+        Array.iter
+          (fun r ->
+            if not (t.config.stop_on_violation && t.sound_violation <> None)
+            then
+              verify_soundness
+                ~cache_rejection:t.config.defer_soundness t r.r_tuple
+                r.r_system r.r_violation r.r_depth)
+          pending
+    end
+
+  let check_initial t snapshot =
+    if not t.config.create_system_states then ignore snapshot
+    else
+    match t.strategy with
+    | General ->
+        let tuple = Array.init P.num_nodes (fun n -> Vec.get t.stores.(n) 0) in
+        consider_combo t tuple
+    | Invariant_specific { conflict; _ } ->
+        for i = 0 to P.num_nodes - 1 do
+          for j = i + 1 to P.num_nodes - 1 do
+            let ei = Vec.get t.stores.(i) 0 and ej = Vec.get t.stores.(j) 0 in
+            match (ei.key, ej.key) with
+            | Some ki, Some kj when conflict ki kj ->
+                let tuple =
+                  Array.init P.num_nodes (fun n -> Vec.get t.stores.(n) 0)
+                in
+                consider_combo t tuple
+            | _ -> ()
+          done
+        done;
+        ignore snapshot
+    | Automatic ->
+        let roots = Array.init P.num_nodes (fun n -> Vec.get t.stores.(n) 0) in
+        let fire =
+          match Dsm.Invariant.pairwise_witness t.invariant with
+          | Some pair ->
+              let hit = ref false in
+              for i = 0 to P.num_nodes - 1 do
+                for j = i + 1 to P.num_nodes - 1 do
+                  if pair i roots.(i).state j roots.(j).state then hit := true
+                done
+              done;
+              !hit
+          | None -> (
+              match Dsm.Invariant.nodewise_witness t.invariant with
+              | Some local ->
+                  Array.exists (fun (e : 'k entry) -> local e.node e.state) roots
+              | None -> true)
+        in
+        if fire then consider_combo t roots
+
+  let retained_bytes t =
+    let entry_bytes acc (e : 'k entry) =
+      acc
+      + Fingerprint.serialized_size e.state
+      + Fingerprint.size
+      + (Fingerprint.Set.cardinal e.history * Fingerprint.size)
+      + List.fold_left
+          (fun acc (p : pred) ->
+            acc + 48 + (List.length p.event.produces * Fingerprint.size))
+          0 e.preds
+      + 64 (* store slot + hash-table entry *)
+    in
+    let stores_bytes =
+      Array.fold_left
+        (fun acc store -> Vec.fold_left entry_bytes acc store)
+        0 t.stores
+    in
+    let net_bytes =
+      Vec.fold_left
+        (fun acc (m : net_entry) ->
+          acc + Fingerprint.serialized_size m.env + Fingerprint.size + 48)
+        0 t.net
+    in
+    stores_bytes + net_bytes
+
+  let run config ~strategy ~invariant snapshot =
+    if Array.length snapshot <> P.num_nodes then
+      invalid_arg "Checker.run: snapshot size does not match num_nodes";
+    let t =
+      {
+        config;
+        strategy;
+        invariant;
+        stores = Array.init P.num_nodes (fun _ -> Vec.create ());
+        by_fp = Array.init P.num_nodes (fun _ -> Hashtbl.create 256);
+        action_cursor = Array.make P.num_nodes 0;
+        net = Vec.create ();
+        net_by_fp = Hashtbl.create 256;
+        seen_combos = Hashtbl.create 256;
+        rejected = Vec.create ();
+        started = now ();
+        transitions = 0;
+        system_states_created = 0;
+        preliminary_violations = 0;
+        soundness_calls = 0;
+        sequences_checked = 0;
+        soundness_rejections = 0;
+        local_assert_drops = 0;
+        soundness_budget_exhausted = 0;
+        sound_violation = None;
+        system_state_time = 0.;
+        soundness_time = 0.;
+        max_system_depth = 0;
+        max_node_depth = 0;
+        truncated = false;
+      }
+    in
+    (* Fig. 9 lines 2-4: LS_n starts from the live state; I+ empty. *)
+    Array.iteri
+      (fun n state ->
+        let fp = Fingerprint.of_value state in
+        let entry =
+          {
+            idx = 0;
+            node = n;
+            root = true;
+            state;
+            fp;
+            history = Fingerprint.Set.empty;
+            depth = 0;
+            local_count = 0;
+            key = abstract_key t state;
+            preds = [];
+          }
+        in
+        ignore (Vec.push t.stores.(n) entry);
+        Hashtbl.replace t.by_fp.(n) fp 0)
+      snapshot;
+    (try
+       check_initial t snapshot;
+       if not (t.config.stop_on_violation && t.sound_violation <> None) then begin
+         let continue = ref true in
+         while !continue do
+           check_budget t;
+           continue := round t
+         done;
+         reverify_rejected t
+       end
+     with Stop -> ());
+    let elapsed = now () -. t.started in
+    let node_states = Array.map Vec.length t.stores in
+    {
+      node_states;
+      total_node_states = Array.fold_left ( + ) 0 node_states;
+      transitions = t.transitions;
+      net_messages = Vec.length t.net;
+      system_states_created = t.system_states_created;
+      preliminary_violations = t.preliminary_violations;
+      sound_violation = t.sound_violation;
+      soundness_calls = t.soundness_calls;
+      sequences_checked = t.sequences_checked;
+      soundness_rejections = t.soundness_rejections;
+      soundness_budget_exhausted = t.soundness_budget_exhausted;
+      local_assert_drops = t.local_assert_drops;
+      completed = not t.truncated;
+      elapsed;
+      system_state_time = t.system_state_time;
+      soundness_time = t.soundness_time;
+      retained_bytes = retained_bytes t;
+      max_system_depth = t.max_system_depth;
+      max_node_depth = t.max_node_depth;
+    }
+end

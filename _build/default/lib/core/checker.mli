@@ -1,0 +1,162 @@
+(** The local model checker (LMC) — the paper's contribution (§4).
+
+    Instead of global states, LMC keeps one store of traversed states
+    {e per node} ([LS_n]) and a single shared network [I+] holding
+    every message generated during checking; delivered messages are
+    never removed (the monotonic-network abstraction, Fig. 8), so each
+    message is eventually applied to every traversed state of its
+    destination, which preserves completeness.
+
+    System states exist only transiently: after each new node state,
+    Cartesian combinations with the other nodes' stores are built just
+    to evaluate the user invariant ([checkSystemInvariant], Fig. 9).
+    A combination that violates the invariant is only a {e preliminary}
+    violation — it may be unreachable — and is confirmed by
+    {!Soundness} before being reported.
+
+    Two system-state creation strategies mirror the paper's variants:
+    {ul
+    {- [General] (LMC-GEN): the full product of the stores;}
+    {- [Invariant_specific] (LMC-OPT): node states are mapped through a
+       user abstraction (for Paxos: the values chosen so far) and
+       combinations are built only when two node states conflict under
+       that abstraction; states that map to [None] are never combined
+       at all.}} *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  (** How system states are created for invariant checking. *)
+  type 'k strategy =
+    | General
+    | Invariant_specific of {
+        abstract : P.state -> 'k option;
+            (** [None] means the state can never contribute to a
+                violation and is skipped entirely *)
+        conflict : 'k -> 'k -> bool;
+            (** whether two abstractions can violate the invariant
+                together *)
+      }
+    | Automatic
+        (** derive the pruning from the invariant's shape — the paper's
+            future-work idea made concrete.  Invariants built with
+            {!Dsm.Invariant.for_all_pairs} only seed combinations
+            containing a violating pair; {!Dsm.Invariant.for_all_nodes}
+            ones only when the new node state itself violates; anything
+            else falls back to [General]. *)
+
+  type config = {
+    max_depth : int option;
+        (** bound on the number of events of a system state (the sum
+            of its node states' path depths); per-node path depths are
+            bounded by the same value *)
+    time_limit : float option;  (** wall-clock seconds *)
+    max_transitions : int option;
+    local_action_bound : int option;
+        (** max internal actions per node along a path (§4.2 "Local
+            events") *)
+    create_system_states : bool;
+        (** disable for the LMC-explore configuration of Fig. 13 *)
+    verify_soundness : bool;
+        (** disable for the LMC-system-state configuration of Fig. 13;
+            preliminary violations are then counted but not reported *)
+    use_history : bool;
+        (** per-state message history suppressing redundant
+            re-deliveries (§4.2 "Duplicate messages"); off only for
+            ablations *)
+    stop_on_violation : bool;
+    max_paths_per_entry : int;
+        (** cap on event sequences enumerated per node state during
+            soundness verification *)
+    max_sequence_combos : int;
+        (** cap on sequence combinations per soundness invocation *)
+    soundness_budget : int;  (** backtracking budget per sequence set *)
+    max_preds_per_entry : int;
+        (** cap on predecessor pointers kept per node state; with the
+            history simplification, the soundness budget and this cap,
+            the only sources of incompleteness are explicit and
+            configurable *)
+    reverify_rejected : bool;
+        (** cache soundness-rejected violations and re-verify them after
+            exploration settles, when later-added predecessor pointers
+            may have made them schedulable (§4.2's suggested remedy) *)
+    max_rejected_cache : int;  (** size bound on that cache *)
+    soundness_via_sequences : bool;
+        (** use the paper's explicit sequence-combination enumeration
+            instead of the default DAG-product search; kept for
+            ablation — the enumeration samples an exponential path
+            space under [max_paths_per_entry]/[max_sequence_combos]
+            and can miss the one schedulable combination *)
+    defer_soundness : bool;
+        (** postpone all soundness verification to a single pass after
+            exploration settles — the decoupling the paper's third
+            contribution highlights.  Deferred checks see the final
+            predecessor DAGs (strictly more complete than inline
+            checking) and can be parallelised via [verify_domains].
+            Trade-off: no early stop on the first confirmed bug. *)
+    verify_domains : int;
+        (** worker domains for the deferred/re-verification pass
+            ("the model checking process can be embarrassingly
+            parallelized"); 1 = serial.  Only the DAG soundness mode
+            parallelises. *)
+    on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
+        (** observation hook fired once per newly visited node state;
+            used by tests and instrumentation *)
+  }
+
+  val default_config : config
+
+  type violation = {
+    system : P.state array;  (** the violating system state *)
+    violation : Dsm.Invariant.violation;
+    schedule : (P.message, P.action) Dsm.Trace.t;
+        (** a witness total order of events from the snapshot to the
+            violating system state, found by soundness verification *)
+    system_depth : int;  (** events in the witness schedule *)
+  }
+
+  type result = {
+    node_states : int array;  (** per-node store sizes (|LS_n|) *)
+    total_node_states : int;
+    transitions : int;  (** handler executions *)
+    net_messages : int;  (** |I+| at the end *)
+    system_states_created : int;
+    preliminary_violations : int;
+    sound_violation : violation option;
+    soundness_calls : int;  (** isStateSound invocations *)
+    sequences_checked : int;
+        (** event-sequence combinations fed to the soundness engine *)
+    soundness_rejections : int;
+        (** preliminary violations not confirmed (proven unreachable,
+            or undecided within the soundness budget) *)
+    soundness_budget_exhausted : int;
+        (** soundness checks that ran out of search budget — counted
+            within [soundness_rejections]; a nonzero value means some
+            rejections are "unknown", not "proven invalid" *)
+    local_assert_drops : int;  (** node states discarded per §4.2 *)
+    completed : bool;  (** fixpoint reached within budget *)
+    elapsed : float;
+    system_state_time : float;
+        (** seconds spent creating system states and checking the
+            invariant on them *)
+    soundness_time : float;  (** seconds spent in soundness checks *)
+    retained_bytes : int;
+        (** analytic footprint of the node stores and I+ (Fig. 12) *)
+    max_system_depth : int;
+        (** deepest system state created (events) *)
+    max_node_depth : int;
+        (** longest per-node event path explored *)
+  }
+
+  (** Exploration time excluding system-state creation and soundness
+      verification (the LMC-explore series of Fig. 13). *)
+  val explore_time : result -> float
+
+  (** [run config ~strategy ~invariant snapshot] runs [findBugs] from
+      the live system state [snapshot] (node states indexed by id).
+      [I+] starts empty, as in Fig. 9 line 2. *)
+  val run :
+    config ->
+    strategy:'k strategy ->
+    invariant:P.state Dsm.Invariant.t ->
+    P.state array ->
+    result
+end

@@ -1,0 +1,26 @@
+let iter candidates f =
+  let n = Array.length candidates in
+  if n = 0 || Array.exists (fun c -> Array.length c = 0) candidates then `Done
+  else begin
+    let tuple = Array.map (fun c -> c.(0)) candidates in
+    let stopped = ref false in
+    let rec fill i =
+      if !stopped then ()
+      else if i = n then begin
+        match f tuple with `Stop -> stopped := true | `Continue -> ()
+      end
+      else
+        let c = candidates.(i) in
+        let j = ref 0 in
+        while (not !stopped) && !j < Array.length c do
+          tuple.(i) <- c.(!j);
+          fill (i + 1);
+          incr j
+        done
+    in
+    fill 0;
+    if !stopped then `Stopped else `Done
+  end
+
+let cardinal candidates =
+  Array.fold_left (fun acc c -> acc * Array.length c) 1 candidates

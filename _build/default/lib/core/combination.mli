@@ -1,0 +1,18 @@
+(** Cartesian-product enumeration of candidate node states.
+
+    System states are "created by combining the node states of
+    different nodes in LS" (section 4.1).  This enumerator visits the
+    product lazily so callers can stop at the first sound violation,
+    prune by total depth, or exhaust a creation budget without
+    materialising the whole product. *)
+
+(** [iter candidates f] calls [f] with each tuple from the product of
+    the candidate arrays (one array per node, every array non-empty).
+    The tuple array is reused between calls; callers must copy it if
+    they retain it.  Returns [`Stopped] as soon as [f] answers [`Stop],
+    [`Done] otherwise.  An empty candidate array yields no tuples. *)
+val iter :
+  'a array array -> ('a array -> [ `Continue | `Stop ]) -> [ `Done | `Stopped ]
+
+(** Number of tuples [iter] would visit. *)
+val cardinal : 'a array array -> int

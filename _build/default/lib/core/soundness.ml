@@ -1,0 +1,319 @@
+type event = {
+  node : Dsm.Node_id.t;
+  label : Dsm.Fingerprint.t;
+  requires : Dsm.Fingerprint.t option;
+  produces : Dsm.Fingerprint.t list;
+}
+
+type sequence = event list
+
+type verdict = Valid of event list | Invalid | Budget_exhausted
+
+(* Multiset of fingerprints as a hash table of counts. *)
+module Net = struct
+  let create fps =
+    let t = Hashtbl.create 64 in
+    List.iter
+      (fun fp ->
+        Hashtbl.replace t fp (1 + Option.value ~default:0 (Hashtbl.find_opt t fp)))
+      fps;
+    t
+
+  let available t fp =
+    match Hashtbl.find_opt t fp with Some c -> c > 0 | None -> false
+
+  let consume t fp =
+    match Hashtbl.find_opt t fp with
+    | Some c when c > 0 -> Hashtbl.replace t fp (c - 1)
+    | _ -> invalid_arg "Soundness.Net.consume: message not available"
+
+  let produce t fp =
+    Hashtbl.replace t fp (1 + Option.value ~default:0 (Hashtbl.find_opt t fp))
+end
+
+exception Out_of_budget
+
+(* Necessary condition checked before any search: every consumed
+   message must be produced somewhere (by another event or the initial
+   net), with multiplicity.  Most invalid combinations of node states
+   fail here, in time linear in the number of events. *)
+let balanced ~initial_net sequences =
+  let counts = Hashtbl.create 64 in
+  let bump fp d =
+    Hashtbl.replace counts fp (d + Option.value ~default:0 (Hashtbl.find_opt counts fp))
+  in
+  List.iter (fun fp -> bump fp 1) initial_net;
+  Array.iter
+    (List.iter (fun ev ->
+         List.iter (fun fp -> bump fp 1) ev.produces;
+         match ev.requires with Some fp -> bump fp (-1) | None -> ()))
+    sequences;
+  Hashtbl.fold (fun _ c ok -> ok && c >= 0) counts true
+
+let check ?(budget = 200_000) ~initial_net sequences =
+  let n = Array.length sequences in
+  let remaining = Array.map (fun s -> s) sequences in
+  let net = Net.create initial_net in
+  let steps = ref 0 in
+  (* Positions identify a configuration: remaining lengths per node
+     determine the whole search state (the net is a function of the
+     executed prefix).  Failed configurations are memoised. *)
+  let failed = Hashtbl.create 256 in
+  let config_key () =
+    let b = Buffer.create (4 * n) in
+    Array.iter (fun s -> Buffer.add_string b (string_of_int (List.length s)); Buffer.add_char b ',') remaining;
+    Buffer.contents b
+  in
+  let enabled ev =
+    match ev.requires with None -> true | Some fp -> Net.available net fp
+  in
+  let apply ev rest i =
+    remaining.(i) <- rest;
+    (match ev.requires with Some fp -> Net.consume net fp | None -> ());
+    List.iter (Net.produce net) ev.produces
+  in
+  let undo ev seq i =
+    List.iter
+      (fun fp ->
+        match Hashtbl.find_opt net fp with
+        | Some c when c > 0 -> Hashtbl.replace net fp (c - 1)
+        | _ -> assert false)
+      ev.produces;
+    (match ev.requires with Some fp -> Net.produce net fp | None -> ());
+    remaining.(i) <- seq
+  in
+  let rec dfs order =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    let all_done = Array.for_all (fun s -> s = []) remaining in
+    if all_done then Some (List.rev order)
+    else begin
+      let key = config_key () in
+      if Hashtbl.mem failed key then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          (match remaining.(!i) with
+          | ev :: rest when enabled ev ->
+              let saved = remaining.(!i) in
+              apply ev rest !i;
+              (match dfs (ev :: order) with
+              | Some _ as ok -> result := ok
+              | None -> undo ev saved !i)
+          | _ -> ());
+          incr i
+        done;
+        if !result = None then Hashtbl.replace failed key ();
+        !result
+      end
+    end
+  in
+  if not (balanced ~initial_net sequences) then Invalid
+  else
+    match dfs [] with
+    | Some order -> Valid order
+    | None -> Invalid
+    | exception Out_of_budget -> Budget_exhausted
+
+type node_graph = {
+  root : int;
+  target : int;
+  edges : (int * event * int) list;
+}
+
+(* Necessary condition, checked before any search: every message that
+   is consumed on EVERY root->target path of some component must be
+   producible — by any edge of any component, or by the initial net.
+   Most hopeless combinations (a component whose history depends on a
+   node pinned at its snapshot state) die here in time linear in the
+   closure, instead of burning a full product search each. *)
+let feasible ~initial_net graphs =
+  let may_produce =
+    let s = ref (Dsm.Fingerprint.Set.of_list initial_net) in
+    Array.iter
+      (fun g ->
+        List.iter
+          (fun (_, ev, _) ->
+            List.iter
+              (fun fp -> s := Dsm.Fingerprint.Set.add fp !s)
+              ev.produces)
+          g.edges)
+      graphs;
+    !s
+  in
+  let graph_ok g =
+    if g.target = g.root then true
+    else begin
+      let incoming = Hashtbl.create 64 in
+      List.iter
+        (fun (u, ev, v) ->
+          Hashtbl.replace incoming v
+            ((u, ev.requires)
+            :: Option.value ~default:[] (Hashtbl.find_opt incoming v)))
+        g.edges;
+      (* must_consume(v): messages consumed on every cycle-free
+         root->v path; [None] = no root path.  Memoisation across
+         on-path contexts can only shrink the set, which keeps the
+         filter sound. *)
+      let memo : (int, Dsm.Fingerprint.Set.t option) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let rec must v on_path =
+        if v = g.root then Some Dsm.Fingerprint.Set.empty
+        else if List.mem v on_path then None
+        else
+          match Hashtbl.find_opt memo v with
+          | Some r -> r
+          | None ->
+              let contribs =
+                List.filter_map
+                  (fun (u, req) ->
+                    match must u (v :: on_path) with
+                    | None -> None
+                    | Some s -> (
+                        match req with
+                        | Some fp -> Some (Dsm.Fingerprint.Set.add fp s)
+                        | None -> Some s))
+                  (Option.value ~default:[] (Hashtbl.find_opt incoming v))
+              in
+              let r =
+                match contribs with
+                | [] -> None
+                | first :: rest ->
+                    Some
+                      (List.fold_left Dsm.Fingerprint.Set.inter first rest)
+              in
+              Hashtbl.replace memo v r;
+              r
+      in
+      match must g.target [] with
+      | None -> false (* target not reachable from the snapshot state *)
+      | Some required -> Dsm.Fingerprint.Set.subset required may_produce
+    end
+  in
+  Array.for_all graph_ok graphs
+
+let check_dag ?(budget = 200_000) ~initial_net graphs =
+  let n = Array.length graphs in
+  (* Adjacency: per node, state index -> outgoing (event, next). *)
+  let adj =
+    Array.map
+      (fun g ->
+        let t = Hashtbl.create 64 in
+        List.iter
+          (fun (from_, ev, to_) ->
+            Hashtbl.replace t from_
+              ((ev, to_)
+              :: Option.value ~default:[] (Hashtbl.find_opt t from_)))
+          g.edges;
+        t)
+      graphs
+  in
+  let positions = Array.map (fun g -> g.root) graphs in
+  let net = Net.create initial_net in
+  let steps = ref 0 in
+  let failed = Hashtbl.create 256 in
+  (* Self-edges and cycles allow walks that return to an earlier
+     configuration before it is memoised as failed; an on-path set cuts
+     them. *)
+  let on_path = Hashtbl.create 64 in
+  let config_key () =
+    let b = Buffer.create 64 in
+    Array.iter
+      (fun p ->
+        Buffer.add_string b (string_of_int p);
+        Buffer.add_char b ',')
+      positions;
+    (* The net is NOT a function of positions in a DAG (different paths
+       to the same vertex produce different message multisets), so it
+       is part of the memo key — in canonical order. *)
+    let entries =
+      Hashtbl.fold (fun fp c acc -> if c > 0 then (fp, c) :: acc else acc) net []
+    in
+    List.iter
+      (fun (fp, c) -> Buffer.add_string b (Printf.sprintf "%s:%d;" fp c))
+      (List.sort compare entries);
+    Digest.string (Buffer.contents b)
+  in
+  let enabled ev =
+    match ev.requires with None -> true | Some fp -> Net.available net fp
+  in
+  let apply ev =
+    (match ev.requires with Some fp -> Net.consume net fp | None -> ());
+    List.iter (Net.produce net) ev.produces
+  in
+  let undo ev =
+    List.iter
+      (fun fp ->
+        match Hashtbl.find_opt net fp with
+        | Some c when c > 0 -> Hashtbl.replace net fp (c - 1)
+        | _ -> assert false)
+      ev.produces;
+    match ev.requires with Some fp -> Net.produce net fp | None -> ()
+  in
+  (* Returns (result, clean): [clean] is false when the subtree was cut
+     by the on-path guard somewhere, in which case the failure must not
+     be cached — the same configuration reached along another path
+     could still succeed. *)
+  let rec dfs order =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    let rec arrived i =
+      i >= n || (positions.(i) = graphs.(i).target && arrived (i + 1))
+    in
+    if arrived 0 then (Some (List.rev order), true)
+    else begin
+      let key = config_key () in
+      if Hashtbl.mem failed key then (None, true)
+      else if Hashtbl.mem on_path key then (None, false)
+      else begin
+        Hashtbl.replace on_path key ();
+        let result = ref None in
+        let clean = ref true in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let here = positions.(!i) in
+          let moves =
+            Option.value ~default:[] (Hashtbl.find_opt adj.(!i) here)
+          in
+          (* a self-edge whose net effect is neutral is a no-op move *)
+          let neutral (ev, next) =
+            next = here
+            &&
+            match ev.requires with
+            | None -> ev.produces = []
+            | Some r -> ev.produces = [ r ]
+          in
+          let rec try_moves = function
+            | [] -> ()
+            | ((ev, next) as move) :: rest ->
+                if !result = None && (not (neutral move)) && enabled ev
+                then begin
+                  positions.(!i) <- next;
+                  apply ev;
+                  (match dfs (ev :: order) with
+                  | (Some _ as ok), _ -> result := ok
+                  | None, sub_clean ->
+                      if not sub_clean then clean := false;
+                      undo ev;
+                      positions.(!i) <- here);
+                  if !result = None then try_moves rest
+                end
+                else if !result = None then try_moves rest
+          in
+          try_moves moves;
+          incr i
+        done;
+        Hashtbl.remove on_path key;
+        if !result = None && !clean then Hashtbl.replace failed key ();
+        (!result, !clean)
+      end
+    end
+  in
+  if not (feasible ~initial_net graphs) then Invalid
+  else
+    match dfs [] with
+    | Some order, _ -> Valid order
+    | None, _ -> Invalid
+    | exception Out_of_budget -> Budget_exhausted

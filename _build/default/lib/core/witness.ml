@@ -1,0 +1,184 @@
+module Make (P : Dsm.Protocol.S) = struct
+  let replay ~init schedule =
+    let states = Array.copy init in
+    let net = ref Net.Multiset.empty in
+    let step_ok step =
+      match step with
+      | Dsm.Trace.Execute (n, a) -> (
+          (* an internal action only happens in a real run when the
+             node's driver has it enabled *)
+          if not (List.mem a (P.enabled_actions ~self:n states.(n))) then
+            false
+          else
+            match P.handle_action ~self:n states.(n) a with
+            | exception Dsm.Protocol.Local_assert _ -> false
+            | s', out ->
+                states.(n) <- s';
+                net := Net.Multiset.add_list out !net;
+                true)
+      | Dsm.Trace.Deliver env -> (
+          match Net.Multiset.remove env !net with
+          | None -> false
+          | Some net' -> (
+              let node = env.Dsm.Envelope.dst in
+              match P.handle_message ~self:node states.(node) env with
+              | exception Dsm.Protocol.Local_assert _ -> false
+              | s', out ->
+                  net := Net.Multiset.add_list out net';
+                  states.(node) <- s';
+                  true))
+    in
+    if List.for_all step_ok schedule then Some states else None
+
+  let holds ~init ~predicate schedule =
+    match replay ~init schedule with
+    | Some final -> predicate final
+    | None -> false
+
+  (* Delta debugging over subsequences: first try dropping chunks of
+     decreasing size, then single events until a fixpoint — the result
+     is 1-minimal. *)
+  let minimize ~init ~predicate schedule =
+    if not (holds ~init ~predicate schedule) then schedule
+    else begin
+      let drop_range events from_ until =
+        List.filteri (fun i _ -> i < from_ || i >= until) events
+      in
+      (* one pass at the given chunk size; returns the reduced list *)
+      let pass events size =
+        let n = List.length events in
+        if size < 1 || size > n then events
+        else begin
+          let rec scan start events =
+            if start >= List.length events then events
+            else begin
+              let candidate =
+                drop_range events start
+                  (min (start + size) (List.length events))
+              in
+              if holds ~init ~predicate candidate then
+                (* keep scanning from the same offset: the list shrank *)
+                scan start candidate
+              else scan (start + size) events
+            end
+          in
+          scan 0 events
+        end
+      in
+      let rec shrink events size =
+        let reduced = pass events size in
+        if size = 1 then
+          if List.length reduced < List.length events then
+            (* another round of singles until nothing more drops *)
+            shrink reduced 1
+          else reduced
+        else shrink reduced (max 1 (size / 2))
+      in
+      shrink schedule (max 1 (List.length schedule / 2))
+    end
+
+  (* ----- Graphviz rendering ----- *)
+
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_dot ?init ?(title = "witness") schedule =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n" (escape title));
+    Buffer.add_string b "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+    let steps = Array.of_list schedule in
+    let lane_events = Array.make P.num_nodes [] in
+    Array.iteri
+      (fun i step ->
+        let node = Dsm.Trace.step_node step in
+        lane_events.(node) <- i :: lane_events.(node))
+      steps;
+    (* one cluster per node, events connected top-to-bottom *)
+    Array.iteri
+      (fun n events ->
+        Buffer.add_string b (Printf.sprintf "  subgraph cluster_%d {\n" n);
+        Buffer.add_string b (Printf.sprintf "    label=\"N%d\";\n" n);
+        let events = List.rev events in
+        List.iter
+          (fun i ->
+            let label =
+              match steps.(i) with
+              | Dsm.Trace.Execute (_, a) ->
+                  Format.asprintf "%d: %a" (i + 1) P.pp_action a
+              | Dsm.Trace.Deliver env ->
+                  Format.asprintf "%d: recv %a" (i + 1) P.pp_message
+                    env.Dsm.Envelope.payload
+            in
+            Buffer.add_string b
+              (Printf.sprintf "    e%d [label=\"%s\"];\n" i (escape label)))
+          events;
+        (match events with
+        | first :: rest ->
+            ignore
+              (List.fold_left
+                 (fun prev next ->
+                   Buffer.add_string b
+                     (Printf.sprintf
+                        "    e%d -> e%d [style=dashed, color=gray, \
+                         arrowhead=none];\n"
+                        prev next);
+                   next)
+                 first rest)
+        | [] -> ());
+        Buffer.add_string b "  }\n")
+      lane_events;
+    (* message arrows: replay to associate each delivery with the step
+       that produced the consumed copy *)
+    let producers : (P.message Dsm.Envelope.t, int list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let produce i env =
+      Hashtbl.replace producers env
+        (Option.value ~default:[] (Hashtbl.find_opt producers env) @ [ i ])
+    in
+    let consume env =
+      match Hashtbl.find_opt producers env with
+      | Some (p :: rest) ->
+          Hashtbl.replace producers env rest;
+          Some p
+      | _ -> None
+    in
+    let states =
+      match init with
+      | Some s -> Array.copy s
+      | None -> Dsm.Protocol.initial_system (module P)
+    in
+    Array.iteri
+      (fun i step ->
+        match step with
+        | Dsm.Trace.Execute (n, a) -> (
+            match P.handle_action ~self:n states.(n) a with
+            | exception Dsm.Protocol.Local_assert _ -> ()
+            | s', out ->
+                states.(n) <- s';
+                List.iter (produce i) out)
+        | Dsm.Trace.Deliver env -> (
+            (match consume env with
+            | Some p ->
+                Buffer.add_string b
+                  (Printf.sprintf "  e%d -> e%d [color=blue];\n" p i)
+            | None -> ());
+            let node = env.Dsm.Envelope.dst in
+            match P.handle_message ~self:node states.(node) env with
+            | exception Dsm.Protocol.Local_assert _ -> ()
+            | s', out ->
+                states.(node) <- s';
+                List.iter (produce i) out))
+      steps;
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+end

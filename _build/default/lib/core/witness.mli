@@ -1,0 +1,52 @@
+(** Witness replay and minimisation.
+
+    A confirmed violation comes with a schedule — a total order of
+    events from the snapshot to the violating system state.  Soundness
+    verification guarantees the schedule is executable, but not that it
+    is small: the predecessor-DAG search returns the first valid
+    interleaving, which can include events irrelevant to the violation.
+    This module replays schedules under the real (global) semantics and
+    shrinks them with delta debugging to a 1-minimal subsequence that
+    still triggers the predicate — the form a developer wants to read.
+
+    Used by the CLI's [--minimize] and by tests that validate reported
+    schedules end to end. *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  (** [replay ~init schedule] executes the schedule from the given node
+      states under global semantics: deliveries consume in-flight
+      messages, handlers send, and internal actions must be enabled at
+      the node when they fire.  [None] when some step is infeasible
+      (message not in flight, action not enabled, or a handler
+      asserts). *)
+  val replay :
+    init:P.state array ->
+    (P.message, P.action) Dsm.Trace.t ->
+    P.state array option
+
+  (** [minimize ~init ~predicate schedule] returns the smallest
+      subsequence (by delta debugging, hence 1-minimal: removing any
+      single remaining event breaks it) that still replays successfully
+      to a state satisfying [predicate].  The input schedule must
+      itself replay and satisfy the predicate; otherwise it is returned
+      unchanged. *)
+  val minimize :
+    init:P.state array ->
+    predicate:(P.state array -> bool) ->
+    (P.message, P.action) Dsm.Trace.t ->
+    (P.message, P.action) Dsm.Trace.t
+
+  (** [to_dot ?init ?title schedule] renders the schedule as a
+      Graphviz digraph shaped like a message sequence chart: one lane
+      per node, one box per event in schedule order, and an arrow from
+      each send to its delivery.  [init] is the system state the
+      schedule starts from (default: the initial system); it is used
+      only to pair sends with deliveries, so a wrong [init] degrades to
+      missing arrows, never to an error.  Pipe through [dot -Tsvg] to
+      view. *)
+  val to_dot :
+    ?init:P.state array ->
+    ?title:string ->
+    (P.message, P.action) Dsm.Trace.t ->
+    string
+end

@@ -1,0 +1,1 @@
+lib/dsm/envelope.ml: Format Node_id

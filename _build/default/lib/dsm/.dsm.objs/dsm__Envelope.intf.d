@@ -1,0 +1,1 @@
+lib/dsm/envelope.mli: Format Node_id

@@ -1,0 +1,1 @@
+lib/dsm/fingerprint.ml: Digest Format Map Marshal Set String

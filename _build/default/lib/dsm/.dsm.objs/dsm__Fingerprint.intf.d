@@ -1,0 +1,1 @@
+lib/dsm/fingerprint.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/dsm/invariant.ml: Array Format List Node_id Printf String

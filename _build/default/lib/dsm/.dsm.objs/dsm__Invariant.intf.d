@@ -1,0 +1,1 @@
+lib/dsm/invariant.mli: Format Node_id

@@ -1,0 +1,1 @@
+lib/dsm/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/dsm/node_id.mli: Format

@@ -1,0 +1,1 @@
+lib/dsm/protocol.ml: Array Envelope Format Node_id

@@ -1,0 +1,1 @@
+lib/dsm/protocol.mli: Envelope Format Node_id

@@ -1,0 +1,1 @@
+lib/dsm/trace.ml: Envelope Format List Node_id

@@ -1,0 +1,1 @@
+lib/dsm/trace.mli: Envelope Format Node_id

@@ -1,0 +1,1 @@
+lib/dsm/vec.ml: Array List Printf

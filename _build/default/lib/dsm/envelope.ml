@@ -1,0 +1,23 @@
+type 'm t = { src : Node_id.t; dst : Node_id.t; payload : 'm }
+
+let make ~src ~dst payload = { src; dst; payload }
+
+let is_loopback e = Node_id.equal e.src e.dst
+
+let compare cmp a b =
+  match Node_id.compare a.dst b.dst with
+  | 0 -> (
+      match Node_id.compare a.src b.src with
+      | 0 -> cmp a.payload b.payload
+      | c -> c)
+  | c -> c
+
+let equal eq a b =
+  Node_id.equal a.src b.src && Node_id.equal a.dst b.dst
+  && eq a.payload b.payload
+
+let map f e = { src = e.src; dst = e.dst; payload = f e.payload }
+
+let pp pp_payload ppf e =
+  Format.fprintf ppf "@[%a->%a:%a@]" Node_id.pp e.src Node_id.pp e.dst
+    pp_payload e.payload

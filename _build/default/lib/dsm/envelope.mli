@@ -1,0 +1,26 @@
+(** Network message envelopes.
+
+    The paper represents an in-flight message as a pair [(N, M)] where
+    [N] is the destination and [M] the remaining message content,
+    including the sender (Fig. 5).  We keep the sender explicit, since
+    every protocol we check needs it. *)
+
+type 'm t = { src : Node_id.t; dst : Node_id.t; payload : 'm }
+
+val make : src:Node_id.t -> dst:Node_id.t -> 'm -> 'm t
+
+(** [is_loopback e] is true when [e.src = e.dst].  Lossy-network models
+    never drop loopback messages (cf. the setup of section 5.5). *)
+val is_loopback : 'm t -> bool
+
+(** Lexicographic comparison given a payload comparison. *)
+val compare : ('m -> 'm -> int) -> 'm t -> 'm t -> int
+
+val equal : ('m -> 'm -> bool) -> 'm t -> 'm t -> bool
+
+(** [map f e] transforms the payload, preserving the addressing.  Used
+    by layered services (e.g. 1Paxos wrapping PaxosUtility traffic). *)
+val map : ('m -> 'n) -> 'm t -> 'n t
+
+val pp :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

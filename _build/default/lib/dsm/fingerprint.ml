@@ -1,0 +1,22 @@
+type t = string
+
+let of_value v = Digest.string (Marshal.to_string v [])
+
+let of_string s = Digest.string s
+
+let combine fps = Digest.string (String.concat "" fps)
+
+let equal = String.equal
+
+let compare = String.compare
+
+let size = 16
+
+let serialized_size v = String.length (Marshal.to_string v [])
+
+let to_hex t = Digest.to_hex t
+
+let pp ppf t = Format.pp_print_string ppf (String.sub (to_hex t) 0 8)
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,42 @@
+(** State and message fingerprints.
+
+    Section 4.2: "To efficiently check for duplicate states, we use the
+    hashes of the serialized states."  We serialise with [Marshal] and
+    hash with MD5 ([Digest]), yielding a 16-byte binary string.
+
+    Contract: fingerprinted values must be {e canonical pure data} — no
+    closures, and logically-equal values must be structurally identical
+    (e.g. use sorted association lists rather than balanced-tree maps,
+    whose internal shape depends on insertion order). *)
+
+type t = string
+
+(** [of_value v] is the MD5 digest of the marshalled representation of
+    [v].  Raises [Invalid_argument] if [v] contains functional values. *)
+val of_value : 'a -> t
+
+(** Digest of a raw string, for composing fingerprints of fingerprints. *)
+val of_string : string -> t
+
+(** [combine fps] fingerprints a list of fingerprints. *)
+val combine : t list -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Number of bytes in a fingerprint (16). *)
+val size : int
+
+(** [serialized_size v] is the number of bytes [Marshal] uses for [v];
+    the unit of our retained-memory accounting (Fig. 12). *)
+val serialized_size : 'a -> int
+
+(** Short hex form (first 8 hex digits), for traces and logs. *)
+val pp : Format.formatter -> t -> unit
+
+(** Full hex form. *)
+val to_hex : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,18 @@
+(** Minimal JSON emission (no parsing).
+
+    The toolchain ships no JSON library and the sealed build must not
+    add dependencies, so this is the small, correct subset needed to
+    emit machine-readable checker results: full string escaping, the
+    standard scalar types, arrays and objects. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with RFC 8259 string escaping. *)
+val to_string : t -> string

@@ -1,0 +1,16 @@
+type t = int
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative identifier" else i
+
+let to_int i = i
+
+let all n =
+  if n < 0 then invalid_arg "Node_id.all: negative count"
+  else List.init n (fun i -> i)
+
+let pp ppf n = Format.fprintf ppf "N%d" n

@@ -1,0 +1,22 @@
+(** Node identifiers.
+
+    The paper assumes a finite set of node identifiers [N] (e.g. IP
+    addresses, Fig. 5).  We use dense integers [0 .. n-1] so that node
+    state stores can be indexed by arrays. *)
+
+type t = int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [of_int i] checks that [i] is a valid (non-negative) identifier. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+(** [all n] is the list of the [n] identifiers [0 .. n-1]. *)
+val all : int -> t list
+
+(** Prints as ["N0"], ["N1"], ... matching the paper's naming. *)
+val pp : Format.formatter -> t -> unit

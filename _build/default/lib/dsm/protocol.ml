@@ -1,0 +1,30 @@
+exception Local_assert of string
+
+module type S = sig
+  val name : string
+  val num_nodes : int
+
+  type state
+  type message
+  type action
+
+  val initial : Node_id.t -> state
+
+  val handle_message :
+    self:Node_id.t ->
+    state ->
+    message Envelope.t ->
+    state * message Envelope.t list
+
+  val enabled_actions : self:Node_id.t -> state -> action list
+
+  val handle_action :
+    self:Node_id.t -> state -> action -> state * message Envelope.t list
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+  val pp_action : Format.formatter -> action -> unit
+end
+
+let initial_system (type s) (module P : S with type state = s) : s array =
+  Array.init P.num_nodes (fun n -> P.initial (Node_id.of_int n))

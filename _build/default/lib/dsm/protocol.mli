@@ -1,0 +1,62 @@
+(** Protocol state machines (the system model of Fig. 5).
+
+    Every node runs the same state machine, with two kinds of handlers:
+    a message handler [H_M] executed in response to a network message,
+    and an internal-action handler [H_A] executed in response to a
+    node-local event such as a timer or an application call.  A handler
+    maps [(state, event)] to [(state', sent messages)]; it never touches
+    another node's state, which is the observation (section 3.1) that
+    makes local model checking possible. *)
+
+(** Raised by a handler to signal a node-local assertion failure.
+    Section 4.2 ("Local assertions"): in the applications tested,
+    asserts mostly exclude the receipt of unexpected messages, which
+    LMC's conservative delivery can cause; LMC therefore discards the
+    node state on which a local assert fires.  The global checker
+    treats the transition as disabled. *)
+exception Local_assert of string
+
+module type S = sig
+  val name : string
+
+  (** Number of nodes in the configured instance; identifiers are
+      [0 .. num_nodes - 1]. *)
+  val num_nodes : int
+
+  (** Node-local state.  Must be canonical pure data (see
+      {!Fingerprint}): handlers must produce structurally identical
+      states for logically equal ones. *)
+  type state
+
+  type message
+
+  (** Internal node actions (timers, application calls). *)
+  type action
+
+  val initial : Node_id.t -> state
+
+  (** [handle_message ~self s env] consumes [env] (addressed to [self])
+      and yields the successor state plus messages to send.  May raise
+      {!Local_assert}. *)
+  val handle_message :
+    self:Node_id.t ->
+    state ->
+    message Envelope.t ->
+    state * message Envelope.t list
+
+  (** Internal actions currently enabled at [self].  Enabledness is a
+      function of the local state only (section 4.1). *)
+  val enabled_actions : self:Node_id.t -> state -> action list
+
+  (** May raise {!Local_assert}. *)
+  val handle_action :
+    self:Node_id.t -> state -> action -> state * message Envelope.t list
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+  val pp_action : Format.formatter -> action -> unit
+end
+
+(** [initial_system (module P)] is the array of initial node states,
+    indexed by node identifier. *)
+val initial_system : (module S with type state = 's) -> 's array

@@ -1,0 +1,29 @@
+(** Execution traces: the sequences of events a model checker reports.
+
+    A step is either the delivery of a network message to its
+    destination or the execution of an internal action at a node —
+    exactly the two transition kinds of Fig. 5. *)
+
+type ('m, 'a) step =
+  | Deliver of 'm Envelope.t
+  | Execute of Node_id.t * 'a
+
+type ('m, 'a) t = ('m, 'a) step list
+
+(** Node at which the step executes (destination for deliveries). *)
+val step_node : ('m, 'a) step -> Node_id.t
+
+val pp_step :
+  pp_message:(Format.formatter -> 'm -> unit) ->
+  pp_action:(Format.formatter -> 'a -> unit) ->
+  Format.formatter ->
+  ('m, 'a) step ->
+  unit
+
+(** Numbered, one step per line. *)
+val pp :
+  pp_message:(Format.formatter -> 'm -> unit) ->
+  pp_action:(Format.formatter -> 'a -> unit) ->
+  Format.formatter ->
+  ('m, 'a) t ->
+  unit

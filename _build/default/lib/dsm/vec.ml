@@ -1,0 +1,66 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let ensure_capacity v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let new_cap = max 8 (max n (2 * cap)) in
+    (* The dummy slots beyond [len] hold copies of element 0; they are
+       never observed because every accessor bounds-checks on [len]. *)
+    let data = Array.make new_cap v.data.(0) in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if Array.length v.data = 0 then begin
+    v.data <- Array.make 8 x;
+    v.len <- 1;
+    0
+  end
+  else begin
+    ensure_capacity v (v.len + 1);
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1;
+    v.len - 1
+  end
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds (length %d)" name i v.len)
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let iter_range v ~from ~until f =
+  let until = min until v.len in
+  for i = max 0 from to until - 1 do
+    f i v.data.(i)
+  done
+
+let iteri f v = iter_range v ~from:0 ~until:v.len f
+
+let fold_left f acc v =
+  let acc = ref acc in
+  iteri (fun _ x -> acc := f !acc x) v;
+  !acc
+
+let to_list v = List.rev (fold_left (fun acc x -> x :: acc) [] v)
+
+let to_array v = Array.init v.len (fun i -> v.data.(i))
+
+let is_empty v = v.len = 0
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty" else v.data.(v.len - 1)
+
+let clear v =
+  v.data <- [||];
+  v.len <- 0

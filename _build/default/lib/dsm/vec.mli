@@ -1,0 +1,41 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Stdlib.Dynarray]; this is the small subset the
+    model checkers need.  Node state stores and the shared network
+    [I+] are append-only, which keeps cursor-based iteration sound:
+    indices below a recorded length never move. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [length v] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [push v x] appends [x] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [get v i] raises [Invalid_argument] when [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** [iter_range v ~from ~until f] applies [f] to indices
+    [from .. until-1]. *)
+val iter_range : 'a t -> from:int -> until:int -> (int -> 'a -> unit) -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+(** Fresh array with the current contents. *)
+val to_array : 'a t -> 'a array
+
+val is_empty : 'a t -> bool
+
+(** Last element; raises [Invalid_argument] if empty. *)
+val last : 'a t -> 'a
+
+val clear : 'a t -> unit

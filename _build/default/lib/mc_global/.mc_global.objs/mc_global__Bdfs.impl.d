@@ -1,0 +1,1 @@
+lib/mc_global/bdfs.ml: Array Dsm Hashtbl List Net Unix

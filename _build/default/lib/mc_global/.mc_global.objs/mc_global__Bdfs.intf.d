@@ -1,0 +1,1 @@
+lib/mc_global/bdfs.mli: Dsm Net

@@ -1,0 +1,230 @@
+module Make (P : Dsm.Protocol.S) = struct
+  module Envelope = Dsm.Envelope
+  module Fingerprint = Dsm.Fingerprint
+  module Trace = Dsm.Trace
+
+  type global = {
+    nodes : P.state array;
+    net : P.message Envelope.t Net.Multiset.t;
+  }
+
+  type violation = {
+    system : P.state array;
+    violation : Dsm.Invariant.violation;
+    trace : (P.message, P.action) Trace.t;
+    depth : int;
+  }
+
+  type stats = {
+    transitions : int;
+    global_states : int;
+    system_states : int;
+    max_depth_reached : int;
+    retained_bytes : int;
+    elapsed : float;
+  }
+
+  type outcome = {
+    stats : stats;
+    violation : violation option;
+    completed : bool;
+  }
+
+  type config = {
+    max_depth : int option;
+    time_limit : float option;
+    max_transitions : int option;
+    stop_on_violation : bool;
+    track_traces : bool;
+  }
+
+  let default_config =
+    {
+      max_depth = None;
+      time_limit = None;
+      max_transitions = None;
+      stop_on_violation = true;
+      track_traces = true;
+    }
+
+  (* The canonical fingerprint of a global state: node states are
+     positional, the network multiset is sorted by construction. *)
+  let fingerprint g = Fingerprint.of_value (g.nodes, Net.Multiset.bindings g.net)
+
+  let system_fingerprint nodes = Fingerprint.of_value nodes
+
+  (* Per-entry analytic footprint of the visited set: fingerprint key
+     plus hash-table slot overhead (next pointer, depth). *)
+  let visited_entry_bytes = Fingerprint.size + 48
+  let parent_entry_bytes = (2 * Fingerprint.size) + 80
+
+  type search = {
+    config : config;
+    invariant : P.state Dsm.Invariant.t;
+    visited : (Fingerprint.t, int) Hashtbl.t;  (* fingerprint -> min depth *)
+    parents :
+      (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
+      Hashtbl.t;
+    mutable transitions : int;
+    mutable system_states : Fingerprint.Set.t;
+    mutable max_depth_reached : int;
+    mutable violation : violation option;
+    mutable truncated : bool;  (* some limit tripped *)
+    started : float;
+  }
+
+  exception Stop
+
+  let out_of_budget s =
+    (match s.config.time_limit with
+    | Some limit -> Unix.gettimeofday () -. s.started > limit
+    | None -> false)
+    ||
+    match s.config.max_transitions with
+    | Some limit -> s.transitions >= limit
+    | None -> false
+
+  let rebuild_trace s fp =
+    let rec walk fp acc =
+      match Hashtbl.find_opt s.parents fp with
+      | None -> acc
+      | Some (parent, step) -> (
+          match parent with
+          | None -> step :: acc
+          | Some pfp -> walk pfp (step :: acc))
+    in
+    walk fp []
+
+  let record_violation s g fp depth violation =
+    if s.violation = None then
+      s.violation <-
+        Some
+          {
+            system = Array.copy g.nodes;
+            violation;
+            trace = (if s.config.track_traces then rebuild_trace s fp else []);
+            depth;
+          }
+
+  (* Successors of a global state: one delivery per distinct in-flight
+     message, one execution per enabled internal action.  A handler
+     raising Local_assert makes the transition disabled. *)
+  let successors g =
+    let deliveries =
+      Net.Multiset.fold_distinct
+        (fun env _count acc ->
+          let node = env.Envelope.dst in
+          match P.handle_message ~self:node g.nodes.(node) env with
+          | exception Dsm.Protocol.Local_assert _ -> acc
+          | state', out ->
+              let nodes = Array.copy g.nodes in
+              nodes.(node) <- state';
+              let net =
+                match Net.Multiset.remove env g.net with
+                | Some net -> Net.Multiset.add_list out net
+                | None -> assert false
+              in
+              (Trace.Deliver env, { nodes; net }) :: acc)
+        g.net []
+    in
+    let actions =
+      List.concat_map
+        (fun n ->
+          List.filter_map
+            (fun action ->
+              match P.handle_action ~self:n g.nodes.(n) action with
+              | exception Dsm.Protocol.Local_assert _ -> None
+              | state', out ->
+                  let nodes = Array.copy g.nodes in
+                  nodes.(n) <- state';
+                  let net = Net.Multiset.add_list out g.net in
+                  Some (Trace.Execute (n, action), { nodes; net }))
+            (P.enabled_actions ~self:n g.nodes.(n)))
+        (Dsm.Node_id.all P.num_nodes)
+    in
+    List.rev_append deliveries actions
+
+  let rec explore s g fp depth =
+    if out_of_budget s then begin
+      s.truncated <- true;
+      raise Stop
+    end;
+    if depth > s.max_depth_reached then s.max_depth_reached <- depth;
+    let depth_ok =
+      match s.config.max_depth with Some d -> depth < d | None -> true
+    in
+    if depth_ok then
+      List.iter
+        (fun (step, g') ->
+          s.transitions <- s.transitions + 1;
+          let fp' = fingerprint g' in
+          let depth' = depth + 1 in
+          let revisit_shallower =
+            match Hashtbl.find_opt s.visited fp' with
+            | Some d -> depth' < d
+            | None -> true
+          in
+          if revisit_shallower then begin
+            let first_visit = not (Hashtbl.mem s.visited fp') in
+            Hashtbl.replace s.visited fp' depth';
+            if s.config.track_traces && first_visit then
+              Hashtbl.replace s.parents fp' (Some fp, step);
+            if first_visit then begin
+              s.system_states <-
+                Fingerprint.Set.add (system_fingerprint g'.nodes)
+                  s.system_states;
+              match Dsm.Invariant.check s.invariant g'.nodes with
+              | Some violation ->
+                  record_violation s g' fp' depth' violation;
+                  if s.config.stop_on_violation then raise Stop
+              | None -> ()
+            end;
+            explore s g' fp' depth'
+          end)
+        (successors g)
+
+  let run config ~invariant ?(initial_net = []) init =
+    let g = { nodes = Array.copy init; net = Net.Multiset.of_list initial_net } in
+    let s =
+      {
+        config;
+        invariant;
+        visited = Hashtbl.create 4096;
+        parents = Hashtbl.create 4096;
+        transitions = 0;
+        system_states = Fingerprint.Set.empty;
+        max_depth_reached = 0;
+        violation = None;
+        truncated = false;
+        started = Unix.gettimeofday ();
+      }
+    in
+    let fp = fingerprint g in
+    Hashtbl.replace s.visited fp 0;
+    (* The root has no parent entry; [rebuild_trace] stops there. *)
+    s.system_states <-
+      Fingerprint.Set.add (system_fingerprint g.nodes) s.system_states;
+    (match Dsm.Invariant.check invariant g.nodes with
+    | Some violation -> record_violation s g fp 0 violation
+    | None -> ());
+    (if not (config.stop_on_violation && s.violation <> None) then
+       try explore s g fp 0 with Stop -> ());
+    let elapsed = Unix.gettimeofday () -. s.started in
+    let retained_bytes =
+      (Hashtbl.length s.visited * visited_entry_bytes)
+      + (Hashtbl.length s.parents * parent_entry_bytes)
+    in
+    {
+      stats =
+        {
+          transitions = s.transitions;
+          global_states = Hashtbl.length s.visited;
+          system_states = Fingerprint.Set.cardinal s.system_states;
+          max_depth_reached = s.max_depth_reached;
+          retained_bytes;
+          elapsed;
+        };
+      violation = s.violation;
+      completed = not s.truncated;
+    }
+end

@@ -1,0 +1,1 @@
+lib/net/lossy_link.ml: Dsm

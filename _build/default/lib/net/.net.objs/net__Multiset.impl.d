@@ -1,0 +1,1 @@
+lib/net/multiset.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/net/multiset.mli: Format

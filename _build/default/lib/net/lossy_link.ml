@@ -1,0 +1,17 @@
+type t = { drop_prob : float; latency_min : float; latency_max : float }
+
+let create ~drop_prob ~latency_min ~latency_max () =
+  if not (drop_prob >= 0. && drop_prob <= 1.) then
+    invalid_arg "Lossy_link.create: drop_prob must be in [0,1]";
+  if not (latency_min >= 0. && latency_min <= latency_max) then
+    invalid_arg "Lossy_link.create: need 0 <= latency_min <= latency_max";
+  { drop_prob; latency_min; latency_max }
+
+let drop_prob t = t.drop_prob
+
+let drops t ~roll env =
+  (not (Dsm.Envelope.is_loopback env)) && roll < t.drop_prob
+
+let latency t ~roll = t.latency_min +. (roll *. (t.latency_max -. t.latency_min))
+
+let reliable = { drop_prob = 0.; latency_min = 0.01; latency_max = 0.01 }

@@ -1,0 +1,28 @@
+(** Best-effort lossy network model.
+
+    LMC "assumes a best-effort, lossy network, i.e., IP" (section 4.3);
+    the live experiments drop 30% of non-loopback messages "to allow
+    rare states to be also created" (section 5.5).  This module holds
+    that policy: drop probability, loopback exemption, and a latency
+    window for the discrete-event simulator. *)
+
+type t
+
+(** [create ~drop_prob ~latency_min ~latency_max ()] validates its
+    arguments ([0 <= drop_prob <= 1], [0 <= latency_min <= latency_max])
+    and builds a link policy. *)
+val create :
+  drop_prob:float -> latency_min:float -> latency_max:float -> unit -> t
+
+val drop_prob : t -> float
+
+(** [drops t ~roll env] decides whether [env] is lost, given a uniform
+    [roll] in [0,1).  Loopback messages are never dropped. *)
+val drops : t -> roll:float -> 'm Dsm.Envelope.t -> bool
+
+(** [latency t ~roll] maps a uniform [roll] in [0,1) onto the latency
+    window. *)
+val latency : t -> roll:float -> float
+
+(** A perfect link: no drops, zero latency spread. *)
+val reliable : t

@@ -1,0 +1,68 @@
+(* Sorted association list under [Stdlib.compare]; counts are >= 1.
+   Sortedness is the canonicity invariant every operation preserves. *)
+type 'a t = ('a * int) list
+
+let empty = []
+
+let is_empty t = t = []
+
+let rec add x = function
+  | [] -> [ (x, 1) ]
+  | (y, c) :: rest as t -> (
+      match Stdlib.compare x y with
+      | 0 -> (y, c + 1) :: rest
+      | n when n < 0 -> (x, 1) :: t
+      | _ -> (y, c) :: add x rest)
+
+let add_list xs t = List.fold_left (fun t x -> add x t) t xs
+
+let rec remove x = function
+  | [] -> None
+  | (y, c) :: rest -> (
+      match Stdlib.compare x y with
+      | 0 -> Some (if c = 1 then rest else (y, c - 1) :: rest)
+      | n when n < 0 -> None
+      | _ -> (
+          match remove x rest with
+          | None -> None
+          | Some rest' -> Some ((y, c) :: rest')))
+
+let rec count x = function
+  | [] -> 0
+  | (y, c) :: rest -> (
+      match Stdlib.compare x y with
+      | 0 -> c
+      | n when n < 0 -> 0
+      | _ -> count x rest)
+
+let mem x t = count x t > 0
+
+let cardinal t = List.fold_left (fun acc (_, c) -> acc + c) 0 t
+
+let distinct_cardinal = List.length
+
+let bindings t = t
+
+let to_list t =
+  List.concat_map (fun (x, c) -> List.init c (fun _ -> x)) t
+
+let of_list xs = add_list xs empty
+
+let rec add_n x n t = if n <= 0 then t else add_n x (n - 1) (add x t)
+
+let union a b = List.fold_left (fun acc (x, c) -> add_n x c acc) a b
+
+let iter_distinct f t = List.iter (fun (x, c) -> f x c) t
+
+let fold_distinct f t acc = List.fold_left (fun acc (x, c) -> f x c acc) acc t
+
+let equal a b = Stdlib.compare a b = 0
+
+let pp pp_elt ppf t =
+  Format.fprintf ppf "{@[";
+  List.iteri
+    (fun i (x, c) ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      if c = 1 then pp_elt ppf x else Format.fprintf ppf "%a x%d" pp_elt x c)
+    t;
+  Format.fprintf ppf "@]}"

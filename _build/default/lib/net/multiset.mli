@@ -1,0 +1,57 @@
+(** Canonical multisets of in-flight messages.
+
+    The network component [I] of a global state is a multiset of
+    messages (Fig. 5 uses disjoint union, so duplicates matter).  The
+    representation is a sorted association list [(element, count)]
+    under the polymorphic order, which makes it {e canonical}: two
+    equal multisets are structurally identical, so global-state
+    fingerprints (section 4.2) collide exactly when states are equal.
+
+    Elements must be pure data (no closures, no NaN-bearing floats). *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+(** [add x t] increments the multiplicity of [x]. *)
+val add : 'a -> 'a t -> 'a t
+
+val add_list : 'a list -> 'a t -> 'a t
+
+(** [remove x t] decrements the multiplicity of [x]; [None] when [x] is
+    absent.  Delivering a message removes exactly one copy. *)
+val remove : 'a -> 'a t -> 'a t option
+
+val mem : 'a -> 'a t -> bool
+
+(** Multiplicity of an element (0 when absent). *)
+val count : 'a -> 'a t -> int
+
+(** Total number of elements, with multiplicity. *)
+val cardinal : 'a t -> int
+
+(** Number of distinct elements. *)
+val distinct_cardinal : 'a t -> int
+
+(** Distinct elements with their multiplicities, in canonical order. *)
+val bindings : 'a t -> ('a * int) list
+
+(** All elements expanded by multiplicity, in canonical order. *)
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val union : 'a t -> 'a t -> 'a t
+
+(** [iter_distinct f t] applies [f elt count] once per distinct
+    element. *)
+val iter_distinct : ('a -> int -> unit) -> 'a t -> unit
+
+val fold_distinct : ('a -> int -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val equal : 'a t -> 'a t -> bool
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

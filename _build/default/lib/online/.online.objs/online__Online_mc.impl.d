@@ -1,0 +1,1 @@
+lib/online/online_mc.ml: Dsm Format Hashtbl List Lmc Sim

@@ -1,0 +1,1 @@
+lib/online/online_mc.mli: Dsm Format Lmc Sim

@@ -1,0 +1,167 @@
+module Make
+    (Live : Dsm.Protocol.S)
+    (Check : Dsm.Protocol.S
+               with type state = Live.state
+                and type message = Live.message
+                and type action = Live.action) =
+struct
+  module Checker = Lmc.Checker.Make (Check)
+  module Sim_p = Sim.Live_sim.Make (Live)
+
+  type config = {
+    sim : Sim_p.config;
+    check_interval : float;
+    max_live_time : float;
+    checker : Checker.config;
+    action_bounds : int list;
+    steer : bool;
+    steer_scope : [ `Exact_action | `Node ];
+  }
+
+  type report = {
+    live_time : float;
+    checks_run : int;
+    snapshot : Live.state array;
+    violation : Checker.violation;
+    result : Checker.result;
+  }
+
+  type outcome = {
+    report : report option;
+    total_checks : int;
+    total_check_time : float;
+    vetoed : (Dsm.Node_id.t * Live.action) list;
+    live_violation_time : float option;
+  }
+
+  (* The first live-controllable step of a witness: the earliest
+     internal action.  Vetoing it at its node denies the predicted run
+     its trigger (execution steering, CrystalBall-style). *)
+  let first_action (violation : Checker.violation) =
+    List.find_map
+      (function
+        | Dsm.Trace.Execute (n, a) -> Some (n, a)
+        | Dsm.Trace.Deliver _ -> None)
+      violation.Checker.schedule
+
+  let run config ~strategy ~invariant =
+    if config.check_interval <= 0. then
+      invalid_arg "Online_mc.run: check_interval must be positive";
+    let vetoes : (Dsm.Node_id.t * Live.action, unit) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let quarantined : (Dsm.Node_id.t, unit) Hashtbl.t = Hashtbl.create 8 in
+    let install_veto n a =
+      if not (Hashtbl.mem vetoes (n, a)) then begin
+        Hashtbl.replace vetoes (n, a) ();
+        (match config.steer_scope with
+        | `Node -> Hashtbl.replace quarantined n ()
+        | `Exact_action -> ());
+        true
+      end
+      else false
+    in
+    let sim_config =
+      if not config.steer then config.sim
+      else begin
+        let base = config.sim.Sim_p.action_prob in
+        let action_prob n a =
+          if Hashtbl.mem vetoes (n, a) || Hashtbl.mem quarantined n then 0.0
+          else match base with Some f -> f n a | None -> 1.0
+        in
+        { config.sim with Sim_p.action_prob = Some action_prob }
+      end
+    in
+    let sim = Sim_p.create sim_config in
+    let checks = ref 0 in
+    let check_time = ref 0. in
+    let vetoed = ref [] in
+    let live_violation_time = ref None in
+    let bounds =
+      match config.action_bounds with
+      | [] -> [ None ]
+      | bs -> List.map (fun b -> Some b) bs
+    in
+    (* One snapshot, several runs with widening local-event bounds; the
+       checker restarts from scratch at each bound, as in §4.2. *)
+    let check_snapshot snapshot =
+      let rec widen = function
+        | [] -> None
+        | bound :: rest -> (
+            incr checks;
+            let result =
+              Checker.run
+                { config.checker with local_action_bound = bound }
+                ~strategy ~invariant snapshot
+            in
+            check_time := !check_time +. result.Checker.elapsed;
+            match result.Checker.sound_violation with
+            | Some violation -> Some (violation, result)
+            | None -> widen rest)
+      in
+      widen bounds
+    in
+    let rec loop () =
+      let deadline = Sim_p.now sim +. config.check_interval in
+      Sim_p.run_until sim deadline;
+      let snapshot = Sim_p.states sim in
+      if !live_violation_time = None && Dsm.Invariant.check invariant snapshot <> None
+      then live_violation_time := Some (Sim_p.now sim);
+      match check_snapshot snapshot with
+      | Some (violation, result) ->
+          let report =
+            {
+              live_time = Sim_p.now sim;
+              checks_run = !checks;
+              snapshot;
+              violation;
+              result;
+            }
+          in
+          if config.steer then begin
+            (* install the veto and keep the system running *)
+            (match first_action violation with
+            | Some (n, a) ->
+                if install_veto n a then vetoed := (n, a) :: !vetoed
+            | None -> ());
+            if Sim_p.now sim >= config.max_live_time then Some report
+            else loop_with_report report
+          end
+          else Some report
+      | None -> if Sim_p.now sim >= config.max_live_time then None else loop ()
+    and loop_with_report report =
+      (* steering mode: remember the first prediction but keep going *)
+      let deadline = Sim_p.now sim +. config.check_interval in
+      Sim_p.run_until sim deadline;
+      let snapshot = Sim_p.states sim in
+      if !live_violation_time = None && Dsm.Invariant.check invariant snapshot <> None
+      then live_violation_time := Some (Sim_p.now sim);
+      (match check_snapshot snapshot with
+      | Some (violation, _) -> (
+          match first_action violation with
+          | Some (n, a) ->
+              if install_veto n a then vetoed := (n, a) :: !vetoed
+          | None -> ())
+      | None -> ());
+      if Sim_p.now sim >= config.max_live_time then Some report
+      else loop_with_report report
+    in
+    let report = loop () in
+    {
+      report;
+      total_checks = !checks;
+      total_check_time = !check_time;
+      vetoed = List.rev !vetoed;
+      live_violation_time = !live_violation_time;
+    }
+
+  let pp_report ppf r =
+    Format.fprintf ppf
+      "@[<v>bug found after %.1f s of (simulated) live execution, on LMC \
+       run #%d@ %a@ witness schedule (%d events):@ %a@]"
+      r.live_time r.checks_run Dsm.Invariant.pp_violation
+      r.violation.Checker.violation
+      (List.length r.violation.Checker.schedule)
+      (Dsm.Trace.pp ~pp_message:Check.pp_message ~pp_action:Check.pp_action)
+      r.violation.Checker.schedule
+end

@@ -1,0 +1,85 @@
+(** Online model checking (§3.3, the CrystalBall execution mode).
+
+    "An online model checker is restarted periodically from the live
+    state of a running system.  As a consequence, the model checker has
+    a chance to explore more relevant states at deeper levels, instead
+    of getting stuck in the exponential explosion problem at some very
+    shallow depths."
+
+    This driver interleaves a {!Sim.Live_sim} deployment with periodic
+    LMC runs seeded from snapshots.  Each LMC run gets a bounded budget
+    (the paper restarts every minute with runs of a few seconds); the
+    first soundness-verified violation stops the hunt and is reported
+    with its witness schedule.
+
+    The functor takes two protocol modules over the same state type:
+    [Live] drives the deployment (it wants background traffic), and
+    [Check] is the state machine the checker explores — typically the
+    same protocol with a more focused test driver, which §4.2 singles
+    out as decisive for model-checking efficiency. *)
+
+module Make
+    (Live : Dsm.Protocol.S)
+    (Check : Dsm.Protocol.S
+               with type state = Live.state
+                and type message = Live.message
+                and type action = Live.action) : sig
+  module Checker : module type of Lmc.Checker.Make (Check)
+
+  type config = {
+    sim : Sim.Live_sim.Make(Live).config;
+    check_interval : float;
+        (** simulated seconds of live execution between snapshots *)
+    max_live_time : float;  (** give up after this much simulated time *)
+    checker : Checker.config;
+        (** per-run budget; set [time_limit]/[max_transitions] so one
+            run stays within the restart period *)
+    action_bounds : int list;
+        (** iterative widening (§4.2 "Local events"): each snapshot is
+            checked once per bound, restarting from scratch with more
+            allowed local events per node.  [[]] means a single
+            unbounded run. *)
+    steer : bool;
+        (** execution steering (the CrystalBall idea this checker was
+            built to serve): instead of stopping at the first confirmed
+            violation, veto the witness's first internal action at its
+            node in the live deployment — the predicted run loses its
+            trigger — and keep hunting until [max_live_time].  The
+            first prediction is still returned as the report. *)
+    steer_scope : [ `Exact_action | `Node ];
+        (** veto width: [`Exact_action] denies only the predicted
+            action value — precise, but a stale node can often reach
+            the same violation through a sibling action before the next
+            restart; [`Node] quarantines the offending node's driver
+            entirely. *)
+  }
+
+  type report = {
+    live_time : float;  (** simulated time of the revealing snapshot *)
+    checks_run : int;  (** LMC runs performed, including the hit *)
+    snapshot : Live.state array;  (** the live state the run started from *)
+    violation : Checker.violation;
+    result : Checker.result;  (** statistics of the revealing run *)
+  }
+
+  type outcome = {
+    report : report option;  (** [None]: no bug within [max_live_time] *)
+    total_checks : int;
+    total_check_time : float;  (** wall-clock spent inside LMC runs *)
+    vetoed : (Dsm.Node_id.t * Live.action) list;
+        (** steering mode: the (node, action) pairs denied to the live
+            system, in installation order *)
+    live_violation_time : float option;
+        (** first simulated time at which the {e live} system state
+            itself violated the invariant — [None] is the steering
+            success criterion *)
+  }
+
+  val run :
+    config ->
+    strategy:'k Checker.strategy ->
+    invariant:Live.state Dsm.Invariant.t ->
+    outcome
+
+  val pp_report : Format.formatter -> report -> unit
+end

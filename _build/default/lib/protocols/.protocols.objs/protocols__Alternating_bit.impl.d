@@ -1,0 +1,1 @@
+lib/protocols/alternating_bit.ml: Array Dsm Format List String

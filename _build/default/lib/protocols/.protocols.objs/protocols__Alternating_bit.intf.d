@@ -1,0 +1,1 @@
+lib/protocols/alternating_bit.mli: Dsm

@@ -1,0 +1,1 @@
+lib/protocols/chain.ml: Array Dsm Format Printf

@@ -1,0 +1,1 @@
+lib/protocols/chain.mli: Dsm

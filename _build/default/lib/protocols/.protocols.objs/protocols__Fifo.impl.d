@@ -1,0 +1,1 @@
+lib/protocols/fifo.ml: Array Dsm Format List

@@ -1,0 +1,1 @@
+lib/protocols/fifo.mli: Dsm

@@ -1,0 +1,1 @@
+lib/protocols/onepaxos.ml: Dsm Format List Option Paxos_core Printf String

@@ -1,0 +1,1 @@
+lib/protocols/onepaxos.mli: Dsm Paxos_core

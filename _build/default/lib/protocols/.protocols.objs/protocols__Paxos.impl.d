@@ -1,0 +1,1 @@
+lib/protocols/paxos.ml: Dsm Format List Paxos_core

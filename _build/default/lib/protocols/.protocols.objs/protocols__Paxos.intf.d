@@ -1,0 +1,1 @@
+lib/protocols/paxos.mli: Dsm Paxos_core

@@ -1,0 +1,1 @@
+lib/protocols/pb_store.mli: Dsm

@@ -1,0 +1,1 @@
+lib/protocols/ping.ml: Array Dsm Format List

@@ -1,0 +1,1 @@
+lib/protocols/ping.mli: Dsm

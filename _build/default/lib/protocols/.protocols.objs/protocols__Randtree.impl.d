@@ -1,0 +1,1 @@
+lib/protocols/randtree.ml: Dsm Format List Printf String

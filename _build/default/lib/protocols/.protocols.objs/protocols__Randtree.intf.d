@@ -1,0 +1,1 @@
+lib/protocols/randtree.mli: Dsm

@@ -1,0 +1,1 @@
+lib/protocols/ring_election.mli: Dsm

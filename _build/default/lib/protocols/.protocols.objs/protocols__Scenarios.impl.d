@@ -1,0 +1,1 @@
+lib/protocols/scenarios.ml: Array Dsm List Onepaxos Paxos Paxos_core

@@ -1,0 +1,1 @@
+lib/protocols/scenarios.mli: Dsm Onepaxos Paxos Paxos_core

@@ -1,0 +1,1 @@
+lib/protocols/synthetic.ml: Array Dsm Format Hashtbl List Printf

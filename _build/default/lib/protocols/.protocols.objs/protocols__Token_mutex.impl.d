@@ -1,0 +1,1 @@
+lib/protocols/token_mutex.ml: Dsm Format List

@@ -1,0 +1,1 @@
+lib/protocols/tree.ml: Array Dsm Format List

@@ -1,0 +1,1 @@
+lib/protocols/tree.mli: Dsm

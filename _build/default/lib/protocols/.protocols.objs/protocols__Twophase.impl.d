@@ -1,0 +1,1 @@
+lib/protocols/twophase.ml: Dsm Format List

@@ -1,0 +1,1 @@
+lib/protocols/twophase.mli: Dsm

@@ -1,0 +1,137 @@
+type bug = No_bug | Ignore_bit
+
+module type CONFIG = sig
+  val data : int list
+  val max_retransmits : int
+  val bug : bug
+end
+
+type abp_sender = {
+  pending : int list;
+  bit : bool;
+  awaiting : bool;
+  retransmits : int;
+}
+
+type abp_receiver = { delivered : int list; expected : bool }
+
+type abp_state = S of abp_sender | R of abp_receiver
+
+type abp_message = Data of bool * int | Ack of bool
+
+type abp_action = Send | Retransmit
+
+module Make (C : CONFIG) = struct
+  let name = "alternating-bit"
+  let num_nodes = 2
+
+  type state = abp_state
+  type message = abp_message
+  type action = abp_action
+
+  let sender = 0
+  let receiver = 1
+
+  let initial n =
+    if n = sender then
+      S { pending = C.data; bit = false; awaiting = false; retransmits = 0 }
+    else R { delivered = []; expected = false }
+
+  let to_receiver m = [ Dsm.Envelope.make ~src:sender ~dst:receiver m ]
+  let to_sender m = [ Dsm.Envelope.make ~src:receiver ~dst:sender m ]
+
+  let handle_sender s = function
+    | Ack b ->
+        if s.awaiting && b = s.bit then
+          ( S
+              {
+                pending = (match s.pending with [] -> [] | _ :: r -> r);
+                bit = not s.bit;
+                awaiting = false;
+                retransmits = 0;
+              },
+            [] )
+        else (S s, []) (* stale ack *)
+    | Data _ -> raise (Dsm.Protocol.Local_assert "data frame at the sender")
+
+  let handle_receiver r = function
+    | Data (b, x) ->
+        let accept =
+          match C.bug with
+          | No_bug -> b = r.expected
+          | Ignore_bit -> true (* the bug: duplicates pass the filter *)
+        in
+        if accept then
+          ( R { delivered = x :: r.delivered; expected = not r.expected },
+            to_sender (Ack b) )
+        else
+          (* duplicate: re-acknowledge without delivering *)
+          (R r, to_sender (Ack b))
+    | Ack _ -> raise (Dsm.Protocol.Local_assert "ack at the receiver")
+
+  let handle_message ~self:_ state env =
+    match state with
+    | S s -> handle_sender s env.Dsm.Envelope.payload
+    | R r -> handle_receiver r env.Dsm.Envelope.payload
+
+  let enabled_actions ~self state =
+    if self <> sender then []
+    else
+      match state with
+      | R _ -> []
+      | S s ->
+          let send =
+            if (not s.awaiting) && s.pending <> [] then [ Send ] else []
+          in
+          let retransmit =
+            if s.awaiting && s.retransmits < C.max_retransmits then
+              [ Retransmit ]
+            else []
+          in
+          send @ retransmit
+
+  let handle_action ~self:_ state action =
+    match (state, action) with
+    | S s, Send -> (
+        match s.pending with
+        | [] -> raise (Dsm.Protocol.Local_assert "send without pending data")
+        | x :: _ -> (S { s with awaiting = true }, to_receiver (Data (s.bit, x))))
+    | S s, Retransmit -> (
+        match s.pending with
+        | [] -> raise (Dsm.Protocol.Local_assert "retransmit without frame")
+        | x :: _ ->
+            ( S { s with retransmits = s.retransmits + 1 },
+              to_receiver (Data (s.bit, x)) ))
+    | R _, _ -> raise (Dsm.Protocol.Local_assert "receiver has no actions")
+
+  let pp_state ppf = function
+    | S s ->
+        Format.fprintf ppf "S{pending=%d bit=%b awaiting=%b}"
+          (List.length s.pending) s.bit s.awaiting
+    | R r ->
+        Format.fprintf ppf "R{delivered=[%s] expect=%b}"
+          (String.concat ";" (List.rev_map string_of_int r.delivered))
+          r.expected
+
+  let pp_message ppf = function
+    | Data (b, x) -> Format.fprintf ppf "Data(%b,%d)" b x
+    | Ack b -> Format.fprintf ppf "Ack(%b)" b
+
+  let pp_action ppf = function
+    | Send -> Format.pp_print_string ppf "send"
+    | Retransmit -> Format.pp_print_string ppf "retransmit"
+
+  let rec is_prefix prefix full =
+    match (prefix, full) with
+    | [], _ -> true
+    | p :: ps, f :: fs -> p = f && is_prefix ps fs
+    | _ :: _, [] -> false
+
+  let prefix_delivery =
+    Dsm.Invariant.make ~name:"abp-prefix-delivery" (fun system ->
+        match system.(receiver) with
+        | R r ->
+            if is_prefix (List.rev r.delivered) C.data then None
+            else Some "receiver delivered a non-prefix of the input"
+        | S _ -> Some "node 1 is not the receiver")
+end

@@ -1,0 +1,62 @@
+(** Alternating-bit protocol (stop-and-wait ARQ).
+
+    A sender transfers a fixed sequence of items to a receiver over an
+    unreliable network: each data frame carries a one-bit sequence
+    number, the receiver acknowledges the bit it saw, duplicates are
+    filtered by the bit, and the sender may retransmit the outstanding
+    frame (a timeout action).
+
+    The safety invariant: the receiver's delivered sequence is always a
+    prefix of the sender's input — no duplication, no reordering.
+
+    The injectable bug drops the receiver's bit check, so a
+    retransmitted duplicate frame is delivered twice.
+
+    This protocol doubles as the showcase of a documented LMC
+    limitation: the duplicate frame has {e identical content} to the
+    original, and the paper's duplicate-message limit ("set to zero for
+    the results reported in this paper") plus the per-state message
+    history mean default LMC never executes the same content twice on
+    one path.  The buggy duplication is therefore invisible to default
+    LMC (and to the paper's tool), found by the global checker, and
+    found by LMC with histories disabled — see the tests and
+    EXPERIMENTS.md. *)
+
+type bug = No_bug | Ignore_bit
+
+module type CONFIG = sig
+  (** The items to transfer, in order. *)
+  val data : int list
+
+  (** Retransmissions available per frame. *)
+  val max_retransmits : int
+
+  val bug : bug
+end
+
+type abp_sender = {
+  pending : int list;  (** not yet acknowledged, head outstanding *)
+  bit : bool;
+  awaiting : bool;  (** a frame is outstanding *)
+  retransmits : int;  (** used for the current frame *)
+}
+
+type abp_receiver = { delivered : int list; expected : bool }
+(** [delivered] is newest-first. *)
+
+type abp_state = S of abp_sender | R of abp_receiver
+
+type abp_message = Data of bool * int | Ack of bool
+
+type abp_action = Send | Retransmit
+
+module Make (_ : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = abp_state
+       and type message = abp_message
+       and type action = abp_action
+
+  (** The receiver's deliveries form a prefix of the input data. *)
+  val prefix_delivery : abp_state Dsm.Invariant.t
+end

@@ -1,0 +1,52 @@
+type chain_state = { received : bool; forwarded : bool }
+
+module Make (C : sig
+  val length : int
+end) =
+struct
+  let name = "chain"
+  let num_nodes = C.length
+
+  let () = if C.length < 2 then invalid_arg "Chain: need at least 2 nodes"
+
+  type state = chain_state
+  type message = unit
+  type action = unit
+
+  let initial _ = { received = false; forwarded = false }
+
+  let send_next self =
+    if self + 1 < num_nodes then
+      [ Dsm.Envelope.make ~src:self ~dst:(self + 1) () ]
+    else []
+
+  let handle_message ~self state _env =
+    if state.received then (state, [])
+    else ({ received = true; forwarded = self + 1 < num_nodes }, send_next self)
+
+  let enabled_actions ~self state =
+    if self = 0 && not state.forwarded then [ () ] else []
+
+  let handle_action ~self state () =
+    ({ state with forwarded = true }, send_next self)
+
+  let pp_state ppf s =
+    Format.fprintf ppf "%c%c"
+      (if s.received then 'r' else '-')
+      (if s.forwarded then 'f' else '-')
+
+  let pp_message ppf () = Format.pp_print_string ppf "token"
+  let pp_action ppf () = Format.pp_print_string ppf "start"
+
+  let prefix_closed =
+    Dsm.Invariant.make ~name:"chain-prefix-closed" (fun system ->
+        let bad = ref None in
+        for i = 1 to Array.length system - 1 do
+          if !bad = None && system.(i).received && not system.(i - 1).forwarded
+          then
+            bad :=
+              Some
+                (Printf.sprintf "N%d received but N%d never forwarded" i (i - 1))
+        done;
+        !bad)
+end

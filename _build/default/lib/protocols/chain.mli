@@ -1,0 +1,24 @@
+(** A forwarding chain: node 0 starts a token that hops node by node to
+    the end.
+
+    Section 4.3 predicts LMC offers little over global checking here:
+    "we could not expect much from LMC in a chain system in which each
+    node simply forwards the input message to the next" — there is no
+    parallel network activity to collapse.  Used by the ablation
+    benchmark. *)
+
+type chain_state = { received : bool; forwarded : bool }
+
+module Make (_ : sig
+  val length : int
+end) : sig
+  include
+    Dsm.Protocol.S
+      with type state = chain_state
+       and type message = unit
+       and type action = unit
+
+  (** Monotone delivery: a node received the token only if all its
+      predecessors forwarded it. *)
+  val prefix_closed : chain_state Dsm.Invariant.t
+end

@@ -1,0 +1,71 @@
+type 'm seq_message = { seq : int; payload : 'm }
+
+type 's seq_state = {
+  inner : 's;
+  next_out : (int * int) list;
+  next_in : (int * int) list;
+}
+
+module Make (P : Dsm.Protocol.S) = struct
+  let name = P.name ^ "+fifo"
+  let num_nodes = P.num_nodes
+
+  type state = P.state seq_state
+  type message = P.message seq_message
+  type action = P.action
+
+  let initial n = { inner = P.initial n; next_out = []; next_in = [] }
+
+  let get key l = match List.assoc_opt key l with Some v -> v | None -> 0
+
+  let rec bump key = function
+    | [] -> [ (key, 1) ]
+    | (k, v) :: rest when k = key -> (k, v + 1) :: rest
+    | (k, v) :: rest when k > key -> (key, 1) :: (k, v) :: rest
+    | kv :: rest -> kv :: bump key rest
+
+  (* Stamp the inner protocol's sends with per-channel sequence
+     numbers. *)
+  let stamp state outs =
+    List.fold_left
+      (fun (state, acc) (env : P.message Dsm.Envelope.t) ->
+        let dst = env.Dsm.Envelope.dst in
+        let seq = get dst state.next_out in
+        let stamped =
+          Dsm.Envelope.map (fun payload -> { seq; payload }) env
+        in
+        ({ state with next_out = bump dst state.next_out }, stamped :: acc))
+      (state, []) outs
+    |> fun (state, acc) -> (state, List.rev acc)
+
+  let handle_message ~self state env =
+    let src = env.Dsm.Envelope.src in
+    let { seq; payload } = env.Dsm.Envelope.payload in
+    if seq <> get src state.next_in then
+      (* TCP would reject this segment; ignore the interleaving. *)
+      raise (Dsm.Protocol.Local_assert "out-of-order delivery on a FIFO channel");
+    let inner', outs =
+      P.handle_message ~self state.inner (Dsm.Envelope.map (fun _ -> payload) env)
+    in
+    let state = { state with inner = inner'; next_in = bump src state.next_in } in
+    stamp state outs
+
+  let enabled_actions ~self state = P.enabled_actions ~self state.inner
+
+  let handle_action ~self state a =
+    let inner', outs = P.handle_action ~self state.inner a in
+    stamp { state with inner = inner' } outs
+
+  let pp_state ppf s = P.pp_state ppf s.inner
+
+  let pp_message ppf m =
+    Format.fprintf ppf "#%d:%a" m.seq P.pp_message m.payload
+
+  let pp_action = P.pp_action
+
+  let lift_invariant inv =
+    Dsm.Invariant.make ~name:(Dsm.Invariant.name inv ^ "+fifo") (fun system ->
+        match Dsm.Invariant.check inv (Array.map (fun s -> s.inner) system) with
+        | Some v -> Some v.Dsm.Invariant.detail
+        | None -> None)
+end

@@ -1,0 +1,37 @@
+(** FIFO (TCP-like) channel wrapper.
+
+    §4.3: LMC "assumes a best-effort, lossy network, i.e., IP", so
+    UDP-based protocols are checked directly, while "TCP is usually
+    simulated in the model checker.  To do so, LMC implementation
+    should be also augmented to benefit from the fact that reordered
+    messages in a connection will eventually be rejected by TCP and
+    could, hence, be ignored, saving some unnecessary handler
+    executions in the model checker."
+
+    [Make (P)] wraps any protocol with per-(sender, receiver) sequence
+    numbers.  A receiver accepts exactly the next expected sequence
+    number on each channel and raises {!Dsm.Protocol.Local_assert} on
+    anything else — which makes both checkers discard the reordered
+    delivery, pruning precisely the interleavings TCP would never
+    produce.  Note this models ordering, not reliability: there are no
+    retransmissions, so the live simulator should use a reliable link
+    with this wrapper. *)
+
+type 'm seq_message = { seq : int; payload : 'm }
+
+type 's seq_state = {
+  inner : 's;
+  next_out : (int * int) list;  (** per destination, sorted *)
+  next_in : (int * int) list;  (** per source, sorted *)
+}
+
+module Make (P : Dsm.Protocol.S) : sig
+  include
+    Dsm.Protocol.S
+      with type state = P.state seq_state
+       and type message = P.message seq_message
+       and type action = P.action
+
+  (** Lift an invariant over the wrapped protocol's system states. *)
+  val lift_invariant : P.state Dsm.Invariant.t -> state Dsm.Invariant.t
+end

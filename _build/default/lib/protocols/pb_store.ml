@@ -1,0 +1,182 @@
+type bug = No_bug | Ack_before_replication
+
+module type CONFIG = sig
+  val key : int
+  val value : int
+  val bug : bug
+end
+
+type pb_role = {
+  store : (int * int) list;
+  repl_pending : (int * int) option;
+}
+
+type pb_client = {
+  put_sent : bool;
+  put_acked : bool;
+  failed_over : bool;
+  get_sent : bool;
+  response : int option option;
+}
+
+type pb_state = Replica of pb_role | Client of pb_client
+
+type pb_message =
+  | Put of int * int
+  | Replicate of int * int
+  | Repl_ack
+  | Put_ack
+  | Get of int
+  | Get_reply of int option
+
+type pb_action = Do_put | Fail_over | Do_get
+
+module Make (C : CONFIG) = struct
+  let name = "primary-backup-store"
+  let num_nodes = 3
+
+  type state = pb_state
+  type message = pb_message
+  type action = pb_action
+
+  let primary = 0
+  let backup = 1
+  let client = 2
+
+  let initial n =
+    if n = client then
+      Client
+        {
+          put_sent = false;
+          put_acked = false;
+          failed_over = false;
+          get_sent = false;
+          response = None;
+        }
+    else Replica { store = []; repl_pending = None }
+
+  let rec put_assoc k v = function
+    | [] -> [ (k, v) ]
+    | (k', _) :: rest when k' = k -> (k, v) :: rest
+    | (k', v') :: rest when k' > k -> (k, v) :: (k', v') :: rest
+    | kv :: rest -> kv :: put_assoc k v rest
+
+  let env ~src ~dst m = Dsm.Envelope.make ~src ~dst m
+
+  let handle_replica ~self r ~src msg =
+    match msg with
+    | Put (k, v) ->
+        if self <> primary then
+          raise (Dsm.Protocol.Local_assert "write at the backup");
+        let r = { r with store = put_assoc k v r.store } in
+        let replicate = env ~src:self ~dst:backup (Replicate (k, v)) in
+        (match C.bug with
+        | No_bug ->
+            (* remember the write; ack only on the backup's confirm *)
+            (Replica { r with repl_pending = Some (k, v) }, [ replicate ])
+        | Ack_before_replication ->
+            ( Replica r,
+              [ replicate; env ~src:self ~dst:src Put_ack ] ))
+    | Replicate (k, v) ->
+        if self <> backup then
+          raise (Dsm.Protocol.Local_assert "replication at the primary");
+        ( Replica { r with store = put_assoc k v r.store },
+          [ env ~src:self ~dst:primary Repl_ack ] )
+    | Repl_ack -> (
+        if self <> primary then
+          raise (Dsm.Protocol.Local_assert "replication ack at the backup");
+        match r.repl_pending with
+        | Some _ ->
+            ( Replica { r with repl_pending = None },
+              [ env ~src:self ~dst:client Put_ack ] )
+        | None -> (Replica r, []))
+    | Get k ->
+        let reply = List.assoc_opt k r.store in
+        (Replica r, [ env ~src:self ~dst:src (Get_reply reply) ])
+    | Put_ack | Get_reply _ ->
+        raise (Dsm.Protocol.Local_assert "client traffic at a replica")
+
+  let handle_client c msg =
+    match msg with
+    | Put_ack -> (Client { c with put_acked = true }, [])
+    | Get_reply r -> (Client { c with response = Some r }, [])
+    | Put _ | Replicate _ | Repl_ack | Get _ ->
+        raise (Dsm.Protocol.Local_assert "replica traffic at the client")
+
+  let handle_message ~self state e =
+    match state with
+    | Replica r -> handle_replica ~self r ~src:e.Dsm.Envelope.src e.Dsm.Envelope.payload
+    | Client c -> handle_client c e.Dsm.Envelope.payload
+
+  let enabled_actions ~self state =
+    if self <> client then []
+    else
+      match state with
+      | Replica _ -> []
+      | Client c ->
+          let put = if not c.put_sent then [ Do_put ] else [] in
+          let failover =
+            if c.put_acked && (not c.failed_over) && not c.get_sent then
+              [ Fail_over ]
+            else []
+          in
+          let get =
+            if c.put_acked && not c.get_sent then [ Do_get ] else []
+          in
+          put @ failover @ get
+
+  let handle_action ~self state action =
+    match (state, action) with
+    | Client c, Do_put ->
+        ( Client { c with put_sent = true },
+          [ env ~src:self ~dst:primary (Put (C.key, C.value)) ] )
+    | Client c, Fail_over -> (Client { c with failed_over = true }, [])
+    | Client c, Do_get ->
+        let target = if c.failed_over then backup else primary in
+        ( Client { c with get_sent = true },
+          [ env ~src:self ~dst:target (Get C.key) ] )
+    | Replica _, _ ->
+        raise (Dsm.Protocol.Local_assert "replicas have no driver")
+
+  let pp_state ppf = function
+    | Replica r ->
+        Format.fprintf ppf "Replica{|store|=%d pending=%b}"
+          (List.length r.store)
+          (r.repl_pending <> None)
+    | Client c ->
+        Format.fprintf ppf "Client{put=%b acked=%b failover=%b get=%b resp=%s}"
+          c.put_sent c.put_acked c.failed_over c.get_sent
+          (match c.response with
+          | None -> "-"
+          | Some None -> "miss"
+          | Some (Some v) -> string_of_int v)
+
+  let pp_message ppf = function
+    | Put (k, v) -> Format.fprintf ppf "Put(%d,%d)" k v
+    | Replicate (k, v) -> Format.fprintf ppf "Replicate(%d,%d)" k v
+    | Repl_ack -> Format.pp_print_string ppf "ReplAck"
+    | Put_ack -> Format.pp_print_string ppf "PutAck"
+    | Get k -> Format.fprintf ppf "Get(%d)" k
+    | Get_reply None -> Format.pp_print_string ppf "GetReply(miss)"
+    | Get_reply (Some v) -> Format.fprintf ppf "GetReply(%d)" v
+
+  let pp_action ppf = function
+    | Do_put -> Format.pp_print_string ppf "put"
+    | Fail_over -> Format.pp_print_string ppf "fail-over"
+    | Do_get -> Format.pp_print_string ppf "get"
+
+  let read_your_writes =
+    Dsm.Invariant.for_all_nodes ~name:"read-your-writes" (fun n s ->
+        if n <> client then None
+        else
+          match s with
+          | Replica _ -> Some "node 2 is not the client"
+          | Client c -> (
+              if not c.put_acked then None
+              else
+                match c.response with
+                | Some None -> Some "acknowledged write missing from a read"
+                | Some (Some v) when v <> C.value ->
+                    Some "read returned a different value"
+                | _ -> None))
+end

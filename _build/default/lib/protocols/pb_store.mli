@@ -1,0 +1,66 @@
+(** Primary-backup replicated key-value store.
+
+    Node 0 is the primary, node 1 the backup, node 2 the client.  The
+    client writes through the primary, which replicates to the backup
+    and acknowledges the client only after the backup's acknowledgment;
+    a suspicious client may fail over and direct its reads at the
+    backup.
+
+    The safety invariant is read-your-writes, and it is node-local to
+    the client: once a write has been acknowledged, no later read may
+    miss it — wherever the read was served.
+
+    The injectable bug is the classic replication shortcut: the primary
+    acknowledges the client {e before} the backup has confirmed, so a
+    failed-over read can reach the backup ahead of the replication and
+    return stale data. *)
+
+type bug = No_bug | Ack_before_replication
+
+module type CONFIG = sig
+  (** The key/value the client writes, then reads back. *)
+  val key : int
+
+  val value : int
+
+  val bug : bug
+end
+
+type pb_role = {
+  store : (int * int) list;  (** sorted association list *)
+  repl_pending : (int * int) option;
+      (** primary only: write awaiting the backup's confirmation *)
+}
+
+type pb_client = {
+  put_sent : bool;
+  put_acked : bool;
+  failed_over : bool;
+  get_sent : bool;
+  response : int option option;
+      (** [Some r]: a read returned; [r = None]: key missing *)
+}
+
+type pb_state = Replica of pb_role | Client of pb_client
+
+type pb_message =
+  | Put of int * int
+  | Replicate of int * int
+  | Repl_ack
+  | Put_ack
+  | Get of int
+  | Get_reply of int option
+
+type pb_action = Do_put | Fail_over | Do_get
+
+module Make (_ : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = pb_state
+       and type message = pb_message
+       and type action = pb_action
+
+  (** Read-your-writes at the client (node-local, so the [Automatic]
+      strategy prunes on it). *)
+  val read_your_writes : pb_state Dsm.Invariant.t
+end

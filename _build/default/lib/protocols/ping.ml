@@ -1,0 +1,67 @@
+type ping_state = { pinged : bool; pongs : int list; served : bool }
+
+type msg = Ping | Pong
+
+module Make (C : sig
+  val num_servers : int
+end) =
+struct
+  let name = "ping"
+  let num_nodes = C.num_servers + 1
+
+  let () = if C.num_servers < 1 then invalid_arg "Ping: need a server"
+
+  type state = ping_state
+  type message = msg
+  type action = unit
+
+  let initial _ = { pinged = false; pongs = []; served = false }
+
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: rest when x < y -> x :: y :: rest
+    | y :: rest when x = y -> y :: rest
+    | y :: rest -> y :: insert_sorted x rest
+
+  let handle_message ~self state env =
+    match env.Dsm.Envelope.payload with
+    | Ping ->
+        if self = 0 then raise (Dsm.Protocol.Local_assert "client pinged");
+        if state.served then (state, [])
+        else
+          ( { state with served = true },
+            [ Dsm.Envelope.make ~src:self ~dst:0 Pong ] )
+    | Pong ->
+        if self <> 0 then raise (Dsm.Protocol.Local_assert "server ponged");
+        ({ state with pongs = insert_sorted env.Dsm.Envelope.src state.pongs }, [])
+
+  let enabled_actions ~self state =
+    if self = 0 && not state.pinged then [ () ] else []
+
+  let handle_action ~self state () =
+    let pings =
+      List.map
+        (fun server -> Dsm.Envelope.make ~src:self ~dst:server Ping)
+        (List.init C.num_servers (fun i -> i + 1))
+    in
+    ({ state with pinged = true }, pings)
+
+  let pp_state ppf s =
+    Format.fprintf ppf "{pinged=%b; pongs=%d; served=%b}" s.pinged
+      (List.length s.pongs) s.served
+
+  let pp_message ppf = function
+    | Ping -> Format.pp_print_string ppf "ping"
+    | Pong -> Format.pp_print_string ppf "pong"
+
+  let pp_action ppf () = Format.pp_print_string ppf "ping-all"
+
+  let no_excess_pongs =
+    Dsm.Invariant.make ~name:"no-excess-pongs" (fun system ->
+        let client = system.(0) in
+        if List.length client.pongs > 0 && not client.pinged then
+          Some "client holds pongs without having pinged"
+        else if List.length client.pongs > C.num_servers then
+          Some "more pongs than servers"
+        else None)
+end

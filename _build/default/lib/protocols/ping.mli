@@ -1,0 +1,23 @@
+(** Request/response micro-protocol for cross-checker property tests.
+
+    Node 0 pings every server once; servers answer; the client counts
+    the pongs.  Small enough that the global state space can be
+    exhausted instantly, which makes it the workhorse for the
+    completeness/soundness cross-checks between B-DFS and LMC. *)
+
+type ping_state = { pinged : bool; pongs : int list; served : bool }
+
+type msg = Ping | Pong
+
+module Make (_ : sig
+  val num_servers : int
+end) : sig
+  include
+    Dsm.Protocol.S
+      with type state = ping_state
+       and type message = msg
+       and type action = unit
+
+  (** The client never counts more pongs than servers it pinged. *)
+  val no_excess_pongs : ping_state Dsm.Invariant.t
+end

@@ -1,0 +1,166 @@
+type bug = No_bug | Double_bookkeeping
+
+module type CONFIG = sig
+  val num_nodes : int
+  val max_children : int
+  val max_attempts : int
+  val bug : bug
+end
+
+type join_status = Out | Joining | In
+
+type rt_state = {
+  status : join_status;
+  parent : int option;
+  children : int list;
+  siblings : int list;
+  attempts : int;
+}
+
+type rt_message =
+  | Join of { joiner : int }
+  | Welcome of { parent : int; siblings : int list }
+  | New_sibling of { sibling : int }
+
+module Make (C : CONFIG) = struct
+  let name = "randtree"
+  let num_nodes = C.num_nodes
+
+  let () =
+    if C.num_nodes < 2 then invalid_arg "Randtree: need at least 2 nodes";
+    if C.max_children < 1 then invalid_arg "Randtree: max_children < 1"
+
+  type state = rt_state
+  type message = rt_message
+  type action = unit
+
+  let root = 0
+
+  let initial n =
+    if n = root then
+      { status = In; parent = None; children = []; siblings = []; attempts = 0 }
+    else
+      { status = Out; parent = None; children = []; siblings = []; attempts = 0 }
+
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: rest when x < y -> x :: y :: rest
+    | y :: rest when x = y -> y :: rest
+    | y :: rest -> y :: insert_sorted x rest
+
+  let remove x l = List.filter (fun y -> y <> x) l
+
+  let env ~src ~dst payload = Dsm.Envelope.make ~src ~dst payload
+
+  (* Deterministic stand-in for RandTree's random child choice: the
+     joiner identity selects the forwarding child, so re-executions
+     replay identically (§4.1, footnote 3). *)
+  let pick_child children joiner =
+    List.nth children (joiner mod List.length children)
+
+  let adopt ~self state joiner =
+    let previous_children = state.children in
+    let notify =
+      List.map
+        (fun child -> env ~src:self ~dst:child (New_sibling { sibling = joiner }))
+        previous_children
+    in
+    let siblings =
+      match C.bug with
+      | No_bug -> remove joiner state.siblings
+      | Double_bookkeeping -> state.siblings
+      (* the correct code clears a stale sibling record when adopting *)
+    in
+    let state =
+      { state with children = insert_sorted joiner previous_children; siblings }
+    in
+    let welcome =
+      env ~src:self ~dst:joiner
+        (Welcome { parent = self; siblings = previous_children })
+    in
+    (state, welcome :: notify)
+
+  let handle_join ~self state joiner =
+    if state.status <> In then
+      raise (Dsm.Protocol.Local_assert "join request at non-member");
+    if List.mem joiner state.children then
+      (* Duplicate join (a retry): re-send the Welcome idempotently. *)
+      ( state,
+        [
+          env ~src:self ~dst:joiner
+            (Welcome { parent = self; siblings = remove joiner state.children });
+        ] )
+    else if List.length state.children < C.max_children then
+      adopt ~self state joiner
+    else begin
+      let next = pick_child state.children joiner in
+      let forward = [ env ~src:self ~dst:next (Join { joiner }) ] in
+      match C.bug with
+      | No_bug -> (state, forward)
+      | Double_bookkeeping ->
+          (* The bug: the full node also books the joiner as its own
+             child and announces the "new sibling" to its children. *)
+          let notify =
+            List.map
+              (fun child ->
+                env ~src:self ~dst:child (New_sibling { sibling = joiner }))
+              state.children
+          in
+          ( { state with children = insert_sorted joiner state.children },
+            forward @ notify )
+    end
+
+  let handle_message ~self state e =
+    match e.Dsm.Envelope.payload with
+    | Join { joiner } -> handle_join ~self state joiner
+    | Welcome { parent; siblings } ->
+        if state.status = In then (state, [])
+        else
+          ( {
+              state with
+              status = In;
+              parent = Some parent;
+              siblings =
+                List.fold_left (fun acc s -> insert_sorted s acc) [] siblings;
+            },
+            [] )
+    | New_sibling { sibling } ->
+        if sibling = self then (state, [])
+        else ({ state with siblings = insert_sorted sibling state.siblings }, [])
+
+  let enabled_actions ~self state =
+    if self <> root && state.status <> In && state.attempts < C.max_attempts
+    then [ () ]
+    else []
+
+  let handle_action ~self state () =
+    ( { state with status = Joining; attempts = state.attempts + 1 },
+      [ env ~src:self ~dst:root (Join { joiner = self }) ] )
+
+  let pp_int_list ppf l =
+    Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int l))
+
+  let pp_state ppf s =
+    Format.fprintf ppf "{%s parent=%s children=%a siblings=%a}"
+      (match s.status with Out -> "out" | Joining -> "joining" | In -> "in")
+      (match s.parent with None -> "-" | Some p -> string_of_int p)
+      pp_int_list s.children pp_int_list s.siblings
+
+  let pp_message ppf = function
+    | Join { joiner } -> Format.fprintf ppf "Join(%d)" joiner
+    | Welcome { parent; siblings } ->
+        Format.fprintf ppf "Welcome(parent=%d,siblings=%a)" parent pp_int_list
+          siblings
+    | New_sibling { sibling } -> Format.fprintf ppf "NewSibling(%d)" sibling
+
+  let pp_action ppf () = Format.pp_print_string ppf "join"
+
+  let disjointness =
+    Dsm.Invariant.for_all_nodes ~name:"randtree-disjointness" (fun _ s ->
+        match List.filter (fun c -> List.mem c s.siblings) s.children with
+        | [] -> None
+        | overlap ->
+            Some
+              (Printf.sprintf "nodes %s are both children and siblings"
+                 (String.concat "," (List.map string_of_int overlap))))
+end

@@ -1,0 +1,56 @@
+(** RandTree-style random overlay tree (§4.1's example of a node-local
+    invariant).
+
+    Nodes join through the root; a full node forwards the join request
+    to one of its children (picked deterministically from the joiner
+    identity, standing in for Mace's recorded randomness — §4.1
+    footnote 3 requires nondeterministic values to be replayable).
+    Parents notify their existing children of new siblings.
+
+    The invariant is the one the paper quotes for RandTree: "in all
+    node states the children and siblings must be disjoint sets".
+
+    The injectable bug makes a full node double-book a forwarded
+    joiner: it forwards the join but also optimistically records the
+    joiner as its own child and announces it as a sibling — so the
+    subtree node that really adopts the joiner ends up with the joiner
+    in both its children and its siblings. *)
+
+type bug = No_bug | Double_bookkeeping
+
+module type CONFIG = sig
+  val num_nodes : int
+
+  val max_children : int
+
+  (** Join retries per node (lossy networks lose Welcomes). *)
+  val max_attempts : int
+
+  val bug : bug
+end
+
+type join_status = Out | Joining | In
+
+type rt_state = {
+  status : join_status;
+  parent : int option;
+  children : int list;  (** sorted *)
+  siblings : int list;  (** sorted *)
+  attempts : int;
+}
+
+type rt_message =
+  | Join of { joiner : int }
+  | Welcome of { parent : int; siblings : int list }
+  | New_sibling of { sibling : int }
+
+module Make (C : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = rt_state
+       and type message = rt_message
+       and type action = unit
+
+  (** Per-node disjointness of children and siblings. *)
+  val disjointness : rt_state Dsm.Invariant.t
+end

@@ -1,0 +1,104 @@
+module type PAXOS = Dsm.Protocol.S
+  with type state = Paxos.paxos_state
+   and type message = Paxos_core.message
+   and type action = Paxos.paxos_action
+
+(* A tiny deterministic dispatcher: deliver the oldest pending message
+   matching (src, dst), accumulating any output back into the pool. *)
+module Driver (P : Dsm.Protocol.S) = struct
+  type t = {
+    states : P.state array;
+    mutable pool : P.message Dsm.Envelope.t list;
+  }
+
+  let create () =
+    { states = Dsm.Protocol.initial_system (module P); pool = [] }
+
+  let act t n a =
+    let s', out = P.handle_action ~self:n t.states.(n) a in
+    t.states.(n) <- s';
+    t.pool <- t.pool @ out
+
+  let deliver t ~src ~dst =
+    match
+      List.partition
+        (fun (e : _ Dsm.Envelope.t) -> e.src = src && e.dst = dst)
+        t.pool
+    with
+    | e :: more, rest ->
+        let s', out = P.handle_message ~self:dst t.states.(dst) e in
+        t.states.(dst) <- s';
+        t.pool <- more @ rest @ out
+    | [], _ -> invalid_arg "Scenarios: scripted delivery missing"
+
+  (* Deliver everything except messages to the given node, until the
+     pool (filtered) drains. *)
+  let drain_excluding t ~lost =
+    let budget = ref 10_000 in
+    let rec go () =
+      decr budget;
+      if !budget <= 0 then invalid_arg "Scenarios: dispatch diverged";
+      match t.pool with
+      | [] -> ()
+      | e :: rest ->
+          t.pool <- rest;
+          if e.Dsm.Envelope.dst <> lost then begin
+            let dst = e.Dsm.Envelope.dst in
+            let s', out = P.handle_message ~self:dst t.states.(dst) e in
+            t.states.(dst) <- s';
+            t.pool <- t.pool @ out
+          end;
+          go ()
+    in
+    go ()
+end
+
+let wids_snapshot (module P : PAXOS) =
+  let module D = Driver (P) in
+  let d = D.create () in
+  D.act d 0 Paxos.Init;
+  D.act d 1 Paxos.Init;
+  D.act d 2 Paxos.Init;
+  D.act d 1 (Paxos.Propose { idx = 0 });
+  (* node 1 completes consensus with node 2's help; node 0's copies of
+     every message are lost *)
+  D.deliver d ~src:1 ~dst:1;
+  (* Prepare 1->1 *)
+  D.deliver d ~src:1 ~dst:2;
+  (* Prepare 1->2 *)
+  D.deliver d ~src:1 ~dst:1;
+  (* Promise 1->1 *)
+  D.deliver d ~src:2 ~dst:1;
+  (* Promise 2->1: majority, Accept broadcast *)
+  D.deliver d ~src:1 ~dst:1;
+  (* Accept 1->1 *)
+  D.deliver d ~src:1 ~dst:2;
+  (* Accept 1->2 *)
+  D.deliver d ~src:1 ~dst:1;
+  (* Learn 1->1 *)
+  D.deliver d ~src:2 ~dst:1;
+  (* Learn 2->1: node 1 chooses *)
+  d.D.states
+
+module type ONEPAXOS = Dsm.Protocol.S
+  with type state = Onepaxos.op_state
+   and type message = Onepaxos.op_message
+   and type action = Onepaxos.op_action
+
+let onepaxos_snapshot (module P : ONEPAXOS) =
+  let module D = Driver (P) in
+  let d = D.create () in
+  D.act d 0 Onepaxos.Init;
+  D.act d 1 Onepaxos.Init;
+  D.act d 2 Onepaxos.Init;
+  (* node 2 claims leadership; the utility consensus completes between
+     nodes 1 and 2 (everything to node 0 is lost) *)
+  D.act d 2 Onepaxos.Claim_leadership;
+  D.drain_excluding d ~lost:0;
+  if not d.D.states.(2).Onepaxos.is_leader then
+    invalid_arg "Scenarios: node 2 failed to take leadership";
+  (* the new leader proposes through the real acceptor; node 0 again
+     sees nothing *)
+  D.act d 2 (Onepaxos.Propose { idx = 0 });
+  D.drain_excluding d ~lost:0;
+  d.D.states

@@ -1,0 +1,33 @@
+(** Canned live-state scenarios from the paper's evaluation.
+
+    The online experiments (§5.5, §5.6) detect their bugs from specific
+    live snapshots; these builders reconstruct those snapshots
+    deterministically so benchmarks and tests can start exactly where
+    the paper's checker did. *)
+
+(** Any Paxos instance built by {!Paxos.Make}. *)
+module type PAXOS = Dsm.Protocol.S
+  with type state = Paxos.paxos_state
+   and type message = Paxos_core.message
+   and type action = Paxos.paxos_action
+
+(** The §5.5 snapshot: "for index ki, node N1 has proposed value v1,
+    nodes N1 and N2 have accepted this proposal, but due to message
+    losses only N1 has learned it."  With our identifiers: node 1
+    proposed and chose its value for index 0, node 2 accepted it but
+    never learned, node 0 saw nothing.  The instance must have at least
+    3 nodes and allow node 1 to propose. *)
+val wids_snapshot : (module PAXOS) -> Paxos.paxos_state array
+
+(** Any 1Paxos instance built by {!Onepaxos.Make}. *)
+module type ONEPAXOS = Dsm.Protocol.S
+  with type state = Onepaxos.op_state
+   and type message = Onepaxos.op_message
+   and type action = Onepaxos.op_action
+
+(** The §5.6 snapshot: node 2 claimed and won leadership through
+    PaxosUtility and got index 0 chosen (via the real acceptor) at
+    nodes 1 and 2 — while all traffic to node 0 was lost, leaving it
+    an unaware stale leader with its (possibly buggy) cached
+    acceptor. *)
+val onepaxos_snapshot : (module ONEPAXOS) -> Onepaxos.op_state array

@@ -1,0 +1,73 @@
+module type CONFIG = sig
+  val seed : int
+  val num_nodes : int
+  val max_state : int
+  val kinds : int
+end
+
+module Make (C : CONFIG) = struct
+  let name = Printf.sprintf "synthetic-%d" C.seed
+  let num_nodes = C.num_nodes
+
+  let () =
+    if C.num_nodes < 2 then invalid_arg "Synthetic: need at least 2 nodes";
+    if C.max_state < 1 then invalid_arg "Synthetic: max_state < 1";
+    if C.kinds < 1 then invalid_arg "Synthetic: kinds < 1"
+
+  type state = int
+  type message = int
+  type action = unit
+
+  let initial _ = 0
+
+  (* Deterministic per-instance randomness: every behavioural decision
+     is a pure function of this hash. *)
+  let h tag self state input = Hashtbl.hash (C.seed, tag, self, state, input)
+
+  (* At most two messages per handler; destinations and kinds derived
+     from the hash.  The payload encodes the sender's state so message
+     contents are unique within any single run (a node's state strictly
+     increases, so it never re-sends the same content) — this is the
+     paper's stated operating assumption: its formal model makes the
+     network a set of messages and its implementation limits duplicate
+     contents to zero, accepting incompleteness beyond that. *)
+  let sends self state input =
+    let x = h 1 self state input in
+    let count = x mod 3 in
+    List.init count (fun i ->
+        let y = h (2 + i) self state input in
+        let dst = y mod C.num_nodes in
+        let kind = y / 7 mod C.kinds in
+        Dsm.Envelope.make ~src:self ~dst (kind + (C.kinds * (state + (100 * i)))))
+
+  (* Strictly increasing next state keeps every execution finite. *)
+  let next_state self state input =
+    if state >= C.max_state then None
+    else begin
+      let x = h 0 self state input in
+      if x mod 4 = 0 then None (* the handler ignores this input *)
+      else Some (state + 1 + (x / 5 mod (C.max_state - state)))
+    end
+
+  let handle_message ~self state env =
+    let input = env.Dsm.Envelope.payload + (17 * env.Dsm.Envelope.src) in
+    match next_state self state input with
+    | None -> (state, [])
+    | Some state' -> (state', sends self state input)
+
+  let enabled_actions ~self state =
+    if self = 0 && state = 0 then [ () ] else []
+
+  let handle_action ~self state () =
+    let state' = min C.max_state (state + 1) in
+    (state', sends self state (-1))
+
+  let pp_state = Format.pp_print_int
+  let pp_message ppf k = Format.fprintf ppf "m%d" k
+  let pp_action ppf () = Format.pp_print_string ppf "start"
+
+  let observer record =
+    Dsm.Invariant.make ~name:"observer" (fun system ->
+        record (Array.copy system);
+        None)
+end

@@ -1,0 +1,43 @@
+(** Pseudo-random finite protocols for cross-checker property testing.
+
+    The paper's two meta-level claims — completeness ("any violation of
+    a system state invariant that could be detected by the global
+    approach could be detected by our local approach") and soundness
+    ("an invariant violation is reported to the user only if it passes
+    [the validity] test") — are hard to exercise convincingly on a
+    handful of hand-written protocols.  This module derives arbitrary
+    terminating protocols from a seed, so properties can quantify over
+    protocol behaviours:
+
+    - node states are integers, strictly increasing along every
+      transition and capped, so all executions terminate;
+    - handlers are pure functions of a hash of
+      [(seed, node, state, message)], so instances are deterministic
+      and replayable;
+    - each handler sends at most two messages, keeping spaces small
+      enough to exhaust with the global checker. *)
+
+module type CONFIG = sig
+  val seed : int
+
+  val num_nodes : int
+
+  (** States range over [0 .. max_state]. *)
+  val max_state : int
+
+  (** Message payload kinds range over [0 .. kinds - 1]. *)
+  val kinds : int
+end
+
+module Make (_ : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = int
+       and type message = int
+       and type action = unit
+
+  (** Trivially true invariant that records every system state it is
+      asked about — the hook the reachability cross-checks use. *)
+  val observer :
+    (int array -> unit) -> int Dsm.Invariant.t
+end

@@ -1,0 +1,58 @@
+type node_state = Waiting | Sent | Received
+
+module type CONFIG = sig
+  val children : int list array
+  val origin : int
+  val target : int
+end
+
+module Paper_config = struct
+  let children = [| [ 1; 2 ]; [ 3; 4 ]; []; []; [] |]
+  let origin = 0
+  let target = 4
+end
+
+module Make (C : CONFIG) = struct
+  let name = "tree"
+  let num_nodes = Array.length C.children
+
+  let () =
+    if C.origin < 0 || C.origin >= num_nodes then
+      invalid_arg "Tree: origin out of range";
+    if C.target < 0 || C.target >= num_nodes then
+      invalid_arg "Tree: target out of range"
+
+  type state = node_state
+  type message = unit
+  type action = unit
+
+  let initial _ = Waiting
+
+  let forward self =
+    List.map
+      (fun child -> Dsm.Envelope.make ~src:self ~dst:child ())
+      C.children.(self)
+
+  let handle_message ~self state _env =
+    let state' = if self = C.target then Received else state in
+    (state', forward self)
+
+  let enabled_actions ~self state =
+    if self = C.origin && state = Waiting then [ () ] else []
+
+  let handle_action ~self _state () = (Sent, forward self)
+
+  let pp_state ppf = function
+    | Waiting -> Format.pp_print_char ppf '-'
+    | Sent -> Format.pp_print_char ppf 's'
+    | Received -> Format.pp_print_char ppf 'r'
+
+  let pp_message ppf () = Format.pp_print_string ppf "token"
+  let pp_action ppf () = Format.pp_print_string ppf "start"
+
+  let received_implies_sent =
+    Dsm.Invariant.make ~name:"received-implies-sent" (fun system ->
+        if system.(C.target) = Received && system.(C.origin) <> Sent then
+          Some "target received the token before the origin sent it"
+        else None)
+end

@@ -1,0 +1,36 @@
+(** The distributed tree of the paper's primer (§2, Figs. 2-4).
+
+    The origin node initiates a message destined for the target and
+    moves to [Sent]; every node forwards incoming tokens to its
+    children without changing its own state; the target moves to
+    [Received].  With the paper's five-node instance this generates 12
+    global transitions under global model checking but only 4 system
+    states under LMC — including the invalid ["----r"], which soundness
+    verification rejects. *)
+
+type node_state = Waiting | Sent | Received
+
+module type CONFIG = sig
+  (** [children.(n)] lists the children of node [n]. *)
+  val children : int list array
+
+  val origin : int
+  val target : int
+end
+
+(** The instance of Fig. 2: nodes 0-4, node 0 sends, node 4 receives,
+    children [0 -> 1,2] and [1 -> 3,4]. *)
+module Paper_config : CONFIG
+
+module Make (C : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = node_state
+       and type message = unit
+       and type action = unit
+
+  (** "The target received the token only if the origin sent it" — the
+      invariant whose preliminary violation on ["----r"] exercises
+      soundness verification exactly as in the primer. *)
+  val received_implies_sent : node_state Dsm.Invariant.t
+end

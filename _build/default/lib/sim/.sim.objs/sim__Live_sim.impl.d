@@ -1,0 +1,1 @@
+lib/sim/live_sim.ml: Array Dsm Event_queue List Net Rng Snapshot

@@ -1,0 +1,1 @@
+lib/sim/live_sim.mli: Dsm Net Snapshot

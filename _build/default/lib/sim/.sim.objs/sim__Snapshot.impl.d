@@ -1,0 +1,1 @@
+lib/sim/snapshot.ml: Array Dsm

@@ -1,0 +1,1 @@
+lib/sim/snapshot.mli: Dsm

@@ -1,0 +1,22 @@
+(** Time-ordered event queue (binary min-heap).
+
+    The discrete-event simulator schedules deliveries and timer ticks
+    by timestamp.  Ties break by insertion sequence number, so runs are
+    fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push q ~time x] schedules [x] at [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest event with its timestamp, removing it. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest timestamp without removing. *)
+val peek_time : 'a t -> float option

@@ -1,0 +1,127 @@
+module Make (P : Dsm.Protocol.S) = struct
+  type config = {
+    seed : int;
+    link : Net.Lossy_link.t;
+    timer_min : float;
+    timer_max : float;
+    action_prob : (Dsm.Node_id.t -> P.action -> float) option;
+  }
+
+  let default_config =
+    {
+      seed = 42;
+      link = Net.Lossy_link.reliable;
+      timer_min = 0.5;
+      timer_max = 1.5;
+      action_prob = None;
+    }
+
+  type event = Deliver of P.message Dsm.Envelope.t | Tick of Dsm.Node_id.t
+
+  type t = {
+    config : config;
+    states : P.state array;
+    queue : event Event_queue.t;
+    node_rng : Rng.t array;
+    link_rng : Rng.t;
+    mutable clock : float;
+    mutable events_executed : int;
+    mutable messages_sent : int;
+    mutable messages_dropped : int;
+  }
+
+  let schedule_tick t n =
+    let rng = t.node_rng.(n) in
+    let delay = Rng.range rng t.config.timer_min t.config.timer_max in
+    Event_queue.push t.queue ~time:(t.clock +. delay) (Tick n)
+
+  let create config =
+    if config.timer_min <= 0. || config.timer_max < config.timer_min then
+      invalid_arg "Live_sim.create: need 0 < timer_min <= timer_max";
+    let root = Rng.create ~seed:config.seed in
+    let node_rng = Array.init P.num_nodes (fun _ -> Rng.split root) in
+    let t =
+      {
+        config;
+        states = Dsm.Protocol.initial_system (module P);
+        queue = Event_queue.create ();
+        node_rng;
+        link_rng = Rng.split root;
+        clock = 0.;
+        events_executed = 0;
+        messages_sent = 0;
+        messages_dropped = 0;
+      }
+    in
+    List.iter (fun n -> schedule_tick t n) (Dsm.Node_id.all P.num_nodes);
+    t
+
+  let now t = t.clock
+
+  let states t = Array.copy t.states
+
+  let snapshot t = Snapshot.make ~time:t.clock t.states
+
+  let send t (env : P.message Dsm.Envelope.t) =
+    t.messages_sent <- t.messages_sent + 1;
+    if Net.Lossy_link.drops t.config.link ~roll:(Rng.float t.link_rng) env then
+      t.messages_dropped <- t.messages_dropped + 1
+    else begin
+      let latency =
+        Net.Lossy_link.latency t.config.link ~roll:(Rng.float t.link_rng)
+      in
+      Event_queue.push t.queue ~time:(t.clock +. latency) (Deliver env)
+    end
+
+  let apply t node run =
+    match run () with
+    | exception Dsm.Protocol.Local_assert _ ->
+        (* A live node would drop the offending packet (e.g. one that
+           arrived before initialisation); keep the node running. *)
+        ()
+    | state', out ->
+        t.states.(node) <- state';
+        List.iter (fun env -> send t env) out
+
+  let execute t = function
+    | Deliver env ->
+        let node = env.Dsm.Envelope.dst in
+        apply t node (fun () -> P.handle_message ~self:node t.states.(node) env)
+    | Tick n -> (
+        match P.enabled_actions ~self:n t.states.(n) with
+        | [] -> schedule_tick t n
+        | actions ->
+            let action = Rng.pick t.node_rng.(n) actions in
+            let fires =
+              match t.config.action_prob with
+              | None -> true
+              | Some prob ->
+                  Rng.bool t.node_rng.(n) ~prob:(prob n action)
+            in
+            if fires then
+              apply t n (fun () -> P.handle_action ~self:n t.states.(n) action);
+            schedule_tick t n)
+
+  let step t =
+    match Event_queue.pop t.queue with
+    | None -> false
+    | Some (time, event) ->
+        t.clock <- max t.clock time;
+        t.events_executed <- t.events_executed + 1;
+        execute t event;
+        true
+
+  let run_until t deadline =
+    let rec loop () =
+      match Event_queue.peek_time t.queue with
+      | Some time when time <= deadline ->
+          ignore (step t);
+          loop ()
+      | _ -> t.clock <- max t.clock deadline
+    in
+    loop ()
+
+  let events_executed t = t.events_executed
+  let messages_sent t = t.messages_sent
+  let messages_dropped t = t.messages_dropped
+end

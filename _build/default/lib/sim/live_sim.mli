@@ -1,0 +1,50 @@
+(** Discrete-event simulation of a live deployment.
+
+    Substitutes for the real three-node UDP deployment of sections
+    5.5/5.6: nodes run the protocol state machine, messages cross a
+    lossy link with random latency, and a per-node timer periodically
+    fires one enabled internal action (the application/test driver).
+    Everything is driven by a seeded {!Rng}, so runs replay exactly. *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  type config = {
+    seed : int;
+    link : Net.Lossy_link.t;
+    timer_min : float;  (** earliest next tick after an action fires *)
+    timer_max : float;  (** latest next tick *)
+    action_prob : (Dsm.Node_id.t -> P.action -> float) option;
+        (** probability that the action picked at a tick actually
+            fires; [None] means always.  Models drivers like §5.6's
+            fault detector, which the application "triggers with the
+            probability of 0.1". *)
+  }
+
+  (** Sensible defaults: seed 42, reliable link, ticks in [0.5, 1.5],
+      actions always fire. *)
+  val default_config : config
+
+  type t
+
+  val create : config -> t
+
+  (** Current simulation time in seconds. *)
+  val now : t -> float
+
+  (** Copy of the node states at the current time. *)
+  val states : t -> P.state array
+
+  val snapshot : t -> P.state Snapshot.t
+
+  (** [run_until t time] processes events up to [time] (inclusive of
+      events scheduled exactly at [time]). *)
+  val run_until : t -> float -> unit
+
+  (** [step t] processes one event; false when the queue is empty. *)
+  val step : t -> bool
+
+  val events_executed : t -> int
+
+  val messages_sent : t -> int
+
+  val messages_dropped : t -> int
+end

@@ -1,0 +1,39 @@
+type t = { mutable s : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { s = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.s <- Int64.add t.s golden_gamma;
+  mix t.s
+
+let split t =
+  let s' = next_int64 t in
+  { s = mix s' }
+
+let float t =
+  (* 53 high bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the conversion to a 63-bit OCaml int stays
+     non-negative *)
+  let x = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  x mod bound
+
+let bool t ~prob = float t < prob
+
+let range t lo hi = lo +. (float t *. (hi -. lo))
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))

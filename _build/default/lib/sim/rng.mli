@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The live deployment the paper's online checker observes is
+    inherently nondeterministic; our substitute simulator must instead
+    be {e replayable}, so that the section 5.5/5.6 bug hunts are
+    reproducible test cases.  SplitMix64 is small, fast, and passes
+    BigCrush; it is also splittable, which lets each node own an
+    independent stream derived from one seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Independent stream; deterministic function of the current state. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bool t ~prob] is true with probability [prob]. *)
+val bool : t -> prob:float -> bool
+
+(** [range t lo hi] is uniform in [lo, hi). *)
+val range : t -> float -> float -> float
+
+(** [pick t xs] picks a uniform element; raises [Invalid_argument] on
+    an empty list. *)
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,8 @@
+type 'state t = { time : float; states : 'state array }
+
+let make ~time states =
+  if Array.length states = 0 then invalid_arg "Snapshot.make: no nodes";
+  { time; states = Array.copy states }
+
+let initial (type s) (module P : Dsm.Protocol.S with type state = s) =
+  { time = 0.; states = Dsm.Protocol.initial_system (module P) }

@@ -1,0 +1,15 @@
+(** Live-state snapshots.
+
+    The online checker is "restarted periodically from the current live
+    state of a running system" (section 3.3).  A snapshot captures the
+    node-local states only: like the paper's [findBugs] (Fig. 9, line
+    2), the shared network [I+] restarts empty, so in-flight messages
+    at snapshot time are treated as lost — sound under the lossy
+    network assumption of section 4.3. *)
+
+type 'state t = { time : float; states : 'state array }
+
+val make : time:float -> 'state array -> 'state t
+
+(** Initial-system snapshot at time 0, for offline checking. *)
+val initial : (module Dsm.Protocol.S with type state = 's) -> 's t

@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Array Dsm Format List Protocols String

@@ -1,0 +1,1 @@
+test/test_lmc.ml: Alcotest Array Dsm List Lmc Mc_global Net Protocols QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_mc_global.ml: Alcotest Array Dsm List Mc_global Net Protocols QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mutex_abp.ml: Alcotest Dsm List Lmc Mc_global Protocols

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dsm Format List Net QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_onepaxos.ml: Alcotest Array Dsm List Lmc Printf Protocols

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Format Net Online Protocols Sim String

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array Dsm List Lmc Mc_global Protocols

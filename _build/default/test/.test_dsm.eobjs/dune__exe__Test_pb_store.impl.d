@@ -1,0 +1,1 @@
+test/test_pb_store.ml: Alcotest Dsm List Lmc Mc_global Protocols

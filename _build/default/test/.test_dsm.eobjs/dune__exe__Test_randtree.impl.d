@@ -1,0 +1,1 @@
+test/test_randtree.ml: Alcotest Dsm List Lmc Mc_global Protocols

@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Dsm Gen List Lmc Mc_global Protocols QCheck QCheck_alcotest

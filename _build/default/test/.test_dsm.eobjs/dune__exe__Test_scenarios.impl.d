@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array List Lmc Net Protocols Sim

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Dsm List Lmc Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Array Dsm Hashtbl List Lmc Mc_global Net Protocols QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_twophase.ml: Alcotest Dsm Gen List Lmc Mc_global Protocols QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_witness_fifo.ml: Alcotest Array Dsm Format List Lmc Mc_global Protocols String

@@ -1,0 +1,359 @@
+(* Unit tests for the distributed-system model substrate. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------- Node_id ---------- *)
+
+let test_node_id_of_int () =
+  check Alcotest.int "roundtrip" 3 (Dsm.Node_id.to_int (Dsm.Node_id.of_int 3));
+  (match Dsm.Node_id.of_int (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "negative id accepted");
+  check Alcotest.(list int) "all" [ 0; 1; 2 ] (Dsm.Node_id.all 3);
+  check Alcotest.(list int) "all 0" [] (Dsm.Node_id.all 0)
+
+let test_node_id_pp () =
+  check Alcotest.string "pp" "N7" (Format.asprintf "%a" Dsm.Node_id.pp 7)
+
+(* ---------- Envelope ---------- *)
+
+let test_envelope_basic () =
+  let e = Dsm.Envelope.make ~src:1 ~dst:2 "hello" in
+  check Alcotest.int "src" 1 e.Dsm.Envelope.src;
+  check Alcotest.int "dst" 2 e.Dsm.Envelope.dst;
+  check Alcotest.string "payload" "hello" e.Dsm.Envelope.payload;
+  check Alcotest.bool "not loopback" false (Dsm.Envelope.is_loopback e);
+  let l = Dsm.Envelope.make ~src:2 ~dst:2 "x" in
+  check Alcotest.bool "loopback" true (Dsm.Envelope.is_loopback l)
+
+let test_envelope_compare () =
+  let e1 = Dsm.Envelope.make ~src:0 ~dst:1 "a" in
+  let e2 = Dsm.Envelope.make ~src:0 ~dst:2 "a" in
+  let e3 = Dsm.Envelope.make ~src:1 ~dst:1 "a" in
+  let e4 = Dsm.Envelope.make ~src:0 ~dst:1 "b" in
+  let cmp = Dsm.Envelope.compare String.compare in
+  check Alcotest.bool "dst first" true (cmp e1 e2 < 0);
+  check Alcotest.bool "src second" true (cmp e1 e3 < 0);
+  check Alcotest.bool "payload third" true (cmp e1 e4 < 0);
+  check Alcotest.int "equal" 0 (cmp e1 e1);
+  check Alcotest.bool "equal fn" true
+    (Dsm.Envelope.equal String.equal e1 e1);
+  check Alcotest.bool "not equal fn" false
+    (Dsm.Envelope.equal String.equal e1 e4)
+
+let test_envelope_map () =
+  let e = Dsm.Envelope.make ~src:3 ~dst:4 5 in
+  let e' = Dsm.Envelope.map string_of_int e in
+  check Alcotest.int "src preserved" 3 e'.Dsm.Envelope.src;
+  check Alcotest.int "dst preserved" 4 e'.Dsm.Envelope.dst;
+  check Alcotest.string "payload mapped" "5" e'.Dsm.Envelope.payload
+
+(* ---------- Fingerprint ---------- *)
+
+let test_fingerprint_stable () =
+  let a = Dsm.Fingerprint.of_value (1, [ "x"; "y" ]) in
+  let b = Dsm.Fingerprint.of_value (1, [ "x"; "y" ]) in
+  check Alcotest.bool "equal values equal fps" true (Dsm.Fingerprint.equal a b);
+  let c = Dsm.Fingerprint.of_value (1, [ "x"; "z" ]) in
+  check Alcotest.bool "distinct values distinct fps" false
+    (Dsm.Fingerprint.equal a c)
+
+let test_fingerprint_size () =
+  let fp = Dsm.Fingerprint.of_value 42 in
+  check Alcotest.int "16 bytes" Dsm.Fingerprint.size (String.length fp);
+  check Alcotest.int "hex is 32 chars" 32
+    (String.length (Dsm.Fingerprint.to_hex fp))
+
+let test_fingerprint_combine () =
+  let a = Dsm.Fingerprint.of_value 1 and b = Dsm.Fingerprint.of_value 2 in
+  let ab = Dsm.Fingerprint.combine [ a; b ] in
+  let ba = Dsm.Fingerprint.combine [ b; a ] in
+  check Alcotest.bool "order matters" false (Dsm.Fingerprint.equal ab ba);
+  check Alcotest.bool "deterministic" true
+    (Dsm.Fingerprint.equal ab (Dsm.Fingerprint.combine [ a; b ]))
+
+let test_fingerprint_serialized_size () =
+  check Alcotest.bool "positive" true (Dsm.Fingerprint.serialized_size 1 > 0);
+  check Alcotest.bool "bigger value bigger size" true
+    (Dsm.Fingerprint.serialized_size (Array.make 100 7)
+    > Dsm.Fingerprint.serialized_size 1)
+
+let test_fingerprint_set_map () =
+  let a = Dsm.Fingerprint.of_value "a" and b = Dsm.Fingerprint.of_value "b" in
+  let s = Dsm.Fingerprint.Set.of_list [ a; b; a ] in
+  check Alcotest.int "set dedups" 2 (Dsm.Fingerprint.Set.cardinal s);
+  let m = Dsm.Fingerprint.Map.singleton a 1 in
+  check Alcotest.(option int) "map find" (Some 1)
+    (Dsm.Fingerprint.Map.find_opt a m)
+
+(* ---------- Vec ---------- *)
+
+let test_vec_push_get () =
+  let v = Dsm.Vec.create () in
+  check Alcotest.bool "empty" true (Dsm.Vec.is_empty v);
+  check Alcotest.int "idx 0" 0 (Dsm.Vec.push v "a");
+  check Alcotest.int "idx 1" 1 (Dsm.Vec.push v "b");
+  check Alcotest.int "length" 2 (Dsm.Vec.length v);
+  check Alcotest.string "get 0" "a" (Dsm.Vec.get v 0);
+  check Alcotest.string "get 1" "b" (Dsm.Vec.get v 1);
+  check Alcotest.string "last" "b" (Dsm.Vec.last v);
+  Dsm.Vec.set v 0 "z";
+  check Alcotest.string "set" "z" (Dsm.Vec.get v 0)
+
+let test_vec_bounds () =
+  let v = Dsm.Vec.create () in
+  ignore (Dsm.Vec.push v 1);
+  (match Dsm.Vec.get v 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "out of bounds get accepted");
+  (match Dsm.Vec.get v (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "negative get accepted");
+  match Dsm.Vec.last (Dsm.Vec.create ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "last of empty accepted"
+
+let test_vec_growth () =
+  let v = Dsm.Vec.create () in
+  for i = 0 to 999 do
+    check Alcotest.int "push idx" i (Dsm.Vec.push v i)
+  done;
+  check Alcotest.int "length" 1000 (Dsm.Vec.length v);
+  for i = 0 to 999 do
+    if Dsm.Vec.get v i <> i then fail "content lost while growing"
+  done
+
+let test_vec_iter_range () =
+  let v = Dsm.Vec.create () in
+  List.iter (fun x -> ignore (Dsm.Vec.push v x)) [ 10; 20; 30; 40 ];
+  let seen = ref [] in
+  Dsm.Vec.iter_range v ~from:1 ~until:3 (fun i x -> seen := (i, x) :: !seen);
+  check
+    Alcotest.(list (pair int int))
+    "range" [ (1, 20); (2, 30) ] (List.rev !seen);
+  (* [until] beyond the end is clipped *)
+  let seen = ref 0 in
+  Dsm.Vec.iter_range v ~from:2 ~until:100 (fun _ _ -> incr seen);
+  check Alcotest.int "clipped" 2 !seen
+
+let test_vec_conversions () =
+  let v = Dsm.Vec.create () in
+  List.iter (fun x -> ignore (Dsm.Vec.push v x)) [ 1; 2; 3 ];
+  check Alcotest.(list int) "to_list" [ 1; 2; 3 ] (Dsm.Vec.to_list v);
+  check Alcotest.(array int) "to_array" [| 1; 2; 3 |] (Dsm.Vec.to_array v);
+  check Alcotest.int "fold" 6 (Dsm.Vec.fold_left ( + ) 0 v);
+  Dsm.Vec.clear v;
+  check Alcotest.int "cleared" 0 (Dsm.Vec.length v)
+
+(* ---------- Invariant ---------- *)
+
+let test_invariant_make () =
+  let inv =
+    Dsm.Invariant.make ~name:"sum-small" (fun sys ->
+        if Array.fold_left ( + ) 0 sys > 10 then Some "sum too big" else None)
+  in
+  check Alcotest.string "name" "sum-small" (Dsm.Invariant.name inv);
+  check Alcotest.bool "holds" true (Dsm.Invariant.check inv [| 1; 2 |] = None);
+  match Dsm.Invariant.check inv [| 9; 9 |] with
+  | Some v ->
+      check Alcotest.string "violation name" "sum-small" v.Dsm.Invariant.invariant
+  | None -> fail "expected violation"
+
+let test_invariant_conj () =
+  let pos =
+    Dsm.Invariant.make ~name:"pos" (fun sys ->
+        if Array.exists (fun x -> x < 0) sys then Some "negative" else None)
+  in
+  let small =
+    Dsm.Invariant.make ~name:"small" (fun sys ->
+        if Array.exists (fun x -> x > 5) sys then Some "big" else None)
+  in
+  let both = Dsm.Invariant.conj [ pos; small ] in
+  check Alcotest.bool "both hold" true
+    (Dsm.Invariant.check both [| 1; 2 |] = None);
+  check Alcotest.bool "first fails" true
+    (Dsm.Invariant.check both [| -1; 2 |] <> None);
+  check Alcotest.bool "second fails" true
+    (Dsm.Invariant.check both [| 1; 7 |] <> None)
+
+let test_invariant_for_all_nodes () =
+  let inv =
+    Dsm.Invariant.for_all_nodes ~name:"even" (fun _ s ->
+        if s mod 2 = 0 then None else Some "odd")
+  in
+  check Alcotest.bool "holds" true (Dsm.Invariant.check inv [| 2; 4 |] = None);
+  match Dsm.Invariant.check inv [| 2; 3 |] with
+  | Some v ->
+      check Alcotest.bool "names node" true
+        (String.length v.Dsm.Invariant.detail > 0)
+  | None -> fail "expected violation"
+
+let test_invariant_for_all_pairs () =
+  let inv =
+    Dsm.Invariant.for_all_pairs ~name:"agree" (fun _ a _ b ->
+        if a <> b then Some "disagree" else None)
+  in
+  check Alcotest.bool "agreeing" true
+    (Dsm.Invariant.check inv [| 5; 5; 5 |] = None);
+  check Alcotest.bool "disagreeing" true
+    (Dsm.Invariant.check inv [| 5; 5; 6 |] <> None);
+  check Alcotest.bool "single node trivially holds" true
+    (Dsm.Invariant.check inv [| 5 |] = None)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_step_node () =
+  let d = Dsm.Trace.Deliver (Dsm.Envelope.make ~src:0 ~dst:3 "m") in
+  let x = Dsm.Trace.Execute (1, "a") in
+  check Alcotest.int "deliver node is dst" 3 (Dsm.Trace.step_node d);
+  check Alcotest.int "execute node" 1 (Dsm.Trace.step_node x)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_trace_pp () =
+  let pp_message ppf m = Format.pp_print_string ppf m in
+  let pp_action = pp_message in
+  let steps =
+    [
+      Dsm.Trace.Execute (0, "start");
+      Dsm.Trace.Deliver (Dsm.Envelope.make ~src:0 ~dst:1 "tok");
+    ]
+  in
+  let out = Format.asprintf "%a" (Dsm.Trace.pp ~pp_message ~pp_action) steps in
+  check Alcotest.bool "mentions the action" true (contains out "start");
+  check Alcotest.bool "mentions the delivery" true (contains out "N0->N1");
+  check Alcotest.bool "numbered" true (contains out "1.")
+
+let test_invariant_introspection () =
+  let local =
+    Dsm.Invariant.for_all_nodes ~name:"even" (fun _ s ->
+        if s mod 2 = 0 then None else Some "odd")
+  in
+  (match Dsm.Invariant.nodewise_witness local with
+  | Some w ->
+      check Alcotest.bool "witness fires" true (w 0 3);
+      check Alcotest.bool "witness holds" false (w 0 2)
+  | None -> fail "for_all_nodes must expose a nodewise witness");
+  check Alcotest.bool "no pairwise shape" true
+    (Dsm.Invariant.pairwise_witness local = None);
+  let pair =
+    Dsm.Invariant.for_all_pairs ~name:"lt" (fun _ a _ b ->
+        if a > b then Some "decreasing" else None)
+  in
+  (match Dsm.Invariant.pairwise_witness pair with
+  | Some w ->
+      (* the witness must be order-insensitive *)
+      check Alcotest.bool "fires one way" true (w 0 5 1 3);
+      check Alcotest.bool "fires the other way" true (w 0 3 1 5);
+      check Alcotest.bool "quiet on equals" false (w 0 3 1 3)
+  | None -> fail "for_all_pairs must expose a pairwise witness");
+  let opaque = Dsm.Invariant.make ~name:"opaque" (fun _ -> None) in
+  check Alcotest.bool "opaque has no shape" true
+    (Dsm.Invariant.nodewise_witness opaque = None
+    && Dsm.Invariant.pairwise_witness opaque = None)
+
+(* ---------- Json ---------- *)
+
+let test_json_scalars () =
+  check Alcotest.string "null" "null" (Dsm.Json.to_string Dsm.Json.Null);
+  check Alcotest.string "true" "true" (Dsm.Json.to_string (Dsm.Json.Bool true));
+  check Alcotest.string "int" "-42" (Dsm.Json.to_string (Dsm.Json.Int (-42)));
+  check Alcotest.string "integral float" "3.0"
+    (Dsm.Json.to_string (Dsm.Json.Float 3.0));
+  check Alcotest.string "string" "\"hi\""
+    (Dsm.Json.to_string (Dsm.Json.String "hi"))
+
+let test_json_escaping () =
+  check Alcotest.string "quotes and backslash" "\"a\\\"b\\\\c\""
+    (Dsm.Json.to_string (Dsm.Json.String "a\"b\\c"));
+  check Alcotest.string "newline/tab" "\"l1\\nl2\\tend\""
+    (Dsm.Json.to_string (Dsm.Json.String "l1\nl2\tend"));
+  check Alcotest.string "control char" "\"\\u0001\""
+    (Dsm.Json.to_string (Dsm.Json.String "\001"))
+
+let test_json_structures () =
+  let v =
+    Dsm.Json.Obj
+      [
+        ("xs", Dsm.Json.List [ Dsm.Json.Int 1; Dsm.Json.Int 2 ]);
+        ("nested", Dsm.Json.Obj [ ("ok", Dsm.Json.Bool false) ]);
+        ("empty", Dsm.Json.List []);
+      ]
+  in
+  check Alcotest.string "nested"
+    "{\"xs\":[1,2],\"nested\":{\"ok\":false},\"empty\":[]}"
+    (Dsm.Json.to_string v)
+
+(* ---------- Protocol helpers ---------- *)
+
+module Tree = Protocols.Tree.Make (Protocols.Tree.Paper_config)
+
+let test_initial_system () =
+  let sys = Dsm.Protocol.initial_system (module Tree) in
+  check Alcotest.int "5 nodes" 5 (Array.length sys);
+  Array.iter
+    (fun s -> if s <> Protocols.Tree.Waiting then fail "non-waiting initial")
+    sys
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "node_id",
+        [
+          Alcotest.test_case "of_int/all" `Quick test_node_id_of_int;
+          Alcotest.test_case "pp" `Quick test_node_id_pp;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "basic" `Quick test_envelope_basic;
+          Alcotest.test_case "compare" `Quick test_envelope_compare;
+          Alcotest.test_case "map" `Quick test_envelope_map;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "size" `Quick test_fingerprint_size;
+          Alcotest.test_case "combine" `Quick test_fingerprint_combine;
+          Alcotest.test_case "serialized_size" `Quick
+            test_fingerprint_serialized_size;
+          Alcotest.test_case "set/map" `Quick test_fingerprint_set_map;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "growth" `Quick test_vec_growth;
+          Alcotest.test_case "iter_range" `Quick test_vec_iter_range;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "make" `Quick test_invariant_make;
+          Alcotest.test_case "conj" `Quick test_invariant_conj;
+          Alcotest.test_case "for_all_nodes" `Quick test_invariant_for_all_nodes;
+          Alcotest.test_case "for_all_pairs" `Quick test_invariant_for_all_pairs;
+          Alcotest.test_case "introspection" `Quick
+            test_invariant_introspection;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "step_node" `Quick test_trace_step_node;
+          Alcotest.test_case "pp" `Quick test_trace_pp;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "initial_system" `Quick test_initial_system ] );
+    ]

@@ -1,0 +1,541 @@
+(* Tests for the local model checker — the paper's contribution. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module Tree = Protocols.Tree.Make (Protocols.Tree.Paper_config)
+module L_tree = Lmc.Checker.Make (Tree)
+module G_tree = Mc_global.Bdfs.Make (Tree)
+
+module Ping2 = Protocols.Ping.Make (struct
+  let num_servers = 2
+end)
+
+module L_ping = Lmc.Checker.Make (Ping2)
+module G_ping = Mc_global.Bdfs.Make (Ping2)
+
+module Chain4 = Protocols.Chain.Make (struct
+  let length = 4
+end)
+
+module L_chain = Lmc.Checker.Make (Chain4)
+
+let tree_init () = Dsm.Protocol.initial_system (module Tree)
+let ping_init () = Dsm.Protocol.initial_system (module Ping2)
+
+(* ---------- the primer (§2, Fig. 4) ---------- *)
+
+let test_primer_numbers () =
+  let r =
+    L_tree.run L_tree.default_config ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  check Alcotest.bool "completed" true r.completed;
+  (* Fig. 4: the four system states -----, s----, s---r and the
+     invalid ----r *)
+  check Alcotest.int "4 system states" 4 r.system_states_created;
+  (* ----r violates received-implies-sent but is unsound *)
+  check Alcotest.int "1 preliminary violation" 1 r.preliminary_violations;
+  check Alcotest.int "1 rejection" 1 r.soundness_rejections;
+  check Alcotest.bool "no sound violation" true (r.sound_violation = None);
+  (* node stores: node 0 gains Sent, node 4 gains Received *)
+  check Alcotest.(array int) "per-node states" [| 2; 1; 1; 1; 2 |]
+    r.node_states;
+  (* I+ holds the four tree messages and never shrinks *)
+  check Alcotest.int "I+ size" 4 r.net_messages;
+  check Alcotest.bool "fewer transitions than global" true
+    (r.transitions < 16)
+
+let test_primer_sound_violation_confirmed () =
+  (* The reachable state s---r, flagged by a trigger invariant, must be
+     confirmed by soundness verification with a replayable schedule. *)
+  let trigger =
+    Dsm.Invariant.make ~name:"received" (fun sys ->
+        if sys.(4) = Protocols.Tree.Received && sys.(0) = Protocols.Tree.Sent
+        then Some "target received"
+        else None)
+  in
+  let r =
+    L_tree.run L_tree.default_config ~strategy:L_tree.General
+      ~invariant:trigger (tree_init ())
+  in
+  match r.sound_violation with
+  | None -> fail "reachable violation not confirmed"
+  | Some v ->
+      check Alcotest.bool "schedule non-empty" true (v.schedule <> []);
+      check Alcotest.int "schedule length = depth" v.system_depth
+        (List.length v.schedule);
+      (* replay the schedule on the global semantics *)
+      let states = tree_init () in
+      let net = ref Net.Multiset.empty in
+      List.iter
+        (fun step ->
+          match step with
+          | Dsm.Trace.Execute (n, a) ->
+              let s', out = Tree.handle_action ~self:n states.(n) a in
+              states.(n) <- s';
+              net := Net.Multiset.add_list out !net
+          | Dsm.Trace.Deliver env ->
+              (match Net.Multiset.remove env !net with
+              | Some net' -> net := net'
+              | None -> fail "schedule consumes an unsent message");
+              let node = env.Dsm.Envelope.dst in
+              let s', out = Tree.handle_message ~self:node states.(node) env in
+              states.(node) <- s';
+              net := Net.Multiset.add_list out !net)
+        v.schedule;
+      check Alcotest.bool "replay reaches the reported state" true
+        (states.(0) = v.system.(0) && states.(4) = v.system.(4))
+
+(* ---------- toggles ---------- *)
+
+let test_no_system_states () =
+  let cfg = { L_tree.default_config with create_system_states = false } in
+  let r =
+    L_tree.run cfg ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  check Alcotest.int "no system states" 0 r.system_states_created;
+  check Alcotest.int "no preliminary violations" 0 r.preliminary_violations;
+  check Alcotest.bool "exploration unaffected" true (r.total_node_states = 7)
+
+let test_no_soundness () =
+  let cfg = { L_tree.default_config with verify_soundness = false } in
+  let r =
+    L_tree.run cfg ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  check Alcotest.int "preliminary still counted" 1 r.preliminary_violations;
+  check Alcotest.int "no soundness calls" 0 r.soundness_calls;
+  check Alcotest.bool "nothing reported" true (r.sound_violation = None)
+
+let test_sequences_mode () =
+  (* the paper's explicit sequence enumeration handles the primer *)
+  let cfg = { L_tree.default_config with soundness_via_sequences = true } in
+  let r =
+    L_tree.run cfg ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  check Alcotest.int "rejects ----r" 1 r.soundness_rejections;
+  check Alcotest.bool "no false positive" true (r.sound_violation = None)
+
+let test_observer_hook () =
+  let seen = ref 0 in
+  let cfg =
+    { L_tree.default_config with
+      on_new_node_state = Some (fun _ _ -> incr seen) }
+  in
+  let r =
+    L_tree.run cfg ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  (* fires once per non-root state *)
+  check Alcotest.int "observer saw non-root states" (r.total_node_states - 5)
+    !seen
+
+let test_transition_budget () =
+  let cfg = { L_ping.default_config with max_transitions = Some 2 } in
+  let r =
+    L_ping.run cfg ~strategy:L_ping.General ~invariant:Ping2.no_excess_pongs
+      (ping_init ())
+  in
+  check Alcotest.bool "truncated" false r.completed
+
+let test_depth_bound () =
+  let cfg = { L_tree.default_config with max_depth = Some 1 } in
+  let r =
+    L_tree.run cfg ~strategy:L_tree.General
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  (* within one event per node: node 0 reaches Sent; node 4 reaches
+     Received (the forwarded token is in I+ even though the forwarding
+     nodes never changed state) *)
+  check Alcotest.int "seven node states" 7 r.total_node_states;
+  check Alcotest.bool "bounded depth" true (r.max_system_depth <= 1)
+
+let test_local_action_bound () =
+  let cfg = { L_ping.default_config with local_action_bound = Some 0 } in
+  let r =
+    L_ping.run cfg ~strategy:L_ping.General ~invariant:Ping2.no_excess_pongs
+      (ping_init ())
+  in
+  (* no local actions allowed: nothing ever happens *)
+  check Alcotest.int "only roots" 3 r.total_node_states;
+  check Alcotest.int "no messages" 0 r.net_messages
+
+let test_initial_snapshot_violation_is_sound () =
+  (* A live state that already violates must be reported immediately
+     with an empty schedule. *)
+  let trigger =
+    Dsm.Invariant.make ~name:"never" (fun _ -> Some "always fails")
+  in
+  let r =
+    L_tree.run L_tree.default_config ~strategy:L_tree.General
+      ~invariant:trigger (tree_init ())
+  in
+  match r.sound_violation with
+  | Some v ->
+      check Alcotest.int "empty schedule" 0 (List.length v.schedule);
+      check Alcotest.int "depth 0" 0 v.system_depth
+  | None -> fail "live violation not reported"
+
+let test_deferred_soundness () =
+  (* deferral decides the same verdicts as inline checking *)
+  let trigger =
+    Dsm.Invariant.make ~name:"received" (fun sys ->
+        if sys.(4) = Protocols.Tree.Received && sys.(0) = Protocols.Tree.Sent
+        then Some "target received"
+        else None)
+  in
+  let run cfg =
+    L_tree.run cfg ~strategy:L_tree.General ~invariant:trigger (tree_init ())
+  in
+  let inline = run L_tree.default_config in
+  let deferred = run { L_tree.default_config with defer_soundness = true } in
+  check Alcotest.bool "both confirm" true
+    (inline.sound_violation <> None && deferred.sound_violation <> None);
+  (* and the unreachable ----r stays rejected under deferral *)
+  let deferred_neg =
+    L_tree.run
+      { L_tree.default_config with defer_soundness = true }
+      ~strategy:L_tree.General ~invariant:Tree.received_implies_sent
+      (tree_init ())
+  in
+  check Alcotest.bool "no false positive deferred" true
+    (deferred_neg.sound_violation = None);
+  check Alcotest.int "rejection counted" 1 deferred_neg.soundness_rejections
+
+let test_parallel_verification_agrees () =
+  (* multi-domain deferred verification = serial verdicts *)
+  let trigger =
+    Dsm.Invariant.make ~name:"one-pong" (fun sys ->
+        if List.length sys.(0).Protocols.Ping.pongs >= 1 then Some "hit"
+        else None)
+  in
+  let run domains =
+    L_ping.run
+      {
+        L_ping.default_config with
+        defer_soundness = true;
+        verify_domains = domains;
+        stop_on_violation = false;
+      }
+      ~strategy:L_ping.General ~invariant:trigger (ping_init ())
+  in
+  let serial = run 1 and parallel = run 4 in
+  check Alcotest.bool "both confirm" true
+    (serial.sound_violation <> None && parallel.sound_violation <> None);
+  check Alcotest.int "same rejections" serial.soundness_rejections
+    parallel.soundness_rejections;
+  check Alcotest.int "same calls" serial.soundness_calls
+    parallel.soundness_calls
+
+let test_deferred_cache_overflow_falls_back () =
+  (* with a tiny cache, overflowing combos are verified inline, so
+     nothing is lost *)
+  let trigger =
+    Dsm.Invariant.make ~name:"both-pongs" (fun sys ->
+        if List.length sys.(0).Protocols.Ping.pongs >= 2 then Some "hit"
+        else None)
+  in
+  let r =
+    L_ping.run
+      {
+        L_ping.default_config with
+        defer_soundness = true;
+        max_rejected_cache = 1;
+      }
+      ~strategy:L_ping.General ~invariant:trigger (ping_init ())
+  in
+  check Alcotest.bool "still confirmed" true (r.sound_violation <> None)
+
+(* ---------- automatic pruning (the paper's future work) ---------- *)
+
+let test_automatic_equals_handcrafted_on_paxos () =
+  let module Paxos = Protocols.Paxos.Make (Protocols.Paxos.Bench_config) in
+  let module L = Lmc.Checker.Make (Paxos) in
+  let init = Dsm.Protocol.initial_system (module Paxos) in
+  let run strategy =
+    L.run L.default_config ~strategy ~invariant:Paxos.safety init
+  in
+  let hand =
+    run
+      (L.Invariant_specific
+         { abstract = Paxos.abstraction; conflict = Paxos.conflicts })
+  in
+  let auto = run L.Automatic in
+  check Alcotest.int "both create zero system states" 0
+    (hand.system_states_created + auto.system_states_created);
+  check Alcotest.bool "both quiet" true
+    (hand.sound_violation = None && auto.sound_violation = None)
+
+let test_automatic_prunes_nodewise () =
+  let module RTB = Protocols.Randtree.Make (struct
+    let num_nodes = 4
+    let max_children = 2
+    let max_attempts = 1
+    let bug = Protocols.Randtree.Double_bookkeeping
+  end) in
+  let module L = Lmc.Checker.Make (RTB) in
+  let init = Dsm.Protocol.initial_system (module RTB) in
+  let gen =
+    L.run L.default_config ~strategy:L.General ~invariant:RTB.disjointness
+      init
+  in
+  let auto =
+    L.run L.default_config ~strategy:L.Automatic ~invariant:RTB.disjointness
+      init
+  in
+  check Alcotest.bool "both find the bug" true
+    (gen.sound_violation <> None && auto.sound_violation <> None);
+  check Alcotest.bool "automatic creates far fewer combinations" true
+    (auto.system_states_created * 2 < gen.system_states_created);
+  (* every automatic combination is a preliminary violation by
+     construction *)
+  check Alcotest.int "no wasted combinations" auto.system_states_created
+    auto.preliminary_violations
+
+let test_automatic_falls_back_for_opaque_invariants () =
+  (* invariants built with [make] carry no shape: behave like General *)
+  let trigger =
+    Dsm.Invariant.make ~name:"both-pongs" (fun sys ->
+        if List.length sys.(0).Protocols.Ping.pongs >= 2 then Some "hit"
+        else None)
+  in
+  let auto =
+    L_ping.run L_ping.default_config ~strategy:L_ping.Automatic
+      ~invariant:trigger (ping_init ())
+  in
+  let gen =
+    L_ping.run L_ping.default_config ~strategy:L_ping.General
+      ~invariant:trigger (ping_init ())
+  in
+  check Alcotest.bool "same verdict" true
+    ((auto.sound_violation <> None) = (gen.sound_violation <> None));
+  check Alcotest.int "same combinations" gen.system_states_created
+    auto.system_states_created
+
+let test_automatic_initial_violation () =
+  (* a live snapshot that already violates a pairwise invariant must be
+     reported by the Automatic strategy immediately *)
+  let disagree =
+    Dsm.Invariant.for_all_pairs ~name:"states-agree" (fun _ a _ b ->
+        if a <> b then Some "differ" else None)
+  in
+  let snapshot =
+    [| Protocols.Tree.Sent; Protocols.Tree.Waiting; Protocols.Tree.Waiting;
+       Protocols.Tree.Waiting; Protocols.Tree.Waiting |]
+  in
+  let r =
+    L_tree.run L_tree.default_config ~strategy:L_tree.Automatic
+      ~invariant:disagree snapshot
+  in
+  match r.sound_violation with
+  | Some v -> check Alcotest.int "depth 0" 0 v.system_depth
+  | None -> fail "live pairwise violation missed"
+
+(* ---------- monotonic network ---------- *)
+
+let test_network_monotone () =
+  (* the chain delivers 3 messages; LMC's I+ retains all of them *)
+  let r =
+    L_chain.run L_chain.default_config ~strategy:L_chain.General
+      ~invariant:Chain4.prefix_closed
+      (Dsm.Protocol.initial_system (module Chain4))
+  in
+  check Alcotest.int "all messages retained" 3 r.net_messages;
+  check Alcotest.bool "completed" true r.completed
+
+(* ---------- cross-checker agreement ---------- *)
+
+(* For a list of trigger invariants over ping, B-DFS and LMC must agree
+   on reachability: B-DFS finds a violating state iff LMC confirms a
+   sound violation. *)
+let cross_check_ping name trigger expected_reachable =
+  let g =
+    G_ping.run G_ping.default_config ~invariant:trigger (ping_init ())
+  in
+  let l =
+    L_ping.run L_ping.default_config ~strategy:L_ping.General
+      ~invariant:trigger (ping_init ())
+  in
+  check Alcotest.bool (name ^ ": B-DFS reachability") expected_reachable
+    (g.violation <> None);
+  check Alcotest.bool (name ^ ": LMC agrees") expected_reachable
+    (l.sound_violation <> None)
+
+let test_cross_reachable_states () =
+  cross_check_ping "one pong"
+    (Dsm.Invariant.make ~name:"one-pong" (fun sys ->
+         if List.length sys.(0).Protocols.Ping.pongs >= 1 then Some "hit"
+         else None))
+    true;
+  cross_check_ping "both pongs"
+    (Dsm.Invariant.make ~name:"two-pongs" (fun sys ->
+         if List.length sys.(0).Protocols.Ping.pongs >= 2 then Some "hit"
+         else None))
+    true;
+  cross_check_ping "server 1 before ping impossible"
+    (Dsm.Invariant.make ~name:"served-unpinged" (fun sys ->
+         if sys.(1).Protocols.Ping.served && not sys.(0).Protocols.Ping.pinged
+         then Some "hit"
+         else None))
+    false;
+  cross_check_ping "pong without serve impossible"
+    (Dsm.Invariant.make ~name:"pong-unserved" (fun sys ->
+         if
+           List.mem 1 sys.(0).Protocols.Ping.pongs
+           && not sys.(1).Protocols.Ping.served
+         then Some "hit"
+         else None))
+    false
+
+(* LMC also flags cross-node states that are unreachable and must
+   reject all of them. *)
+let test_unsound_combination_rejected () =
+  (* server 2 served while server 1 unserved AND client has server 1's
+     pong: the pong implies server 1 served — unreachable. *)
+  let trigger =
+    Dsm.Invariant.make ~name:"impossible-combo" (fun sys ->
+        if
+          List.mem 1 sys.(0).Protocols.Ping.pongs
+          && not sys.(1).Protocols.Ping.served
+        then Some "hit"
+        else None)
+  in
+  let r =
+    L_ping.run L_ping.default_config ~strategy:L_ping.General
+      ~invariant:trigger (ping_init ())
+  in
+  check Alcotest.bool "combinations were flagged" true
+    (r.preliminary_violations > 0);
+  check Alcotest.int "all rejected" r.preliminary_violations
+    r.soundness_rejections;
+  check Alcotest.bool "none reported" true (r.sound_violation = None)
+
+(* qcheck over tree shapes: the received-implies-sent invariant never
+   produces a sound violation, on any topology. *)
+let prop_tree_invariant_never_sound =
+  QCheck.Test.make ~count:30 ~name:"received-implies-sent sound on all trees"
+    QCheck.(pair (int_range 2 5) (int_range 0 1000))
+    (fun (n, seed) ->
+      (* random tree over n nodes: parent of i is a random j < i *)
+      let rng = Sim.Rng.create ~seed in
+      let children = Array.make n [] in
+      for i = 1 to n - 1 do
+        let parent = Sim.Rng.int rng i in
+        children.(parent) <- children.(parent) @ [ i ]
+      done;
+      let module T = Protocols.Tree.Make (struct
+        let children = children
+        let origin = 0
+        let target = n - 1
+      end) in
+      let module L = Lmc.Checker.Make (T) in
+      let r =
+        L.run L.default_config ~strategy:L.General
+          ~invariant:T.received_implies_sent
+          (Dsm.Protocol.initial_system (module T))
+      in
+      r.completed && r.sound_violation = None)
+
+(* qcheck: B-DFS and LMC agree on chain reachability of the last hop *)
+let prop_chain_agreement =
+  QCheck.Test.make ~count:15 ~name:"chain: B-DFS and LMC agree on reachability"
+    QCheck.(int_range 2 7)
+    (fun n ->
+      let module C = Protocols.Chain.Make (struct
+        let length = n
+      end) in
+      let module G = Mc_global.Bdfs.Make (C) in
+      let module L = Lmc.Checker.Make (C) in
+      let trigger =
+        Dsm.Invariant.make ~name:"last-received" (fun sys ->
+            if sys.(n - 1).Protocols.Chain.received then Some "hit" else None)
+      in
+      let init () = Dsm.Protocol.initial_system (module C) in
+      let g = G.run G.default_config ~invariant:trigger (init ()) in
+      let l =
+        L.run L.default_config ~strategy:L.General ~invariant:trigger (init ())
+      in
+      g.violation <> None && l.sound_violation <> None)
+
+(* ---------- memory accounting ---------- *)
+
+let test_lmc_memory_smaller_than_global () =
+  (* On a space with real parallel network activity (Paxos, §5.3) LMC's
+     node stores retain less than the global visited set.  On toy
+     spaces constants dominate, so the comparison lives on Paxos. *)
+  let module Paxos = Protocols.Paxos.Make (Protocols.Paxos.Bench_config) in
+  let module G = Mc_global.Bdfs.Make (Paxos) in
+  let module L = Lmc.Checker.Make (Paxos) in
+  let init () = Dsm.Protocol.initial_system (module Paxos) in
+  let g = G.run G.default_config ~invariant:Paxos.safety (init ()) in
+  let l =
+    L.run L.default_config
+      ~strategy:
+        (L.Invariant_specific
+           { abstract = Paxos.abstraction; conflict = Paxos.conflicts })
+      ~invariant:Paxos.safety (init ())
+  in
+  check Alcotest.bool "LMC retains less" true
+    (l.retained_bytes < g.stats.retained_bytes);
+  check Alcotest.bool "LMC executes fewer transitions" true
+    (l.transitions < g.stats.transitions)
+
+let () =
+  Alcotest.run "lmc"
+    [
+      ( "primer",
+        [
+          Alcotest.test_case "Fig. 4 numbers" `Quick test_primer_numbers;
+          Alcotest.test_case "sound confirmation" `Quick
+            test_primer_sound_violation_confirmed;
+        ] );
+      ( "toggles",
+        [
+          Alcotest.test_case "no system states" `Quick test_no_system_states;
+          Alcotest.test_case "no soundness" `Quick test_no_soundness;
+          Alcotest.test_case "sequence mode" `Quick test_sequences_mode;
+          Alcotest.test_case "observer" `Quick test_observer_hook;
+          Alcotest.test_case "transition budget" `Quick test_transition_budget;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound;
+          Alcotest.test_case "local action bound" `Quick
+            test_local_action_bound;
+          Alcotest.test_case "live violation" `Quick
+            test_initial_snapshot_violation_is_sound;
+          Alcotest.test_case "deferred soundness" `Quick
+            test_deferred_soundness;
+          Alcotest.test_case "parallel verification" `Quick
+            test_parallel_verification_agrees;
+          Alcotest.test_case "deferred overflow" `Quick
+            test_deferred_cache_overflow_falls_back;
+        ] );
+      ( "automatic",
+        [
+          Alcotest.test_case "matches handcrafted OPT" `Quick
+            test_automatic_equals_handcrafted_on_paxos;
+          Alcotest.test_case "prunes nodewise" `Quick
+            test_automatic_prunes_nodewise;
+          Alcotest.test_case "opaque fallback" `Quick
+            test_automatic_falls_back_for_opaque_invariants;
+          Alcotest.test_case "initial violation" `Quick
+            test_automatic_initial_violation;
+        ] );
+      ( "network",
+        [ Alcotest.test_case "monotone I+" `Quick test_network_monotone ] );
+      ( "cross-checker",
+        [
+          Alcotest.test_case "reachability agreement" `Quick
+            test_cross_reachable_states;
+          Alcotest.test_case "unsound combos rejected" `Quick
+            test_unsound_combination_rejected;
+          QCheck_alcotest.to_alcotest prop_tree_invariant_never_sound;
+          QCheck_alcotest.to_alcotest prop_chain_agreement;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "smaller than global" `Quick
+            test_lmc_memory_smaller_than_global;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the global model checker (B-DFS). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module Tree = Protocols.Tree.Make (Protocols.Tree.Paper_config)
+module G_tree = Mc_global.Bdfs.Make (Tree)
+
+module Chain4 = Protocols.Chain.Make (struct
+  let length = 4
+end)
+
+module G_chain = Mc_global.Bdfs.Make (Chain4)
+
+module Ping2 = Protocols.Ping.Make (struct
+  let num_servers = 2
+end)
+
+module G_ping = Mc_global.Bdfs.Make (Ping2)
+
+let tree_init () = Dsm.Protocol.initial_system (module Tree)
+
+(* ---------- the primer space (Figs. 2-3) ---------- *)
+
+let test_tree_explores_fully () =
+  let o =
+    G_tree.run G_tree.default_config ~invariant:Tree.received_implies_sent
+      (tree_init ())
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "no violation" true (o.violation = None);
+  (* the paper's Fig. 3 space: 11 distinct global states (the figure
+     draws 12 boxes, two of which are marked duplicates) *)
+  check Alcotest.int "global states" 11 o.stats.global_states;
+  check Alcotest.int "transitions" 16 o.stats.transitions;
+  (* only three valid system states: -----, s----, s---r *)
+  check Alcotest.int "system states" 3 o.stats.system_states;
+  (* the longest run: start + 4 deliveries *)
+  check Alcotest.int "max depth (5 events)" 5 o.stats.max_depth_reached
+
+let test_tree_depth_bound () =
+  let cfg = { G_tree.default_config with max_depth = Some 1 } in
+  let o = G_tree.run cfg ~invariant:Tree.received_implies_sent (tree_init ()) in
+  check Alcotest.bool "completed within bound" true o.completed;
+  (* depth 1: initial state + the send *)
+  check Alcotest.int "two states" 2 o.stats.global_states;
+  check Alcotest.int "depth reached" 1 o.stats.max_depth_reached
+
+let test_tree_depth_zero () =
+  let cfg = { G_tree.default_config with max_depth = Some 0 } in
+  let o = G_tree.run cfg ~invariant:Tree.received_implies_sent (tree_init ()) in
+  check Alcotest.int "only the root" 1 o.stats.global_states;
+  check Alcotest.int "no transitions" 0 o.stats.transitions
+
+let test_transition_budget_truncates () =
+  let cfg = { G_tree.default_config with max_transitions = Some 3 } in
+  let o = G_tree.run cfg ~invariant:Tree.received_implies_sent (tree_init ()) in
+  check Alcotest.bool "not completed" false o.completed
+
+let test_violation_reported_with_trace () =
+  (* Trigger invariant: "node 4 never receives" — violated on a real
+     reachable state, so B-DFS reports it with a replayable trace. *)
+  let trigger =
+    Dsm.Invariant.make ~name:"never-received" (fun sys ->
+        if sys.(4) = Protocols.Tree.Received then Some "received" else None)
+  in
+  let o = G_tree.run G_tree.default_config ~invariant:trigger (tree_init ()) in
+  match o.violation with
+  | None -> fail "expected violation"
+  | Some v ->
+      check Alcotest.bool "trace non-empty" true (v.trace <> []);
+      check Alcotest.int "violating state depth" v.depth (List.length v.trace);
+      (* replay the trace through the raw semantics *)
+      let states = tree_init () in
+      let net = ref Net.Multiset.empty in
+      List.iter
+        (fun step ->
+          match step with
+          | Dsm.Trace.Execute (n, a) ->
+              let s', out = Tree.handle_action ~self:n states.(n) a in
+              states.(n) <- s';
+              net := Net.Multiset.add_list out !net
+          | Dsm.Trace.Deliver env ->
+              (match Net.Multiset.remove env !net with
+              | Some net' -> net := net'
+              | None -> fail "trace delivers a message not in flight");
+              let node = env.Dsm.Envelope.dst in
+              let s', out = Tree.handle_message ~self:node states.(node) env in
+              states.(node) <- s';
+              net := Net.Multiset.add_list out !net)
+        v.trace;
+      check Alcotest.bool "replayed state matches report" true
+        (states = v.system);
+      check Alcotest.bool "replayed state violates" true
+        (Dsm.Invariant.check trigger states <> None)
+
+let test_stop_on_violation_off () =
+  let trigger =
+    Dsm.Invariant.make ~name:"sent" (fun sys ->
+        if sys.(0) = Protocols.Tree.Sent then Some "sent" else None)
+  in
+  let cfg = { G_tree.default_config with stop_on_violation = false } in
+  let o = G_tree.run cfg ~invariant:trigger (tree_init ()) in
+  check Alcotest.bool "violation still recorded" true (o.violation <> None);
+  check Alcotest.bool "exploration continued to completion" true o.completed;
+  check Alcotest.int "full space still explored" 11 o.stats.global_states
+
+let test_initial_state_checked () =
+  let trigger =
+    Dsm.Invariant.make ~name:"never" (fun _ -> Some "always fails")
+  in
+  let o = G_tree.run G_tree.default_config ~invariant:trigger (tree_init ()) in
+  match o.violation with
+  | Some v -> check Alcotest.int "violation at depth 0" 0 v.depth
+  | None -> fail "initial state not checked"
+
+(* ---------- chain ---------- *)
+
+let test_chain_space () =
+  let o =
+    G_chain.run G_chain.default_config ~invariant:Chain4.prefix_closed
+      (Dsm.Protocol.initial_system (module Chain4))
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "invariant holds" true (o.violation = None);
+  (* strictly sequential: start + 3 hops = 4 events, 5 states *)
+  check Alcotest.int "five states" 5 o.stats.global_states;
+  check Alcotest.int "four transitions" 4 o.stats.transitions;
+  check Alcotest.int "depth 4" 4 o.stats.max_depth_reached
+
+(* ---------- ping ---------- *)
+
+let test_ping_space () =
+  let o =
+    G_ping.run G_ping.default_config ~invariant:Ping2.no_excess_pongs
+      (Dsm.Protocol.initial_system (module Ping2))
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "invariant holds" true (o.violation = None);
+  check Alcotest.bool "interleavings explored" true (o.stats.global_states > 5)
+
+let test_ping_reachable_trigger_found () =
+  let trigger =
+    Dsm.Invariant.make ~name:"both-pongs" (fun sys ->
+        if List.length sys.(0).Protocols.Ping.pongs >= 2 then Some "done"
+        else None)
+  in
+  let o =
+    G_ping.run G_ping.default_config ~invariant:trigger
+      (Dsm.Protocol.initial_system (module Ping2))
+  in
+  check Alcotest.bool "reachable state found" true (o.violation <> None)
+
+(* ---------- initial in-flight messages ---------- *)
+
+let test_initial_net () =
+  (* Seed the network with the token already addressed to the target:
+     its delivery is then the only needed event. *)
+  let trigger =
+    Dsm.Invariant.make ~name:"received" (fun sys ->
+        if sys.(4) = Protocols.Tree.Received then Some "received" else None)
+  in
+  let env = Dsm.Envelope.make ~src:1 ~dst:4 () in
+  let o =
+    G_tree.run G_tree.default_config ~invariant:trigger ~initial_net:[ env ]
+      (tree_init ())
+  in
+  match o.violation with
+  | Some v -> check Alcotest.int "one event suffices" 1 v.depth
+  | None -> fail "seeded message not delivered"
+
+(* ---------- memory accounting ---------- *)
+
+let test_retained_bytes_grow () =
+  let shallow =
+    G_tree.run
+      { G_tree.default_config with max_depth = Some 1 }
+      ~invariant:Tree.received_implies_sent (tree_init ())
+  in
+  let deep =
+    G_tree.run G_tree.default_config ~invariant:Tree.received_implies_sent
+      (tree_init ())
+  in
+  check Alcotest.bool "more states, more bytes" true
+    (deep.stats.retained_bytes > shallow.stats.retained_bytes)
+
+(* ---------- qcheck: chain length scaling ---------- *)
+
+let prop_chain_linear =
+  QCheck.Test.make ~count:20 ~name:"chain space is linear in length"
+    QCheck.(int_range 2 10)
+    (fun n ->
+      let module C = Protocols.Chain.Make (struct
+        let length = n
+      end) in
+      let module G = Mc_global.Bdfs.Make (C) in
+      let o =
+        G.run G.default_config ~invariant:C.prefix_closed
+          (Dsm.Protocol.initial_system (module C))
+      in
+      o.completed
+      && o.stats.global_states = n + 1
+      && o.stats.transitions = n
+      && o.violation = None)
+
+let () =
+  Alcotest.run "mc_global"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "full exploration" `Quick test_tree_explores_fully;
+          Alcotest.test_case "depth bound" `Quick test_tree_depth_bound;
+          Alcotest.test_case "depth zero" `Quick test_tree_depth_zero;
+          Alcotest.test_case "transition budget" `Quick
+            test_transition_budget_truncates;
+          Alcotest.test_case "violation trace replays" `Quick
+            test_violation_reported_with_trace;
+          Alcotest.test_case "stop_on_violation off" `Quick
+            test_stop_on_violation_off;
+          Alcotest.test_case "initial state checked" `Quick
+            test_initial_state_checked;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "sequential space" `Quick test_chain_space;
+          QCheck_alcotest.to_alcotest prop_chain_linear;
+        ] );
+      ( "ping",
+        [
+          Alcotest.test_case "space" `Quick test_ping_space;
+          Alcotest.test_case "reachable trigger" `Quick
+            test_ping_reachable_trigger_found;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "initial net" `Quick test_initial_net;
+          Alcotest.test_case "memory accounting" `Quick
+            test_retained_bytes_grow;
+        ] );
+    ]

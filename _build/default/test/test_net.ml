@@ -1,0 +1,176 @@
+(* Unit and property tests for the network substrates. *)
+
+module Multiset = Net.Multiset
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------- Multiset units ---------- *)
+
+let test_empty () =
+  check Alcotest.bool "empty" true (Multiset.is_empty Multiset.empty);
+  check Alcotest.int "cardinal" 0 (Multiset.cardinal Multiset.empty);
+  check Alcotest.int "count" 0 (Multiset.count 1 Multiset.empty)
+
+let test_add_count () =
+  let m = Multiset.add 5 (Multiset.add 3 (Multiset.add 5 Multiset.empty)) in
+  check Alcotest.int "count 5" 2 (Multiset.count 5 m);
+  check Alcotest.int "count 3" 1 (Multiset.count 3 m);
+  check Alcotest.int "cardinal" 3 (Multiset.cardinal m);
+  check Alcotest.int "distinct" 2 (Multiset.distinct_cardinal m);
+  check Alcotest.bool "mem" true (Multiset.mem 5 m);
+  check Alcotest.bool "not mem" false (Multiset.mem 4 m)
+
+let test_remove () =
+  let m = Multiset.of_list [ 1; 1; 2 ] in
+  (match Multiset.remove 1 m with
+  | Some m' ->
+      check Alcotest.int "one copy left" 1 (Multiset.count 1 m');
+      check Alcotest.int "other untouched" 1 (Multiset.count 2 m')
+  | None -> fail "remove failed");
+  (match Multiset.remove 3 m with
+  | None -> ()
+  | Some _ -> fail "removed absent element");
+  match Multiset.remove 2 m with
+  | Some m' -> check Alcotest.bool "2 gone" false (Multiset.mem 2 m')
+  | None -> fail "remove failed"
+
+let test_canonical () =
+  let a = Multiset.of_list [ 3; 1; 2; 1 ] in
+  let b = Multiset.of_list [ 1; 2; 1; 3 ] in
+  check Alcotest.bool "insertion order irrelevant" true (Multiset.equal a b);
+  (* Canonical representations fingerprint identically — the property
+     global-state dedup relies on. *)
+  check Alcotest.bool "identical fingerprints" true
+    (Dsm.Fingerprint.equal
+       (Dsm.Fingerprint.of_value (Multiset.bindings a))
+       (Dsm.Fingerprint.of_value (Multiset.bindings b)))
+
+let test_to_list_sorted () =
+  let m = Multiset.of_list [ 9; 1; 5; 1 ] in
+  check Alcotest.(list int) "expanded sorted" [ 1; 1; 5; 9 ]
+    (Multiset.to_list m)
+
+let test_union () =
+  let a = Multiset.of_list [ 1; 2 ] and b = Multiset.of_list [ 2; 3 ] in
+  let u = Multiset.union a b in
+  check Alcotest.int "count 2" 2 (Multiset.count 2 u);
+  check Alcotest.int "cardinal" 4 (Multiset.cardinal u);
+  check Alcotest.bool "commutative" true
+    (Multiset.equal u (Multiset.union b a))
+
+let test_iter_fold () =
+  let m = Multiset.of_list [ 1; 1; 2 ] in
+  let total = Multiset.fold_distinct (fun x c acc -> acc + (x * c)) m 0 in
+  check Alcotest.int "weighted sum" 4 total;
+  let distinct = ref 0 in
+  Multiset.iter_distinct (fun _ _ -> incr distinct) m;
+  check Alcotest.int "distinct iterated" 2 !distinct
+
+let test_pp () =
+  let m = Multiset.of_list [ 1; 1; 2 ] in
+  let out = Format.asprintf "%a" (Multiset.pp Format.pp_print_int) m in
+  check Alcotest.bool "mentions multiplicity" true
+    (String.length out > 0 && String.contains out 'x')
+
+(* ---------- Multiset properties ---------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:500 ~name:"add then remove is identity"
+      (pair (small_list small_int) small_int)
+      (fun (xs, x) ->
+        let m = Multiset.of_list xs in
+        match Multiset.remove x (Multiset.add x m) with
+        | Some m' -> Multiset.equal m m'
+        | None -> false);
+    Test.make ~count:500 ~name:"cardinal = list length"
+      (small_list small_int) (fun xs ->
+        Multiset.cardinal (Multiset.of_list xs) = List.length xs);
+    Test.make ~count:500 ~name:"count sums to cardinal"
+      (small_list small_int) (fun xs ->
+        let m = Multiset.of_list xs in
+        Multiset.fold_distinct (fun _ c acc -> acc + c) m 0
+        = Multiset.cardinal m);
+    Test.make ~count:500 ~name:"of_list sorted and deduped bindings"
+      (small_list small_int) (fun xs ->
+        let b = Multiset.bindings (Multiset.of_list xs) in
+        let keys = List.map fst b in
+        List.sort_uniq compare keys = keys
+        && List.for_all (fun (_, c) -> c >= 1) b);
+    Test.make ~count:500 ~name:"union cardinals add"
+      (pair (small_list small_int) (small_list small_int))
+      (fun (xs, ys) ->
+        Multiset.cardinal
+          (Multiset.union (Multiset.of_list xs) (Multiset.of_list ys))
+        = List.length xs + List.length ys);
+    Test.make ~count:500 ~name:"shuffle-insensitive equality"
+      (small_list small_int) (fun xs ->
+        Multiset.equal (Multiset.of_list xs) (Multiset.of_list (List.rev xs)));
+  ]
+
+(* ---------- Lossy link ---------- *)
+
+let test_link_validation () =
+  (match Net.Lossy_link.create ~drop_prob:1.5 ~latency_min:0. ~latency_max:1. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "bad drop_prob accepted");
+  match Net.Lossy_link.create ~drop_prob:0.5 ~latency_min:2. ~latency_max:1. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "inverted latency window accepted"
+
+let test_link_loopback_never_dropped () =
+  let link =
+    Net.Lossy_link.create ~drop_prob:1.0 ~latency_min:0. ~latency_max:0. ()
+  in
+  let loop = Dsm.Envelope.make ~src:1 ~dst:1 () in
+  check Alcotest.bool "loopback survives certain drop" false
+    (Net.Lossy_link.drops link ~roll:0.0 loop);
+  let remote = Dsm.Envelope.make ~src:1 ~dst:2 () in
+  check Alcotest.bool "remote dropped at p=1" true
+    (Net.Lossy_link.drops link ~roll:0.999 remote)
+
+let test_link_drop_threshold () =
+  let link =
+    Net.Lossy_link.create ~drop_prob:0.3 ~latency_min:0. ~latency_max:0. ()
+  in
+  let remote = Dsm.Envelope.make ~src:0 ~dst:1 () in
+  check Alcotest.bool "below threshold drops" true
+    (Net.Lossy_link.drops link ~roll:0.29 remote);
+  check Alcotest.bool "above threshold passes" false
+    (Net.Lossy_link.drops link ~roll:0.31 remote)
+
+let test_link_latency () =
+  let link =
+    Net.Lossy_link.create ~drop_prob:0. ~latency_min:0.1 ~latency_max:0.5 ()
+  in
+  check (Alcotest.float 1e-9) "min" 0.1 (Net.Lossy_link.latency link ~roll:0.0);
+  check (Alcotest.float 1e-9) "mid" 0.3 (Net.Lossy_link.latency link ~roll:0.5);
+  check Alcotest.bool "reliable has no drops" true
+    (Net.Lossy_link.drop_prob Net.Lossy_link.reliable = 0.)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "multiset",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/count" `Quick test_add_count;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "canonical" `Quick test_canonical;
+          Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "multiset-properties",
+        List.map QCheck_alcotest.to_alcotest qcheck_cases );
+      ( "lossy_link",
+        [
+          Alcotest.test_case "validation" `Quick test_link_validation;
+          Alcotest.test_case "loopback" `Quick test_link_loopback_never_dropped;
+          Alcotest.test_case "threshold" `Quick test_link_drop_threshold;
+          Alcotest.test_case "latency" `Quick test_link_latency;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for the online model-checking framework (§3.3). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module Common = struct
+  let num_nodes = 3
+  let proposers = [ 0; 1; 2 ]
+  let max_attempts = 2
+  let max_index = 8
+  let bug = Protocols.Paxos_core.Last_response_wins
+end
+
+module Live = Protocols.Paxos.Make (struct
+  include Common
+
+  let fresh_proposals = true
+end)
+
+module Check_p = Protocols.Paxos.Make (struct
+  include Common
+
+  let fresh_proposals = false
+end)
+
+module Live_fixed = Protocols.Paxos.Make (struct
+  include Common
+
+  let fresh_proposals = true
+  let bug = Protocols.Paxos_core.No_bug
+end)
+
+module Check_fixed = Protocols.Paxos.Make (struct
+  include Common
+
+  let fresh_proposals = false
+  let bug = Protocols.Paxos_core.No_bug
+end)
+
+module Online_buggy = Online.Online_mc.Make (Live) (Check_p)
+module Online_fixed = Online.Online_mc.Make (Live_fixed) (Check_fixed)
+module Sim_buggy = Sim.Live_sim.Make (Live)
+module Sim_fixed = Sim.Live_sim.Make (Live_fixed)
+
+let lossy () =
+  Net.Lossy_link.create ~drop_prob:0.3 ~latency_min:0.05 ~latency_max:0.3 ()
+
+let buggy_config ~max_live_time =
+  {
+    Online_buggy.sim =
+      { Sim_buggy.seed = 7; link = lossy (); timer_min = 2.0; timer_max = 20.0;
+        action_prob = None };
+    check_interval = 30.0;
+    max_live_time;
+    checker =
+      {
+        Online_buggy.Checker.default_config with
+        time_limit = Some 5.0;
+        max_transitions = Some 100_000;
+      };
+    action_bounds = [ 1; 2 ];
+    steer = false;
+    steer_scope = `Exact_action;
+  }
+
+let strategy_buggy =
+  Online_buggy.Checker.Invariant_specific
+    { abstract = Check_p.abstraction; conflict = Check_p.conflicts }
+
+let test_finds_injected_bug () =
+  let outcome =
+    Online_buggy.run (buggy_config ~max_live_time:600.0)
+      ~strategy:strategy_buggy ~invariant:Check_p.safety
+  in
+  match outcome.report with
+  | None -> fail "online checking missed the injected bug"
+  | Some report ->
+      check Alcotest.bool "found within live budget" true
+        (report.live_time <= 600.0);
+      check Alcotest.bool "witness non-empty" true
+        (report.violation.Online_buggy.Checker.schedule <> []);
+      check Alcotest.bool "counted checks" true (report.checks_run >= 1);
+      check Alcotest.int "totals consistent" outcome.total_checks
+        report.checks_run
+
+let test_report_printable () =
+  let outcome =
+    Online_buggy.run (buggy_config ~max_live_time:600.0)
+      ~strategy:strategy_buggy ~invariant:Check_p.safety
+  in
+  match outcome.report with
+  | None -> fail "expected a report"
+  | Some report ->
+      let out = Format.asprintf "%a" Online_buggy.pp_report report in
+      check Alcotest.bool "mentions the invariant" true
+        (String.length out > 50)
+
+let test_correct_paxos_quiet () =
+  let config =
+    {
+      Online_fixed.sim =
+        { Sim_fixed.seed = 7; link = lossy (); timer_min = 2.0;
+          timer_max = 20.0; action_prob = None };
+      check_interval = 30.0;
+      max_live_time = 120.0;
+      checker =
+        {
+          Online_fixed.Checker.default_config with
+          time_limit = Some 3.0;
+          max_transitions = Some 50_000;
+        };
+      action_bounds = [ 1 ];
+      steer = false;
+      steer_scope = `Exact_action;
+    }
+  in
+  let strategy =
+    Online_fixed.Checker.Invariant_specific
+      { abstract = Check_fixed.abstraction; conflict = Check_fixed.conflicts }
+  in
+  let outcome =
+    Online_fixed.run config ~strategy ~invariant:Check_fixed.safety
+  in
+  check Alcotest.bool "no false positive" true (outcome.report = None);
+  check Alcotest.bool "checks actually ran" true (outcome.total_checks >= 4)
+
+(* Execution steering: predictions installed as action vetoes keep the
+   live system from ever reaching the violation.  The checker must
+   outpace the drivers (2 s restarts vs 10-30 s action timers) — with
+   slow restarts the stale node fires its fatal action before the
+   prediction lands, which is CrystalBall's own operating constraint. *)
+let test_steering_prevents_live_violation () =
+  let module OPCfg = struct
+    let num_nodes = 3
+    let max_leader_claims = 2
+    let max_attempts = 1
+    let max_index = 12
+    let max_util_entries = 3
+    let max_util_attempts = 2
+    let bug = Protocols.Onepaxos.Postfix_increment
+  end in
+  let module OP = Protocols.Onepaxos.Make (OPCfg) in
+  let module O = Online.Online_mc.Make (OP) (OP) in
+  let module S = Sim.Live_sim.Make (OP) in
+  let config steer =
+    {
+      O.sim =
+        {
+          S.seed = 9;
+          link =
+            Net.Lossy_link.create ~drop_prob:0.3 ~latency_min:0.05
+              ~latency_max:0.3 ();
+          timer_min = 20.0;
+          timer_max = 40.0;
+          action_prob =
+            Some
+              (fun _ a ->
+                match a with
+                | Protocols.Onepaxos.Claim_leadership -> 0.1
+                | _ -> 1.0);
+        };
+      check_interval = 5.0;
+      max_live_time = 120.0;
+      checker =
+        {
+          O.Checker.default_config with
+          time_limit = Some 1.0;
+          max_transitions = Some 20_000;
+        };
+      action_bounds = [ 1; 2 ];
+      steer;
+      steer_scope = `Node;
+    }
+  in
+  let strategy =
+    O.Checker.Invariant_specific
+      { abstract = OP.abstraction; conflict = OP.conflicts }
+  in
+  let steered = O.run (config true) ~strategy ~invariant:OP.safety in
+  check Alcotest.bool "violation predicted" true (steered.report <> None);
+  check Alcotest.bool "vetoes installed" true (steered.vetoed <> []);
+  check Alcotest.bool "live system never violated" true
+    (steered.live_violation_time = None)
+
+let test_interval_validation () =
+  match
+    Online_buggy.run
+      { (buggy_config ~max_live_time:10.0) with check_interval = 0.0 }
+      ~strategy:strategy_buggy ~invariant:Check_p.safety
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero interval accepted"
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "online",
+        [
+          Alcotest.test_case "finds injected bug" `Slow test_finds_injected_bug;
+          Alcotest.test_case "report printable" `Slow test_report_printable;
+          Alcotest.test_case "correct build quiet" `Slow
+            test_correct_paxos_quiet;
+          Alcotest.test_case "steering prevents violation" `Slow
+            test_steering_prevents_live_violation;
+          Alcotest.test_case "interval validation" `Quick
+            test_interval_validation;
+        ] );
+    ]

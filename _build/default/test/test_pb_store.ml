@@ -1,0 +1,210 @@
+(* Tests for the primary-backup replicated store. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module PB = Protocols.Pb_store.Make (struct
+  let key = 7
+  let value = 42
+  let bug = Protocols.Pb_store.No_bug
+end)
+
+module PB_bug = Protocols.Pb_store.Make (struct
+  let key = 7
+  let value = 42
+  let bug = Protocols.Pb_store.Ack_before_replication
+end)
+
+let env ~src ~dst m = Dsm.Envelope.make ~src ~dst m
+
+let init (type s) (module P : Dsm.Protocol.S with type state = s) =
+  Dsm.Protocol.initial_system (module P)
+
+(* ---------- handlers ---------- *)
+
+let test_correct_put_path () =
+  let primary = PB.initial 0 in
+  let primary, out =
+    PB.handle_message ~self:0 primary
+      (env ~src:2 ~dst:0 (Protocols.Pb_store.Put (7, 42)))
+  in
+  (* correct primary replicates but does not ack yet *)
+  check Alcotest.int "only the replication" 1 (List.length out);
+  (match (List.hd out).Dsm.Envelope.payload with
+  | Protocols.Pb_store.Replicate (7, 42) -> ()
+  | _ -> fail "expected Replicate");
+  (match primary with
+  | Protocols.Pb_store.Replica r ->
+      check Alcotest.bool "pending" true
+        (r.Protocols.Pb_store.repl_pending <> None)
+  | _ -> fail "state shape");
+  (* the backup applies and confirms *)
+  let backup = PB.initial 1 in
+  let backup, acks =
+    PB.handle_message ~self:1 backup
+      (env ~src:0 ~dst:1 (Protocols.Pb_store.Replicate (7, 42)))
+  in
+  (match (List.hd acks).Dsm.Envelope.payload with
+  | Protocols.Pb_store.Repl_ack -> ()
+  | _ -> fail "expected ReplAck");
+  (match backup with
+  | Protocols.Pb_store.Replica r ->
+      check Alcotest.(option int) "backup stored" (Some 42)
+        (List.assoc_opt 7 r.Protocols.Pb_store.store)
+  | _ -> fail "state shape");
+  (* the confirmation releases the client ack *)
+  let _, client_ack =
+    PB.handle_message ~self:0 primary
+      (env ~src:1 ~dst:0 Protocols.Pb_store.Repl_ack)
+  in
+  match (List.hd client_ack).Dsm.Envelope.payload with
+  | Protocols.Pb_store.Put_ack ->
+      check Alcotest.int "ack to the client" 2 (List.hd client_ack).Dsm.Envelope.dst
+  | _ -> fail "expected PutAck"
+
+let test_buggy_acks_early () =
+  let primary = PB_bug.initial 0 in
+  let _, out =
+    PB_bug.handle_message ~self:0 primary
+      (env ~src:2 ~dst:0 (Protocols.Pb_store.Put (7, 42)))
+  in
+  check Alcotest.int "replicate AND ack at once" 2 (List.length out);
+  check Alcotest.bool "ack among them" true
+    (List.exists
+       (fun (e : _ Dsm.Envelope.t) ->
+         e.Dsm.Envelope.payload = Protocols.Pb_store.Put_ack)
+       out)
+
+let test_get_paths () =
+  let replica =
+    Protocols.Pb_store.Replica
+      { Protocols.Pb_store.store = [ (7, 42) ]; repl_pending = None }
+  in
+  let _, out =
+    PB.handle_message ~self:1 replica
+      (env ~src:2 ~dst:1 (Protocols.Pb_store.Get 7))
+  in
+  (match (List.hd out).Dsm.Envelope.payload with
+  | Protocols.Pb_store.Get_reply (Some 42) -> ()
+  | _ -> fail "expected the stored value");
+  let empty = PB.initial 1 in
+  let _, out =
+    PB.handle_message ~self:1 empty
+      (env ~src:2 ~dst:1 (Protocols.Pb_store.Get 7))
+  in
+  match (List.hd out).Dsm.Envelope.payload with
+  | Protocols.Pb_store.Get_reply None -> ()
+  | _ -> fail "expected a miss"
+
+let test_client_driver () =
+  let c = PB.initial 2 in
+  (match PB.enabled_actions ~self:2 c with
+  | [ Protocols.Pb_store.Do_put ] -> ()
+  | _ -> fail "client starts with the put");
+  let c, out = PB.handle_action ~self:2 c Protocols.Pb_store.Do_put in
+  check Alcotest.int "put to primary" 0 (List.hd out).Dsm.Envelope.dst;
+  check Alcotest.int "nothing until the ack" 0
+    (List.length (PB.enabled_actions ~self:2 c));
+  let c, _ = PB.handle_message ~self:2 c (env ~src:0 ~dst:2 Protocols.Pb_store.Put_ack) in
+  (* after the ack: fail over or read *)
+  check Alcotest.int "two choices" 2 (List.length (PB.enabled_actions ~self:2 c));
+  let c, _ = PB.handle_action ~self:2 c Protocols.Pb_store.Fail_over in
+  let _, out = PB.handle_action ~self:2 c Protocols.Pb_store.Do_get in
+  check Alcotest.int "failed-over read goes to the backup" 1
+    (List.hd out).Dsm.Envelope.dst
+
+(* ---------- checking ---------- *)
+
+let test_correct_safe_both_checkers () =
+  let module G = Mc_global.Bdfs.Make (PB) in
+  let o =
+    G.run G.default_config ~invariant:PB.read_your_writes (init (module PB))
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "read-your-writes holds" true (o.violation = None);
+  let module L = Lmc.Checker.Make (PB) in
+  let r =
+    L.run L.default_config ~strategy:L.Automatic
+      ~invariant:PB.read_your_writes (init (module PB))
+  in
+  check Alcotest.bool "LMC agrees" true (r.sound_violation = None)
+
+let test_bug_found_both_checkers () =
+  let module G = Mc_global.Bdfs.Make (PB_bug) in
+  let o =
+    G.run G.default_config ~invariant:PB_bug.read_your_writes
+      (init (module PB_bug))
+  in
+  (match o.violation with
+  | Some v ->
+      (* the witness must contain the failover: reads at the primary
+         are always fresh *)
+      check Alcotest.bool "witness fails over" true
+        (List.exists
+           (function
+             | Dsm.Trace.Execute (_, Protocols.Pb_store.Fail_over) -> true
+             | _ -> false)
+           v.trace)
+  | None -> fail "B-DFS missed the stale read");
+  let module L = Lmc.Checker.Make (PB_bug) in
+  let r =
+    L.run L.default_config ~strategy:L.Automatic
+      ~invariant:PB_bug.read_your_writes (init (module PB_bug))
+  in
+  match r.sound_violation with
+  | Some v ->
+      check Alcotest.bool "stale read confirmed" true
+        (Dsm.Invariant.check PB_bug.read_your_writes v.system <> None);
+      (* replay the witness *)
+      let module W = Lmc.Witness.Make (PB_bug) in
+      (match W.replay ~init:(init (module PB_bug)) v.schedule with
+      | Some final ->
+          check Alcotest.bool "witness replays to a violation" true
+            (Dsm.Invariant.check PB_bug.read_your_writes final <> None)
+      | None -> fail "witness does not replay")
+  | None -> fail "LMC missed the stale read"
+
+let test_primary_reads_always_fresh () =
+  (* without the failover the bug is unobservable: reads served by the
+     primary always include the acked write *)
+  let module PBnf = Protocols.Pb_store.Make (struct
+    let key = 7
+    let value = 42
+    let bug = Protocols.Pb_store.Ack_before_replication
+  end) in
+  (* simulate "no failover" simply by checking the global space with a
+     trigger that requires a violation without any Fail_over step *)
+  let module G = Mc_global.Bdfs.Make (PBnf) in
+  let o =
+    G.run G.default_config ~invariant:PBnf.read_your_writes
+      (init (module PBnf))
+  in
+  match o.violation with
+  | Some v ->
+      check Alcotest.bool "every violation involves a failover" true
+        (List.exists
+           (function
+             | Dsm.Trace.Execute (_, Protocols.Pb_store.Fail_over) -> true
+             | _ -> false)
+           v.trace)
+  | None -> fail "expected the buggy build to violate somewhere"
+
+let () =
+  Alcotest.run "pb_store"
+    [
+      ( "handlers",
+        [
+          Alcotest.test_case "correct put path" `Quick test_correct_put_path;
+          Alcotest.test_case "buggy early ack" `Quick test_buggy_acks_early;
+          Alcotest.test_case "get paths" `Quick test_get_paths;
+          Alcotest.test_case "client driver" `Quick test_client_driver;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "correct safe" `Quick
+            test_correct_safe_both_checkers;
+          Alcotest.test_case "bug found" `Quick test_bug_found_both_checkers;
+          Alcotest.test_case "failover required" `Quick
+            test_primary_reads_always_fresh;
+        ] );
+    ]

@@ -1,0 +1,237 @@
+(* Tests for the RandTree overlay and its node-local invariant. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module Config4 = struct
+  let num_nodes = 4
+  let max_children = 2
+  let max_attempts = 1
+  let bug = Protocols.Randtree.No_bug
+end
+
+module RT = Protocols.Randtree.Make (Config4)
+
+module RT_buggy = Protocols.Randtree.Make (struct
+  include Config4
+
+  let bug = Protocols.Randtree.Double_bookkeeping
+end)
+
+let env ~src ~dst m = Dsm.Envelope.make ~src ~dst m
+
+(* ---------- handler units ---------- *)
+
+let test_initial () =
+  let root = RT.initial 0 and other = RT.initial 1 in
+  check Alcotest.bool "root is in" true
+    (root.Protocols.Randtree.status = Protocols.Randtree.In);
+  check Alcotest.bool "other is out" true
+    (other.Protocols.Randtree.status = Protocols.Randtree.Out)
+
+let test_join_action () =
+  let s = RT.initial 1 in
+  check Alcotest.int "join enabled" 1 (List.length (RT.enabled_actions ~self:1 s));
+  let s', out = RT.handle_action ~self:1 s () in
+  check Alcotest.bool "joining" true
+    (s'.Protocols.Randtree.status = Protocols.Randtree.Joining);
+  check Alcotest.int "attempt recorded" 1 s'.Protocols.Randtree.attempts;
+  (match out with
+  | [ e ] -> check Alcotest.int "join goes to root" 0 e.Dsm.Envelope.dst
+  | _ -> fail "expected one Join");
+  check Alcotest.int "attempts exhausted" 0
+    (List.length (RT.enabled_actions ~self:1 s'));
+  check Alcotest.int "root never joins" 0
+    (List.length (RT.enabled_actions ~self:0 (RT.initial 0)))
+
+let test_adopt () =
+  let root = RT.initial 0 in
+  let root, out =
+    RT.handle_message ~self:0 root
+      (env ~src:1 ~dst:0 (Protocols.Randtree.Join { joiner = 1 }))
+  in
+  check Alcotest.(list int) "child recorded" [ 1 ]
+    root.Protocols.Randtree.children;
+  (match out with
+  | [ e ] -> (
+      match e.Dsm.Envelope.payload with
+      | Protocols.Randtree.Welcome { parent = 0; siblings = [] } -> ()
+      | _ -> fail "expected empty-sibling Welcome")
+  | _ -> fail "first join: exactly a Welcome");
+  (* second joiner: Welcome plus sibling notification *)
+  let root, out =
+    RT.handle_message ~self:0 root
+      (env ~src:2 ~dst:0 (Protocols.Randtree.Join { joiner = 2 }))
+  in
+  check Alcotest.(list int) "two children" [ 1; 2 ]
+    root.Protocols.Randtree.children;
+  check Alcotest.int "welcome + notify" 2 (List.length out)
+
+let test_forward_when_full () =
+  let root = RT.initial 0 in
+  let feed s j =
+    fst
+      (RT.handle_message ~self:0 s
+         (env ~src:j ~dst:0 (Protocols.Randtree.Join { joiner = j })))
+  in
+  let root = feed (feed root 1) 2 in
+  let root', out =
+    RT.handle_message ~self:0 root
+      (env ~src:3 ~dst:0 (Protocols.Randtree.Join { joiner = 3 }))
+  in
+  check Alcotest.(list int) "correct build: no double booking" [ 1; 2 ]
+    root'.Protocols.Randtree.children;
+  match out with
+  | [ e ] -> (
+      match e.Dsm.Envelope.payload with
+      | Protocols.Randtree.Join { joiner = 3 } ->
+          check Alcotest.bool "forwarded to a child" true
+            (List.mem e.Dsm.Envelope.dst [ 1; 2 ])
+      | _ -> fail "expected forwarded Join")
+  | _ -> fail "correct build forwards exactly the Join"
+
+let test_forward_when_full_buggy () =
+  let root = RT_buggy.initial 0 in
+  let feed s j =
+    fst
+      (RT_buggy.handle_message ~self:0 s
+         (env ~src:j ~dst:0 (Protocols.Randtree.Join { joiner = j })))
+  in
+  let root = feed (feed root 1) 2 in
+  let root', out =
+    RT_buggy.handle_message ~self:0 root
+      (env ~src:3 ~dst:0 (Protocols.Randtree.Join { joiner = 3 }))
+  in
+  check Alcotest.(list int) "bug double-books the joiner" [ 1; 2; 3 ]
+    root'.Protocols.Randtree.children;
+  (* forward + sibling announcements to both children *)
+  check Alcotest.int "extra traffic" 3 (List.length out)
+
+let test_duplicate_join_idempotent () =
+  let root = RT.initial 0 in
+  let root, _ =
+    RT.handle_message ~self:0 root
+      (env ~src:1 ~dst:0 (Protocols.Randtree.Join { joiner = 1 }))
+  in
+  let root', out =
+    RT.handle_message ~self:0 root
+      (env ~src:1 ~dst:0 (Protocols.Randtree.Join { joiner = 1 }))
+  in
+  check Alcotest.bool "children unchanged" true
+    (root.Protocols.Randtree.children = root'.Protocols.Randtree.children);
+  match out with
+  | [ e ] -> (
+      match e.Dsm.Envelope.payload with
+      | Protocols.Randtree.Welcome _ -> ()
+      | _ -> fail "expected re-Welcome")
+  | _ -> fail "duplicate join should re-welcome"
+
+let test_join_at_non_member_asserts () =
+  let outsider = RT.initial 2 in
+  match
+    RT.handle_message ~self:2 outsider
+      (env ~src:3 ~dst:2 (Protocols.Randtree.Join { joiner = 3 }))
+  with
+  | exception Dsm.Protocol.Local_assert _ -> ()
+  | _ -> fail "non-member served a join"
+
+let test_welcome_and_sibling () =
+  let s = RT.initial 1 in
+  let s, _ = RT.handle_action ~self:1 s () in
+  let s, _ =
+    RT.handle_message ~self:1 s
+      (env ~src:0 ~dst:1
+         (Protocols.Randtree.Welcome { parent = 0; siblings = [ 2 ] }))
+  in
+  check Alcotest.bool "in" true
+    (s.Protocols.Randtree.status = Protocols.Randtree.In);
+  check Alcotest.(option int) "parent" (Some 0) s.Protocols.Randtree.parent;
+  check Alcotest.(list int) "siblings" [ 2 ] s.Protocols.Randtree.siblings;
+  let s, _ =
+    RT.handle_message ~self:1 s
+      (env ~src:0 ~dst:1 (Protocols.Randtree.New_sibling { sibling = 3 }))
+  in
+  check Alcotest.(list int) "sibling added sorted" [ 2; 3 ]
+    s.Protocols.Randtree.siblings;
+  (* self-sibling announcements are ignored *)
+  let s', _ =
+    RT.handle_message ~self:1 s
+      (env ~src:0 ~dst:1 (Protocols.Randtree.New_sibling { sibling = 1 }))
+  in
+  check Alcotest.(list int) "self ignored" [ 2; 3 ]
+    s'.Protocols.Randtree.siblings
+
+(* ---------- checking ---------- *)
+
+module G = Mc_global.Bdfs.Make (RT)
+module G_buggy = Mc_global.Bdfs.Make (RT_buggy)
+module L = Lmc.Checker.Make (RT)
+module L_buggy = Lmc.Checker.Make (RT_buggy)
+
+let test_correct_disjoint_global () =
+  let o =
+    G.run G.default_config ~invariant:RT.disjointness
+      (Dsm.Protocol.initial_system (module RT))
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "disjointness holds" true (o.violation = None)
+
+let test_buggy_found_global () =
+  let o =
+    G_buggy.run G_buggy.default_config ~invariant:RT_buggy.disjointness
+      (Dsm.Protocol.initial_system (module RT_buggy))
+  in
+  check Alcotest.bool "bug found" true (o.violation <> None)
+
+let test_correct_disjoint_lmc () =
+  let r =
+    L.run L.default_config ~strategy:L.General ~invariant:RT.disjointness
+      (Dsm.Protocol.initial_system (module RT))
+  in
+  check Alcotest.bool "completed" true r.completed;
+  check Alcotest.bool "no sound violation" true (r.sound_violation = None);
+  (* LMC's conservative delivery produces invalid overlapping states
+     which must all be filtered out *)
+  check Alcotest.bool "invalid combos were filtered" true
+    (r.preliminary_violations > 0)
+
+let test_buggy_found_lmc () =
+  let r =
+    L_buggy.run L_buggy.default_config ~strategy:L_buggy.General
+      ~invariant:RT_buggy.disjointness
+      (Dsm.Protocol.initial_system (module RT_buggy))
+  in
+  match r.sound_violation with
+  | None -> fail "LMC missed the double-bookkeeping bug"
+  | Some v ->
+      check Alcotest.bool "witness replays" true (v.schedule <> []);
+      check Alcotest.bool "violating system state kept" true
+        (Dsm.Invariant.check RT_buggy.disjointness v.system <> None)
+
+let () =
+  Alcotest.run "randtree"
+    [
+      ( "handlers",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "join action" `Quick test_join_action;
+          Alcotest.test_case "adopt" `Quick test_adopt;
+          Alcotest.test_case "forward (correct)" `Quick test_forward_when_full;
+          Alcotest.test_case "forward (buggy)" `Quick
+            test_forward_when_full_buggy;
+          Alcotest.test_case "duplicate join" `Quick
+            test_duplicate_join_idempotent;
+          Alcotest.test_case "join assert" `Quick
+            test_join_at_non_member_asserts;
+          Alcotest.test_case "welcome/sibling" `Quick test_welcome_and_sibling;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "correct holds (global)" `Quick
+            test_correct_disjoint_global;
+          Alcotest.test_case "bug found (global)" `Quick test_buggy_found_global;
+          Alcotest.test_case "correct holds (LMC)" `Slow
+            test_correct_disjoint_lmc;
+          Alcotest.test_case "bug found (LMC)" `Slow test_buggy_found_lmc;
+        ] );
+    ]

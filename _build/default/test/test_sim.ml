@@ -1,0 +1,242 @@
+(* Tests for the deterministic discrete-event simulator. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:123 and b = Sim.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    if Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b then
+      fail "same seed diverged"
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  check Alcotest.bool "different seeds differ" true
+    (Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let r = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.float r in
+    if not (x >= 0. && x < 1.) then fail "float out of [0,1)"
+  done
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int r 10 in
+    if x < 0 || x >= 10 then fail "int out of bounds"
+  done;
+  match Sim.Rng.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero bound accepted"
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.create ~seed:5 in
+  let a = Sim.Rng.split root and b = Sim.Rng.split root in
+  check Alcotest.bool "split streams differ" true
+    (Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b)
+
+let test_rng_pick () =
+  let r = Sim.Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let x = Sim.Rng.pick r [ "a"; "b"; "c" ] in
+    if not (List.mem x [ "a"; "b"; "c" ]) then fail "pick outside list"
+  done;
+  match Sim.Rng.pick r [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty pick accepted"
+
+let test_rng_bool_extremes () =
+  let r = Sim.Rng.create ~seed:4 in
+  for _ = 1 to 50 do
+    if Sim.Rng.bool r ~prob:0.0 then fail "p=0 fired";
+    if not (Sim.Rng.bool r ~prob:1.0) then fail "p=1 missed"
+  done
+
+let test_rng_range () =
+  let r = Sim.Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    let x = Sim.Rng.range r 2.0 5.0 in
+    if not (x >= 2.0 && x < 5.0) then fail "range out of bounds"
+  done
+
+(* ---------- Event_queue ---------- *)
+
+let test_queue_ordering () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q ~time:3.0 "c";
+  Sim.Event_queue.push q ~time:1.0 "a";
+  Sim.Event_queue.push q ~time:2.0 "b";
+  check Alcotest.int "length" 3 (Sim.Event_queue.length q);
+  check Alcotest.(option (float 0.)) "peek" (Some 1.0)
+    (Sim.Event_queue.peek_time q);
+  let pops = List.init 3 (fun _ -> Sim.Event_queue.pop q) in
+  check
+    Alcotest.(list (option (pair (float 0.) string)))
+    "sorted" [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ] pops;
+  check Alcotest.bool "drained" true (Sim.Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q ~time:1.0 "first";
+  Sim.Event_queue.push q ~time:1.0 "second";
+  Sim.Event_queue.push q ~time:1.0 "third";
+  let order =
+    List.filter_map (fun x -> Option.map snd x)
+      (List.init 3 (fun _ -> Sim.Event_queue.pop q))
+  in
+  check Alcotest.(list string) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let test_queue_random () =
+  let q = Sim.Event_queue.create () in
+  let r = Sim.Rng.create ~seed:99 in
+  let times = List.init 500 (fun _ -> Sim.Rng.float r) in
+  List.iter (fun t -> Sim.Event_queue.push q ~time:t ()) times;
+  let rec drain last acc =
+    match Sim.Event_queue.pop q with
+    | None -> acc
+    | Some (t, ()) ->
+        if t < last then fail "heap order violated";
+        drain t (acc + 1)
+  in
+  check Alcotest.int "all popped" 500 (drain neg_infinity 0)
+
+(* ---------- Live_sim on ping ---------- *)
+
+module Ping = Protocols.Ping.Make (struct
+  let num_servers = 2
+end)
+
+module Sim_ping = Sim.Live_sim.Make (Ping)
+
+let reliable_config seed =
+  {
+    Sim_ping.seed;
+    link = Net.Lossy_link.reliable;
+    timer_min = 0.5;
+    timer_max = 1.5;
+    action_prob = None;
+  }
+
+let test_sim_runs_ping () =
+  let sim = Sim_ping.create (reliable_config 42) in
+  Sim_ping.run_until sim 20.0;
+  let states = Sim_ping.states sim in
+  check Alcotest.bool "client pinged" true states.(0).Protocols.Ping.pinged;
+  check Alcotest.int "both pongs" 2
+    (List.length states.(0).Protocols.Ping.pongs);
+  check Alcotest.bool "servers served" true
+    (states.(1).Protocols.Ping.served && states.(2).Protocols.Ping.served);
+  check Alcotest.int "4 messages" 4 (Sim_ping.messages_sent sim);
+  check Alcotest.int "no drops" 0 (Sim_ping.messages_dropped sim)
+
+let test_sim_deterministic_replay () =
+  let run seed =
+    let sim = Sim_ping.create (reliable_config seed) in
+    Sim_ping.run_until sim 10.0;
+    (Sim_ping.states sim, Sim_ping.events_executed sim)
+  in
+  let a = run 7 and b = run 7 in
+  check Alcotest.bool "same states" true (fst a = fst b);
+  check Alcotest.int "same event count" (snd a) (snd b)
+
+let test_sim_lossy_drops () =
+  let link =
+    Net.Lossy_link.create ~drop_prob:0.5 ~latency_min:0.01 ~latency_max:0.05 ()
+  in
+  let sim =
+    Sim_ping.create
+      { Sim_ping.seed = 1; link; timer_min = 0.5; timer_max = 1.5;
+        action_prob = None }
+  in
+  Sim_ping.run_until sim 50.0;
+  check Alcotest.bool "some drops" true (Sim_ping.messages_dropped sim > 0)
+
+let test_sim_clock_advances () =
+  let sim = Sim_ping.create (reliable_config 3) in
+  Sim_ping.run_until sim 5.0;
+  check (Alcotest.float 1e-9) "clock at deadline" 5.0 (Sim_ping.now sim);
+  Sim_ping.run_until sim 9.0;
+  check (Alcotest.float 1e-9) "clock advanced" 9.0 (Sim_ping.now sim)
+
+let test_sim_snapshot () =
+  let sim = Sim_ping.create (reliable_config 4) in
+  Sim_ping.run_until sim 3.0;
+  let snap = Sim_ping.snapshot sim in
+  check (Alcotest.float 1e-9) "snapshot time" 3.0 snap.Sim.Snapshot.time;
+  check Alcotest.int "snapshot width" 3 (Array.length snap.Sim.Snapshot.states);
+  (* snapshot is a copy: later simulation must not mutate it *)
+  let before = snap.Sim.Snapshot.states.(0) in
+  Sim_ping.run_until sim 20.0;
+  check Alcotest.bool "copy isolated" true
+    (before = snap.Sim.Snapshot.states.(0))
+
+let test_sim_action_prob_zero () =
+  let sim =
+    Sim_ping.create
+      {
+        Sim_ping.seed = 5;
+        link = Net.Lossy_link.reliable;
+        timer_min = 0.5;
+        timer_max = 1.5;
+        action_prob = Some (fun _ _ -> 0.0);
+      }
+  in
+  Sim_ping.run_until sim 20.0;
+  let states = Sim_ping.states sim in
+  check Alcotest.bool "suppressed driver never pings" false
+    states.(0).Protocols.Ping.pinged
+
+let test_sim_config_validation () =
+  match
+    Sim_ping.create
+      { Sim_ping.seed = 1; link = Net.Lossy_link.reliable; timer_min = 0.;
+        timer_max = 1.; action_prob = None }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero timer_min accepted"
+
+let test_snapshot_initial () =
+  let snap = Sim.Snapshot.initial (module Ping) in
+  check (Alcotest.float 0.) "time zero" 0.0 snap.Sim.Snapshot.time;
+  check Alcotest.int "width" 3 (Array.length snap.Sim.Snapshot.states)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "range" `Quick test_rng_range;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "random heap" `Quick test_queue_random;
+        ] );
+      ( "live_sim",
+        [
+          Alcotest.test_case "ping completes" `Quick test_sim_runs_ping;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_sim_deterministic_replay;
+          Alcotest.test_case "lossy drops" `Quick test_sim_lossy_drops;
+          Alcotest.test_case "clock" `Quick test_sim_clock_advances;
+          Alcotest.test_case "snapshot" `Quick test_sim_snapshot;
+          Alcotest.test_case "action_prob 0" `Quick test_sim_action_prob_zero;
+          Alcotest.test_case "config validation" `Quick
+            test_sim_config_validation;
+          Alcotest.test_case "initial snapshot" `Quick test_snapshot_initial;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Cross-checker property tests over randomly generated protocols.
+
+   These exercise the paper's two meta-level claims on arbitrary
+   (terminating) protocol behaviours:
+
+   - Completeness: every system state the global checker reaches is
+     confirmed reachable by LMC (a trigger invariant on that exact
+     state yields a sound violation).
+   - Soundness: every violation LMC confirms names a system state the
+     global checker also reaches, and its witness schedule replays to
+     that state under the real (global) semantics. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Instantiate a synthetic protocol for a seed and exhaust its global
+   state space, collecting all reachable system states. *)
+module type INSTANCE = sig
+  module P :
+    Dsm.Protocol.S
+      with type state = int
+       and type message = int
+       and type action = unit
+
+  val reachable : unit -> int array list
+end
+
+let instance seed : (module INSTANCE) =
+  (module struct
+    module P = Protocols.Synthetic.Make (struct
+      let seed = seed
+      let num_nodes = 3
+      let max_state = 4
+      let kinds = 2
+    end)
+
+    module G = Mc_global.Bdfs.Make (P)
+
+    let reachable () =
+      let seen = Hashtbl.create 256 in
+      let record sys =
+        let key = Dsm.Fingerprint.of_value sys in
+        if not (Hashtbl.mem seen key) then Hashtbl.replace seen key sys
+      in
+      let module Obs = struct
+        let inv = P.observer record
+      end in
+      let o =
+        G.run G.default_config ~invariant:Obs.inv
+          (Dsm.Protocol.initial_system (module P))
+      in
+      if not o.completed then fail "synthetic global space not exhausted";
+      Hashtbl.fold (fun _ sys acc -> sys :: acc) seen []
+  end)
+
+(* Generic replay of a witness schedule under the global semantics. *)
+let replays (type s m a)
+    (module P : Dsm.Protocol.S
+      with type state = s and type message = m and type action = a)
+    (schedule : (m, a) Dsm.Trace.t) : s array option =
+  let states = Dsm.Protocol.initial_system (module P) in
+  let net = ref Net.Multiset.empty in
+  try
+    List.iter
+      (fun step ->
+        match step with
+        | Dsm.Trace.Execute (n, act) ->
+            let s', out = P.handle_action ~self:n states.(n) act in
+            states.(n) <- s';
+            net := Net.Multiset.add_list out !net
+        | Dsm.Trace.Deliver env ->
+            (match Net.Multiset.remove env !net with
+            | Some net' -> net := net'
+            | None -> raise Exit);
+            let node = env.Dsm.Envelope.dst in
+            let s', out = P.handle_message ~self:node states.(node) env in
+            states.(node) <- s';
+            net := Net.Multiset.add_list out !net)
+      schedule;
+    Some states
+  with Exit -> None
+
+(* The completeness theorem holds for the exact algorithm; the paper's
+   implementation (and ours, by default) trades a sliver of it away for
+   the keep-first history simplification of 4.2 ("we decided to favor
+   simplicity over completeness here").  The property therefore runs
+   with [use_history = false] — the exact regime; the regression test
+   below pins the documented gap. *)
+let completeness_for_seed seed =
+  let module I = (val instance seed) in
+  let module L = Lmc.Checker.Make (I.P) in
+  let reachable = I.reachable () in
+  List.for_all
+    (fun target ->
+      let trigger =
+        Dsm.Invariant.make ~name:"is-target" (fun sys ->
+            if sys = target then Some "reached" else None)
+      in
+      let r =
+        (* the exact regime: no history simplification, no caps *)
+        L.run
+          {
+            L.default_config with
+            use_history = false;
+            max_preds_per_entry = max_int;
+            soundness_budget = 50_000_000;
+          }
+          ~strategy:L.General ~invariant:trigger
+          (Dsm.Protocol.initial_system (module I.P))
+      in
+      match r.sound_violation with
+      | Some v -> v.system = target
+      | None -> false)
+    reachable
+
+let soundness_for_seed seed =
+  let module I = (val instance seed) in
+  let module L = Lmc.Checker.Make (I.P) in
+  let reachable = I.reachable () in
+  let is_reachable sys = List.exists (fun s -> s = sys) reachable in
+  (* a family of triggers that fire on many combinations, most of them
+     invalid: sum and max thresholds over the node states *)
+  let triggers =
+    [
+      Dsm.Invariant.make ~name:"sum>=6" (fun sys ->
+          if Array.fold_left ( + ) 0 sys >= 6 then Some "hit" else None);
+      Dsm.Invariant.make ~name:"two-maxed" (fun sys ->
+          let maxed = Array.fold_left (fun acc s -> if s >= 4 then acc + 1 else acc) 0 sys in
+          if maxed >= 2 then Some "hit" else None);
+      Dsm.Invariant.make ~name:"all-moved" (fun sys ->
+          if Array.for_all (fun s -> s > 0) sys then Some "hit" else None);
+    ]
+  in
+  List.for_all
+    (fun trigger ->
+      let r =
+        L.run
+          { L.default_config with stop_on_violation = true }
+          ~strategy:L.General ~invariant:trigger
+          (Dsm.Protocol.initial_system (module I.P))
+      in
+      match r.sound_violation with
+      | None ->
+          (* nothing reported: nothing to verify here.  (Whether a
+             satisfying state exists is the completeness question,
+             which holds only in the exact regime — see
+             prop_completeness; under the default history
+             simplification rare seeds legitimately miss states.) *)
+          true
+      | Some v ->
+          (* the confirmed state must be globally reachable AND the
+             witness must replay to it *)
+          is_reachable v.system
+          &&
+          (match replays (module I.P) v.schedule with
+          | Some final -> final = v.system
+          | None -> false))
+    triggers
+
+let prop_completeness =
+  QCheck.Test.make ~count:25 ~name:"LMC confirms every B-DFS-reachable state"
+    QCheck.(int_range 0 10_000)
+    completeness_for_seed
+
+let prop_soundness =
+  QCheck.Test.make ~count:25
+    ~name:"LMC verdicts are globally reachable and replayable"
+    QCheck.(int_range 0 10_000)
+    soundness_for_seed
+
+(* Regression: seed 8614 demonstrates the 4.2 history-simplification
+   incompleteness — a reachable state is missed with histories on and
+   found with histories off.  If this test starts failing because the
+   default run FINDS all states, the history handling has been upgraded
+   and both this test and the documentation should be revisited. *)
+let test_history_incompleteness_pinned () =
+  let module I = (val instance 8614) in
+  let module L = Lmc.Checker.Make (I.P) in
+  let reachable = I.reachable () in
+  let confirm cfg target =
+    let trigger =
+      Dsm.Invariant.make ~name:"is-target" (fun sys ->
+          if sys = target then Some "reached" else None)
+    in
+    let r =
+      L.run cfg ~strategy:L.General ~invariant:trigger
+        (Dsm.Protocol.initial_system (module I.P))
+    in
+    match r.sound_violation with Some v -> v.system = target | None -> false
+  in
+  let missed_with_history =
+    List.filter (fun t -> not (confirm L.default_config t)) reachable
+  in
+  check Alcotest.bool "history simplification misses some states" true
+    (missed_with_history <> []);
+  check Alcotest.bool "all recovered without histories" true
+    (List.for_all
+       (confirm { L.default_config with use_history = false })
+       missed_with_history)
+
+(* determinism: the same seed gives the same protocol *)
+let test_deterministic () =
+  let module A = Protocols.Synthetic.Make (struct
+    let seed = 99
+    let num_nodes = 3
+    let max_state = 4
+    let kinds = 2
+  end) in
+  let module B = Protocols.Synthetic.Make (struct
+    let seed = 99
+    let num_nodes = 3
+    let max_state = 4
+    let kinds = 2
+  end) in
+  let env = Dsm.Envelope.make ~src:1 ~dst:2 0 in
+  for s = 0 to 4 do
+    if A.handle_message ~self:2 s env <> B.handle_message ~self:2 s env then
+      fail "same seed diverged"
+  done;
+  let module C = Protocols.Synthetic.Make (struct
+    let seed = 100
+    let num_nodes = 3
+    let max_state = 4
+    let kinds = 2
+  end) in
+  let differs = ref false in
+  for s = 0 to 4 do
+    for k = 0 to 1 do
+      let e = Dsm.Envelope.make ~src:0 ~dst:1 k in
+      if A.handle_message ~self:1 s e <> C.handle_message ~self:1 s e then
+        differs := true
+    done
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_terminating () =
+  (* every instance's global space is finite and exhaustible *)
+  List.iter
+    (fun seed ->
+      let module I = (val instance seed) in
+      ignore (I.reachable ()))
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "synthetic"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "terminating" `Quick test_terminating;
+        ] );
+      ( "meta-theorems",
+        Alcotest.test_case "history gap pinned" `Quick
+          test_history_incompleteness_pinned
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_completeness; prop_soundness ] );
+    ]

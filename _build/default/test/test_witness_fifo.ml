@@ -1,0 +1,304 @@
+(* Tests for witness replay/minimisation and the FIFO channel wrapper. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------- witness replay & minimisation ---------- *)
+
+module Ping = Protocols.Ping.Make (struct
+  let num_servers = 2
+end)
+
+module W = Lmc.Witness.Make (Ping)
+module L_ping = Lmc.Checker.Make (Ping)
+
+let ping_init () = Dsm.Protocol.initial_system (module Ping)
+
+let env ~src ~dst m = Dsm.Envelope.make ~src ~dst m
+
+let full_schedule =
+  [
+    Dsm.Trace.Execute (0, ());
+    Dsm.Trace.Deliver (env ~src:0 ~dst:1 Protocols.Ping.Ping);
+    Dsm.Trace.Deliver (env ~src:0 ~dst:2 Protocols.Ping.Ping);
+    Dsm.Trace.Deliver (env ~src:1 ~dst:0 Protocols.Ping.Pong);
+    Dsm.Trace.Deliver (env ~src:2 ~dst:0 Protocols.Ping.Pong);
+  ]
+
+let test_replay_ok () =
+  match W.replay ~init:(ping_init ()) full_schedule with
+  | Some final ->
+      check Alcotest.int "both pongs" 2
+        (List.length final.(0).Protocols.Ping.pongs)
+  | None -> fail "valid schedule rejected"
+
+let test_replay_rejects_unsent () =
+  let bogus = [ Dsm.Trace.Deliver (env ~src:1 ~dst:0 Protocols.Ping.Pong) ] in
+  check Alcotest.bool "unsent message rejected" true
+    (W.replay ~init:(ping_init ()) bogus = None)
+
+let test_replay_rejects_assert () =
+  (* delivering Ping to the client trips its local assert *)
+  let bad =
+    [
+      Dsm.Trace.Execute (0, ());
+      Dsm.Trace.Deliver (env ~src:0 ~dst:1 Protocols.Ping.Ping);
+      Dsm.Trace.Deliver (env ~src:1 ~dst:0 Protocols.Ping.Pong);
+    ]
+  in
+  (* craft an impossible delivery: Ping addressed to node 0 *)
+  let bad = bad @ [ Dsm.Trace.Deliver (env ~src:1 ~dst:0 Protocols.Ping.Ping) ] in
+  check Alcotest.bool "assert-tripping schedule rejected" true
+    (W.replay ~init:(ping_init ()) bad = None)
+
+let test_minimize_drops_irrelevant () =
+  (* predicate: the client got server 1's pong — server 2's whole
+     exchange is irrelevant and must be shrunk away *)
+  let predicate (final : Ping.state array) =
+    List.mem 1 final.(0).Protocols.Ping.pongs
+  in
+  let minimal = W.minimize ~init:(ping_init ()) ~predicate full_schedule in
+  check Alcotest.int "three events suffice" 3 (List.length minimal);
+  (match W.replay ~init:(ping_init ()) minimal with
+  | Some final -> check Alcotest.bool "still satisfies" true (predicate final)
+  | None -> fail "minimized schedule must replay");
+  (* 1-minimality: removing any single event breaks the predicate *)
+  List.iteri
+    (fun i _ ->
+      let without = List.filteri (fun j _ -> j <> i) minimal in
+      match W.replay ~init:(ping_init ()) without with
+      | Some final ->
+          check Alcotest.bool "not 1-minimal" false (predicate final)
+      | None -> ())
+    minimal
+
+let test_minimize_keeps_necessary () =
+  (* predicate needs both pongs: nothing can be dropped *)
+  let predicate (final : Ping.state array) =
+    List.length final.(0).Protocols.Ping.pongs >= 2
+  in
+  let minimal = W.minimize ~init:(ping_init ()) ~predicate full_schedule in
+  check Alcotest.int "nothing droppable" 5 (List.length minimal)
+
+let test_minimize_non_violating_input () =
+  let predicate _ = false in
+  let out = W.minimize ~init:(ping_init ()) ~predicate full_schedule in
+  check Alcotest.int "returned unchanged" 5 (List.length out)
+
+let test_minimize_lmc_witness () =
+  (* end to end: minimize a witness the checker produced *)
+  let trigger =
+    Dsm.Invariant.make ~name:"one-pong" (fun sys ->
+        if List.mem 1 sys.(0).Protocols.Ping.pongs then Some "hit" else None)
+  in
+  let r =
+    L_ping.run L_ping.default_config ~strategy:L_ping.General
+      ~invariant:trigger (ping_init ())
+  in
+  match r.sound_violation with
+  | None -> fail "expected a violation"
+  | Some v ->
+      let predicate sys = Dsm.Invariant.check trigger sys <> None in
+      let minimal = W.minimize ~init:(ping_init ()) ~predicate v.schedule in
+      check Alcotest.bool "no longer than original" true
+        (List.length minimal <= List.length v.schedule);
+      check Alcotest.int "the 3-event core" 3 (List.length minimal)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_to_dot () =
+  let dot = W.to_dot ~title:"ping run" full_schedule in
+  check Alcotest.bool "digraph" true (contains dot "digraph \"ping run\"");
+  (* one lane per node *)
+  check Alcotest.bool "lane N0" true (contains dot "label=\"N0\"");
+  check Alcotest.bool "lane N2" true (contains dot "label=\"N2\"");
+  (* the ping-all action and a delivery appear as boxes *)
+  check Alcotest.bool "action box" true (contains dot "ping-all");
+  check Alcotest.bool "recv box" true (contains dot "recv ping");
+  (* every delivery gets a producer arrow: 4 deliveries, 4 blue edges *)
+  let count_blue =
+    let rec go i acc =
+      if i >= String.length dot then acc
+      else if i + 11 <= String.length dot && String.sub dot i 11 = "color=blue]"
+      then go (i + 11) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "four message arrows" 4 count_blue
+
+let test_to_dot_escapes () =
+  (* quotes in labels must be escaped for Graphviz *)
+  let module Q = struct
+    let name = "quote"
+    let num_nodes = 1
+
+    type state = unit
+    type message = unit
+    type action = unit
+
+    let initial _ = ()
+    let handle_message ~self:_ () _ = ((), [])
+    let enabled_actions ~self:_ () = []
+    let handle_action ~self:_ () () = ((), [])
+    let pp_state ppf () = Format.pp_print_string ppf "()"
+    let pp_message ppf () = Format.pp_print_string ppf "say \"hi\""
+    let pp_action ppf () = Format.pp_print_string ppf "do \"it\""
+  end in
+  let module WQ = Lmc.Witness.Make (Q) in
+  let dot = WQ.to_dot [ Dsm.Trace.Execute (0, ()) ] in
+  check Alcotest.bool "escaped quotes" true (contains dot "do \\\"it\\\"")
+
+(* ---------- FIFO wrapper ---------- *)
+
+(* A burst sender: node 0 sends three tokens to node 1 in one action;
+   node 1 records arrival order. *)
+module Burst = struct
+  let name = "burst"
+  let num_nodes = 2
+
+  type state = int list  (* received payloads, newest first *)
+  type message = int
+  type action = unit
+
+  let initial _ = []
+
+  let handle_message ~self:_ state env =
+    (env.Dsm.Envelope.payload :: state, [])
+
+  let enabled_actions ~self state =
+    if self = 0 && state = [] then [ () ] else []
+
+  let handle_action ~self state () =
+    ( 99 :: state,
+      List.map (fun i -> Dsm.Envelope.make ~src:0 ~dst:1 i) [ 1; 2; 3 ] )
+  [@@warning "-27"]
+
+  let pp_state ppf s =
+    Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int s))
+
+  let pp_message = Format.pp_print_int
+  let pp_action ppf () = Format.pp_print_string ppf "burst"
+end
+
+module Fifo_burst = Protocols.Fifo.Make (Burst)
+module G_plain = Mc_global.Bdfs.Make (Burst)
+module G_fifo = Mc_global.Bdfs.Make (Fifo_burst)
+module L_fifo = Lmc.Checker.Make (Fifo_burst)
+
+let always_true = Dsm.Invariant.make ~name:"true" (fun _ -> None)
+
+let test_fifo_stamps_sequences () =
+  let s = Fifo_burst.initial 0 in
+  let _, out = Fifo_burst.handle_action ~self:0 s () in
+  let seqs =
+    List.map (fun (e : _ Dsm.Envelope.t) -> e.Dsm.Envelope.payload.Protocols.Fifo.seq) out
+  in
+  check Alcotest.(list int) "sequence numbers" [ 0; 1; 2 ] seqs
+
+let test_fifo_rejects_reorder () =
+  let s = Fifo_burst.initial 1 in
+  let in_order =
+    Dsm.Envelope.make ~src:0 ~dst:1 { Protocols.Fifo.seq = 0; payload = 1 }
+  in
+  let s', _ = Fifo_burst.handle_message ~self:1 s in_order in
+  (* delivering seq 2 next must be rejected *)
+  let skip =
+    Dsm.Envelope.make ~src:0 ~dst:1 { Protocols.Fifo.seq = 2; payload = 3 }
+  in
+  (match Fifo_burst.handle_message ~self:1 s' skip with
+  | exception Dsm.Protocol.Local_assert _ -> ()
+  | _ -> fail "reordered segment accepted");
+  (* and a replayed old segment too *)
+  let dup =
+    Dsm.Envelope.make ~src:0 ~dst:1 { Protocols.Fifo.seq = 0; payload = 1 }
+  in
+  match Fifo_burst.handle_message ~self:1 s' dup with
+  | exception Dsm.Protocol.Local_assert _ -> ()
+  | _ -> fail "duplicate segment accepted"
+
+let test_fifo_prunes_interleavings () =
+  let plain =
+    G_plain.run G_plain.default_config
+      ~invariant:(Dsm.Invariant.make ~name:"true" (fun _ -> None))
+      (Dsm.Protocol.initial_system (module Burst))
+  in
+  let fifo =
+    G_fifo.run G_fifo.default_config ~invariant:always_true
+      (Dsm.Protocol.initial_system (module Fifo_burst))
+  in
+  (* plain: all 3! arrival orders; fifo: only the sorted one *)
+  check Alcotest.bool "fewer states under FIFO" true
+    (fifo.stats.global_states < plain.stats.global_states);
+  check Alcotest.bool "single linear run under FIFO" true
+    (fifo.stats.global_states = 5)
+
+let test_fifo_lmc_discards_reorders () =
+  let r =
+    L_fifo.run L_fifo.default_config ~strategy:L_fifo.General
+      ~invariant:always_true
+      (Dsm.Protocol.initial_system (module Fifo_burst))
+  in
+  check Alcotest.bool "completed" true r.completed;
+  check Alcotest.bool "reordered deliveries discarded" true
+    (r.local_assert_drops > 0);
+  (* node 1 sees exactly the in-order prefixes: [], [1], [1;2], [1;2;3] *)
+  check Alcotest.int "node-1 states" 4 r.node_states.(1)
+
+let test_fifo_lift_invariant () =
+  let inner_inv =
+    Dsm.Invariant.make ~name:"no-two" (fun sys ->
+        if List.mem 2 sys.(1) then Some "saw two" else None)
+  in
+  let lifted = Fifo_burst.lift_invariant inner_inv in
+  let r =
+    L_fifo.run L_fifo.default_config ~strategy:L_fifo.General
+      ~invariant:lifted
+      (Dsm.Protocol.initial_system (module Fifo_burst))
+  in
+  match r.sound_violation with
+  | Some v ->
+      (* under FIFO, seeing 2 requires having seen 1 first *)
+      check Alcotest.bool "in-order history" true
+        (match v.system.(1).Protocols.Fifo.inner with
+        | 2 :: 1 :: _ -> true
+        | _ -> false)
+  | None -> fail "lifted invariant violation not found"
+
+let () =
+  Alcotest.run "witness_fifo"
+    [
+      ( "witness",
+        [
+          Alcotest.test_case "replay ok" `Quick test_replay_ok;
+          Alcotest.test_case "replay unsent" `Quick test_replay_rejects_unsent;
+          Alcotest.test_case "replay assert" `Quick test_replay_rejects_assert;
+          Alcotest.test_case "minimize drops" `Quick
+            test_minimize_drops_irrelevant;
+          Alcotest.test_case "minimize keeps" `Quick
+            test_minimize_keeps_necessary;
+          Alcotest.test_case "minimize no-op" `Quick
+            test_minimize_non_violating_input;
+          Alcotest.test_case "minimize LMC witness" `Quick
+            test_minimize_lmc_witness;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+          Alcotest.test_case "to_dot escaping" `Quick test_to_dot_escapes;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "stamping" `Quick test_fifo_stamps_sequences;
+          Alcotest.test_case "reorder rejected" `Quick test_fifo_rejects_reorder;
+          Alcotest.test_case "pruned interleavings" `Quick
+            test_fifo_prunes_interleavings;
+          Alcotest.test_case "LMC discards reorders" `Quick
+            test_fifo_lmc_discards_reorders;
+          Alcotest.test_case "lifted invariant" `Quick test_fifo_lift_invariant;
+        ] );
+    ]
