@@ -1,0 +1,26 @@
+# Developer entry points.  `make check` is the tier-1 gate: build,
+# unit tests, and a CLI smoke test asserting that the observability
+# output stays parseable JSONL.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+	dune exec bin/lmc_cli.exe -- check -p paxos-buggy -c lmc-gen \
+	  --metrics-out /tmp/m.jsonl --trace-out /tmp/t.jsonl > /dev/null; \
+	  test $$? -le 1
+	dune exec bin/jsonl_check.exe -- /tmp/m.jsonl /tmp/t.jsonl
+	@echo "check: OK"
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -7,7 +7,10 @@
      --only   run a single section: fig3-4 | fig10-12 | fig10-12b | fig13 |
               table5.1 | table5.2 | table5.5 | table5.6 |
               ablation-chain | ablation-history | ablation-soundness |
-              ablation-auto | breadth | micro
+              ablation-auto | breadth | micro | obs-overhead
+
+   Besides the printed tables, every run writes BENCH_lmc.json: per-figure
+   data series plus per-section wall-clock, for machines to diff.
 
    Absolute numbers differ from the paper's 2006-era Pentium 4; the
    shapes — who wins, by what factor, where the explosion bites — are
@@ -28,6 +31,46 @@ let section name = match only with None -> true | Some s -> s = name
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
 let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: BENCH_lmc.json                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Sections [record] JSON data series next to their printed tables;
+   the dispatcher adds per-section wall-clock.  The file is written
+   atomically (.tmp + rename) so an interrupted run never leaves a
+   half-written artifact behind. *)
+module Bench_out = struct
+  let sections : (string * Dsm.Json.t) list ref = ref []
+  let elapsed : (string * float) list ref = ref []
+
+  let record name json = sections := (name, json) :: !sections
+
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    elapsed := (name, Unix.gettimeofday () -. t0) :: !elapsed
+
+  let write path =
+    let obj =
+      Dsm.Json.Obj
+        [
+          ("schema", Dsm.Json.String "lmc-bench/1");
+          ("quick", Dsm.Json.Bool quick);
+          ( "wall_clock_s",
+            Dsm.Json.Obj
+              (List.rev_map (fun (n, t) -> (n, Dsm.Json.Float t)) !elapsed) );
+          ("sections", Dsm.Json.Obj (List.rev !sections));
+        ]
+    in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (Dsm.Json.to_string obj);
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path;
+    Printf.printf "\nwrote %s\n%!" path
+end
 
 (* ------------------------------------------------------------------ *)
 (* Shared modules                                                      *)
@@ -200,7 +243,30 @@ let fig10_12 () =
   row
     "\npaper shapes: B-DFS time explodes exponentially; LMC-OPT finishes the \
      whole space in ms;\nLMC-OPT creates 0 system states; LMC memory stays \
-     flat and linear in depth.\n"
+     flat and linear in depth.\n";
+  Bench_out.record "fig10-12"
+    (Dsm.Json.List
+       (List.map
+          (fun p ->
+            Dsm.Json.Obj
+              [
+                ("depth", Dsm.Json.Int p.depth);
+                ( "bdfs_s",
+                  match p.bdfs_time with
+                  | Some t -> Dsm.Json.Float t
+                  | None -> Dsm.Json.Null );
+                ("bdfs_states", Dsm.Json.Int p.bdfs_states);
+                ("bdfs_bytes", Dsm.Json.Int p.bdfs_bytes);
+                ("lmc_gen_s", Dsm.Json.Float p.gen_time);
+                ("lmc_gen_system", Dsm.Json.Int p.gen_system);
+                ("lmc_gen_bytes", Dsm.Json.Int p.gen_bytes);
+                ("lmc_opt_s", Dsm.Json.Float p.opt_time);
+                ("lmc_opt_system", Dsm.Json.Int p.opt_system);
+                ("lmc_opt_bytes", Dsm.Json.Int p.opt_bytes);
+                ("lmc_local_states", Dsm.Json.Int p.local_states);
+                ("lmc_local_bytes", Dsm.Json.Int p.local_bytes);
+              ])
+          points))
 
 (* The same sweep on the two-proposal space (5.2's wall): here B-DFS
    genuinely hits the per-depth cap the way the paper's did at 1514 s,
@@ -283,6 +349,7 @@ let fig13 () =
   let cap = if quick then 10.0 else 60.0 in
   row "%5s %12s %16s %12s %10s %10s\n" "depth" "LMC-OPT" "LMC-system-state"
     "LMC-explore" "prelim" "found";
+  let series = ref [] in
   let found_at = ref None in
   for depth = 2 to max_depth do
     if !found_at = None || depth <= Option.value ~default:0 !found_at + 2
@@ -316,6 +383,18 @@ let fig13 () =
       row "%5d %12.4f %16.4f %12.4f %10d %10s\n" depth full.elapsed
         no_sound.elapsed explore_only.elapsed full.preliminary_violations
         (if hit then "BUG" else "-");
+      series :=
+        Dsm.Json.Obj
+          [
+            ("depth", Dsm.Json.Int depth);
+            ("full_s", Dsm.Json.Float full.elapsed);
+            ("system_state_s", Dsm.Json.Float no_sound.elapsed);
+            ("explore_s", Dsm.Json.Float explore_only.elapsed);
+            ( "preliminary_violations",
+              Dsm.Json.Int full.preliminary_violations );
+            ("bug", Dsm.Json.Bool hit);
+          ]
+        :: !series;
       if hit && depth = Option.value ~default:max_int !found_at then begin
         row
           "\nat the revealing depth: %d soundness invocations, %.2f ms \
@@ -331,7 +410,8 @@ let fig13 () =
   row
     "\npaper shape: system-state creation cost appears once conflicting \
      values exist;\nsoundness verification dominates as the bug nears; \
-     LMC-explore stays cheap.\n"
+     LMC-explore stays cheap.\n";
+  Bench_out.record "fig13" (Dsm.Json.List (List.rev !series))
 
 (* ------------------------------------------------------------------ *)
 (* Table 5.1: headline totals                                          *)
@@ -365,7 +445,32 @@ let table51 () =
     "LMC-GEN speedup: %.0fx (paper ~300x); LMC-OPT speedup: %.0fx (paper \
      ~8000x)\n"
     (g.stats.elapsed /. max 1e-9 gen.elapsed)
-    (g.stats.elapsed /. max 1e-9 opt.elapsed)
+    (g.stats.elapsed /. max 1e-9 opt.elapsed);
+  let lmc_cols (r : L1.result) =
+    Dsm.Json.Obj
+      [
+        ("elapsed_s", Dsm.Json.Float r.elapsed);
+        ("transitions", Dsm.Json.Int r.transitions);
+        ("node_states", Dsm.Json.Int r.total_node_states);
+        ("system_states", Dsm.Json.Int r.system_states_created);
+        ("retained_bytes", Dsm.Json.Int r.retained_bytes);
+      ]
+  in
+  Bench_out.record "table5.1"
+    (Dsm.Json.Obj
+       [
+         ( "bdfs",
+           Dsm.Json.Obj
+             [
+               ("elapsed_s", Dsm.Json.Float g.stats.elapsed);
+               ("transitions", Dsm.Json.Int g.stats.transitions);
+               ("global_states", Dsm.Json.Int g.stats.global_states);
+               ("system_states", Dsm.Json.Int g.stats.system_states);
+               ("retained_bytes", Dsm.Json.Int g.stats.retained_bytes);
+             ] );
+         ("lmc_gen", lmc_cols gen);
+         ("lmc_opt", lmc_cols opt);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Table 5.2: scalability limits, two proposals                        *)
@@ -854,6 +959,9 @@ let micro () =
       ];
     |]
   in
+  let live_scope = Obs.create () in
+  let bench_counter = Obs.counter live_scope "bench.counter" in
+  let bench_hist = Obs.histogram live_scope "bench.hist" in
   let tests =
     [
       Test.make ~name:"fingerprint Paxos state"
@@ -867,6 +975,14 @@ let micro () =
       Test.make ~name:"soundness check (2 events)"
         (Staged.stage (fun () ->
              ignore (Lmc.Soundness.check ~initial_net:[] seqs)));
+      Test.make ~name:"obs counter incr"
+        (Staged.stage (fun () -> Obs.Metrics.incr bench_counter));
+      Test.make ~name:"obs histogram observe"
+        (Staged.stage (fun () -> Obs.Metrics.observe bench_hist 1234));
+      Test.make ~name:"obs event, no sink"
+        (Staged.stage (fun () ->
+             Obs.event Obs.null "bench.event"
+               ~fields:[ ("n", Dsm.Json.Int 1) ]));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -874,6 +990,7 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -881,28 +998,87 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> row "%-32s %12.1f ns/run\n" name est
+          | Some (est :: _) ->
+              row "%-32s %12.1f ns/run\n" name est;
+              estimates := (name, Dsm.Json.Float est) :: !estimates
           | _ -> row "%-32s %12s\n" name "n/a")
         stats)
-    tests
+    tests;
+  Bench_out.record "micro" (Dsm.Json.Obj (List.rev !estimates))
+
+(* Satellite of the observability work: what does the instrumentation
+   cost when nobody is listening?  The whole Fig. 10 LMC series runs
+   under three scopes — disabled ([Obs.null]), metrics-only, and a
+   full JSONL sink — and the summed checker-reported times are
+   compared.  The first ratio is the always-on price and must stay
+   within noise (the acceptance bar is 5%). *)
+let obs_overhead () =
+  header "Observability overhead: Fig. 10 LMC series under three scopes";
+  let max_depth = if quick then 12 else 16 in
+  let sweep obs =
+    let total = ref 0. in
+    for depth = 0 to max_depth do
+      let cfg = { L1.default_config with max_depth = Some depth; obs } in
+      let gen =
+        L1.run cfg ~strategy:L1.General ~invariant:Paxos1.safety
+          (paxos1_init ())
+      in
+      let opt =
+        L1.run cfg ~strategy:opt1 ~invariant:Paxos1.safety (paxos1_init ())
+      in
+      total := !total +. gen.elapsed +. opt.elapsed
+    done;
+    !total
+  in
+  let best f =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (min acc (f ())) in
+    go 3 (f ())
+  in
+  let null_s = best (fun () -> sweep Obs.null) in
+  let metrics_s = best (fun () -> sweep (Obs.create ())) in
+  let trace = Filename.temp_file "obs_overhead" ".jsonl" in
+  let sink_s =
+    best (fun () ->
+        let scope = Obs.create ~sinks:[ Obs.Sink.jsonl_file trace ] () in
+        let t = sweep scope in
+        Obs.close scope;
+        t)
+  in
+  Sys.remove trace;
+  let pct x = 100. *. (x /. max 1e-9 null_s -. 1.) in
+  row "%-28s %10.4f s\n" "disabled (Obs.null)" null_s;
+  row "%-28s %10.4f s  (%+.1f%%)\n" "metrics only" metrics_s (pct metrics_s);
+  row "%-28s %10.4f s  (%+.1f%%)\n" "metrics + JSONL sink" sink_s (pct sink_s);
+  Bench_out.record "obs-overhead"
+    (Dsm.Json.Obj
+       [
+         ("null_s", Dsm.Json.Float null_s);
+         ("metrics_s", Dsm.Json.Float metrics_s);
+         ("sink_s", Dsm.Json.Float sink_s);
+         ("metrics_pct", Dsm.Json.Float (pct metrics_s));
+         ("sink_pct", Dsm.Json.Float (pct sink_s));
+       ])
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "LMC benchmark harness%s\n%!"
     (if quick then " (--quick)" else "");
-  if section "fig3-4" then fig3_4 ();
-  if section "fig10-12" then fig10_12 ();
-  if section "fig10-12b" then fig10_12_two_proposals ();
-  if section "fig13" then fig13 ();
-  if section "table5.1" then table51 ();
-  if section "table5.2" then table52 ();
-  if section "table5.5" then table55 ();
-  if section "table5.6" then table56 ();
-  if section "ablation-chain" then ablation_chain ();
-  if section "ablation-history" then ablation_history ();
-  if section "ablation-soundness" then ablation_soundness ();
-  if section "ablation-auto" then ablation_auto ();
-  if section "breadth" then breadth ();
-  if section "micro" then micro ();
+  let run name f = if section name then Bench_out.timed name f in
+  run "fig3-4" fig3_4;
+  run "fig10-12" fig10_12;
+  run "fig10-12b" fig10_12_two_proposals;
+  run "fig13" fig13;
+  run "table5.1" table51;
+  run "table5.2" table52;
+  run "table5.5" table55;
+  run "table5.6" table56;
+  run "ablation-chain" ablation_chain;
+  run "ablation-history" ablation_history;
+  run "ablation-soundness" ablation_soundness;
+  run "ablation-auto" ablation_auto;
+  run "breadth" breadth;
+  run "micro" micro;
+  run "obs-overhead" obs_overhead;
+  Bench_out.write "BENCH_lmc.json";
   Printf.printf "\ndone.\n"

@@ -1,0 +1,30 @@
+(* jsonl_check: validate that every line of a JSONL file parses as a
+   JSON value.  Exits 0 when the whole file is well-formed, 1 with a
+   line-numbered diagnostic otherwise.  Used by `make check' to assert
+   that the CLI's --metrics-out / --trace-out streams stay parseable. *)
+
+let check_file path =
+  let ic = open_in path in
+  let rec loop lineno ok =
+    match input_line ic with
+    | exception End_of_file -> ok
+    | line when String.trim line = "" -> loop (lineno + 1) ok
+    | line -> (
+        match Dsm.Json.of_string line with
+        | Ok _ -> loop (lineno + 1) ok
+        | Error msg ->
+            Printf.eprintf "%s:%d: %s\n" path lineno msg;
+            loop (lineno + 1) false)
+  in
+  let ok = loop 1 true in
+  close_in ic;
+  ok
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then begin
+    prerr_endline "usage: jsonl_check FILE...";
+    exit 2
+  end;
+  let ok = List.for_all check_file paths in
+  exit (if ok then 0 else 1)

@@ -17,6 +17,7 @@ type check_params = {
   minimize : bool;
   dot : string option;  (* write the witness sequence chart here *)
   json : bool;  (* machine-readable result on stdout *)
+  obs : Obs.scope;  (* --metrics-out / --trace-out / --progress *)
 }
 
 (* One bundled protocol instance, closed over its invariant, its
@@ -26,10 +27,54 @@ type runner = {
   description : string;
   check : check_params -> int;
   hunt :
-    (seed:int -> drop:float -> interval:float -> max_live:float ->
-     budget:float -> steer:bool -> int)
+    (obs:Obs.scope -> seed:int -> drop:float -> interval:float ->
+     max_live:float -> budget:float -> steer:bool -> int)
     option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the scope requested on the command line; returns it with a
+   finaliser that dumps the metrics registry and closes the sinks.
+   With none of the three flags this is [Obs.null] and a no-op.
+   Unwritable paths must fail here, before the run, not at the end. *)
+let make_scope ~metrics_out ~trace_out ~progress =
+  if metrics_out = None && trace_out = None && progress = None then
+    (Obs.null, fun () -> ())
+  else begin
+    let fail_io msg =
+      Printf.eprintf "lmc_cli: %s\n%!" msg;
+      exit 2
+    in
+    (match metrics_out with
+    | Some path -> (
+        try close_out (open_out_gen [ Open_wronly; Open_creat ] 0o644 path)
+        with Sys_error msg -> fail_io msg)
+    | None -> ());
+    let sinks =
+      (match trace_out with
+      | Some path -> (
+          try [ Obs.Sink.jsonl_file path ]
+          with Sys_error msg -> fail_io msg)
+      | None -> [])
+      @
+      match progress with
+      | Some _ -> [ Obs.Sink.console ~only:[ "progress" ] () ]
+      | None -> []
+    in
+    let scope = Obs.create ~sinks ?progress () in
+    let finish () =
+      (match metrics_out with
+      | Some path -> (
+          try Obs.write_metrics_jsonl scope path
+          with Sys_error msg -> Printf.eprintf "lmc_cli: %s\n%!" msg)
+      | None -> ());
+      Obs.close scope
+    in
+    (scope, finish)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Generic drivers                                                     *)
@@ -108,6 +153,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             G.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            obs = params.obs;
           }
         in
         let o = G.run cfg ~invariant init in
@@ -168,6 +214,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             L.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            obs = params.obs;
           }
         in
         let r = L.run cfg ~strategy ~invariant init in
@@ -235,8 +282,8 @@ struct
   module O = Online.Online_mc.Make (Live) (Check)
   module S = Sim.Live_sim.Make (Live)
 
-  let run ?strategy ?action_prob ~invariant ~seed ~drop ~interval ~max_live
-      ~budget ~steer () =
+  let run ?strategy ?action_prob ~obs ~invariant ~seed ~drop ~interval
+      ~max_live ~budget ~steer () =
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
         ()
@@ -260,7 +307,7 @@ struct
     let strategy =
       match strategy with Some s -> s | None -> O.Checker.General
     in
-    let outcome = O.run config ~strategy ~invariant in
+    let outcome = O.run ~obs config ~strategy ~invariant in
     (if steer then
        Format.printf
          "steering: %d veto(s) installed; live system %s@."
@@ -391,13 +438,13 @@ let paxos_runner ~buggy =
           ~invariant:Bench.safety params);
     hunt =
       Some
-        (fun ~seed ~drop ~interval ~max_live ~budget ~steer ->
+        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
-            ~invariant:Check.safety ~seed ~drop ~interval ~max_live ~budget
-            ~steer ());
+            ~obs ~invariant:Check.safety ~seed ~drop ~interval ~max_live
+            ~budget ~steer ());
   }
 
 let onepaxos_runner ~buggy =
@@ -430,7 +477,7 @@ let onepaxos_runner ~buggy =
           ~invariant:OP.safety params);
     hunt =
       Some
-        (fun ~seed ~drop ~interval ~max_live ~budget ~steer ->
+        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -439,7 +486,7 @@ let onepaxos_runner ~buggy =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
-            ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
+            ~obs ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
             ~steer ());
   }
 
@@ -666,23 +713,47 @@ let json_arg =
   let doc = "Emit a single JSON object on stdout instead of prose." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Dump the metrics registry (counters, histograms) as JSONL to $(docv) \
+     when the run finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
+let trace_out_arg =
+  let doc =
+    "Stream structured events (new node states, preliminary and sound \
+     violations, rounds, progress) as JSONL to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let progress_arg =
+  let doc =
+    "Print a progress heartbeat to stderr roughly every $(docv) seconds."
+  in
+  Arg.(value & opt (some float) None & info [ "progress" ] ~doc ~docv:"SECS")
+
 let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
-  let run protocol checker max_depth time_limit verbose minimize dot json =
+  let run protocol checker max_depth time_limit verbose minimize dot json
+      metrics_out trace_out progress =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
         2
     | Ok r ->
-        r.check
-          { kind = checker; max_depth; time_limit; verbose; minimize; dot;
-            json }
+        let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
+        Fun.protect ~finally:finish (fun () ->
+            r.check
+              { kind = checker; max_depth; time_limit; verbose; minimize;
+                dot; json; obs })
   in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
-      $ verbose_arg $ minimize_arg $ dot_arg $ json_arg)
+      $ verbose_arg $ minimize_arg $ dot_arg $ json_arg $ metrics_out_arg
+      $ trace_out_arg $ progress_arg)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -716,7 +787,8 @@ let hunt_cmd =
     "Run a simulated lossy deployment with periodic LMC restarts (online \
      model checking, 3.3)."
   in
-  let run protocol seed drop interval max_live budget steer =
+  let run protocol seed drop interval max_live budget steer metrics_out
+      trace_out progress =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -725,13 +797,16 @@ let hunt_cmd =
         prerr_endline "this protocol has no online-hunt setup";
         2
     | Ok { hunt = Some h; _ } ->
-        h ~seed ~drop ~interval ~max_live ~budget ~steer
+        let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
+        Fun.protect ~finally:finish (fun () ->
+            h ~obs ~seed ~drop ~interval ~max_live ~budget ~steer)
   in
   Cmd.v
     (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
-      $ max_live_arg $ budget_arg $ steer_arg)
+      $ max_live_arg $ budget_arg $ steer_arg $ metrics_out_arg
+      $ trace_out_arg $ progress_arg)
 
 let () =
   let doc = "local model checking of distributed protocols (NSDI'11)" in

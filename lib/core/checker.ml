@@ -30,6 +30,7 @@ module Make (P : Dsm.Protocol.S) = struct
     soundness_via_sequences : bool;
     defer_soundness : bool;
     verify_domains : int;
+    obs : Obs.scope;
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
   }
 
@@ -52,6 +53,7 @@ module Make (P : Dsm.Protocol.S) = struct
       soundness_via_sequences = false;
       defer_soundness = false;
       verify_domains = 1;
+      obs = Obs.null;
       on_new_node_state = None;
     }
 
@@ -128,8 +130,58 @@ module Make (P : Dsm.Protocol.S) = struct
     r_depth : int;
   }
 
+  (* Pre-resolved metric handles: the registry lookup happens once per
+     run, the hot loops pay one atomic increment per update.  The
+     counters mirror the [result] record exactly, so a metrics dump of
+     a finished run agrees with the printed summary. *)
+  type obs_handles = {
+    scope : Obs.scope;
+    soundness_obs : Obs.scope option;
+        (* [None] for the null scope, sparing {!Soundness} the
+           per-call recording entirely *)
+    node_state_observers : (Dsm.Node_id.t -> P.state -> unit) list;
+        (* subscribers of the lmc.node_state stream; the deprecated
+           [on_new_node_state] callback is re-implemented as one *)
+    c_transitions : Obs.Metrics.counter;
+    c_node_states : Obs.Metrics.counter;
+    c_net_messages : Obs.Metrics.counter;
+    c_system_states : Obs.Metrics.counter;
+    c_prelim : Obs.Metrics.counter;
+    c_soundness_calls : Obs.Metrics.counter;
+    c_sequences : Obs.Metrics.counter;
+    c_rejections : Obs.Metrics.counter;
+    c_budget_exhausted : Obs.Metrics.counter;
+    c_local_drops : Obs.Metrics.counter;
+    h_system_depth : Obs.Metrics.histogram;
+    h_node_depth : Obs.Metrics.histogram;
+    h_soundness_us : Obs.Metrics.histogram;
+  }
+
+  let make_obs_handles (config : config) =
+    let scope = config.obs in
+    {
+      scope;
+      soundness_obs = (if Obs.is_null scope then None else Some scope);
+      node_state_observers =
+        (match config.on_new_node_state with Some f -> [ f ] | None -> []);
+      c_transitions = Obs.counter scope "lmc.transitions";
+      c_node_states = Obs.counter scope "lmc.node_states";
+      c_net_messages = Obs.counter scope "lmc.net_messages";
+      c_system_states = Obs.counter scope "lmc.system_states_created";
+      c_prelim = Obs.counter scope "lmc.preliminary_violations";
+      c_soundness_calls = Obs.counter scope "lmc.soundness_calls";
+      c_sequences = Obs.counter scope "lmc.sequences_checked";
+      c_rejections = Obs.counter scope "lmc.soundness_rejections";
+      c_budget_exhausted = Obs.counter scope "lmc.soundness_budget_exhausted";
+      c_local_drops = Obs.counter scope "lmc.local_assert_drops";
+      h_system_depth = Obs.histogram scope "lmc.system_depth";
+      h_node_depth = Obs.histogram scope "lmc.node_depth";
+      h_soundness_us = Obs.histogram scope "lmc.soundness_us";
+    }
+
   type 'k t = {
     config : config;
+    o : obs_handles;
     strategy : 'k strategy;
     invariant : P.state Dsm.Invariant.t;
     stores : 'k entry Vec.t array;
@@ -160,7 +212,26 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let now () = Unix.gettimeofday ()
 
+  (* Live progress for long runs: explored node states, |I+| and the
+     violation tallies (§5's headline numbers), reported while the
+     checker is still working.  Sits on the per-transition path — the
+     heartbeat's common case is a branch and an integer increment. *)
+  let heartbeat t =
+    Obs.heartbeat t.o.scope (fun () ->
+        [
+          ("transitions", Dsm.Json.Int t.transitions);
+          ( "node_states",
+            Dsm.Json.Int
+              (Array.fold_left (fun acc s -> acc + Vec.length s) 0 t.stores)
+          );
+          ("net_messages", Dsm.Json.Int (Vec.length t.net));
+          ("system_states", Dsm.Json.Int t.system_states_created);
+          ("preliminary_violations", Dsm.Json.Int t.preliminary_violations);
+          ("elapsed_s", Dsm.Json.Float (now () -. t.started));
+        ])
+
   let check_budget t =
+    heartbeat t;
     let over_time =
       match t.config.time_limit with
       | Some limit -> now () -. t.started > limit
@@ -193,7 +264,8 @@ module Make (P : Dsm.Protocol.S) = struct
     if not (Hashtbl.mem t.net_by_fp fp) then begin
       let id = Vec.length t.net in
       ignore (Vec.push t.net { net_id = id; env; net_fp = fp; cursor = 0 });
-      Hashtbl.replace t.net_by_fp fp id
+      Hashtbl.replace t.net_by_fp fp id;
+      Obs.Metrics.incr t.o.c_net_messages
     end;
     fp
 
@@ -300,6 +372,7 @@ module Make (P : Dsm.Protocol.S) = struct
   let verify_soundness ?(cache_rejection = true) t (tuple : 'k entry array)
       system violation sdepth =
     t.soundness_calls <- t.soundness_calls + 1;
+    Obs.Metrics.incr t.o.c_soundness_calls;
     let t0 = now () in
     (* Map a scheduled event back to its protocol-level step. *)
     let by_label : (Dsm.Node_id.t * Fingerprint.t, event_info) Hashtbl.t =
@@ -322,12 +395,13 @@ module Make (P : Dsm.Protocol.S) = struct
         (Combination.iter paths (fun sequences ->
              incr combos;
              t.sequences_checked <- t.sequences_checked + 1;
+             Obs.Metrics.incr t.o.c_sequences;
              let seqs =
                Array.mapi (fun n evs -> to_soundness_sequence n evs) sequences
              in
              match
-               Soundness.check ~budget:t.config.soundness_budget
-                 ~initial_net:[] seqs
+               Soundness.check ?obs:t.o.soundness_obs
+                 ~budget:t.config.soundness_budget ~initial_net:[] seqs
              with
              | Soundness.Valid order ->
                  found := Some order;
@@ -339,21 +413,27 @@ module Make (P : Dsm.Protocol.S) = struct
     else begin
       let graphs = Array.map (fun e -> build_graph t e by_label) tuple in
       t.sequences_checked <- t.sequences_checked + 1;
+      Obs.Metrics.incr t.o.c_sequences;
       (match
-         Soundness.check_dag ~budget:t.config.soundness_budget ~initial_net:[]
-           graphs
+         Soundness.check_dag ?obs:t.o.soundness_obs
+           ~budget:t.config.soundness_budget ~initial_net:[] graphs
        with
       | Soundness.Valid order -> found := Some order
       | Soundness.Invalid -> ()
       | Soundness.Budget_exhausted ->
-          t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1);
+          t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1;
+          Obs.Metrics.incr t.o.c_budget_exhausted);
       ()
     end;
-    t.soundness_time <- t.soundness_time +. (now () -. t0);
+    let spent = now () -. t0 in
+    t.soundness_time <- t.soundness_time +. spent;
+    Obs.Metrics.observe t.o.h_soundness_us
+      (int_of_float (1e6 *. spent));
     match !found with
     | None ->
         if cache_rejection then begin
           t.soundness_rejections <- t.soundness_rejections + 1;
+          Obs.Metrics.incr t.o.c_rejections;
           if
             t.config.reverify_rejected
             && Vec.length t.rejected < t.config.max_rejected_cache
@@ -388,6 +468,13 @@ module Make (P : Dsm.Protocol.S) = struct
                  of the component state depths *)
               system_depth = List.length schedule;
             };
+        Obs.event t.o.scope "lmc.sound_violation"
+          ~fields:
+            [
+              ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
+              ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
+              ("witness_events", Dsm.Json.Int (List.length schedule));
+            ];
         if t.config.stop_on_violation then raise Stop
 
   (* ----- system state creation (checkSystemInvariant, Fig. 9) ----- *)
@@ -397,12 +484,22 @@ module Make (P : Dsm.Protocol.S) = struct
     let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
     if depth_allows t sdepth then begin
       t.system_states_created <- t.system_states_created + 1;
+      Obs.Metrics.incr t.o.c_system_states;
+      Obs.Metrics.observe t.o.h_system_depth sdepth;
       if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
       let system = Array.map (fun e -> e.state) tuple in
       match Dsm.Invariant.check t.invariant system with
       | None -> ()
       | Some violation ->
           t.preliminary_violations <- t.preliminary_violations + 1;
+          Obs.Metrics.incr t.o.c_prelim;
+          Obs.event t.o.scope "lmc.preliminary_violation"
+            ~fields:
+              [
+                ( "invariant",
+                  Dsm.Json.String violation.Dsm.Invariant.invariant );
+                ("system_depth", Dsm.Json.Int sdepth);
+              ];
           if t.config.verify_soundness then begin
             if
               t.config.defer_soundness
@@ -550,9 +647,16 @@ module Make (P : Dsm.Protocol.S) = struct
         ignore (Vec.push store entry);
         Hashtbl.replace t.by_fp.(node) fp idx;
         if depth > t.max_node_depth then t.max_node_depth <- depth;
-        (match t.config.on_new_node_state with
-        | Some f -> f node state
-        | None -> ());
+        Obs.Metrics.incr t.o.c_node_states;
+        Obs.Metrics.observe t.o.h_node_depth depth;
+        Obs.event t.o.scope "lmc.node_state"
+          ~fields:
+            [
+              ("node", Dsm.Json.Int node);
+              ("depth", Dsm.Json.Int depth);
+              ("fp", Dsm.Json.String (Fingerprint.to_hex fp));
+            ];
+        List.iter (fun f -> f node state) t.o.node_state_observers;
         check_system_invariant t entry;
         true
 
@@ -562,11 +666,13 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     if (not skip_by_history) && depth_allows t (entry.depth + 1) then begin
       t.transitions <- t.transitions + 1;
+      Obs.Metrics.incr t.o.c_transitions;
       check_budget t;
       let node = m.env.Envelope.dst in
       match P.handle_message ~self:node entry.state m.env with
       | exception Dsm.Protocol.Local_assert _ ->
           t.local_assert_drops <- t.local_assert_drops + 1;
+          Obs.Metrics.incr t.o.c_local_drops;
           false
       | state', out ->
           let produces = List.map (add_message t) out in
@@ -615,10 +721,12 @@ module Make (P : Dsm.Protocol.S) = struct
       List.fold_left
         (fun progress action ->
           t.transitions <- t.transitions + 1;
+          Obs.Metrics.incr t.o.c_transitions;
           check_budget t;
           match P.handle_action ~self:node entry.state action with
           | exception Dsm.Protocol.Local_assert _ ->
               t.local_assert_drops <- t.local_assert_drops + 1;
+              Obs.Metrics.incr t.o.c_local_drops;
               progress
           | state', out ->
               let produces = List.map (add_message t) out in
@@ -706,12 +814,22 @@ module Make (P : Dsm.Protocol.S) = struct
     let domains = max 1 t.config.verify_domains in
     let next = Atomic.make 0 in
     let budget = t.config.soundness_budget in
+    (* Worker domains record into the scope concurrently: the
+       histogram/counter cells are atomic, per-domain effort merges
+       without locks (the "per-domain buffers or atomic counters"
+       requirement of always-on instrumentation). *)
+    let soundness_obs = t.o.soundness_obs in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let _, graphs, _ = jobs.(i) in
-          verdicts.(i) <- Soundness.check_dag ~budget ~initial_net:[] graphs;
+          let j0 = now () in
+          verdicts.(i) <-
+            Soundness.check_dag ?obs:soundness_obs ~budget ~initial_net:[]
+              graphs;
+          Obs.Metrics.observe t.o.h_soundness_us
+            (int_of_float (1e6 *. (now () -. j0)));
           loop ()
         end
       in
@@ -724,16 +842,22 @@ module Make (P : Dsm.Protocol.S) = struct
     List.iter Domain.join spawned;
     t.soundness_calls <- t.soundness_calls + n;
     t.sequences_checked <- t.sequences_checked + n;
+    Obs.Metrics.add t.o.c_soundness_calls n;
+    Obs.Metrics.add t.o.c_sequences n;
     t.soundness_time <- t.soundness_time +. (now () -. t0);
     (* Fold the verdicts deterministically. *)
     Array.iteri
       (fun i verdict ->
         let r, _, by_label = jobs.(i) in
         match verdict with
-        | Soundness.Invalid -> t.soundness_rejections <- t.soundness_rejections + 1
+        | Soundness.Invalid ->
+            t.soundness_rejections <- t.soundness_rejections + 1;
+            Obs.Metrics.incr t.o.c_rejections
         | Soundness.Budget_exhausted ->
             t.soundness_rejections <- t.soundness_rejections + 1;
-            t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1
+            t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1;
+            Obs.Metrics.incr t.o.c_rejections;
+            Obs.Metrics.incr t.o.c_budget_exhausted
         | Soundness.Valid order ->
             if t.sound_violation = None then begin
               let schedule =
@@ -751,7 +875,16 @@ module Make (P : Dsm.Protocol.S) = struct
                     violation = r.r_violation;
                     schedule;
                     system_depth = List.length schedule;
-                  }
+                  };
+              Obs.event t.o.scope "lmc.sound_violation"
+                ~fields:
+                  [
+                    ( "invariant",
+                      Dsm.Json.String r.r_violation.Dsm.Invariant.invariant );
+                    ( "detail",
+                      Dsm.Json.String r.r_violation.Dsm.Invariant.detail );
+                    ("witness_events", Dsm.Json.Int (List.length schedule));
+                  ]
             end)
       verdicts
 
@@ -768,20 +901,29 @@ module Make (P : Dsm.Protocol.S) = struct
     if wanted then begin
       let pending = Vec.to_array t.rejected in
       Vec.clear t.rejected;
-      if
-        t.config.verify_domains > 1
-        && not t.config.soundness_via_sequences
-        && not (t.config.stop_on_violation && t.sound_violation <> None)
-      then verify_parallel t pending
-      else
-        Array.iter
-          (fun r ->
-            if not (t.config.stop_on_violation && t.sound_violation <> None)
-            then
-              verify_soundness
-                ~cache_rejection:t.config.defer_soundness t r.r_tuple
-                r.r_system r.r_violation r.r_depth)
-          pending
+      Obs.span t.o.scope "lmc.reverify"
+        ~fields:
+          [
+            ("pending", Dsm.Json.Int (Array.length pending));
+            ("domains", Dsm.Json.Int t.config.verify_domains);
+          ]
+        (fun () ->
+          if
+            t.config.verify_domains > 1
+            && not t.config.soundness_via_sequences
+            && not (t.config.stop_on_violation && t.sound_violation <> None)
+          then verify_parallel t pending
+          else
+            Array.iter
+              (fun r ->
+                if
+                  not
+                    (t.config.stop_on_violation && t.sound_violation <> None)
+                then
+                  verify_soundness
+                    ~cache_rejection:t.config.defer_soundness t r.r_tuple
+                    r.r_system r.r_violation r.r_depth)
+              pending)
     end
 
   let check_initial t snapshot =
@@ -856,6 +998,7 @@ module Make (P : Dsm.Protocol.S) = struct
     let t =
       {
         config;
+        o = make_obs_handles config;
         strategy;
         invariant;
         stores = Array.init P.num_nodes (fun _ -> Vec.create ());
@@ -901,21 +1044,47 @@ module Make (P : Dsm.Protocol.S) = struct
           }
         in
         ignore (Vec.push t.stores.(n) entry);
-        Hashtbl.replace t.by_fp.(n) fp 0)
+        Hashtbl.replace t.by_fp.(n) fp 0;
+        Obs.Metrics.incr t.o.c_node_states)
       snapshot;
+    Obs.event t.o.scope "lmc.run.start"
+      ~fields:
+        [
+          ("protocol", Dsm.Json.String P.name);
+          ("nodes", Dsm.Json.Int P.num_nodes);
+        ];
     (try
        check_initial t snapshot;
        if not (t.config.stop_on_violation && t.sound_violation <> None) then begin
+         let rounds = ref 0 in
          let continue = ref true in
          while !continue do
            check_budget t;
-           continue := round t
+           incr rounds;
+           Obs.span t.o.scope "lmc.round"
+             ~fields:[ ("round", Dsm.Json.Int !rounds) ]
+             (fun () -> continue := round t)
          done;
          reverify_rejected t
        end
      with Stop -> ());
     let elapsed = now () -. t.started in
     let node_states = Array.map Vec.length t.stores in
+    Obs.event t.o.scope "lmc.run.end"
+      ~fields:
+        [
+          ("protocol", Dsm.Json.String P.name);
+          ("transitions", Dsm.Json.Int t.transitions);
+          ( "node_states",
+            Dsm.Json.Int (Array.fold_left ( + ) 0 node_states) );
+          ("net_messages", Dsm.Json.Int (Vec.length t.net));
+          ("system_states", Dsm.Json.Int t.system_states_created);
+          ("preliminary_violations", Dsm.Json.Int t.preliminary_violations);
+          ("soundness_calls", Dsm.Json.Int t.soundness_calls);
+          ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
+          ("completed", Dsm.Json.Bool (not t.truncated));
+          ("elapsed_s", Dsm.Json.Float elapsed);
+        ];
     {
       node_states;
       total_node_states = Array.fold_left ( + ) 0 node_states;

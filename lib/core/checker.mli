@@ -97,9 +97,24 @@ module Make (P : Dsm.Protocol.S) : sig
             ("the model checking process can be embarrassingly
             parallelized"); 1 = serial.  Only the DAG soundness mode
             parallelises. *)
+    obs : Obs.scope;
+        (** observability scope.  Counters mirroring every [result]
+            tally ([lmc.transitions], [lmc.node_states],
+            [lmc.soundness_calls], ...) are always recorded —
+            single atomic increments, safe under [verify_domains > 1];
+            structured events ([lmc.node_state],
+            [lmc.preliminary_violation], [lmc.sound_violation],
+            [lmc.round] / [lmc.reverify] spans) flow to the scope's
+            sinks, and a periodic ["progress"] heartbeat reports
+            explored states / |I+| / preliminary violations during
+            long runs.  Defaults to {!Obs.null} (no sinks, throwaway
+            registry). *)
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
-        (** observation hook fired once per newly visited node state;
-            used by tests and instrumentation *)
+        (** @deprecated superseded by the [obs] event stream: the
+            callback is kept working but is now just one more
+            subscriber of the [lmc.node_state] notification (fired
+            once per newly visited node state).  New code should
+            attach an {!Obs.Sink} instead. *)
   }
 
   val default_config : config

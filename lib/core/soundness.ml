@@ -33,6 +33,24 @@ end
 
 exception Out_of_budget
 
+(* Per-call observability: search-step histograms separate the cheap
+   prefilter rejections (0 steps) from the searches that actually
+   backtrack, and the verdict counters make "how often does soundness
+   save us" a first-class number.  All cells are atomic, so the
+   deferred-verification worker domains record concurrently. *)
+let record obs ~kind ~steps verdict =
+  match obs with
+  | None -> ()
+  | Some scope ->
+      Obs.Metrics.observe (Obs.histogram scope "soundness.steps") steps;
+      Obs.Metrics.incr (Obs.counter scope ("soundness.checks." ^ kind));
+      Obs.Metrics.incr
+        (Obs.counter scope
+           (match verdict with
+           | Valid _ -> "soundness.valid"
+           | Invalid -> "soundness.invalid"
+           | Budget_exhausted -> "soundness.budget_exhausted"))
+
 (* Necessary condition checked before any search: every consumed
    message must be produced somewhere (by another event or the initial
    net), with multiplicity.  Most invalid combinations of node states
@@ -50,7 +68,7 @@ let balanced ~initial_net sequences =
     sequences;
   Hashtbl.fold (fun _ c ok -> ok && c >= 0) counts true
 
-let check ?(budget = 200_000) ~initial_net sequences =
+let check ?obs ?(budget = 200_000) ~initial_net sequences =
   let n = Array.length sequences in
   let remaining = Array.map (fun s -> s) sequences in
   let net = Net.create initial_net in
@@ -109,12 +127,16 @@ let check ?(budget = 200_000) ~initial_net sequences =
       end
     end
   in
-  if not (balanced ~initial_net sequences) then Invalid
-  else
-    match dfs [] with
-    | Some order -> Valid order
-    | None -> Invalid
-    | exception Out_of_budget -> Budget_exhausted
+  let verdict =
+    if not (balanced ~initial_net sequences) then Invalid
+    else
+      match dfs [] with
+      | Some order -> Valid order
+      | None -> Invalid
+      | exception Out_of_budget -> Budget_exhausted
+  in
+  record obs ~kind:"sequence" ~steps:!steps verdict;
+  verdict
 
 type node_graph = {
   root : int;
@@ -194,7 +216,7 @@ let feasible ~initial_net graphs =
   in
   Array.for_all graph_ok graphs
 
-let check_dag ?(budget = 200_000) ~initial_net graphs =
+let check_dag ?obs ?(budget = 200_000) ~initial_net graphs =
   let n = Array.length graphs in
   (* Adjacency: per node, state index -> outgoing (event, next). *)
   let adj =
@@ -311,9 +333,13 @@ let check_dag ?(budget = 200_000) ~initial_net graphs =
       end
     end
   in
-  if not (feasible ~initial_net graphs) then Invalid
-  else
-    match dfs [] with
-    | Some order, _ -> Valid order
-    | None, _ -> Invalid
-    | exception Out_of_budget -> Budget_exhausted
+  let verdict =
+    if not (feasible ~initial_net graphs) then Invalid
+    else
+      match dfs [] with
+      | Some order, _ -> Valid order
+      | None, _ -> Invalid
+      | exception Out_of_budget -> Budget_exhausted
+  in
+  record obs ~kind:"dag" ~steps:!steps verdict;
+  verdict

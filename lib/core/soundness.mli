@@ -43,8 +43,12 @@ type verdict =
     sequences admit a valid total order.  [initial_net] lists message
     fingerprints already in flight when the sequences start (empty for
     snapshot-rooted checks).  [budget] bounds backtracking steps
-    (default 200_000). *)
+    (default 200_000).  [obs] records per-call search effort into the
+    scope's registry: a [soundness.steps] histogram plus
+    per-kind/per-verdict counters; safe to pass from concurrent
+    verification domains. *)
 val check :
+  ?obs:Obs.scope ->
   ?budget:int ->
   initial_net:Dsm.Fingerprint.t list ->
   sequence array ->
@@ -74,6 +78,7 @@ type node_graph = {
     can walk from its root to its target such that the interleaved
     events form a valid run. *)
 val check_dag :
+  ?obs:Obs.scope ->
   ?budget:int ->
   initial_net:Dsm.Fingerprint.t list ->
   node_graph array ->

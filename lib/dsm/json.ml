@@ -56,3 +56,194 @@ let to_string t =
   let b = Buffer.create 256 in
   emit b t;
   Buffer.contents b
+
+(* ----- parsing (recursive descent over the emitted subset) ----- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance p;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> parse_error "expected %c at offset %d, got %c" c p.pos c'
+  | None -> parse_error "expected %c at offset %d, got end of input" c p.pos
+
+let literal p word value =
+  if
+    p.pos + String.length word <= String.length p.src
+    && String.sub p.src p.pos (String.length word) = word
+  then begin
+    p.pos <- p.pos + String.length word;
+    value
+  end
+  else parse_error "invalid literal at offset %d" p.pos
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> parse_error "invalid hex digit %c" c
+
+let parse_string p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some '"' -> advance p; Buffer.add_char b '"'; loop ()
+        | Some '\\' -> advance p; Buffer.add_char b '\\'; loop ()
+        | Some '/' -> advance p; Buffer.add_char b '/'; loop ()
+        | Some 'n' -> advance p; Buffer.add_char b '\n'; loop ()
+        | Some 'r' -> advance p; Buffer.add_char b '\r'; loop ()
+        | Some 't' -> advance p; Buffer.add_char b '\t'; loop ()
+        | Some 'b' -> advance p; Buffer.add_char b '\b'; loop ()
+        | Some 'f' -> advance p; Buffer.add_char b '\012'; loop ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then
+              parse_error "truncated \\u escape";
+            let code =
+              (hex_digit p.src.[p.pos] lsl 12)
+              lor (hex_digit p.src.[p.pos + 1] lsl 8)
+              lor (hex_digit p.src.[p.pos + 2] lsl 4)
+              lor hex_digit p.src.[p.pos + 3]
+            in
+            p.pos <- p.pos + 4;
+            (* UTF-8 encode the BMP code point (we never emit
+               surrogate pairs). *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char b
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end;
+            loop ()
+        | _ -> parse_error "invalid escape at offset %d" p.pos)
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_float = ref false in
+  let continue () =
+    match peek p with
+    | Some ('0' .. '9' | '-' | '+') -> true
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        true
+    | _ -> false
+  in
+  while continue () do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_error "invalid number %S" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* out of [int] range: fall back to float *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> parse_error "invalid number %S" s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> String (parse_string p)
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value p ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          advance p;
+          items := parse_value p :: !items;
+          skip_ws p
+        done;
+        expect p ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          advance p;
+          fields := field () :: !fields;
+          skip_ws p
+        done;
+        expect p '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> parse_error "unexpected character %c at offset %d" c p.pos
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+      else Ok v
+  | exception Parse_error m -> Error m

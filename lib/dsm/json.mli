@@ -1,9 +1,11 @@
-(** Minimal JSON emission (no parsing).
+(** Minimal JSON emission and parsing.
 
     The toolchain ships no JSON library and the sealed build must not
     add dependencies, so this is the small, correct subset needed to
-    emit machine-readable checker results: full string escaping, the
-    standard scalar types, arrays and objects. *)
+    emit machine-readable checker results — full string escaping, the
+    standard scalar types, arrays and objects — plus a parser for the
+    same subset, used to validate JSONL metric/trace streams in tests
+    and tooling. *)
 
 type t =
   | Null
@@ -16,3 +18,9 @@ type t =
 
 (** Compact (single-line) rendering with RFC 8259 string escaping. *)
 val to_string : t -> string
+
+(** Parse one JSON value.  Numbers without a fraction or exponent
+    parse as [Int] (falling back to [Float] beyond the [int] range);
+    [\u] escapes decode to UTF-8.  [Error] carries a human-readable
+    reason, including trailing non-whitespace input. *)
+val of_string : string -> (t, string) result

@@ -36,6 +36,7 @@ module Make (P : Dsm.Protocol.S) = struct
     max_transitions : int option;
     stop_on_violation : bool;
     track_traces : bool;
+    obs : Obs.scope;
   }
 
   let default_config =
@@ -45,6 +46,7 @@ module Make (P : Dsm.Protocol.S) = struct
       max_transitions = None;
       stop_on_violation = true;
       track_traces = true;
+      obs = Obs.null;
     }
 
   (* The canonical fingerprint of a global state: node states are
@@ -58,8 +60,29 @@ module Make (P : Dsm.Protocol.S) = struct
   let visited_entry_bytes = Fingerprint.size + 48
   let parent_entry_bytes = (2 * Fingerprint.size) + 80
 
+  (* Metric handles resolved once per run; see the LMC checker for the
+     cost model (atomic increments on the hot path). *)
+  type obs_handles = {
+    scope : Obs.scope;
+    c_transitions : Obs.Metrics.counter;
+    c_global_states : Obs.Metrics.counter;
+    c_system_states : Obs.Metrics.counter;
+    h_depth : Obs.Metrics.histogram;
+  }
+
+  let make_obs_handles (config : config) =
+    let scope = config.obs in
+    {
+      scope;
+      c_transitions = Obs.counter scope "bdfs.transitions";
+      c_global_states = Obs.counter scope "bdfs.global_states";
+      c_system_states = Obs.counter scope "bdfs.system_states";
+      h_depth = Obs.histogram scope "bdfs.depth";
+    }
+
   type search = {
     config : config;
+    o : obs_handles;
     invariant : P.state Dsm.Invariant.t;
     visited : (Fingerprint.t, int) Hashtbl.t;  (* fingerprint -> min depth *)
     parents :
@@ -96,7 +119,7 @@ module Make (P : Dsm.Protocol.S) = struct
     walk fp []
 
   let record_violation s g fp depth violation =
-    if s.violation = None then
+    if s.violation = None then begin
       s.violation <-
         Some
           {
@@ -104,7 +127,15 @@ module Make (P : Dsm.Protocol.S) = struct
             violation;
             trace = (if s.config.track_traces then rebuild_trace s fp else []);
             depth;
-          }
+          };
+      Obs.event s.o.scope "bdfs.violation"
+        ~fields:
+          [
+            ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
+            ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
+            ("depth", Dsm.Json.Int depth);
+          ]
+    end
 
   (* Successors of a global state: one delivery per distinct in-flight
      message, one execution per enabled internal action.  A handler
@@ -144,7 +175,20 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     List.rev_append deliveries actions
 
+  let heartbeat s =
+    Obs.heartbeat s.o.scope (fun () ->
+        [
+          ("transitions", Dsm.Json.Int s.transitions);
+          ("global_states", Dsm.Json.Int (Hashtbl.length s.visited));
+          ( "system_states",
+            Dsm.Json.Int (Dsm.Fingerprint.Set.cardinal s.system_states) );
+          ("max_depth", Dsm.Json.Int s.max_depth_reached);
+          ( "elapsed_s",
+            Dsm.Json.Float (Unix.gettimeofday () -. s.started) );
+        ])
+
   let rec explore s g fp depth =
+    heartbeat s;
     if out_of_budget s then begin
       s.truncated <- true;
       raise Stop
@@ -157,6 +201,7 @@ module Make (P : Dsm.Protocol.S) = struct
       List.iter
         (fun (step, g') ->
           s.transitions <- s.transitions + 1;
+          Obs.Metrics.incr s.o.c_transitions;
           let fp' = fingerprint g' in
           let depth' = depth + 1 in
           let revisit_shallower =
@@ -166,13 +211,19 @@ module Make (P : Dsm.Protocol.S) = struct
           in
           if revisit_shallower then begin
             let first_visit = not (Hashtbl.mem s.visited fp') in
+            if first_visit then begin
+              Obs.Metrics.incr s.o.c_global_states;
+              Obs.Metrics.observe s.o.h_depth depth'
+            end;
             Hashtbl.replace s.visited fp' depth';
             if s.config.track_traces && first_visit then
               Hashtbl.replace s.parents fp' (Some fp, step);
             if first_visit then begin
-              s.system_states <-
-                Fingerprint.Set.add (system_fingerprint g'.nodes)
-                  s.system_states;
+              let sys_fp = system_fingerprint g'.nodes in
+              if not (Fingerprint.Set.mem sys_fp s.system_states) then begin
+                s.system_states <- Fingerprint.Set.add sys_fp s.system_states;
+                Obs.Metrics.incr s.o.c_system_states
+              end;
               match Dsm.Invariant.check s.invariant g'.nodes with
               | Some violation ->
                   record_violation s g' fp' depth' violation;
@@ -188,6 +239,7 @@ module Make (P : Dsm.Protocol.S) = struct
     let s =
       {
         config;
+        o = make_obs_handles config;
         invariant;
         visited = Hashtbl.create 4096;
         parents = Hashtbl.create 4096;
@@ -201,9 +253,11 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     let fp = fingerprint g in
     Hashtbl.replace s.visited fp 0;
+    Obs.Metrics.incr s.o.c_global_states;
     (* The root has no parent entry; [rebuild_trace] stops there. *)
     s.system_states <-
       Fingerprint.Set.add (system_fingerprint g.nodes) s.system_states;
+    Obs.Metrics.incr s.o.c_system_states;
     (match Dsm.Invariant.check invariant g.nodes with
     | Some violation -> record_violation s g fp 0 violation
     | None -> ());

@@ -49,6 +49,12 @@ module Make (P : Dsm.Protocol.S) : sig
     track_traces : bool;
         (** keep parent pointers for counterexample traces; disable to
             measure the bare visited-set footprint *)
+    obs : Obs.scope;
+        (** observability scope: [bdfs.transitions] /
+            [bdfs.global_states] / [bdfs.system_states] counters and a
+            [bdfs.depth] histogram mirror {!stats}; a periodic
+            ["progress"] heartbeat and a [bdfs.violation] event flow to
+            the scope's sinks.  Defaults to {!Obs.null}. *)
   }
 
   val default_config : config

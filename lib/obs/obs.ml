@@ -1,0 +1,96 @@
+module Metrics = Metrics
+module Sink = Sink
+
+type scope = {
+  metrics : Metrics.t;
+  sinks : Sink.t list;
+  active : bool;
+  clock0 : float;
+  progress_interval : float option;
+  mutable next_beat : float;
+  mutable beat_tick : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let make ?metrics ?(sinks = []) ?progress () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  {
+    metrics;
+    sinks;
+    active = sinks <> [];
+    clock0 = now ();
+    progress_interval = progress;
+    next_beat =
+      (match progress with Some iv -> now () +. iv | None -> infinity);
+    beat_tick = 0;
+  }
+
+let null = make ()
+
+let create ?metrics ?sinks ?progress () = make ?metrics ?sinks ?progress ()
+
+let is_null scope = scope == null
+
+let active scope = scope.active
+
+let metrics scope = scope.metrics
+
+let counter scope name = Metrics.counter scope.metrics name
+
+let gauge scope name = Metrics.gauge scope.metrics name
+
+let histogram scope name = Metrics.histogram scope.metrics name
+
+let elapsed scope = now () -. scope.clock0
+
+let emit scope name fields =
+  let e = { Sink.ts = elapsed scope; name; fields } in
+  List.iter (fun sink -> Sink.emit sink e) scope.sinks
+
+let event scope ?(fields = []) name =
+  if scope.active then emit scope name fields
+
+let span scope ?(fields = []) name f =
+  if not scope.active then f ()
+  else begin
+    let t0 = now () in
+    let finish () =
+      emit scope name
+        (fields @ [ ("elapsed_s", Dsm.Json.Float (now () -. t0)) ])
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* Hot-loop safe: a branch and an integer increment on the common path;
+   the clock is consulted only every 256 calls.  Meant to be called
+   from a single domain (the exploration loop). *)
+let heartbeat scope fields =
+  match scope.progress_interval with
+  | None -> ()
+  | Some iv ->
+      scope.beat_tick <- scope.beat_tick + 1;
+      if scope.beat_tick land 0xff = 0 then begin
+        let t = now () in
+        if t >= scope.next_beat then begin
+          scope.next_beat <- t +. iv;
+          emit scope "progress" (fields ())
+        end
+      end
+
+let flush scope = List.iter Sink.flush scope.sinks
+
+let close scope = List.iter Sink.close scope.sinks
+
+let write_metrics_jsonl scope path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun json ->
+          output_string oc (Dsm.Json.to_string json);
+          output_char oc '\n')
+        (Metrics.to_json_lines scope.metrics))

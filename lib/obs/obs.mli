@@ -1,0 +1,78 @@
+(** Unified observability: metrics, structured events/spans, progress.
+
+    A {!scope} bundles a {!Metrics} registry, a list of event
+    {!Sink}s, and an optional progress heartbeat; checkers thread one
+    scope through their run and record into it.  The design splits the
+    cost model in two:
+
+    {ul
+    {- {b metrics} (counters, gauges, log-scale histograms) are
+       always-on: updates are single atomic operations, safe under
+       [verify_domains > 1] and negligible next to a handler execution
+       or a fingerprint;}
+    {- {b events} flow only into attached sinks.  {!null} — the
+       default scope everywhere — has no sinks, so every event/span
+       call reduces to one branch (the no-op sink configuration).}}
+
+    Event streams are JSONL-friendly: each event renders as one
+    compact {!Dsm.Json} object per line. *)
+
+module Metrics = Metrics
+module Sink = Sink
+
+type scope
+
+(** The disabled scope: no sinks, no heartbeat, a private throwaway
+    registry.  Physically unique, so [scope == null] is the
+    "instrumentation off" test. *)
+val null : scope
+
+(** [create ?metrics ?sinks ?progress ()] builds a live scope.
+    [progress] is the heartbeat period in seconds; without it,
+    {!heartbeat} is free. *)
+val create :
+  ?metrics:Metrics.t -> ?sinks:Sink.t list -> ?progress:float -> unit ->
+  scope
+
+val is_null : scope -> bool
+
+(** Whether any sink is attached (events will be observed). *)
+val active : scope -> bool
+
+val metrics : scope -> Metrics.t
+
+(** Get-or-create in the scope's registry. *)
+val counter : scope -> string -> Metrics.counter
+
+val gauge : scope -> string -> Metrics.gauge
+
+val histogram : scope -> string -> Metrics.histogram
+
+(** Seconds since the scope was created (event timestamps use this). *)
+val elapsed : scope -> float
+
+(** Emit a structured event to every attached sink; a single branch
+    when no sink is attached. *)
+val event : scope -> ?fields:(string * Dsm.Json.t) list -> string -> unit
+
+(** [span scope name f] runs [f] and emits one [name] event carrying
+    an ["elapsed_s"] field with [f]'s wall-clock duration (emitted
+    even if [f] raises).  Just [f ()] when no sink is attached. *)
+val span :
+  scope -> ?fields:(string * Dsm.Json.t) list -> string -> (unit -> 'a) ->
+  'a
+
+(** [heartbeat scope fields] is called from hot loops; roughly every
+    [progress] seconds it emits one ["progress"] event with
+    [fields ()].  The common path is a branch plus an integer
+    increment — the clock is consulted every 256th call — so it can
+    sit on a per-transition path.  Call from one domain only. *)
+val heartbeat : scope -> (unit -> (string * Dsm.Json.t) list) -> unit
+
+val flush : scope -> unit
+
+(** Flush and close every sink (file sinks close their channels). *)
+val close : scope -> unit
+
+(** Dump the scope's registry as JSONL, one metric per line. *)
+val write_metrics_jsonl : scope -> string -> unit

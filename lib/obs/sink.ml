@@ -1,0 +1,82 @@
+type event = {
+  ts : float;
+  name : string;
+  fields : (string * Dsm.Json.t) list;
+}
+
+let event_to_json e =
+  Dsm.Json.Obj
+    (("ts", Dsm.Json.Float e.ts)
+    :: ("event", Dsm.Json.String e.name)
+    :: e.fields)
+
+type t = {
+  only : string list option;
+  emit : event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let accepts t e =
+  match t.only with None -> true | Some names -> List.mem e.name names
+
+let emit t e = if accepts t e then t.emit e
+
+let flush t = t.flush ()
+
+let close t = t.close ()
+
+(* Each sink serialises its own writes behind a mutex: events arriving
+   from different domains interleave whole, never byte-by-byte. *)
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let jsonl ?only oc =
+  let lock = Mutex.create () in
+  {
+    only;
+    emit =
+      (fun e ->
+        let line = Dsm.Json.to_string (event_to_json e) in
+        with_lock lock (fun () ->
+            output_string oc line;
+            output_char oc '\n'));
+    flush = (fun () -> with_lock lock (fun () -> Stdlib.flush oc));
+    close = (fun () -> with_lock lock (fun () -> Stdlib.flush oc));
+  }
+
+let jsonl_file ?only path =
+  let oc = open_out path in
+  let t = jsonl ?only oc in
+  { t with close = (fun () -> t.close (); close_out oc) }
+
+let pp_field ppf (k, v) =
+  Format.fprintf ppf " %s=%s" k (Dsm.Json.to_string v)
+
+let console ?only () =
+  let lock = Mutex.create () in
+  {
+    only;
+    emit =
+      (fun e ->
+        with_lock lock (fun () ->
+            Format.eprintf "[obs %.3f] %s%a@." e.ts e.name
+              (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_field)
+              e.fields));
+    flush = (fun () -> ());
+    close = (fun () -> ());
+  }
+
+let memory ?only () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let t =
+    {
+      only;
+      emit = (fun e -> with_lock lock (fun () -> events := e :: !events));
+      flush = (fun () -> ());
+      close = (fun () -> ());
+    }
+  in
+  (t, fun () -> with_lock lock (fun () -> List.rev !events))

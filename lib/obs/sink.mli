@@ -1,0 +1,35 @@
+(** Pluggable event sinks.
+
+    A sink consumes structured events; emission is serialised behind a
+    per-sink mutex so events arriving from several domains interleave
+    whole.  The optional [?only] filter restricts a sink to the named
+    event kinds (e.g. a console sink showing only ["progress"]). *)
+
+type event = {
+  ts : float;  (** seconds since the owning scope was created *)
+  name : string;
+  fields : (string * Dsm.Json.t) list;
+}
+
+val event_to_json : event -> Dsm.Json.t
+
+type t
+
+val emit : t -> event -> unit
+
+val flush : t -> unit
+
+(** Flush and release resources; for [jsonl_file], closes the channel. *)
+val close : t -> unit
+
+(** One compact JSON object per line on [oc]. *)
+val jsonl : ?only:string list -> out_channel -> t
+
+val jsonl_file : ?only:string list -> string -> t
+
+(** Human-oriented one-liners on stderr. *)
+val console : ?only:string list -> unit -> t
+
+(** In-memory sink for tests; the closure returns the events captured
+    so far in emission order. *)
+val memory : ?only:string list -> unit -> t * (unit -> event list)

@@ -44,19 +44,39 @@ struct
         | Dsm.Trace.Deliver _ -> None)
       violation.Checker.schedule
 
-  let run config ~strategy ~invariant =
+  let run ?(obs = Obs.null) config ~strategy ~invariant =
     if config.check_interval <= 0. then
       invalid_arg "Online_mc.run: check_interval must be positive";
+    let c_checks = Obs.counter obs "online.checks" in
+    let c_vetoes = Obs.counter obs "online.vetoes" in
+    (* A scope given here reaches everything below the driver; when the
+       caller passes none, the checker keeps whatever its own config
+       carries. *)
+    let checker_obs =
+      if Obs.is_null obs then config.checker.Checker.obs else obs
+    in
     let vetoes : (Dsm.Node_id.t * Live.action, unit) Hashtbl.t =
       Hashtbl.create 8
     in
     let quarantined : (Dsm.Node_id.t, unit) Hashtbl.t = Hashtbl.create 8 in
-    let install_veto n a =
+    let install_veto ~live_time n a =
       if not (Hashtbl.mem vetoes (n, a)) then begin
         Hashtbl.replace vetoes (n, a) ();
         (match config.steer_scope with
         | `Node -> Hashtbl.replace quarantined n ()
         | `Exact_action -> ());
+        Obs.Metrics.incr c_vetoes;
+        Obs.event obs "online.veto"
+          ~fields:
+            [
+              ("live_time", Dsm.Json.Float live_time);
+              ("node", Dsm.Json.Int n);
+              ( "scope",
+                Dsm.Json.String
+                  (match config.steer_scope with
+                  | `Exact_action -> "exact_action"
+                  | `Node -> "node") );
+            ];
         true
       end
       else false
@@ -72,7 +92,7 @@ struct
         { config.sim with Sim_p.action_prob = Some action_prob }
       end
     in
-    let sim = Sim_p.create sim_config in
+    let sim = Sim_p.create ~obs sim_config in
     let checks = ref 0 in
     let check_time = ref 0. in
     let vetoed = ref [] in
@@ -89,12 +109,33 @@ struct
         | [] -> None
         | bound :: rest -> (
             incr checks;
+            Obs.Metrics.incr c_checks;
             let result =
               Checker.run
-                { config.checker with local_action_bound = bound }
+                { config.checker with local_action_bound = bound; obs = checker_obs }
                 ~strategy ~invariant snapshot
             in
             check_time := !check_time +. result.Checker.elapsed;
+            Obs.event obs "online.check"
+              ~fields:
+                [
+                  ("live_time", Dsm.Json.Float (Sim_p.now sim));
+                  ("run", Dsm.Json.Int !checks);
+                  ( "bound",
+                    match bound with
+                    | Some b -> Dsm.Json.Int b
+                    | None -> Dsm.Json.Null );
+                  ("transitions", Dsm.Json.Int result.Checker.transitions);
+                  ( "node_states",
+                    Dsm.Json.Int result.Checker.total_node_states );
+                  ( "system_states",
+                    Dsm.Json.Int result.Checker.system_states_created );
+                  ( "preliminary_violations",
+                    Dsm.Json.Int result.Checker.preliminary_violations );
+                  ( "sound_violation",
+                    Dsm.Json.Bool (result.Checker.sound_violation <> None) );
+                  ("elapsed_s", Dsm.Json.Float result.Checker.elapsed);
+                ];
             match result.Checker.sound_violation with
             | Some violation -> Some (violation, result)
             | None -> widen rest)
@@ -122,7 +163,7 @@ struct
             (* install the veto and keep the system running *)
             (match first_action violation with
             | Some (n, a) ->
-                if install_veto n a then vetoed := (n, a) :: !vetoed
+                if install_veto ~live_time:(Sim_p.now sim) n a then vetoed := (n, a) :: !vetoed
             | None -> ());
             if Sim_p.now sim >= config.max_live_time then Some report
             else loop_with_report report
@@ -140,7 +181,7 @@ struct
       | Some (violation, _) -> (
           match first_action violation with
           | Some (n, a) ->
-              if install_veto n a then vetoed := (n, a) :: !vetoed
+              if install_veto ~live_time:(Sim_p.now sim) n a then vetoed := (n, a) :: !vetoed
           | None -> ())
       | None -> ());
       if Sim_p.now sim >= config.max_live_time then Some report

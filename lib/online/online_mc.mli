@@ -75,7 +75,15 @@ module Make
             success criterion *)
   }
 
+  (** [run ?obs config ~strategy ~invariant] drives the hunt.  When
+      [obs] is given it reaches every layer: the simulation and each
+      LMC restart record into it (overriding [config.checker.obs]),
+      the driver itself counts [online.checks] / [online.vetoes] and
+      emits one [online.check] event per restart (live time, widening
+      bound, run statistics, verdict) plus an [online.veto] event per
+      steering intervention. *)
   val run :
+    ?obs:Obs.scope ->
     config ->
     strategy:'k Checker.strategy ->
     invariant:Live.state Dsm.Invariant.t ->

@@ -18,8 +18,26 @@ module Make (P : Dsm.Protocol.S) = struct
 
   type event = Deliver of P.message Dsm.Envelope.t | Tick of Dsm.Node_id.t
 
+  (* Metric handles resolved once at [create]; see the LMC checker for
+     the cost model. *)
+  type obs_handles = {
+    scope : Obs.scope;
+    c_events : Obs.Metrics.counter;
+    c_sent : Obs.Metrics.counter;
+    c_dropped : Obs.Metrics.counter;
+  }
+
+  let make_obs_handles scope =
+    {
+      scope;
+      c_events = Obs.counter scope "sim.events";
+      c_sent = Obs.counter scope "sim.messages_sent";
+      c_dropped = Obs.counter scope "sim.messages_dropped";
+    }
+
   type t = {
     config : config;
+    o : obs_handles;
     states : P.state array;
     queue : event Event_queue.t;
     node_rng : Rng.t array;
@@ -35,7 +53,7 @@ module Make (P : Dsm.Protocol.S) = struct
     let delay = Rng.range rng t.config.timer_min t.config.timer_max in
     Event_queue.push t.queue ~time:(t.clock +. delay) (Tick n)
 
-  let create config =
+  let create ?(obs = Obs.null) config =
     if config.timer_min <= 0. || config.timer_max < config.timer_min then
       invalid_arg "Live_sim.create: need 0 < timer_min <= timer_max";
     let root = Rng.create ~seed:config.seed in
@@ -43,6 +61,7 @@ module Make (P : Dsm.Protocol.S) = struct
     let t =
       {
         config;
+        o = make_obs_handles obs;
         states = Dsm.Protocol.initial_system (module P);
         queue = Event_queue.create ();
         node_rng;
@@ -64,8 +83,12 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let send t (env : P.message Dsm.Envelope.t) =
     t.messages_sent <- t.messages_sent + 1;
-    if Net.Lossy_link.drops t.config.link ~roll:(Rng.float t.link_rng) env then
-      t.messages_dropped <- t.messages_dropped + 1
+    Obs.Metrics.incr t.o.c_sent;
+    if Net.Lossy_link.drops t.config.link ~roll:(Rng.float t.link_rng) env
+    then begin
+      t.messages_dropped <- t.messages_dropped + 1;
+      Obs.Metrics.incr t.o.c_dropped
+    end
     else begin
       let latency =
         Net.Lossy_link.latency t.config.link ~roll:(Rng.float t.link_rng)
@@ -102,12 +125,23 @@ module Make (P : Dsm.Protocol.S) = struct
               apply t n (fun () -> P.handle_action ~self:n t.states.(n) action);
             schedule_tick t n)
 
+  let heartbeat t =
+    Obs.heartbeat t.o.scope (fun () ->
+        [
+          ("sim_clock", Dsm.Json.Float t.clock);
+          ("events", Dsm.Json.Int t.events_executed);
+          ("messages_sent", Dsm.Json.Int t.messages_sent);
+          ("messages_dropped", Dsm.Json.Int t.messages_dropped);
+        ])
+
   let step t =
     match Event_queue.pop t.queue with
     | None -> false
     | Some (time, event) ->
         t.clock <- max t.clock time;
         t.events_executed <- t.events_executed + 1;
+        Obs.Metrics.incr t.o.c_events;
+        heartbeat t;
         execute t event;
         true
 

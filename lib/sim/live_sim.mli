@@ -25,7 +25,11 @@ module Make (P : Dsm.Protocol.S) : sig
 
   type t
 
-  val create : config -> t
+  (** [create ?obs config] builds a simulation.  When [obs] is given,
+      [sim.events] / [sim.messages_sent] / [sim.messages_dropped]
+      counters mirror the accessors below, and a periodic ["progress"]
+      heartbeat reports them together with the simulated clock. *)
+  val create : ?obs:Obs.scope -> config -> t
 
   (** Current simulation time in seconds. *)
   val now : t -> float

@@ -1,0 +1,441 @@
+(* Tests for the observability subsystem (lib/obs): histogram
+   bucketing, sinks, the JSON parser, domain-safety of the registry,
+   and the contract that the checker's [result] counters and the
+   metrics registry tell the same story. *)
+
+let check = Alcotest.check
+
+(* ---------- histogram bucketing ---------- *)
+
+let test_bucket_index () =
+  let idx = Obs.Metrics.bucket_index in
+  check Alcotest.int "0 -> bucket 0" 0 (idx 0);
+  check Alcotest.int "negative -> bucket 0" 0 (idx (-5));
+  check Alcotest.int "min_int -> bucket 0" 0 (idx min_int);
+  check Alcotest.int "1 -> bucket 1" 1 (idx 1);
+  check Alcotest.int "2 -> bucket 2" 2 (idx 2);
+  check Alcotest.int "3 -> bucket 2" 2 (idx 3);
+  check Alcotest.int "4 -> bucket 3" 3 (idx 4);
+  check Alcotest.int "7 -> bucket 3" 3 (idx 7);
+  check Alcotest.int "8 -> bucket 4" 4 (idx 8);
+  (* the top bucket absorbs everything, including max_int *)
+  check Alcotest.int "max_int -> last bucket" (Obs.Metrics.num_buckets - 1)
+    (idx max_int);
+  (* bounds are inclusive and consistent with the index *)
+  check Alcotest.(pair int int) "bounds of bucket 1" (1, 1)
+    (Obs.Metrics.bucket_bounds 1);
+  check Alcotest.(pair int int) "bounds of bucket 3" (4, 7)
+    (Obs.Metrics.bucket_bounds 3);
+  for i = 1 to Obs.Metrics.num_buckets - 2 do
+    let lo, hi = Obs.Metrics.bucket_bounds i in
+    check Alcotest.int (Printf.sprintf "lo of bucket %d self-indexes" i) i
+      (idx lo);
+    check Alcotest.int (Printf.sprintf "hi of bucket %d self-indexes" i) i
+      (idx hi)
+  done
+
+let test_histogram_snapshot () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 3; 8; -2; 100 ];
+  let s = Obs.Metrics.histogram_snapshot h in
+  check Alcotest.int "count" 6 s.Obs.Metrics.count;
+  (* negative observations contribute 0 to the sum *)
+  check Alcotest.int "sum" 112 s.Obs.Metrics.sum;
+  check Alcotest.int "max" 100 s.Obs.Metrics.max;
+  check
+    Alcotest.(list (triple int int int))
+    "non-empty buckets, ascending"
+    [ (0, 0, 2); (1, 1, 1); (2, 3, 1); (8, 15, 1); (64, 127, 1) ]
+    s.Obs.Metrics.buckets
+
+let test_name_type_clash () =
+  let m = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter m "x");
+  (* same name, same type: the same cell *)
+  let c1 = Obs.Metrics.counter m "x" in
+  Obs.Metrics.incr c1;
+  check Alcotest.int "get-or-create" 1
+    (Obs.Metrics.value (Obs.Metrics.counter m "x"));
+  match Obs.Metrics.histogram m "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "registering x as a histogram should fail"
+
+(* ---------- the JSON parser (Dsm.Json.of_string) ---------- *)
+
+let test_json_parse_values () =
+  let parse s =
+    match Dsm.Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Printf.sprintf "%S: %s" s e)
+  in
+  check Alcotest.bool "null" true (parse "null" = Dsm.Json.Null);
+  check Alcotest.bool "int" true (parse "-42" = Dsm.Json.Int (-42));
+  check Alcotest.bool "float" true (parse "2.5" = Dsm.Json.Float 2.5);
+  check Alcotest.bool "exponent" true (parse "1e3" = Dsm.Json.Float 1000.);
+  check Alcotest.bool "escapes" true
+    (parse {|"a\"b\\c\n"|} = Dsm.Json.String "a\"b\\c\n");
+  check Alcotest.bool "unicode escape" true
+    (parse {|"café"|} = Dsm.Json.String "caf\xc3\xa9");
+  check Alcotest.bool "nested" true
+    (parse {|{"a":[1,true,null],"b":{"c":"d"}}|}
+    = Dsm.Json.Obj
+        [
+          ("a", Dsm.Json.List [ Dsm.Json.Int 1; Dsm.Json.Bool true; Dsm.Json.Null ]);
+          ("b", Dsm.Json.Obj [ ("c", Dsm.Json.String "d") ]);
+        ]);
+  let rejected s =
+    match Dsm.Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check Alcotest.bool "trailing garbage rejected" true (rejected "1 2");
+  check Alcotest.bool "unterminated object rejected" true (rejected "{\"a\":");
+  check Alcotest.bool "bare word rejected" true (rejected "nul")
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Dsm.Json.Null;
+      Dsm.Json.Bool false;
+      Dsm.Json.Int max_int;
+      Dsm.Json.Int min_int;
+      Dsm.Json.Float 1.5e-9;
+      Dsm.Json.String "line\nbreak \t \"quoted\" caf\xc3\xa9";
+      Dsm.Json.List [ Dsm.Json.Int 1; Dsm.Json.List []; Dsm.Json.Obj [] ];
+      Dsm.Json.Obj
+        [
+          ("empty", Dsm.Json.String "");
+          ("nested", Dsm.Json.Obj [ ("k", Dsm.Json.List [ Dsm.Json.Null ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Dsm.Json.to_string v in
+      match Dsm.Json.of_string s with
+      | Ok v' -> check Alcotest.bool s true (v = v')
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" s e))
+    values
+
+(* ---------- sinks ---------- *)
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  let scope = Obs.create ~sinks:[ Obs.Sink.jsonl_file path ] () in
+  Obs.event scope "first" ~fields:[ ("n", Dsm.Json.Int 7) ];
+  Obs.event scope "second"
+    ~fields:[ ("s", Dsm.Json.String "with \"quotes\" and \n newline") ];
+  Obs.close scope;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check Alcotest.int "two lines" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Dsm.Json.of_string line with
+        | Ok (Dsm.Json.Obj fields) -> fields
+        | Ok _ -> Alcotest.fail "event line is not an object"
+        | Error e -> Alcotest.fail e)
+      lines
+  in
+  let field name fields =
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing field " ^ name)
+  in
+  (match parsed with
+  | [ e1; e2 ] ->
+      check Alcotest.bool "event name" true
+        (field "event" e1 = Dsm.Json.String "first");
+      check Alcotest.bool "int field" true (field "n" e1 = Dsm.Json.Int 7);
+      check Alcotest.bool "string field round-trips" true
+        (field "s" e2 = Dsm.Json.String "with \"quotes\" and \n newline");
+      (match field "ts" e1 with
+      | Dsm.Json.Float ts -> check Alcotest.bool "ts >= 0" true (ts >= 0.)
+      | _ -> Alcotest.fail "ts is not a float")
+  | _ -> assert false)
+
+let test_sink_only_filter () =
+  let sink, events = Obs.Sink.memory ~only:[ "keep" ] () in
+  let scope = Obs.create ~sinks:[ sink ] () in
+  Obs.event scope "drop";
+  Obs.event scope "keep";
+  Obs.event scope "drop";
+  check Alcotest.(list string) "filtered" [ "keep" ]
+    (List.map (fun e -> e.Obs.Sink.name) (events ()))
+
+let test_memory_sink_two_domains () =
+  let sink, events = Obs.Sink.memory () in
+  let scope = Obs.create ~sinks:[ sink ] () in
+  let n = 500 in
+  let emitter tag () =
+    for i = 0 to n - 1 do
+      Obs.event scope tag ~fields:[ ("i", Dsm.Json.Int i) ]
+    done
+  in
+  let d = Domain.spawn (emitter "d1") in
+  emitter "d0" ();
+  Domain.join d;
+  let all = events () in
+  check Alcotest.int "nothing lost" (2 * n) (List.length all);
+  let seq tag =
+    List.filter_map
+      (fun e ->
+        if e.Obs.Sink.name = tag then
+          match e.Obs.Sink.fields with
+          | [ ("i", Dsm.Json.Int i) ] -> Some i
+          | _ -> None
+        else None)
+      all
+  in
+  let expect = List.init n (fun i -> i) in
+  check Alcotest.(list int) "domain 0 in order" expect (seq "d0");
+  check Alcotest.(list int) "domain 1 in order" expect (seq "d1")
+
+(* ---------- scopes ---------- *)
+
+let test_null_scope () =
+  check Alcotest.bool "null is null" true (Obs.is_null Obs.null);
+  check Alcotest.bool "created scope is not" false (Obs.is_null (Obs.create ()));
+  check Alcotest.bool "null is inactive" false (Obs.active Obs.null);
+  (* events, spans and heartbeats on the disabled scope are no-ops *)
+  Obs.event Obs.null "nobody" ~fields:[ ("x", Dsm.Json.Int 1) ];
+  Obs.heartbeat Obs.null (fun () -> Alcotest.fail "fields forced");
+  check Alcotest.int "span passes the value through" 41
+    (Obs.span Obs.null "s" (fun () -> 41))
+
+let test_span_emits_duration () =
+  let sink, events = Obs.Sink.memory () in
+  let scope = Obs.create ~sinks:[ sink ] () in
+  let v =
+    Obs.span scope "work" ~fields:[ ("k", Dsm.Json.Int 3) ] (fun () -> 7)
+  in
+  check Alcotest.int "result" 7 v;
+  match events () with
+  | [ e ] ->
+      check Alcotest.string "name" "work" e.Obs.Sink.name;
+      check Alcotest.bool "keeps fields" true
+        (List.assoc_opt "k" e.Obs.Sink.fields = Some (Dsm.Json.Int 3));
+      (match List.assoc_opt "elapsed_s" e.Obs.Sink.fields with
+      | Some (Dsm.Json.Float t) ->
+          check Alcotest.bool "duration >= 0" true (t >= 0.)
+      | _ -> Alcotest.fail "no elapsed_s field")
+  | es -> Alcotest.fail (Printf.sprintf "%d events, wanted 1" (List.length es))
+
+let test_heartbeat () =
+  let sink, events = Obs.Sink.memory () in
+  let scope = Obs.create ~sinks:[ sink ] ~progress:0.0 () in
+  for i = 1 to 1024 do
+    Obs.heartbeat scope (fun () -> [ ("i", Dsm.Json.Int i) ])
+  done;
+  let beats = events () in
+  (* the clock is consulted every 256th call; with a zero interval each
+     consultation emits *)
+  check Alcotest.int "4 beats in 1024 calls" 4 (List.length beats);
+  check Alcotest.bool "named progress" true
+    (List.for_all (fun e -> e.Obs.Sink.name = "progress") beats)
+
+let test_metrics_jsonl_dump () =
+  let scope = Obs.create () in
+  Obs.Metrics.add (Obs.counter scope "a.count") 5;
+  Obs.Metrics.observe (Obs.histogram scope "b.hist") 3;
+  let path = Filename.temp_file "test_obs_metrics" ".jsonl" in
+  Obs.write_metrics_jsonl scope path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let parsed =
+    List.map
+      (fun l ->
+        match Dsm.Json.of_string l with
+        | Ok (Dsm.Json.Obj f) -> f
+        | _ -> Alcotest.fail "metric line is not an object")
+      (List.rev !lines)
+  in
+  check Alcotest.int "two metrics" 2 (List.length parsed);
+  (* sorted by name: a.count first *)
+  match parsed with
+  | [ a; b ] ->
+      check Alcotest.bool "counter name" true
+        (List.assoc "metric" a = Dsm.Json.String "a.count");
+      check Alcotest.bool "counter value" true
+        (List.assoc "value" a = Dsm.Json.Int 5);
+      check Alcotest.bool "histogram name" true
+        (List.assoc "metric" b = Dsm.Json.String "b.hist")
+  | _ -> assert false
+
+(* ---------- the checker's counters vs its result ---------- *)
+
+module Buggy = Protocols.Paxos.Make (struct
+  let num_nodes = 3
+  let proposers = [ 0; 1; 2 ]
+  let max_attempts = 2
+  let max_index = 4
+  let fresh_proposals = false
+  let bug = Protocols.Paxos_core.Last_response_wins
+end)
+
+module L = Lmc.Checker.Make (Buggy)
+
+let test_checker_counters_match_result () =
+  let scope = Obs.create () in
+  let snapshot = Protocols.Scenarios.wids_snapshot (module Buggy) in
+  let cfg =
+    {
+      L.default_config with
+      max_depth = Some 12;
+      local_action_bound = Some 1;
+      obs = scope;
+    }
+  in
+  let r =
+    L.run cfg
+      ~strategy:
+        (L.Invariant_specific
+           { abstract = Buggy.abstraction; conflict = Buggy.conflicts })
+      ~invariant:Buggy.safety snapshot
+  in
+  (* the run must exercise the interesting paths, or this test checks
+     nothing *)
+  check Alcotest.bool "some preliminary violations" true
+    (r.preliminary_violations > 0);
+  check Alcotest.bool "some soundness calls" true (r.soundness_calls > 0);
+  let counter name =
+    match Obs.Metrics.find_counter (Obs.metrics scope) name with
+    | Some c -> Obs.Metrics.value c
+    | None -> Alcotest.fail ("metric not registered: " ^ name)
+  in
+  check Alcotest.int "transitions" r.transitions (counter "lmc.transitions");
+  check Alcotest.int "node states" r.total_node_states
+    (counter "lmc.node_states");
+  check Alcotest.int "net messages" r.net_messages
+    (counter "lmc.net_messages");
+  check Alcotest.int "system states" r.system_states_created
+    (counter "lmc.system_states_created");
+  check Alcotest.int "preliminary violations" r.preliminary_violations
+    (counter "lmc.preliminary_violations");
+  check Alcotest.int "soundness calls" r.soundness_calls
+    (counter "lmc.soundness_calls");
+  check Alcotest.int "sequences checked" r.sequences_checked
+    (counter "lmc.sequences_checked");
+  check Alcotest.int "soundness rejections" r.soundness_rejections
+    (counter "lmc.soundness_rejections");
+  check Alcotest.int "budget exhausted" r.soundness_budget_exhausted
+    (counter "lmc.soundness_budget_exhausted");
+  check Alcotest.int "local assert drops" r.local_assert_drops
+    (counter "lmc.local_assert_drops")
+
+(* The deferred/parallel configuration records soundness effort from
+   worker domains; totals must still match. *)
+let test_checker_counters_match_result_parallel () =
+  let scope = Obs.create () in
+  let snapshot = Protocols.Scenarios.wids_snapshot (module Buggy) in
+  let cfg =
+    {
+      L.default_config with
+      max_depth = Some 12;
+      local_action_bound = Some 1;
+      defer_soundness = true;
+      verify_domains = 2;
+      obs = scope;
+    }
+  in
+  let r =
+    L.run cfg
+      ~strategy:
+        (L.Invariant_specific
+           { abstract = Buggy.abstraction; conflict = Buggy.conflicts })
+      ~invariant:Buggy.safety snapshot
+  in
+  let counter name =
+    match Obs.Metrics.find_counter (Obs.metrics scope) name with
+    | Some c -> Obs.Metrics.value c
+    | None -> Alcotest.fail ("metric not registered: " ^ name)
+  in
+  check Alcotest.bool "some soundness calls" true (r.soundness_calls > 0);
+  check Alcotest.int "soundness calls" r.soundness_calls
+    (counter "lmc.soundness_calls");
+  check Alcotest.int "transitions" r.transitions (counter "lmc.transitions");
+  check Alcotest.int "preliminary violations" r.preliminary_violations
+    (counter "lmc.preliminary_violations")
+
+(* the deprecated callback keeps firing, now as an event subscriber *)
+let test_on_new_node_state_still_works () =
+  let sink, events = Obs.Sink.memory ~only:[ "lmc.node_state" ] () in
+  let scope = Obs.create ~sinks:[ sink ] () in
+  let calls = ref 0 in
+  let cfg =
+    {
+      L.default_config with
+      max_depth = Some 6;
+      local_action_bound = Some 1;
+      obs = scope;
+      on_new_node_state = Some (fun _ _ -> incr calls);
+    }
+  in
+  let snapshot = Protocols.Scenarios.wids_snapshot (module Buggy) in
+  let r =
+    L.run cfg ~strategy:L.General ~invariant:Buggy.safety snapshot
+  in
+  check Alcotest.bool "callback fired" true (!calls > 0);
+  (* one callback invocation and one event per new node state, minus
+     the snapshot roots which predate exploration *)
+  check Alcotest.int "callback counts new node states"
+    (r.total_node_states - Array.length snapshot)
+    !calls;
+  check Alcotest.int "events mirror the callback" !calls
+    (List.length (events ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket index edges" `Quick test_bucket_index;
+          Alcotest.test_case "histogram snapshot" `Quick
+            test_histogram_snapshot;
+          Alcotest.test_case "name/type clash" `Quick test_name_type_clash;
+          Alcotest.test_case "jsonl dump" `Quick test_metrics_jsonl_dump;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse values" `Quick test_json_parse_values;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_jsonl_sink_roundtrip;
+          Alcotest.test_case "only filter" `Quick test_sink_only_filter;
+          Alcotest.test_case "memory sink, two domains" `Quick
+            test_memory_sink_two_domains;
+        ] );
+      ( "scopes",
+        [
+          Alcotest.test_case "null scope" `Quick test_null_scope;
+          Alcotest.test_case "span duration" `Quick test_span_emits_duration;
+          Alcotest.test_case "heartbeat gating" `Quick test_heartbeat;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "counters match result" `Quick
+            test_checker_counters_match_result;
+          Alcotest.test_case "counters match result (parallel)" `Quick
+            test_checker_counters_match_result_parallel;
+          Alcotest.test_case "on_new_node_state still works" `Quick
+            test_on_new_node_state_still_works;
+        ] );
+    ]
