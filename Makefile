@@ -2,7 +2,7 @@
 # unit tests, and a CLI smoke test asserting that the observability
 # output stays parseable JSONL.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-quick clean
 
 all: build
 
@@ -20,7 +20,12 @@ check: build test
 	@echo "check: OK"
 
 bench:
-	dune exec bench/main.exe -- --quick
+	dune exec bench/main.exe
+
+# CI-sized pass: micro-benchmarks only, trimmed budgets (used by the
+# workflow in .github/workflows/ci.yml).
+bench-quick:
+	dune exec bench/main.exe -- --quick --only micro
 
 clean:
 	dune clean

@@ -2,12 +2,9 @@
    paper's evaluation (§5), plus the ablations DESIGN.md calls out and
    a few bechamel micro-benchmarks of the core operations.
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --only SECTION]
+   Usage: dune exec bench/main.exe -- [--quick] [--only SECTION]
      --quick  trims time budgets and depth caps (CI-sized run)
-     --only   run a single section: fig3-4 | fig10-12 | fig10-12b | fig13 |
-              table5.1 | table5.2 | table5.5 | table5.6 |
-              ablation-chain | ablation-history | ablation-soundness |
-              ablation-auto | breadth | micro | obs-overhead
+     --only   run a single section (see `--help' for the list)
 
    Besides the printed tables, every run writes BENCH_lmc.json: per-figure
    data series plus per-section wall-clock, for machines to diff.
@@ -16,17 +13,13 @@
    shapes — who wins, by what factor, where the explosion bites — are
    the reproduction target (see EXPERIMENTS.md). *)
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+(* Set once by the cmdliner driver at the bottom before any section
+   runs; refs rather than parameters so the sections read as straight
+   benchmark code. *)
+let quick = ref false
+let only : string option ref = ref None
 
-let only =
-  let rec scan i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
-    else scan (i + 1)
-  in
-  scan 1
-
-let section name = match only with None -> true | Some s -> s = name
+let section name = match !only with None -> true | Some s -> s = name
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -56,7 +49,7 @@ module Bench_out = struct
       Dsm.Json.Obj
         [
           ("schema", Dsm.Json.String "lmc-bench/1");
-          ("quick", Dsm.Json.Bool quick);
+          ("quick", Dsm.Json.Bool !quick);
           ( "wall_clock_s",
             Dsm.Json.Obj
               (List.rev_map (fun (n, t) -> (n, Dsm.Json.Float t)) !elapsed) );
@@ -161,8 +154,8 @@ type sweep_point = {
 
 let fig10_12 () =
   header "Figures 10-12: Paxos, 3 nodes, one proposal - sweep over depth";
-  let max_depth = if quick then 12 else 25 in
-  let bdfs_cap = if quick then 5.0 else 60.0 in
+  let max_depth = if !quick then 12 else 25 in
+  let bdfs_cap = if !quick then 5.0 else 60.0 in
   let points = ref [] in
   let bdfs_dead = ref false in
   for depth = 0 to max_depth do
@@ -274,9 +267,9 @@ let fig10_12 () =
    exploration stays cheap. *)
 let fig10_12_two_proposals () =
   header "Figures 10-12 (two-proposal space): where both walls appear";
-  let max_depth = if quick then 14 else 22 in
-  let bdfs_cap = if quick then 5.0 else 30.0 in
-  let lmc_cap = if quick then 5.0 else 10.0 in
+  let max_depth = if !quick then 14 else 22 in
+  let bdfs_cap = if !quick then 5.0 else 30.0 in
+  let lmc_cap = if !quick then 5.0 else 10.0 in
   let init () = Dsm.Protocol.initial_system (module Paxos2) in
   let opt2 =
     L2.Invariant_specific
@@ -345,8 +338,8 @@ let fig13 () =
   header
     "Figure 13: LMC overheads, Paxos with the 5.5 bug, from the 5.5 snapshot";
   let snapshot = Protocols.Scenarios.wids_snapshot (module Buggy) in
-  let max_depth = if quick then 16 else 30 in
-  let cap = if quick then 10.0 else 60.0 in
+  let max_depth = if !quick then 16 else 30 in
+  let cap = if !quick then 10.0 else 60.0 in
   row "%5s %12s %16s %12s %10s %10s\n" "depth" "LMC-OPT" "LMC-system-state"
     "LMC-explore" "prelim" "found";
   let series = ref [] in
@@ -478,7 +471,7 @@ let table51 () =
 
 let table52 () =
   header "Table 5.2: two proposals - where the explosion bites";
-  let budget = if quick then 20.0 else 120.0 in
+  let budget = if !quick then 20.0 else 120.0 in
   row "per-algorithm budget: %.0f s (paper ran for hours)\n\n" budget;
   let init () = Dsm.Protocol.initial_system (module Paxos2) in
   let gcfg = { G2.default_config with time_limit = Some budget } in
@@ -689,7 +682,7 @@ let ablation_history () =
       L1.default_config with
       use_history = false;
       max_transitions = Some 2_000_000;
-      time_limit = Some (if quick then 10.0 else 60.0);
+      time_limit = Some (if !quick then 10.0 else 60.0);
     }
   in
   let without =
@@ -713,7 +706,7 @@ let ablation_soundness () =
   let base =
     {
       L_buggy.default_config with
-      time_limit = Some (if quick then 15.0 else 60.0);
+      time_limit = Some (if !quick then 15.0 else 60.0);
       local_action_bound = Some 1;
     }
   in
@@ -1014,7 +1007,7 @@ let micro () =
    within noise (the acceptance bar is 5%). *)
 let obs_overhead () =
   header "Observability overhead: Fig. 10 LMC series under three scopes";
-  let max_depth = if quick then 12 else 16 in
+  let max_depth = if !quick then 12 else 16 in
   let sweep obs =
     let total = ref 0. in
     for depth = 0 to max_depth do
@@ -1060,25 +1053,197 @@ let obs_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: worker domains (lib/par)                                   *)
+(* ------------------------------------------------------------------ *)
 
-let () =
+(* The Fig. 10 LMC-GEN series and the 5.5 hunt, re-run with exploration
+   fanned across a Par.Pool.  Verdicts are bit-identical across domain
+   counts (the pool's contract); only wall-clock may move.  Speedup is
+   bounded by the host's core count, recorded next to the numbers — on
+   a single-core container the parallel runs measure pure overhead. *)
+let scaling () =
+  header "Scaling: exploration wall-clock vs worker domains";
+  let cores = Domain.recommended_domain_count () in
+  row "host cores (Domain.recommended_domain_count): %d\n" cores;
+  let max_depth = if !quick then 12 else 20 in
+  let best f =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (min acc (f ())) in
+    go 2 (f ())
+  in
+  let sweep domains =
+    let total = ref 0. in
+    for depth = 0 to max_depth do
+      let cfg = { L1.default_config with max_depth = Some depth; domains } in
+      let r =
+        L1.run cfg ~strategy:L1.General ~invariant:Paxos1.safety
+          (paxos1_init ())
+      in
+      total := !total +. r.elapsed
+    done;
+    !total
+  in
+  let sweeps =
+    List.map (fun d -> (d, best (fun () -> sweep d))) [ 1; 2; 4 ]
+  in
+  let base = match sweeps with (_, t) :: _ -> t | [] -> 0. in
+  row "\n-- Fig. 10 LMC-GEN sweep (depths 0..%d), checker-reported time --\n"
+    max_depth;
+  List.iter
+    (fun (d, t) ->
+      row "domains=%d : %10.4f s  (speedup vs 1: %.2fx)\n" d t
+        (base /. max 1e-9 t))
+    sweeps;
+  (* The 5.5 hunt, domains 1 vs 4; the budgeted restarts share one
+     pool (Online_mc owns it for the whole run). *)
+  let module Live = Protocols.Paxos.Make (struct
+    let num_nodes = 3
+    let proposers = [ 0; 1; 2 ]
+    let max_attempts = 2
+    let max_index = 16
+    let fresh_proposals = true
+    let bug = Protocols.Paxos_core.Last_response_wins
+  end) in
+  let module Check = Protocols.Paxos.Make (struct
+    let num_nodes = 3
+    let proposers = [ 0; 1; 2 ]
+    let max_attempts = 2
+    let max_index = 16
+    let fresh_proposals = false
+    let bug = Protocols.Paxos_core.Last_response_wins
+  end) in
+  let module Online_p = Online.Online_mc.Make (Live) (Check) in
+  let module Sim_p = Sim.Live_sim.Make (Live) in
+  let hunt domains =
+    let link =
+      Net.Lossy_link.create ~drop_prob:0.3 ~latency_min:0.05 ~latency_max:0.3
+        ()
+    in
+    let config =
+      {
+        Online_p.sim =
+          {
+            Sim_p.seed = 7;
+            link;
+            timer_min = 2.0;
+            timer_max = 20.0;
+            action_prob = None;
+          };
+        check_interval = 30.0;
+        max_live_time = 3600.0;
+        checker =
+          {
+            Online_p.Checker.default_config with
+            time_limit = Some 5.0;
+            max_transitions = Some 100_000;
+            domains;
+          };
+        action_bounds = [ 1; 2 ];
+        steer = false;
+        steer_scope = `Exact_action;
+      }
+    in
+    let strategy =
+      Online_p.Checker.Invariant_specific
+        { abstract = Check.abstraction; conflict = Check.conflicts }
+    in
+    let outcome = Online_p.run config ~strategy ~invariant:Check.safety in
+    (outcome.Online_p.report <> None, outcome.Online_p.total_check_time)
+  in
+  row "\n-- 5.5 hunt (WiDS Paxos bug), total checking time --\n";
+  let hunts =
+    List.map
+      (fun d ->
+        let found, t = hunt d in
+        row "domains=%d : found=%-5b %10.4f s\n" d found t;
+        (d, found, t))
+      [ 1; 4 ]
+  in
+  let hunt_base = match hunts with (_, _, t) :: _ -> t | [] -> 0. in
+  (match List.rev hunts with
+  | (d, _, t) :: _ when d <> 1 ->
+      row "hunt speedup at %d domains: %.2fx (host has %d core(s))\n" d
+        (hunt_base /. max 1e-9 t)
+        cores
+  | _ -> ());
+  Bench_out.record "scaling"
+    (Dsm.Json.Obj
+       [
+         ("cores", Dsm.Json.Int cores);
+         ( "lmc_gen_sweep",
+           Dsm.Json.List
+             (List.map
+                (fun (d, t) ->
+                  Dsm.Json.Obj
+                    [
+                      ("domains", Dsm.Json.Int d);
+                      ("elapsed_s", Dsm.Json.Float t);
+                      ("speedup", Dsm.Json.Float (base /. max 1e-9 t));
+                    ])
+                sweeps) );
+         ( "hunt_5_5",
+           Dsm.Json.List
+             (List.map
+                (fun (d, found, t) ->
+                  Dsm.Json.Obj
+                    [
+                      ("domains", Dsm.Json.Int d);
+                      ("found", Dsm.Json.Bool found);
+                      ("check_time_s", Dsm.Json.Float t);
+                      ("speedup", Dsm.Json.Float (hunt_base /. max 1e-9 t));
+                    ])
+                hunts) );
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig3-4", fig3_4);
+    ("fig10-12", fig10_12);
+    ("fig10-12b", fig10_12_two_proposals);
+    ("fig13", fig13);
+    ("table5.1", table51);
+    ("table5.2", table52);
+    ("table5.5", table55);
+    ("table5.6", table56);
+    ("ablation-chain", ablation_chain);
+    ("ablation-history", ablation_history);
+    ("ablation-soundness", ablation_soundness);
+    ("ablation-auto", ablation_auto);
+    ("breadth", breadth);
+    ("micro", micro);
+    ("obs-overhead", obs_overhead);
+    ("scaling", scaling);
+  ]
+
+let main q o =
+  quick := q;
+  only := o;
   Printf.printf "LMC benchmark harness%s\n%!"
-    (if quick then " (--quick)" else "");
-  let run name f = if section name then Bench_out.timed name f in
-  run "fig3-4" fig3_4;
-  run "fig10-12" fig10_12;
-  run "fig10-12b" fig10_12_two_proposals;
-  run "fig13" fig13;
-  run "table5.1" table51;
-  run "table5.2" table52;
-  run "table5.5" table55;
-  run "table5.6" table56;
-  run "ablation-chain" ablation_chain;
-  run "ablation-history" ablation_history;
-  run "ablation-soundness" ablation_soundness;
-  run "ablation-auto" ablation_auto;
-  run "breadth" breadth;
-  run "micro" micro;
-  run "obs-overhead" obs_overhead;
+    (if !quick then " (--quick)" else "");
+  List.iter
+    (fun (name, f) -> if section name then Bench_out.timed name f)
+    sections;
   Bench_out.write "BENCH_lmc.json";
   Printf.printf "\ndone.\n"
+
+let () =
+  let open Cmdliner in
+  let quick_arg =
+    let doc = "Trim time budgets and depth caps (CI-sized run)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let only_arg =
+    let doc =
+      "Run a single section instead of all of them.  $(docv) must be \
+       one of the section names (see the synopsis)."
+    in
+    let sec = Arg.enum (List.map (fun (n, _) -> (n, n)) sections) in
+    Arg.(value & opt (some sec) None & info [ "only" ] ~doc ~docv:"SECTION")
+  in
+  let doc =
+    "regenerate the paper's evaluation (tables, figures, ablations) and \
+     write BENCH_lmc.json"
+  in
+  let info = Cmd.info "bench" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const main $ quick_arg $ only_arg)))

@@ -17,6 +17,8 @@ type check_params = {
   minimize : bool;
   dot : string option;  (* write the witness sequence chart here *)
   json : bool;  (* machine-readable result on stdout *)
+  domains : int;  (* exploration pool width (--domains) *)
+  verify_domains : int;  (* deferred-verification fan-out *)
   obs : Obs.scope;  (* --metrics-out / --trace-out / --progress *)
 }
 
@@ -28,7 +30,8 @@ type runner = {
   check : check_params -> int;
   hunt :
     (obs:Obs.scope -> seed:int -> drop:float -> interval:float ->
-     max_live:float -> budget:float -> steer:bool -> int)
+     max_live:float -> budget:float -> steer:bool -> domains:int ->
+     verify_domains:int -> int)
     option;
 }
 
@@ -153,6 +156,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             G.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            domains = params.domains;
             obs = params.obs;
           }
         in
@@ -180,6 +184,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                 ("global_states", Dsm.Json.Int o.stats.global_states);
                 ("system_states", Dsm.Json.Int o.stats.system_states);
                 ("max_depth", Dsm.Json.Int o.stats.max_depth_reached);
+                ("domains", Dsm.Json.Int params.domains);
                 ("elapsed_s", Dsm.Json.Float o.stats.elapsed);
                 ("completed", Dsm.Json.Bool o.completed);
               ];
@@ -214,6 +219,8 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             L.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            domains = params.domains;
+            verify_domains = params.verify_domains;
             obs = params.obs;
           }
         in
@@ -253,6 +260,10 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                 ("preliminary_violations",
                  Dsm.Json.Int r.preliminary_violations);
                 ("soundness_rejections", Dsm.Json.Int r.soundness_rejections);
+                (* both pools, distinguishable: exploration vs deferred
+                   verification *)
+                ("domains", Dsm.Json.Int params.domains);
+                ("verify_domains", Dsm.Json.Int params.verify_domains);
                 ("elapsed_s", Dsm.Json.Float r.elapsed);
                 ("completed", Dsm.Json.Bool r.completed);
               ];
@@ -283,7 +294,7 @@ struct
   module S = Sim.Live_sim.Make (Live)
 
   let run ?strategy ?action_prob ~obs ~invariant ~seed ~drop ~interval
-      ~max_live ~budget ~steer () =
+      ~max_live ~budget ~steer ~domains ~verify_domains () =
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
         ()
@@ -298,6 +309,8 @@ struct
             O.Checker.default_config with
             time_limit = Some budget;
             max_transitions = Some 100_000;
+            domains;
+            verify_domains;
           };
         action_bounds = [ 1; 2 ];
         steer;
@@ -438,13 +451,14 @@ let paxos_runner ~buggy =
           ~invariant:Bench.safety params);
     hunt =
       Some
-        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ->
+        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
+             ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
             ~obs ~invariant:Check.safety ~seed ~drop ~interval ~max_live
-            ~budget ~steer ());
+            ~budget ~steer ~domains ~verify_domains ());
   }
 
 let onepaxos_runner ~buggy =
@@ -477,7 +491,8 @@ let onepaxos_runner ~buggy =
           ~invariant:OP.safety params);
     hunt =
       Some
-        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ->
+        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
+             ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -487,7 +502,7 @@ let onepaxos_runner ~buggy =
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
             ~obs ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
-            ~steer ());
+            ~steer ~domains ~verify_domains ());
   }
 
 let twophase_runner ~buggy =
@@ -733,10 +748,37 @@ let progress_arg =
   in
   Arg.(value & opt (some float) None & info [ "progress" ] ~doc ~docv:"SECS")
 
+(* Positive domain counts; anything below 1 is a usage error, reported
+   through cmdliner rather than as a runtime invalid_arg. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not a valid count; must be >= 1" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  let doc =
+    "Worker domains for state exploration.  1 (the default) keeps the \
+     sequential path; N > 1 fans the pure half of each transition batch \
+     across a work-stealing pool with verdicts identical to a sequential \
+     run."
+  in
+  Arg.(value & opt pos_int 1 & info [ "domains" ] ~doc ~docv:"N")
+
+let verify_domains_arg =
+  let doc =
+    "Worker domains for deferred soundness verification (LMC checkers \
+     only; independent of --domains)."
+  in
+  Arg.(value & opt pos_int 1 & info [ "verify-domains" ] ~doc ~docv:"N")
+
 let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
   let run protocol checker max_depth time_limit verbose minimize dot json
-      metrics_out trace_out progress =
+      metrics_out trace_out progress domains verify_domains =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -746,14 +788,14 @@ let check_cmd =
         Fun.protect ~finally:finish (fun () ->
             r.check
               { kind = checker; max_depth; time_limit; verbose; minimize;
-                dot; json; obs })
+                dot; json; obs; domains; verify_domains })
   in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
       $ verbose_arg $ minimize_arg $ dot_arg $ json_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg)
+      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -788,7 +830,7 @@ let hunt_cmd =
      model checking, 3.3)."
   in
   let run protocol seed drop interval max_live budget steer metrics_out
-      trace_out progress =
+      trace_out progress domains verify_domains =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -799,14 +841,15 @@ let hunt_cmd =
     | Ok { hunt = Some h; _ } ->
         let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
         Fun.protect ~finally:finish (fun () ->
-            h ~obs ~seed ~drop ~interval ~max_live ~budget ~steer)
+            h ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
+              ~verify_domains)
   in
   Cmd.v
     (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
       $ max_live_arg $ budget_arg $ steer_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg)
+      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg)
 
 let () =
   let doc = "local model checking of distributed protocols (NSDI'11)" in

@@ -30,6 +30,8 @@ module Make (P : Dsm.Protocol.S) = struct
     soundness_via_sequences : bool;
     defer_soundness : bool;
     verify_domains : int;
+    domains : int;
+    pool : Par.Pool.t option;
     obs : Obs.scope;
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
   }
@@ -53,6 +55,8 @@ module Make (P : Dsm.Protocol.S) = struct
       soundness_via_sequences = false;
       defer_soundness = false;
       verify_domains = 1;
+      domains = 1;
+      pool = None;
       obs = Obs.null;
       on_new_node_state = None;
     }
@@ -191,6 +195,12 @@ module Make (P : Dsm.Protocol.S) = struct
     net_by_fp : (Fingerprint.t, int) Hashtbl.t;
     seen_combos : (Fingerprint.t, unit) Hashtbl.t;
     rejected : 'k rejected Vec.t;
+    pool : Par.Pool.t option;
+        (* exploration pool ([config.domains]); independent of the
+           deferred-verification fan-out ([config.verify_domains]) *)
+    combo_buf : ('k entry array * int) Vec.t;
+        (* combination tuples awaiting a batched invariant check;
+           always drained before [check_system_invariant] returns *)
     started : float;
     mutable transitions : int;
     mutable system_states_created : int;
@@ -258,9 +268,11 @@ module Make (P : Dsm.Protocol.S) = struct
   (* Add a generated message to the shared network I+, deduplicating by
      fingerprint (the paper's duplicate limit of zero).  The returned
      fingerprint always enters the producing event's [produces] list:
-     soundness bookkeeping counts productions, not distinct contents. *)
-  let add_message t env =
-    let fp = Fingerprint.of_value env in
+     soundness bookkeeping counts productions, not distinct contents.
+     The fingerprint itself is computed separately ([register_message]
+     takes it precomputed) so parallel rounds can hash message payloads
+     on worker domains and register them on the main one. *)
+  let register_message t env fp =
     if not (Hashtbl.mem t.net_by_fp fp) then begin
       let id = Vec.length t.net in
       ignore (Vec.push t.net { net_id = id; env; net_fp = fp; cursor = 0 });
@@ -523,6 +535,98 @@ module Make (P : Dsm.Protocol.S) = struct
           end
     end
 
+  (* ----- batched combination checking (parallel rounds) -----
+
+     With a pool attached, combination tuples are buffered during
+     enumeration; the pure part of [consider_combo] — building the
+     system array and running the invariant — fans out across domains,
+     and verdicts are applied strictly in submission order, so every
+     counter, event and Stop point lands exactly where the inline path
+     would put it. *)
+
+  type combo_verdict =
+    | C_gated  (* system depth beyond the bound: budget check only *)
+    | C_ok
+    | C_viol of P.state array * Dsm.Invariant.violation
+
+  let combo_buf_max = 1024
+  let combo_chunk = 64
+
+  let apply_combo t (tuple : 'k entry array) sdepth verdict =
+    check_budget t;
+    match verdict with
+    | C_gated -> ()
+    | C_ok | C_viol _ -> (
+        t.system_states_created <- t.system_states_created + 1;
+        Obs.Metrics.incr t.o.c_system_states;
+        Obs.Metrics.observe t.o.h_system_depth sdepth;
+        if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
+        match verdict with
+        | C_gated | C_ok -> ()
+        | C_viol (system, violation) ->
+            t.preliminary_violations <- t.preliminary_violations + 1;
+            Obs.Metrics.incr t.o.c_prelim;
+            Obs.event t.o.scope "lmc.preliminary_violation"
+              ~fields:
+                [
+                  ( "invariant",
+                    Dsm.Json.String violation.Dsm.Invariant.invariant );
+                  ("system_depth", Dsm.Json.Int sdepth);
+                ];
+            if t.config.verify_soundness then begin
+              if
+                t.config.defer_soundness
+                && Vec.length t.rejected < t.config.max_rejected_cache
+              then
+                ignore
+                  (Vec.push t.rejected
+                     {
+                       r_tuple = tuple;
+                       r_system = system;
+                       r_violation = violation;
+                       r_depth = sdepth;
+                     })
+              else verify_soundness t tuple system violation sdepth
+            end)
+
+  let flush_combos t pool =
+    let n = Vec.length t.combo_buf in
+    if n > 0 then begin
+      let items = Vec.to_array t.combo_buf in
+      Vec.clear t.combo_buf;
+      let verdicts =
+        Par.Pool.tabulate pool ~chunk:combo_chunk n (fun i ->
+            let tuple, sdepth = items.(i) in
+            if not (depth_allows t sdepth) then C_gated
+            else
+              let system = Array.map (fun (e : 'k entry) -> e.state) tuple in
+              match Dsm.Invariant.check t.invariant system with
+              | None -> C_ok
+              | Some violation -> C_viol (system, violation))
+      in
+      Array.iteri
+        (fun i verdict ->
+          let tuple, sdepth = items.(i) in
+          apply_combo t tuple sdepth verdict)
+        verdicts
+    end
+
+  (* [tuple] may be a reused enumeration buffer; the pooled path copies
+     it at enqueue time, the inline path relies on [consider_combo]
+     copying before any retention. *)
+  let submit_combo t (tuple : 'k entry array) =
+    match t.pool with
+    | None -> consider_combo t tuple
+    | Some pool ->
+        let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
+        ignore (Vec.push t.combo_buf (Array.copy tuple, sdepth));
+        if Vec.length t.combo_buf >= combo_buf_max then flush_combos t pool
+
+  let drain_combos t =
+    match t.pool with
+    | Some pool when Vec.length t.combo_buf > 0 -> flush_combos t pool
+    | _ -> ()
+
   let general_combos t (new_entry : 'k entry) =
     let candidates =
       Array.init P.num_nodes (fun k ->
@@ -531,7 +635,7 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     ignore
       (Combination.iter candidates (fun tuple ->
-           consider_combo t tuple;
+           submit_combo t tuple;
            if t.sound_violation <> None && t.config.stop_on_violation then
              `Stop
            else `Continue))
@@ -565,7 +669,7 @@ module Make (P : Dsm.Protocol.S) = struct
                        let cfp = tuple_fp tuple in
                        if not (Hashtbl.mem t.seen_combos cfp) then begin
                          Hashtbl.replace t.seen_combos cfp ();
-                         consider_combo t (Array.copy tuple)
+                         submit_combo t tuple
                        end;
                        if
                          t.sound_violation <> None
@@ -606,13 +710,21 @@ module Make (P : Dsm.Protocol.S) = struct
     if t.config.create_system_states then begin
       let t0 = now () in
       let soundness_before = t.soundness_time in
-      (match t.strategy with
-      | General -> general_combos t new_entry
-      | Invariant_specific { conflict; _ } -> opt_combos t conflict new_entry
-      | Automatic -> auto_combos t new_entry);
-      let phase = now () -. t0 in
-      t.system_state_time <-
-        t.system_state_time +. phase -. (t.soundness_time -. soundness_before)
+      Fun.protect
+        ~finally:(fun () ->
+          let phase = now () -. t0 in
+          t.system_state_time <-
+            t.system_state_time +. phase
+            -. (t.soundness_time -. soundness_before))
+        (fun () ->
+          (match t.strategy with
+          | General -> general_combos t new_entry
+          | Invariant_specific { conflict; _ } ->
+              opt_combos t conflict new_entry
+          | Automatic -> auto_combos t new_entry);
+          (* Verdicts land before any later node state is created, so
+             the pooled path interleaves exactly like the inline one. *)
+          drain_combos t)
     end
 
   (* ----- exploration (findBugs main loop, Fig. 9) ----- *)
@@ -660,97 +772,165 @@ module Make (P : Dsm.Protocol.S) = struct
         check_system_invariant t entry;
         true
 
-  let try_net_event t (m : net_entry) (entry : 'k entry) =
+  (* Each transition splits into a pure *compute* half — the protocol
+     handler plus every fingerprint, which is where the time goes — and
+     a sequential *apply* half that mutates the stores and counters.
+     Parallel rounds tabulate the compute half across the pool, then
+     apply results in index order: because message [m]'s whole range is
+     applied before the next message's range is read (and actions only
+     ever append to their own node's store), the parallel schedule
+     replays the sequential enumeration exactly — same states, same
+     counters, same traces, for any domain count. *)
+
+  type net_compute =
+    | N_skip  (* history or depth gate *)
+    | N_assert
+    | N_step of
+        P.state
+        * Fingerprint.t
+        * (P.message Envelope.t * Fingerprint.t) list
+
+  let compute_net t (m : net_entry) (entry : 'k entry) =
     let skip_by_history =
       t.config.use_history && Fingerprint.Set.mem m.net_fp entry.history
     in
-    if (not skip_by_history) && depth_allows t (entry.depth + 1) then begin
-      t.transitions <- t.transitions + 1;
-      Obs.Metrics.incr t.o.c_transitions;
-      check_budget t;
-      let node = m.env.Envelope.dst in
-      match P.handle_message ~self:node entry.state m.env with
-      | exception Dsm.Protocol.Local_assert _ ->
-          t.local_assert_drops <- t.local_assert_drops + 1;
-          Obs.Metrics.incr t.o.c_local_drops;
-          false
+    if (not skip_by_history) && depth_allows t (entry.depth + 1) then
+      match P.handle_message ~self:m.env.Envelope.dst entry.state m.env with
+      | exception Dsm.Protocol.Local_assert _ -> N_assert
       | state', out ->
-          let produces = List.map (add_message t) out in
-          let event =
-            {
-              label = m.net_fp;
-              kind = Net_event m.net_id;
-              requires = Some m.net_fp;
-              produces;
-            }
-          in
-          let changed =
-            let fp' = Fingerprint.of_value state' in
-            if Fingerprint.equal fp' entry.fp then begin
-              (* Self-loop predecessor (Fig. 9 line 14 with s' = s): the
-                 event did not change the node state but its message
-                 productions matter to other nodes' soundness DAGs —
-                 e.g. a tree node forwarding a token untouched. *)
-              if
-                produces <> []
-                && List.length entry.preds < t.config.max_preds_per_entry
-              then
-                entry.preds <- { prev = Some entry.idx; event } :: entry.preds;
-              false
-            end
-            else
-              add_next_state t ~node ~state:state' ~fp:fp'
-                ~history:
-                  (if t.config.use_history then
-                     Fingerprint.Set.add m.net_fp entry.history
-                   else entry.history)
-                ~depth:(entry.depth + 1) ~local_count:entry.local_count
-                ~pred:{ prev = Some entry.idx; event }
-          in
-          changed || produces <> []
-    end
-    else false
+          N_step
+            ( state',
+              Fingerprint.of_value state',
+              List.map (fun env -> (env, Fingerprint.of_value env)) out )
+    else N_skip
 
-  let try_actions t node (entry : 'k entry) =
+  let apply_net t (m : net_entry) (entry : 'k entry) = function
+    | N_skip -> false
+    | N_assert ->
+        t.transitions <- t.transitions + 1;
+        Obs.Metrics.incr t.o.c_transitions;
+        check_budget t;
+        t.local_assert_drops <- t.local_assert_drops + 1;
+        Obs.Metrics.incr t.o.c_local_drops;
+        false
+    | N_step (state', fp', outs) ->
+        t.transitions <- t.transitions + 1;
+        Obs.Metrics.incr t.o.c_transitions;
+        check_budget t;
+        let node = m.env.Envelope.dst in
+        let produces =
+          List.map (fun (env, fp) -> register_message t env fp) outs
+        in
+        let event =
+          {
+            label = m.net_fp;
+            kind = Net_event m.net_id;
+            requires = Some m.net_fp;
+            produces;
+          }
+        in
+        let changed =
+          if Fingerprint.equal fp' entry.fp then begin
+            (* Self-loop predecessor (Fig. 9 line 14 with s' = s): the
+               event did not change the node state but its message
+               productions matter to other nodes' soundness DAGs —
+               e.g. a tree node forwarding a token untouched. *)
+            if
+              produces <> []
+              && List.length entry.preds < t.config.max_preds_per_entry
+            then
+              entry.preds <- { prev = Some entry.idx; event } :: entry.preds;
+            false
+          end
+          else
+            add_next_state t ~node ~state:state' ~fp:fp'
+              ~history:
+                (if t.config.use_history then
+                   Fingerprint.Set.add m.net_fp entry.history
+                 else entry.history)
+              ~depth:(entry.depth + 1) ~local_count:entry.local_count
+              ~pred:{ prev = Some entry.idx; event }
+        in
+        changed || produces <> []
+
+  let try_net_event t (m : net_entry) (entry : 'k entry) =
+    apply_net t m entry (compute_net t m entry)
+
+  type act_step =
+    | A_assert
+    | A_step of
+        P.state
+        * Fingerprint.t
+        * (P.message Envelope.t * Fingerprint.t) list
+
+  type act_compute =
+    | A_blocked  (* local-action bound or depth gate *)
+    | A_steps of (P.action * act_step) list
+
+  let compute_actions t node (entry : 'k entry) =
     let bound_ok =
       match t.config.local_action_bound with
       | Some b -> entry.local_count < b
       | None -> true
     in
     if bound_ok && depth_allows t (entry.depth + 1) then
-      List.fold_left
-        (fun progress action ->
-          t.transitions <- t.transitions + 1;
-          Obs.Metrics.incr t.o.c_transitions;
-          check_budget t;
-          match P.handle_action ~self:node entry.state action with
-          | exception Dsm.Protocol.Local_assert _ ->
-              t.local_assert_drops <- t.local_assert_drops + 1;
-              Obs.Metrics.incr t.o.c_local_drops;
-              progress
-          | state', out ->
-              let produces = List.map (add_message t) out in
-              let changed =
-                let fp' = Fingerprint.of_value state' in
-                if Fingerprint.equal fp' entry.fp then false
-                else
-                  let event =
-                    {
-                      label = Fingerprint.of_value (node, action);
-                      kind = Action_event action;
-                      requires = None;
-                      produces;
-                    }
-                  in
-                  add_next_state t ~node ~state:state' ~fp:fp'
-                    ~history:entry.history ~depth:(entry.depth + 1)
-                    ~local_count:(entry.local_count + 1)
-                    ~pred:{ prev = Some entry.idx; event }
-              in
-              progress || changed || produces <> [])
-        false
-        (P.enabled_actions ~self:node entry.state)
-    else false
+      A_steps
+        (List.map
+           (fun action ->
+             ( action,
+               match P.handle_action ~self:node entry.state action with
+               | exception Dsm.Protocol.Local_assert _ -> A_assert
+               | state', out ->
+                   A_step
+                     ( state',
+                       Fingerprint.of_value state',
+                       List.map
+                         (fun env -> (env, Fingerprint.of_value env))
+                         out ) ))
+           (P.enabled_actions ~self:node entry.state))
+    else A_blocked
+
+  let apply_actions t node (entry : 'k entry) = function
+    | A_blocked -> false
+    | A_steps steps ->
+        List.fold_left
+          (fun progress (action, step) ->
+            t.transitions <- t.transitions + 1;
+            Obs.Metrics.incr t.o.c_transitions;
+            check_budget t;
+            match step with
+            | A_assert ->
+                t.local_assert_drops <- t.local_assert_drops + 1;
+                Obs.Metrics.incr t.o.c_local_drops;
+                progress
+            | A_step (state', fp', outs) ->
+                let produces =
+                  List.map (fun (env, fp) -> register_message t env fp) outs
+                in
+                let changed =
+                  if Fingerprint.equal fp' entry.fp then false
+                  else
+                    let event =
+                      {
+                        label = Fingerprint.of_value (node, action);
+                        kind = Action_event action;
+                        requires = None;
+                        produces;
+                      }
+                    in
+                    add_next_state t ~node ~state:state' ~fp:fp'
+                      ~history:entry.history ~depth:(entry.depth + 1)
+                      ~local_count:(entry.local_count + 1)
+                      ~pred:{ prev = Some entry.idx; event }
+                in
+                progress || changed || produces <> [])
+          false steps
+
+  let try_actions t node (entry : 'k entry) =
+    apply_actions t node entry (compute_actions t node entry)
+
+  let net_chunk = 16
+  let action_chunk = 8
 
   let round t =
     let progress = ref false in
@@ -766,9 +946,22 @@ module Make (P : Dsm.Protocol.S) = struct
       if from < upto then begin
         m.cursor <- upto;
         progress := true;
-        for si = from to upto - 1 do
-          if try_net_event t m (Vec.get store si) then progress := true
-        done
+        match t.pool with
+        | Some pool ->
+            (* The compute half reads only entries below [upto], all of
+               which exist before the batch is published. *)
+            let comps =
+              Par.Pool.tabulate pool ~chunk:net_chunk (upto - from) (fun i ->
+                  compute_net t m (Vec.get store (from + i)))
+            in
+            for i = 0 to upto - from - 1 do
+              if apply_net t m (Vec.get store (from + i)) comps.(i) then
+                progress := true
+            done
+        | None ->
+            for si = from to upto - 1 do
+              if try_net_event t m (Vec.get store si) then progress := true
+            done
       end
     done;
     (* Local events: expand each newly visited node state once. *)
@@ -779,9 +972,20 @@ module Make (P : Dsm.Protocol.S) = struct
       if from < upto then begin
         t.action_cursor.(n) <- upto;
         progress := true;
-        for si = from to upto - 1 do
-          if try_actions t n (Vec.get store si) then progress := true
-        done
+        match t.pool with
+        | Some pool ->
+            let comps =
+              Par.Pool.tabulate pool ~chunk:action_chunk (upto - from)
+                (fun i -> compute_actions t n (Vec.get store (from + i)))
+            in
+            for i = 0 to upto - from - 1 do
+              if apply_actions t n (Vec.get store (from + i)) comps.(i) then
+                progress := true
+            done
+        | None ->
+            for si = from to upto - 1 do
+              if try_actions t n (Vec.get store si) then progress := true
+            done
       end
     done;
     !progress
@@ -905,7 +1109,7 @@ module Make (P : Dsm.Protocol.S) = struct
         ~fields:
           [
             ("pending", Dsm.Json.Int (Array.length pending));
-            ("domains", Dsm.Json.Int t.config.verify_domains);
+            ("verify_domains", Dsm.Json.Int t.config.verify_domains);
           ]
         (fun () ->
           if
@@ -992,9 +1196,7 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     stores_bytes + net_bytes
 
-  let run config ~strategy ~invariant snapshot =
-    if Array.length snapshot <> P.num_nodes then
-      invalid_arg "Checker.run: snapshot size does not match num_nodes";
+  let exec config ~strategy ~invariant snapshot pool =
     let t =
       {
         config;
@@ -1008,6 +1210,8 @@ module Make (P : Dsm.Protocol.S) = struct
         net_by_fp = Hashtbl.create 256;
         seen_combos = Hashtbl.create 256;
         rejected = Vec.create ();
+        pool;
+        combo_buf = Vec.create ();
         started = now ();
         transitions = 0;
         system_states_created = 0;
@@ -1047,11 +1251,16 @@ module Make (P : Dsm.Protocol.S) = struct
         Hashtbl.replace t.by_fp.(n) fp 0;
         Obs.Metrics.incr t.o.c_node_states)
       snapshot;
+    let explore_domains =
+      match pool with Some p -> Par.Pool.domains p | None -> 1
+    in
     Obs.event t.o.scope "lmc.run.start"
       ~fields:
         [
           ("protocol", Dsm.Json.String P.name);
           ("nodes", Dsm.Json.Int P.num_nodes);
+          ("domains", Dsm.Json.Int explore_domains);
+          ("verify_domains", Dsm.Json.Int config.verify_domains);
         ];
     (try
        check_initial t snapshot;
@@ -1083,6 +1292,8 @@ module Make (P : Dsm.Protocol.S) = struct
           ("soundness_calls", Dsm.Json.Int t.soundness_calls);
           ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
           ("completed", Dsm.Json.Bool (not t.truncated));
+          ("domains", Dsm.Json.Int explore_domains);
+          ("verify_domains", Dsm.Json.Int config.verify_domains);
           ("elapsed_s", Dsm.Json.Float elapsed);
         ];
     {
@@ -1106,4 +1317,19 @@ module Make (P : Dsm.Protocol.S) = struct
       max_system_depth = t.max_system_depth;
       max_node_depth = t.max_node_depth;
     }
+
+  let run config ~strategy ~invariant snapshot =
+    if Array.length snapshot <> P.num_nodes then
+      invalid_arg "Checker.run: snapshot size does not match num_nodes";
+    if config.domains < 1 then
+      invalid_arg "Checker.run: domains must be >= 1";
+    match config.pool with
+    | Some _ as pool ->
+        (* Caller-owned pool (e.g. Online_mc sharing one across
+           restarts): borrow it, never shut it down. *)
+        exec config ~strategy ~invariant snapshot pool
+    | None when config.domains > 1 ->
+        Par.Pool.with_pool ~obs:config.obs config.domains (fun pool ->
+            exec config ~strategy ~invariant snapshot (Some pool))
+    | None -> exec config ~strategy ~invariant snapshot None
 end

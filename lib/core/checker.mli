@@ -97,6 +97,23 @@ module Make (P : Dsm.Protocol.S) : sig
             ("the model checking process can be embarrassingly
             parallelized"); 1 = serial.  Only the DAG soundness mode
             parallelises. *)
+    domains : int;
+        (** worker domains for {e exploration}: per-message and
+            per-node compute batches (handler executions,
+            fingerprints) and combination invariant checks fan out
+            over a {!Par.Pool}; results are applied in submission
+            order, so any domain count produces bit-identical results
+            — verdicts, counters, witness traces — to [domains = 1].
+            Requires handlers, [enabled_actions] and the invariant to
+            be pure.  Independent of [verify_domains] (the
+            verification fan-out).  1 = the unchanged sequential
+            path. *)
+    pool : Par.Pool.t option;
+        (** run exploration on a caller-owned pool instead of
+            spawning one per run — {!Online.Online_mc} shares a pool
+            across its budgeted restarts this way.  The pool is
+            borrowed, never shut down; when set it overrides
+            [domains]. *)
     obs : Obs.scope;
         (** observability scope.  Counters mirroring every [result]
             tally ([lmc.transitions], [lmc.node_states],

@@ -36,6 +36,10 @@ module Make (P : Dsm.Protocol.S) = struct
     max_transitions : int option;
     stop_on_violation : bool;
     track_traces : bool;
+    domains : int;
+        (* > 1 switches to layered frontier expansion (deterministic
+           parallel BFS); 1 keeps the recursive DFS *)
+    pool : Par.Pool.t option;  (* borrowed; overrides [domains] *)
     obs : Obs.scope;
   }
 
@@ -46,6 +50,8 @@ module Make (P : Dsm.Protocol.S) = struct
       max_transitions = None;
       stop_on_violation = true;
       track_traces = true;
+      domains = 1;
+      pool = None;
       obs = Obs.null;
     }
 
@@ -234,7 +240,7 @@ module Make (P : Dsm.Protocol.S) = struct
           end)
         (successors g)
 
-  let run config ~invariant ?(initial_net = []) init =
+  let run_dfs config ~invariant ?(initial_net = []) init =
     let g = { nodes = Array.copy init; net = Net.Multiset.of_list initial_net } in
     let s =
       {
@@ -281,4 +287,229 @@ module Make (P : Dsm.Protocol.S) = struct
       violation = s.violation;
       completed = not s.truncated;
     }
+
+  (* ----- parallel frontier expansion (domains > 1) -----
+
+     Breadth-first by layers: every state of depth [d] is expanded in
+     one batch — the pure half (successor generation, fingerprints,
+     the invariant, a read-only prefilter against the sharded visited
+     table) fans out across the pool; insertion, parent recording and
+     violation reporting happen on the submitting domain in submission
+     order.  Layered traversal visits each state at its minimum depth,
+     so the DFS's revisit-shallower correction never applies, and the
+     merge order makes the outcome independent of the domain count.
+     The traversal order differs from the DFS (this is BFS), but the
+     explored set, the transition count and the verdict on an
+     exhausted space are identical. *)
+
+  type succ_compute =
+    | S_seen  (* already visited at an earlier layer: counts as a
+                 transition, nothing else to do *)
+    | S_new of
+        (P.message, P.action) Trace.step
+        * global
+        * Fingerprint.t
+        * Fingerprint.t  (* system fingerprint of the node states *)
+        * Dsm.Invariant.violation option
+
+  type fsearch = {
+    fconfig : config;
+    fo : obs_handles;
+    finvariant : P.state Dsm.Invariant.t;
+    fvisited : (Fingerprint.t, int) Par.Shard_tbl.t;
+    fparents :
+      (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
+      Hashtbl.t;
+    mutable ftransitions : int;
+    mutable fsystem_states : Fingerprint.Set.t;
+    mutable fmax_depth : int;
+    mutable fviolation : violation option;
+    mutable ftruncated : bool;
+    fstarted : float;
+  }
+
+  let fout_of_budget s =
+    (match s.fconfig.time_limit with
+    | Some limit -> Unix.gettimeofday () -. s.fstarted > limit
+    | None -> false)
+    ||
+    match s.fconfig.max_transitions with
+    | Some limit -> s.ftransitions >= limit
+    | None -> false
+
+  let frebuild_trace s fp =
+    let rec walk fp acc =
+      match Hashtbl.find_opt s.fparents fp with
+      | None -> acc
+      | Some (parent, step) -> (
+          match parent with
+          | None -> step :: acc
+          | Some pfp -> walk pfp (step :: acc))
+    in
+    walk fp []
+
+  let frecord_violation s g fp depth violation =
+    if s.fviolation = None then begin
+      s.fviolation <-
+        Some
+          {
+            system = Array.copy g.nodes;
+            violation;
+            trace =
+              (if s.fconfig.track_traces then frebuild_trace s fp else []);
+            depth;
+          };
+      Obs.event s.fo.scope "bdfs.violation"
+        ~fields:
+          [
+            ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
+            ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
+            ("depth", Dsm.Json.Int depth);
+          ]
+    end
+
+  let run_frontier config ~invariant ~initial_net init pool =
+    let g = { nodes = Array.copy init; net = Net.Multiset.of_list initial_net } in
+    let s =
+      {
+        fconfig = config;
+        fo = make_obs_handles config;
+        finvariant = invariant;
+        fvisited = Par.Shard_tbl.create 4096;
+        fparents = Hashtbl.create 4096;
+        ftransitions = 0;
+        fsystem_states = Fingerprint.Set.empty;
+        fmax_depth = 0;
+        fviolation = None;
+        ftruncated = false;
+        fstarted = Unix.gettimeofday ();
+      }
+    in
+    let root_fp = fingerprint g in
+    ignore (Par.Shard_tbl.add_if_absent s.fvisited root_fp 0);
+    Obs.Metrics.incr s.fo.c_global_states;
+    s.fsystem_states <-
+      Fingerprint.Set.add (system_fingerprint g.nodes) s.fsystem_states;
+    Obs.Metrics.incr s.fo.c_system_states;
+    (match Dsm.Invariant.check invariant g.nodes with
+    | Some violation -> frecord_violation s g root_fp 0 violation
+    | None -> ());
+    let stop () = config.stop_on_violation && s.fviolation <> None in
+    let frontier = ref [| (g, root_fp) |] in
+    let depth = ref 0 in
+    (try
+       while Array.length !frontier > 0 && not (stop ()) do
+         Obs.heartbeat s.fo.scope (fun () ->
+             [
+               ("transitions", Dsm.Json.Int s.ftransitions);
+               ( "global_states",
+                 Dsm.Json.Int (Par.Shard_tbl.length s.fvisited) );
+               ("depth", Dsm.Json.Int !depth);
+               ( "elapsed_s",
+                 Dsm.Json.Float (Unix.gettimeofday () -. s.fstarted) );
+             ]);
+         let layer = !frontier in
+         frontier := [||];
+         let depth' = !depth + 1 in
+         let depth_ok =
+           match config.max_depth with Some d -> !depth < d | None -> true
+         in
+         if depth_ok then begin
+           (* Pure half, fanned out: successor generation, hashing,
+              the invariant, and a monotone prefilter (states visited
+              at earlier layers stay visited; in-layer duplicates are
+              caught again at merge time). *)
+           let computed =
+             Par.Pool.tabulate pool ~chunk:4 (Array.length layer) (fun i ->
+                 let g, _fp = layer.(i) in
+                 List.map
+                   (fun (step, g') ->
+                     let fp' = fingerprint g' in
+                     if Par.Shard_tbl.mem s.fvisited fp' then S_seen
+                     else
+                       S_new
+                         ( step,
+                           g',
+                           fp',
+                           system_fingerprint g'.nodes,
+                           Dsm.Invariant.check invariant g'.nodes ))
+                   (successors g))
+           in
+           (* Sequential merge in submission order. *)
+           let next = ref [] in
+           (try
+              Array.iteri
+                (fun i succs ->
+                  let _, parent_fp = layer.(i) in
+                  List.iter
+                    (fun succ ->
+                      if fout_of_budget s then begin
+                        s.ftruncated <- true;
+                        raise Stop
+                      end;
+                      s.ftransitions <- s.ftransitions + 1;
+                      Obs.Metrics.incr s.fo.c_transitions;
+                      match succ with
+                      | S_seen -> ()
+                      | S_new (step, g', fp', sys_fp, viol) ->
+                          if Par.Shard_tbl.add_if_absent s.fvisited fp' depth'
+                          then begin
+                            Obs.Metrics.incr s.fo.c_global_states;
+                            Obs.Metrics.observe s.fo.h_depth depth';
+                            if depth' > s.fmax_depth then
+                              s.fmax_depth <- depth';
+                            if config.track_traces then
+                              Hashtbl.replace s.fparents fp'
+                                (Some parent_fp, step);
+                            if not (Fingerprint.Set.mem sys_fp s.fsystem_states)
+                            then begin
+                              s.fsystem_states <-
+                                Fingerprint.Set.add sys_fp s.fsystem_states;
+                              Obs.Metrics.incr s.fo.c_system_states
+                            end;
+                            (match viol with
+                            | Some violation ->
+                                frecord_violation s g' fp' depth' violation;
+                                if config.stop_on_violation then raise Stop
+                            | None -> ());
+                            next := (g', fp') :: !next
+                          end)
+                    succs)
+                computed
+            with Stop -> ());
+           if not (stop ()) && not s.ftruncated then begin
+             frontier := Array.of_list (List.rev !next);
+             depth := depth'
+           end
+         end
+       done
+     with Stop -> ());
+    let elapsed = Unix.gettimeofday () -. s.fstarted in
+    let visited_count = Par.Shard_tbl.length s.fvisited in
+    let retained_bytes =
+      (visited_count * visited_entry_bytes)
+      + (Hashtbl.length s.fparents * parent_entry_bytes)
+    in
+    {
+      stats =
+        {
+          transitions = s.ftransitions;
+          global_states = visited_count;
+          system_states = Fingerprint.Set.cardinal s.fsystem_states;
+          max_depth_reached = s.fmax_depth;
+          retained_bytes;
+          elapsed;
+        };
+      violation = s.fviolation;
+      completed = not s.ftruncated;
+    }
+
+  let run config ~invariant ?(initial_net = []) init =
+    if config.domains < 1 then invalid_arg "Bdfs.run: domains must be >= 1";
+    match config.pool with
+    | Some pool -> run_frontier config ~invariant ~initial_net init pool
+    | None when config.domains > 1 ->
+        Par.Pool.with_pool ~obs:config.obs config.domains (fun pool ->
+            run_frontier config ~invariant ~initial_net init pool)
+    | None -> run_dfs config ~invariant ~initial_net init
 end

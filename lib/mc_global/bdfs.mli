@@ -49,6 +49,20 @@ module Make (P : Dsm.Protocol.S) : sig
     track_traces : bool;
         (** keep parent pointers for counterexample traces; disable to
             measure the bare visited-set footprint *)
+    domains : int;
+        (** worker domains.  [1] (the default) runs the classic
+            recursive DFS.  [> 1] switches to layered frontier
+            expansion — a breadth-first traversal whose pure half
+            (successor generation, fingerprints, the invariant) fans
+            out across a {!Par.Pool} with a sharded visited table,
+            while insertions merge in submission order, so the explored
+            set, transition count and verdict are independent of the
+            domain count (traversal {e order} differs from the DFS, so
+            a found counterexample may differ; an exhausted space
+            yields identical state counts and verdict). *)
+    pool : Par.Pool.t option;
+        (** run frontier expansion on a caller-owned pool (borrowed,
+            never shut down); overrides [domains] when set. *)
     obs : Obs.scope;
         (** observability scope: [bdfs.transitions] /
             [bdfs.global_states] / [bdfs.system_states] counters and a

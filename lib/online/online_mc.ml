@@ -102,6 +102,23 @@ struct
       | [] -> [ None ]
       | bs -> List.map (fun b -> Some b) bs
     in
+    (* Budgeted restarts share one exploration pool: spawning domains
+       per checker run would pay the fork/join setup at every check
+       interval, so when the checker config asks for parallelism and
+       brings no pool of its own, one is created here and threaded
+       through every restart (and every widening bound below). *)
+    let owned_pool =
+      if
+        config.checker.Checker.pool = None
+        && config.checker.Checker.domains > 1
+      then Some (Par.Pool.create ~obs:checker_obs config.checker.Checker.domains)
+      else None
+    in
+    let pool =
+      match config.checker.Checker.pool with
+      | Some _ as p -> p
+      | None -> owned_pool
+    in
     (* One snapshot, several runs with widening local-event bounds; the
        checker restarts from scratch at each bound, as in §4.2. *)
     let check_snapshot snapshot =
@@ -112,7 +129,12 @@ struct
             Obs.Metrics.incr c_checks;
             let result =
               Checker.run
-                { config.checker with local_action_bound = bound; obs = checker_obs }
+                {
+                  config.checker with
+                  local_action_bound = bound;
+                  obs = checker_obs;
+                  pool;
+                }
                 ~strategy ~invariant snapshot
             in
             check_time := !check_time +. result.Checker.elapsed;
@@ -187,7 +209,11 @@ struct
       if Sim_p.now sim >= config.max_live_time then Some report
       else loop_with_report report
     in
-    let report = loop () in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Par.Pool.shutdown owned_pool)
+        loop
+    in
     {
       report;
       total_checks = !checks;

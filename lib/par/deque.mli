@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque.
+
+    One domain — the {e owner} — pushes and pops at the bottom;
+    any other domain may {!steal} from the top.  Owner operations
+    are cheap (no CAS on the fast path for [push]); thieves
+    synchronise with a single compare-and-set on the top index.
+
+    The buffer grows geometrically and never shrinks; slots are
+    individual [Atomic.t] cells so that a thief racing a grow reads
+    either the old or the new value of a slot, never a torn one —
+    staleness is then caught by the CAS on the monotonically
+    increasing top index. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque.  [capacity] (default 64) is
+    rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Remove the most recently pushed element (LIFO),
+    or [None] if the deque is empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain.  Remove the oldest element (FIFO), or [None] if the
+    deque is empty or the steal lost a race (callers should treat
+    [None] as "try elsewhere", not "definitely empty"). *)
+
+val length : 'a t -> int
+(** Snapshot of the number of elements; racy but never negative. *)

@@ -1,0 +1,203 @@
+(* Fixed domain pool, work-stealing batches, deterministic tabulate.
+ *
+ * Life of a batch: the submitter publishes it (under the mutex, with
+ * an epoch bump and a broadcast), then participates like any worker.
+ * Each participant claims a static slice of the index range, splits
+ * it binary-recursively into its own deque — exposing the upper
+ * halves to thieves — and when its slice is gone, scans peers'
+ * deques for spans to steal.  The batch ends when the completed
+ * count reaches [total]; workers then block on the condition
+ * variable until the next epoch.
+ *
+ * On an oversubscribed machine (fewer cores than domains) a spinning
+ * thief would starve the domain actually holding the work, so the
+ * steal loop backs off into [Unix.sleepf] after repeated misses —
+ * [Domain.cpu_relax] alone never yields the OS thread. *)
+
+type batch = {
+  total : int;
+  chunk : int;
+  compute : int -> unit;
+  completed : int Atomic.t;
+  failed : exn option Atomic.t;
+}
+
+type t = {
+  size : int;
+  deques : (int * int) Deque.t array;  (* one per participant *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable batch : batch option;  (* written under [mutex] *)
+  mutable epoch : int;  (* bumped under [mutex] per batch *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  scope : Obs.scope;
+  c_batches : Obs.Metrics.counter;
+  c_tasks : Obs.Metrics.counter array;  (* items computed, per domain *)
+  c_steals : Obs.Metrics.counter array;  (* successful steals, per domain *)
+  g_qdepth : Obs.Metrics.gauge array;  (* deque depth after push/pop *)
+}
+
+let domains t = t.size
+
+let note_depth pool p =
+  Obs.Metrics.set pool.g_qdepth.(p)
+    (float_of_int (Deque.length pool.deques.(p)))
+
+let rec process_span pool b p lo hi =
+  if hi - lo <= b.chunk then begin
+    (match Atomic.get b.failed with
+    | Some _ -> ()  (* drain mode: count indices, skip compute *)
+    | None -> (
+        try
+          for i = lo to hi - 1 do
+            b.compute i
+          done
+        with e -> ignore (Atomic.compare_and_set b.failed None (Some e))));
+    ignore (Atomic.fetch_and_add b.completed (hi - lo));
+    Obs.Metrics.add pool.c_tasks.(p) (hi - lo)
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    Deque.push pool.deques.(p) (mid, hi);
+    note_depth pool p;
+    process_span pool b p lo mid;
+    match Deque.pop pool.deques.(p) with
+    | Some (lo', hi') ->
+        note_depth pool p;
+        process_span pool b p lo' hi'
+    | None -> ()  (* a thief got there first *)
+  end
+
+let participate pool b p =
+  let lo = p * b.total / pool.size and hi = (p + 1) * b.total / pool.size in
+  if hi > lo then process_span pool b p lo hi;
+  (* Own slice exhausted: steal until the whole batch is done. *)
+  let misses = ref 0 in
+  while Atomic.get b.completed < b.total do
+    let stolen = ref None in
+    let k = ref 1 in
+    while !stolen = None && !k < pool.size do
+      let victim = (p + !k) mod pool.size in
+      (match Deque.steal pool.deques.(victim) with
+      | Some span ->
+          stolen := Some span;
+          Obs.Metrics.incr pool.c_steals.(p)
+      | None -> ());
+      incr k
+    done;
+    match !stolen with
+    | Some (lo, hi) ->
+        misses := 0;
+        process_span pool b p lo hi
+    | None ->
+        incr misses;
+        (* Every 32 misses, yield the OS thread: essential when the
+           pool is wider than the machine. *)
+        if !misses land 31 = 0 then Unix.sleepf 5e-5 else Domain.cpu_relax ()
+  done
+
+let worker pool p =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.closed) && pool.epoch = !seen do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.epoch;
+      let b = pool.batch in
+      Mutex.unlock pool.mutex;
+      match b with Some b -> participate pool b p | None -> ()
+    end
+  done
+
+let create ?(obs = Obs.null) size =
+  if size < 1 then invalid_arg "Par.Pool.create: need >= 1 domain";
+  let pool =
+    {
+      size;
+      deques = Array.init size (fun _ -> Deque.create ());
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      batch = None;
+      epoch = 0;
+      closed = false;
+      workers = [];
+      scope = obs;
+      c_batches = Obs.counter obs "par.batches";
+      c_tasks =
+        Array.init size (fun p -> Obs.counter obs (Printf.sprintf "par.tasks.d%d" p));
+      c_steals =
+        Array.init size (fun p ->
+            Obs.counter obs (Printf.sprintf "par.steals.d%d" p));
+      g_qdepth =
+        Array.init size (fun p ->
+            Obs.gauge obs (Printf.sprintf "par.qdepth.d%d" p));
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
+  Obs.event obs "par.pool.start" ~fields:[ ("domains", Dsm.Json.Int size) ];
+  pool
+
+let run pool ?(chunk = 16) ~total compute =
+  if total > 0 then
+    if pool.size = 1 || total <= chunk then
+      for i = 0 to total - 1 do
+        compute i
+      done
+    else begin
+      let b =
+        {
+          total;
+          chunk;
+          compute;
+          completed = Atomic.make 0;
+          failed = Atomic.make None;
+        }
+      in
+      Mutex.lock pool.mutex;
+      pool.batch <- Some b;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex;
+      Obs.Metrics.incr pool.c_batches;
+      participate pool b 0;
+      match Atomic.get b.failed with Some e -> raise e | None -> ()
+    end
+
+let tabulate pool ?chunk n f =
+  if n <= 0 then [||]
+  else begin
+    let r0 = f 0 in
+    let out = Array.make n r0 in
+    run pool ?chunk ~total:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let first = not pool.closed in
+  pool.closed <- true;
+  if first then Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  if first then begin
+    List.iter Domain.join pool.workers;
+    Obs.event pool.scope "par.pool.stop"
+      ~fields:[ ("domains", Dsm.Json.Int pool.size) ]
+  end
+
+let with_pool ?obs size f =
+  let pool = create ?obs size in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      Obs.span pool.scope "par.pool"
+        ~fields:[ ("domains", Dsm.Json.Int size) ]
+        (fun () -> f pool))

@@ -1,0 +1,53 @@
+(** Fixed pool of domains executing index-range batches with
+    work-stealing, plus a deterministic fork/join map.
+
+    A pool of [d] domains comprises the calling domain and [d - 1]
+    spawned workers.  Work is submitted as a batch of [total] indices;
+    each participant takes a static slice, splits it recursively into
+    its own Chase–Lev deque ({!Deque}), and steals from peers when its
+    slice runs dry.  Between batches workers block on a condition
+    variable — an idle pool costs nothing.
+
+    Determinism contract: {!tabulate} evaluates [f i] for every index
+    (in some interleaved order, on some domain) but returns results
+    placed by index — so as long as [f] is pure with respect to the
+    observable state, callers that {e apply} results in index order
+    behave bit-identically to a sequential loop.  This is the
+    compute-parallel / apply-sequential discipline every checker
+    integration follows.
+
+    Exceptions raised by [f] are caught on the worker, the batch is
+    drained, and the first exception (by detection order) is re-raised
+    on the submitting domain. *)
+
+type t
+
+val create : ?obs:Obs.scope -> int -> t
+(** [create d] spawns [d - 1] worker domains.  [d] must be >= 1;
+    [d = 1] yields a degenerate pool whose batches run inline on the
+    caller.  [obs] receives per-domain task/steal counters
+    ([par.tasks.d<i>], [par.steals.d<i>]), queue-depth gauges
+    ([par.qdepth.d<i>]) and batch span events ([par.batch]). *)
+
+val domains : t -> int
+(** The configured size [d] (including the submitting domain). *)
+
+val run : t -> ?chunk:int -> total:int -> (int -> unit) -> unit
+(** [run pool ~total f] executes [f i] for [0 <= i < total] across the
+    pool and returns when all have completed.  [chunk] (default 16)
+    is the grain below which a span executes without further
+    splitting.  Must be called from the domain that created the pool;
+    batches do not nest. *)
+
+val tabulate : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate pool n f] is [Array.init n f] evaluated across the
+    pool, deterministic by placement (slot [i] always holds [f i]).
+    [n = 0] returns [[||]]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : ?obs:Obs.scope -> int -> (t -> 'a) -> 'a
+(** [with_pool d f] is [f (create d)] with a guaranteed
+    {!shutdown}. *)

@@ -1,0 +1,44 @@
+type ('k, 'v) shard = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+
+type ('k, 'v) t = { shards : ('k, 'v) shard array; mask : int }
+
+let create ?(shards = 64) n =
+  let count =
+    let c = ref 1 in
+    while !c < max 1 shards do
+      c := !c * 2
+    done;
+    !c
+  in
+  let per = max 16 (n / count) in
+  {
+    shards =
+      Array.init count (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create per });
+    mask = count - 1;
+  }
+
+let shard t k = t.shards.(Hashtbl.hash k land t.mask)
+
+let[@inline] locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s.tbl)
+
+let find_opt t k = locked (shard t k) (fun tbl -> Hashtbl.find_opt tbl k)
+let mem t k = locked (shard t k) (fun tbl -> Hashtbl.mem tbl k)
+let replace t k v = locked (shard t k) (fun tbl -> Hashtbl.replace tbl k v)
+
+let add_if_absent t k v =
+  locked (shard t k) (fun tbl ->
+      if Hashtbl.mem tbl k then false
+      else begin
+        Hashtbl.add tbl k v;
+        true
+      end)
+
+let length t =
+  Array.fold_left (fun acc s -> acc + locked s Hashtbl.length) 0 t.shards
+
+let clear t = Array.iter (fun s -> locked s Hashtbl.reset) t.shards
+
+let shard_count t = t.mask + 1

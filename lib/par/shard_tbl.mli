@@ -1,0 +1,36 @@
+(** Striped (sharded) hash table, safe for concurrent use from many
+    domains.
+
+    Keys are spread over a power-of-two number of independent shards,
+    each a plain [Hashtbl] behind its own mutex, so domains touching
+    different shards never contend.  This is the visited-set /
+    digest-store substrate for parallel exploration: the common
+    operation is {!add_if_absent}, one lock acquisition per call.
+
+    Iteration order is unspecified; the table is not meant for ordered
+    traversal (deterministic merges happen outside, in submission
+    order). *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> int -> ('k, 'v) t
+(** [create n] makes an empty table sized for roughly [n] bindings.
+    [shards] (default 64) is rounded up to a power of two. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val replace : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite. *)
+
+val add_if_absent : ('k, 'v) t -> 'k -> 'v -> bool
+(** [add_if_absent t k v] binds [k -> v] and returns [true] iff [k]
+    was absent; a single atomic check-and-insert under the shard
+    lock. *)
+
+val length : ('k, 'v) t -> int
+(** Total bindings across shards (takes every shard lock). *)
+
+val clear : ('k, 'v) t -> unit
+
+val shard_count : ('k, 'v) t -> int
