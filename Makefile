@@ -14,9 +14,14 @@ test:
 
 check: build test
 	dune exec bin/lmc_cli.exe -- check -p paxos-buggy -c lmc-gen \
-	  --metrics-out /tmp/m.jsonl --trace-out /tmp/t.jsonl > /dev/null; \
+	  --metrics-out /tmp/m.jsonl --trace-out /tmp/t.jsonl \
+	  --record /tmp/rec.jsonl > /dev/null; \
 	  test $$? -le 1
-	dune exec bin/jsonl_check.exe -- /tmp/m.jsonl /tmp/t.jsonl
+	dune exec bin/jsonl_check.exe -- /tmp/m.jsonl /tmp/t.jsonl /tmp/rec.jsonl
+	dune exec bin/lmc_cli.exe -- replay /tmp/rec.jsonl > /dev/null
+	dune exec bin/lmc_cli.exe -- replay /tmp/rec.jsonl --domains 2 > /dev/null
+	dune exec bin/lmc_cli.exe -- report /tmp/rec.jsonl --metrics /tmp/m.jsonl \
+	  > /dev/null
 	@echo "check: OK"
 
 bench:

@@ -1053,6 +1053,69 @@ let obs_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* What does recording every explored transition cost?  The Fig. 10
+   LMC-GEN series runs three ways — recorder disabled
+   ([Obs.Trace.null]), streaming to a JSONL file, and ring-buffered
+   (records kept in memory, dumped once at close) — and the summed
+   checker-reported times are compared.  The ring is the always-on
+   candidate (acceptance bar 2%); the file sink pays serialization and
+   I/O per record and must stay within 10%. *)
+let record_overhead () =
+  header "Flight-recorder overhead: Fig. 10 LMC-GEN series, three modes";
+  let max_depth = if !quick then 12 else 18 in
+  let run_one depth trace =
+    let cfg = { L1.default_config with max_depth = Some depth; trace } in
+    let r =
+      L1.run cfg ~strategy:L1.General ~invariant:Paxos1.safety
+        (paxos1_init ())
+    in
+    r.elapsed
+  in
+  let path = Filename.temp_file "record_overhead" ".jsonl" in
+  (* Single-digit percentages are far below the drift of a shared
+     host, so the three modes are interleaved at *depth* granularity —
+     off/file/ring back-to-back within milliseconds of each other see
+     the same noise regime — and the per-(mode, depth) minimum over
+     all rounds is kept before summing the series. *)
+  let rounds = if !quick then 3 else 12 in
+  let off = Array.make (max_depth + 1) infinity in
+  let fil = Array.make (max_depth + 1) infinity in
+  let rin = Array.make (max_depth + 1) infinity in
+  for _ = 1 to rounds do
+    for depth = 0 to max_depth do
+      off.(depth) <- min off.(depth) (run_one depth Obs.Trace.null);
+      let t = Obs.Trace.to_file path in
+      let s = run_one depth t in
+      Obs.Trace.close t;
+      fil.(depth) <- min fil.(depth) s;
+      let t = Obs.Trace.ring ~capacity:65536 path in
+      let s = run_one depth t in
+      Obs.Trace.close t;
+      rin.(depth) <- min rin.(depth) s
+    done
+  done;
+  let sum a = Array.fold_left ( +. ) 0. a in
+  let off_s = sum off and file_s = sum fil and ring_s = sum rin in
+  Sys.remove path;
+  let pct x = 100. *. (x /. max 1e-9 off_s -. 1.) in
+  row "%-28s %10.4f s\n" "recorder off (Trace.null)" off_s;
+  row "%-28s %10.4f s  (%+.1f%%)\n" "file sink (--record)" file_s (pct file_s);
+  row "%-28s %10.4f s  (%+.1f%%)\n" "ring buffer (--record-ring)" ring_s
+    (pct ring_s);
+  Bench_out.record "record-overhead"
+    (Dsm.Json.Obj
+       [
+         ("off_s", Dsm.Json.Float off_s);
+         ("file_s", Dsm.Json.Float file_s);
+         ("ring_s", Dsm.Json.Float ring_s);
+         ("file_pct", Dsm.Json.Float (pct file_s));
+         ("ring_pct", Dsm.Json.Float (pct ring_s));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: worker domains (lib/par)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1213,6 +1276,7 @@ let sections =
     ("breadth", breadth);
     ("micro", micro);
     ("obs-overhead", obs_overhead);
+    ("record-overhead", record_overhead);
     ("scaling", scaling);
   ]
 

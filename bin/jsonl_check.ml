@@ -1,16 +1,115 @@
 (* jsonl_check: validate that every line of a JSONL file parses as a
-   JSON value.  Exits 0 when the whole file is well-formed, 1 with a
-   line-numbered diagnostic otherwise.  Used by `make check' to assert
-   that the CLI's --metrics-out / --trace-out streams stay parseable. *)
+   JSON value, and that lines carrying the flight-recorder schema tag
+   ("schema": "trace.v1") are well-formed trace records: known record
+   kind, the fields that kind requires, and strictly increasing [seq]
+   numbers.  Exits 0 when every file is well-formed, 1 with
+   line-numbered diagnostics otherwise.  Used by `make check' to
+   assert that the CLI's --metrics-out / --trace-out / --record
+   streams stay parseable. *)
+
+let trace_schema = "trace.v1"
+
+let field name fields = List.assoc_opt name fields
+
+let is_int = function Dsm.Json.Int _ -> true | _ -> false
+let is_string = function Dsm.Json.String _ -> true | _ -> false
+let is_list = function Dsm.Json.List _ -> true | _ -> false
+let is_bool = function Dsm.Json.Bool _ -> true | _ -> false
+let is_number = function Dsm.Json.Int _ | Dsm.Json.Float _ -> true | _ -> false
+
+(* Required fields per record kind: the CLI's [run]/[end] framing and
+   every record the checkers emit.  A missing kind here means a
+   producer grew a record type without teaching the validator. *)
+let required_fields = function
+  | "run" -> Some [ ("protocol", is_string); ("mode", is_string) ]
+  | "end" -> Some [ ("exit", is_int) ]
+  | "lmc_run" -> Some [ ("protocol", is_string); ("nodes", is_int) ]
+  | "lmc_end" -> Some [ ("transitions", is_int); ("completed", is_bool) ]
+  | "bdfs_run" -> Some [ ("protocol", is_string); ("domains", is_int) ]
+  | "bdfs_end" -> Some [ ("transitions", is_int); ("completed", is_bool) ]
+  | "step" ->
+      Some
+        [
+          ("node", is_int);
+          ("kind", is_string);
+          ("src", is_int);
+          ("label", is_string);
+          ("fp_before", is_string);
+          ("fp_after", is_string);
+          ("produced", is_list);
+          ("depth", is_int);
+          ("dom", is_int);
+        ]
+  | "drop" ->
+      Some [ ("node", is_int); ("kind", is_string); ("label", is_string) ]
+  | "prelim" -> Some [ ("invariant", is_string); ("tuple", is_list) ]
+  | "soundness" -> Some [ ("kind", is_string); ("verdict", is_string) ]
+  | "reject" -> Some [ ("invariant", is_string); ("why", is_string) ]
+  | "witness" ->
+      Some
+        [
+          ("invariant", is_string);
+          ("protocol", is_string);
+          ("init", is_list);
+          ("wsteps", is_list);
+          ("final_fp", is_string);
+        ]
+  | "phases" -> Some [ ("elapsed_us", is_int) ]
+  | "restart" -> Some [ ("run", is_int); ("live_time", is_number) ]
+  | "live" -> Some [ ("clock", is_number); ("kind", is_string) ]
+  | "ring_meta" -> Some [ ("dropped", is_int); ("capacity", is_int) ]
+  | _ -> None
+
+let check_trace_record ~last_seq fields =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let seq =
+    match field "seq" fields with
+    | Some (Dsm.Json.Int s) ->
+        if s <= last_seq then
+          err "seq %d not greater than preceding seq %d" s last_seq;
+        s
+    | Some _ ->
+        err "field \"seq\": expected int";
+        last_seq
+    | None ->
+        err "missing field \"seq\"";
+        last_seq
+  in
+  (match field "ev" fields with
+  | Some (Dsm.Json.String ev) -> (
+      match required_fields ev with
+      | None -> err "unknown record kind %S" ev
+      | Some reqs ->
+          List.iter
+            (fun (name, check) ->
+              match field name fields with
+              | None -> err "%s: missing field %S" ev name
+              | Some v ->
+                  if not (check v) then err "%s: field %S: wrong type" ev name)
+            reqs)
+  | Some _ -> err "field \"ev\": expected string"
+  | None -> err "missing field \"ev\"");
+  (seq, List.rev !errors)
 
 let check_file path =
   let ic = open_in path in
+  let last_seq = ref (-1) in
   let rec loop lineno ok =
     match input_line ic with
     | exception End_of_file -> ok
     | line when String.trim line = "" -> loop (lineno + 1) ok
     | line -> (
         match Dsm.Json.of_string line with
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields = Some (Dsm.Json.String trace_schema) ->
+            let seq, errors = check_trace_record ~last_seq:!last_seq fields in
+            last_seq := seq;
+            List.iter
+              (fun msg ->
+                Printf.eprintf "%s:%d: trace.v1: %s\n" path lineno msg)
+              errors;
+            loop (lineno + 1) (ok && errors = [])
         | Ok _ -> loop (lineno + 1) ok
         | Error msg ->
             Printf.eprintf "%s:%d: %s\n" path lineno msg;

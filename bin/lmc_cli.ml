@@ -3,11 +3,19 @@
    Subcommands:
      list   - the bundled protocol instances
      check  - model-check a protocol offline (B-DFS, LMC-GEN, LMC-OPT)
-     hunt   - online checking against a simulated lossy deployment *)
+     hunt   - online checking against a simulated lossy deployment
+     replay - re-execute a flight-recorder file, fail on divergence
+     report - offline analysis of recorded trace/metrics streams *)
 
 open Cmdliner
 
 type checker_kind = Bdfs | Lmc_gen | Lmc_opt | Lmc_auto
+
+let checker_name = function
+  | Bdfs -> "bdfs"
+  | Lmc_gen -> "lmc-gen"
+  | Lmc_opt -> "lmc-opt"
+  | Lmc_auto -> "lmc-auto"
 
 type check_params = {
   kind : checker_kind;
@@ -20,6 +28,7 @@ type check_params = {
   domains : int;  (* exploration pool width (--domains) *)
   verify_domains : int;  (* deferred-verification fan-out *)
   obs : Obs.scope;  (* --metrics-out / --trace-out / --progress *)
+  trace : Obs.Trace.t;  (* flight recorder (--record) *)
 }
 
 (* One bundled protocol instance, closed over its invariant, its
@@ -29,11 +38,95 @@ type runner = {
   description : string;
   check : check_params -> int;
   hunt :
-    (obs:Obs.scope -> seed:int -> drop:float -> interval:float ->
-     max_live:float -> budget:float -> steer:bool -> domains:int ->
-     verify_domains:int -> int)
+    (obs:Obs.scope -> trace:Obs.Trace.t -> seed:int -> drop:float ->
+     interval:float -> max_live:float -> budget:float -> steer:bool ->
+     domains:int -> verify_domains:int -> int)
     option;
+  replay :
+    mode:string ->
+    header:(string * Dsm.Json.t) list ->
+    records:(string * Dsm.Json.t) list list ->
+    domains:int option ->
+    int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder files (replay / report)                             *)
+(* ------------------------------------------------------------------ *)
+
+let jfield name fields = List.assoc_opt name fields
+let jstr = function Some (Dsm.Json.String s) -> Some s | _ -> None
+let jint = function Some (Dsm.Json.Int n) -> Some n | _ -> None
+let jbool = function Some (Dsm.Json.Bool b) -> Some b | _ -> None
+
+let ev_of fields =
+  match jstr (jfield "ev" fields) with Some e -> e | None -> ""
+
+(* Every trace.v1 record of a JSONL file, as field lists, in file
+   order.  Foreign lines (other schemas, blank lines) are skipped so a
+   trace interleaved with ordinary --trace-out events still loads. *)
+let load_trace path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Dsm.Json.of_string line with
+             | Ok (Dsm.Json.Obj fields)
+               when jstr (jfield "schema" fields) = Some Obs.Trace.schema ->
+                 records := fields :: !records
+             | Ok _ | Error _ -> ()
+         done
+       with End_of_file -> ());
+      List.rev !records)
+
+(* A record rendered without the sink-level framing: the wall-clock
+   [ts] legitimately differs between a recording and its replay, and
+   the ["event"] stream tag only exists in serialized files; every
+   remaining field must match byte for byte. *)
+let canonical_record fields =
+  Dsm.Json.to_string
+    (Dsm.Json.Obj
+       (List.filter (fun (k, _) -> k <> "ts" && k <> "event") fields))
+
+(* Re-execute every [witness] record of a trace against protocol [P];
+   prints one line per witness and counts fingerprint divergences. *)
+module Witness_replayer (P : Dsm.Protocol.S) = struct
+  module R = Obs.Replay.Make (P)
+
+  let replay_witnesses records =
+    let witnesses = List.filter (fun f -> ev_of f = "witness") records in
+    let failures = ref 0 in
+    List.iteri
+      (fun i fields ->
+        match R.replay_witness fields with
+        | Error msg ->
+            incr failures;
+            Format.printf "witness #%d: cannot replay: %s@." i msg
+        | Ok o -> (
+            match o.R.divergence with
+            | Some (step, expect, got) ->
+                incr failures;
+                Format.printf
+                  "witness #%d: DIVERGENCE at step %d: recorded fp %s, \
+                   replayed fp %s@."
+                  i step expect got
+            | None when not o.R.final_matches ->
+                incr failures;
+                Format.printf
+                  "witness #%d: final system fingerprint mismatch@." i
+            | None ->
+                Format.printf
+                  "witness #%d: %d steps re-executed, fingerprints \
+                   bit-identical@."
+                  i o.R.steps_checked))
+      witnesses;
+    (List.length witnesses, !failures)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
@@ -87,6 +180,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
   module G = Mc_global.Bdfs.Make (P)
   module L = Lmc.Checker.Make (P)
   module W = Lmc.Witness.Make (P)
+  module WR = Witness_replayer (P)
 
   let pp_violation_trace trace =
     Format.printf "witness schedule:@.%a"
@@ -158,6 +252,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             time_limit = params.time_limit;
             domains = params.domains;
             obs = params.obs;
+            trace = params.trace;
           }
         in
         let o = G.run cfg ~invariant init in
@@ -222,6 +317,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             domains = params.domains;
             verify_domains = params.verify_domains;
             obs = params.obs;
+            trace = params.trace;
           }
         in
         let r = L.run cfg ~strategy ~invariant init in
@@ -281,6 +377,166 @@ module Check_driver (P : Dsm.Protocol.S) = struct
         | None ->
             if not params.json then Format.printf "no sound violation@.";
             0)
+
+  (* ----- deterministic replay -----
+
+     Two obligations, per the determinism contract (records are emitted
+     only from the sequential apply half of every checker):
+
+     1. every [witness] record re-executes to bit-identical per-step
+        fingerprints (handled by {!WR});
+     2. re-running the recorded exploration — possibly at a different
+        --domains count — reproduces the recorded [step] stream byte
+        for byte (modulo the wall-clock [ts] field).
+
+     The exploration re-run captures its records in a memory sink and
+     diffs them against the file; it is skipped when the original run
+     was budget-truncated (a wall-clock limit cuts the stream at a
+     non-deterministic point) or when a bounded ring dropped its head. *)
+  let replay ?strategy ~invariant ~header ~records ~domains () =
+    let wcount, wfail = WR.replay_witnesses records in
+    let kind =
+      match jstr (jfield "checker" header) with
+      | Some "bdfs" -> Some Bdfs
+      | Some "lmc-gen" -> Some Lmc_gen
+      | Some "lmc-opt" -> Some Lmc_opt
+      | Some "lmc-auto" -> Some Lmc_auto
+      | _ -> None
+    in
+    let completed =
+      List.fold_left
+        (fun acc fields ->
+          match ev_of fields with
+          | "lmc_end" | "bdfs_end" -> jbool (jfield "completed" fields)
+          | _ -> acc)
+        None records
+    in
+    let ring_dropped =
+      List.exists
+        (fun f ->
+          ev_of f = "ring_meta"
+          && match jint (jfield "dropped" f) with
+             | Some d -> d > 0
+             | None -> false)
+        records
+    in
+    let explore_fail =
+      match (kind, completed) with
+      | _ when ring_dropped ->
+          Format.printf
+            "exploration: ring buffer dropped early records; witness \
+             replay only@.";
+          0
+      | Some kind, Some true ->
+          let recorded =
+            List.filter_map
+              (fun fields ->
+                if ev_of fields = "step" then Some (canonical_record fields)
+                else None)
+              records
+          in
+          let domains =
+            match domains with
+            | Some d -> d
+            | None -> Option.value ~default:1 (jint (jfield "domains" header))
+          in
+          let verify_domains =
+            Option.value ~default:1 (jint (jfield "verify_domains" header))
+          in
+          let max_depth = jint (jfield "max_depth" header) in
+          let sink, captured = Obs.Sink.memory () in
+          let trace = Obs.Trace.of_sink sink in
+          (* The re-run emits its own framing header so record sequence
+             numbers (which provenance links reference) line up with
+             the original stream position for position. *)
+          ignore
+            (Obs.Trace.emit trace ~ev:"run"
+               [
+                 ("protocol", Dsm.Json.String P.name);
+                 ("mode", Dsm.Json.String "replay");
+                 ("checker", Dsm.Json.String (checker_name kind));
+                 ( "max_depth",
+                   match max_depth with
+                   | Some d -> Dsm.Json.Int d
+                   | None -> Dsm.Json.Null );
+                 ("domains", Dsm.Json.Int domains);
+                 ("verify_domains", Dsm.Json.Int verify_domains);
+               ]);
+          let init = Dsm.Protocol.initial_system (module P) in
+          (match kind with
+          | Bdfs ->
+              ignore
+                (G.run
+                   { G.default_config with max_depth; domains; trace }
+                   ~invariant init)
+          | _ ->
+              let strategy =
+                match (kind, strategy) with
+                | Lmc_opt, Some s -> s
+                | Lmc_auto, _ -> L.Automatic
+                | _ -> L.General
+              in
+              ignore
+                (L.run
+                   {
+                     L.default_config with
+                     max_depth;
+                     domains;
+                     verify_domains;
+                     trace;
+                   }
+                   ~strategy ~invariant init));
+          Obs.Trace.close trace;
+          let replayed =
+            List.filter_map
+              (fun (e : Obs.Sink.event) ->
+                if ev_of e.Obs.Sink.fields = "step" then
+                  Some (canonical_record e.Obs.Sink.fields)
+                else None)
+              (captured ())
+          in
+          let nr = List.length recorded and np = List.length replayed in
+          let rec diff i a b =
+            match (a, b) with
+            | [], [] -> None
+            | x :: a', y :: b' ->
+                if String.equal x y then diff (i + 1) a' b'
+                else Some (i, Some x, Some y)
+            | x :: _, [] -> Some (i, Some x, None)
+            | [], y :: _ -> Some (i, None, Some y)
+          in
+          (match diff 0 recorded replayed with
+          | None ->
+              Format.printf
+                "exploration: re-ran %d transitions at %d domain(s); \
+                 record stream bit-identical@."
+                np domains;
+              0
+          | Some (i, a, b) ->
+              Format.printf
+                "exploration: DIVERGENCE at step record %d (recorded %d \
+                 steps, replayed %d)@."
+                i nr np;
+              let side tag = function
+                | Some s -> Format.printf "  %s: %s@." tag s
+                | None -> Format.printf "  %s: <absent>@." tag
+              in
+              side "recorded" a;
+              side "replayed" b;
+              1)
+      | None, _ ->
+          Format.printf
+            "exploration: no checker kind in the run header; witness \
+             replay only@.";
+          0
+      | Some _, _ ->
+          Format.printf
+            "exploration: recorded run was budget-truncated; witness \
+             replay only@.";
+          0
+    in
+    Format.printf "replay: %d witness(es), %d failure(s)@." wcount wfail;
+    if wfail > 0 || explore_fail > 0 then 1 else 0
 end
 
 module Hunt_driver
@@ -292,8 +548,20 @@ module Hunt_driver
 struct
   module O = Online.Online_mc.Make (Live) (Check)
   module S = Sim.Live_sim.Make (Live)
+  module WR = Witness_replayer (Check)
 
-  let run ?strategy ?action_prob ~obs ~invariant ~seed ~drop ~interval
+  (* Hunt traces segment into wall-clock-budgeted checker restarts, so
+     the exploration half is not re-explorable; witnesses, recorded
+     with their snapshot starting states, still replay exactly. *)
+  let replay_witnesses records =
+    let wcount, wfail = WR.replay_witnesses records in
+    Format.printf
+      "replay: %d witness(es), %d failure(s) (hunt traces replay \
+       witnesses only)@."
+      wcount wfail;
+    if wfail > 0 then 1 else 0
+
+  let run ?strategy ?action_prob ~obs ~trace ~invariant ~seed ~drop ~interval
       ~max_live ~budget ~steer ~domains ~verify_domains () =
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
@@ -311,6 +579,7 @@ struct
             max_transitions = Some 100_000;
             domains;
             verify_domains;
+            trace;
           };
         action_bounds = [ 1; 2 ];
         steer;
@@ -355,6 +624,10 @@ let tree_runner =
       (fun params ->
         D.run ~invariant:T.received_implies_sent params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant:T.received_implies_sent ~header ~records ~domains
+          ());
   }
 
 let chain_runner =
@@ -369,6 +642,9 @@ let chain_runner =
       (fun params ->
         D.run ~invariant:C.prefix_closed params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant:C.prefix_closed ~header ~records ~domains ());
   }
 
 let ping_runner =
@@ -383,6 +659,9 @@ let ping_runner =
       (fun params ->
         D.run ~invariant:P.no_excess_pongs params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant:P.no_excess_pongs ~header ~records ~domains ());
   }
 
 let randtree_runner ~buggy =
@@ -407,6 +686,9 @@ let randtree_runner ~buggy =
       (fun params ->
         D.run ~invariant:R.disjointness params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant:R.disjointness ~header ~records ~domains ());
   }
 
 let paxos_runner ~buggy =
@@ -451,14 +733,26 @@ let paxos_runner ~buggy =
           ~invariant:Bench.safety params);
     hunt =
       Some
-        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
-             ~verify_domains ->
+        (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+             ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
-            ~obs ~invariant:Check.safety ~seed ~drop ~interval ~max_live
-            ~budget ~steer ~domains ~verify_domains ());
+            ~obs ~trace ~invariant:Check.safety ~seed ~drop ~interval
+            ~max_live ~budget ~steer ~domains ~verify_domains ());
+    replay =
+      (fun ~mode ~header ~records ~domains ->
+        (* hunt witnesses were recorded by the hunt's own Check
+           instantiation (fresh_proposals off); dispatch there, not to
+           the 5.1 benchmark configuration the check path uses *)
+        if mode = "hunt" then H.replay_witnesses records
+        else
+          D.replay
+            ~strategy:
+              (D.L.Invariant_specific
+                 { abstract = Bench.abstraction; conflict = Bench.conflicts })
+            ~invariant:Bench.safety ~header ~records ~domains ());
   }
 
 let onepaxos_runner ~buggy =
@@ -491,8 +785,8 @@ let onepaxos_runner ~buggy =
           ~invariant:OP.safety params);
     hunt =
       Some
-        (fun ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
-             ~verify_domains ->
+        (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+             ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -501,8 +795,17 @@ let onepaxos_runner ~buggy =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
-            ~obs ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
-            ~steer ~domains ~verify_domains ());
+            ~obs ~trace ~invariant:OP.safety ~seed ~drop ~interval ~max_live
+            ~budget ~steer ~domains ~verify_domains ());
+    replay =
+      (fun ~mode ~header ~records ~domains ->
+        if mode = "hunt" then H.replay_witnesses records
+        else
+          D.replay
+            ~strategy:
+              (D.L.Invariant_specific
+                 { abstract = OP.abstraction; conflict = OP.conflicts })
+            ~invariant:OP.safety ~header ~records ~domains ());
   }
 
 let twophase_runner ~buggy =
@@ -530,6 +833,13 @@ let twophase_runner ~buggy =
                { abstract = T.abstraction; conflict = T.conflicts })
           ~invariant:T.atomicity params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = T.abstraction; conflict = T.conflicts })
+          ~invariant:T.atomicity ~header ~records ~domains ());
   }
 
 let ring_runner ~buggy =
@@ -557,6 +867,13 @@ let ring_runner ~buggy =
                { abstract = R.abstraction; conflict = R.conflicts })
           ~invariant:R.agreement params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = R.abstraction; conflict = R.conflicts })
+          ~invariant:R.agreement ~header ~records ~domains ());
   }
 
 let mutex_runner ~buggy =
@@ -585,6 +902,13 @@ let mutex_runner ~buggy =
                { abstract = M.abstraction; conflict = M.conflicts })
           ~invariant:M.mutual_exclusion params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay
+          ~strategy:
+            (D.L.Invariant_specific
+               { abstract = M.abstraction; conflict = M.conflicts })
+          ~invariant:M.mutual_exclusion ~header ~records ~domains ());
   }
 
 let abp_runner ~buggy =
@@ -611,6 +935,11 @@ let abp_runner ~buggy =
           ~invariant:(FA.lift_invariant A.prefix_delivery)
           params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay
+          ~invariant:(FA.lift_invariant A.prefix_delivery)
+          ~header ~records ~domains ());
   }
 
 let pb_runner ~buggy =
@@ -633,6 +962,9 @@ let pb_runner ~buggy =
     check =
       (fun params -> D.run ~invariant:P.read_your_writes params);
     hunt = None;
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
   }
 
 let runners =
@@ -664,6 +996,403 @@ let find_runner name =
   | None ->
       Error
         (Printf.sprintf "unknown protocol %S; try `lmc_cli list'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Offline run report                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [lmc report] is protocol-agnostic: it works off the rendered labels
+   and fingerprint strings in the trace, never off marshalled protocol
+   values, so it can digest a recording from any (possibly future)
+   protocol binary. *)
+module Report = struct
+  type rstep = {
+    r_node : int;
+    r_kind : string;
+    r_label : string;
+    r_depth : int;
+    r_produced : string list;
+  }
+
+  let parse_steps records =
+    List.filter_map
+      (fun f ->
+        if ev_of f <> "step" then None
+        else
+          Some
+            {
+              r_node = Option.value ~default:(-1) (jint (jfield "node" f));
+              r_kind = Option.value ~default:"?" (jstr (jfield "kind" f));
+              r_label = Option.value ~default:"?" (jstr (jfield "label" f));
+              r_depth = Option.value ~default:0 (jint (jfield "depth" f));
+              r_produced =
+                (match jfield "produced" f with
+                | Some (Dsm.Json.List l) ->
+                    List.filter_map
+                      (function Dsm.Json.String s -> Some s | _ -> None)
+                      l
+                | _ -> []);
+            })
+      records
+
+  (* "Prepare(1,2)" and "Prepare(2,0)" are the same handler; group by
+     the constructor-ish prefix before the first '(' or space. *)
+  let family label =
+    match String.index_opt label '(' with
+    | Some i -> String.sub label 0 i
+    | None -> (
+        match String.index_opt label ' ' with
+        | Some i -> String.sub label 0 i
+        | None -> label)
+
+  let bar ?(width = 40) frac =
+    let n = int_of_float ((frac *. float_of_int width) +. 0.5) in
+    String.make (max 0 (min width n)) '#'
+
+  let pct part total =
+    if total <= 0 then 0. else 100. *. float_of_int part /. float_of_int total
+
+  let clip ?(max_len = 46) s =
+    if String.length s <= max_len then s
+    else String.sub s 0 (max_len - 1) ^ "~"
+
+  let section name = Format.printf "@.== %s ==@." name
+
+  let render_header records =
+    section "run";
+    List.iter
+      (fun f ->
+        match ev_of f with
+        | "run" ->
+            Format.printf
+              "protocol %s, mode %s, checker %s, %d domain(s), %d \
+               verify domain(s)@."
+              (Option.value ~default:"?" (jstr (jfield "protocol" f)))
+              (Option.value ~default:"?" (jstr (jfield "mode" f)))
+              (Option.value ~default:"?" (jstr (jfield "checker" f)))
+              (Option.value ~default:1 (jint (jfield "domains" f)))
+              (Option.value ~default:1 (jint (jfield "verify_domains" f)))
+        | "ring_meta" ->
+            Format.printf
+              "ring recording: %d record(s) dropped at the head \
+               (capacity %d)@."
+              (Option.value ~default:0 (jint (jfield "dropped" f)))
+              (Option.value ~default:0 (jint (jfield "capacity" f)))
+        | _ -> ())
+      records;
+    let count ev = List.length (List.filter (fun f -> ev_of f = ev) records) in
+    let restarts = count "restart" in
+    if restarts > 0 then
+      Format.printf "%d checker restart(s) over %d live event(s)@." restarts
+        (count "live")
+
+  let render_coverage steps =
+    section "handler coverage";
+    let tbl : (string * string, int ref) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun s ->
+        let key = (family s.r_label, s.r_kind) in
+        match Hashtbl.find_opt tbl key with
+        | Some r -> incr r
+        | None -> Hashtbl.add tbl key (ref 1))
+      steps;
+    let total = List.length steps in
+    let rows =
+      Hashtbl.fold (fun (fam, kind) r acc -> (fam, kind, !r) :: acc) tbl []
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    in
+    if rows = [] then Format.printf "no step records@."
+    else begin
+      Format.printf "%-24s %-8s %10s %6s@." "HANDLER" "KIND" "STEPS" "%";
+      List.iter
+        (fun (fam, kind, n) ->
+          Format.printf "%-24s %-8s %10d %5.1f%% %s@." (clip ~max_len:24 fam)
+            kind n (pct n total)
+            (bar ~width:24 (float_of_int n /. float_of_int total)))
+        rows;
+      let nodes = List.sort_uniq compare (List.map (fun s -> s.r_node) steps) in
+      Format.printf "%d handler famil%s exercised across node(s) %s@."
+        (List.length rows)
+        (if List.length rows = 1 then "y" else "ies")
+        (String.concat ", " (List.map string_of_int nodes))
+    end
+
+  let render_depth steps =
+    section "transitions per depth";
+    match steps with
+    | [] -> Format.printf "no step records@."
+    | _ ->
+        let maxd = List.fold_left (fun m s -> max m s.r_depth) 0 steps in
+        let counts = Array.make (maxd + 1) 0 in
+        List.iter (fun s -> counts.(s.r_depth) <- counts.(s.r_depth) + 1) steps;
+        let peak = Array.fold_left max 1 counts in
+        Array.iteri
+          (fun d n ->
+            Format.printf "depth %3d %8d %s@." d n
+              (bar ~width:40 (float_of_int n /. float_of_int peak)))
+          counts
+
+  (* The shape the paper plots in Fig. 10: |I+| grows monotonically as
+     exploration injects fresh messages; sampled at ~20 even points. *)
+  let render_iplus steps =
+    section "|I+| growth";
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let sizes =
+      List.map
+        (fun s ->
+          List.iter
+            (fun fp ->
+              if not (Hashtbl.mem seen fp) then Hashtbl.add seen fp ())
+            s.r_produced;
+          Hashtbl.length seen)
+        steps
+      |> Array.of_list
+    in
+    let n = Array.length sizes in
+    if n = 0 then Format.printf "no step records@."
+    else begin
+      let final = sizes.(n - 1) in
+      let samples = min 20 n in
+      for i = 1 to samples do
+        let idx = (i * n / samples) - 1 in
+        Format.printf "step %8d |I+| %7d %s@." (idx + 1) sizes.(idx)
+          (bar ~width:40
+             (if final = 0 then 0.
+              else float_of_int sizes.(idx) /. float_of_int final))
+      done;
+      Format.printf "%d distinct message(s) injected over %d transition(s)@."
+        final n
+    end
+
+  let render_phases records =
+    section "time attribution";
+    let sum name =
+      List.fold_left
+        (fun acc f ->
+          if ev_of f = "phases" then
+            acc + Option.value ~default:0 (jint (jfield name f))
+          else acc)
+        0 records
+    in
+    let elapsed = sum "elapsed_us" in
+    if elapsed = 0 then
+      Format.printf "no phase records (was the run recorded to a ring \
+                     that dropped them?)@."
+    else begin
+      let handler = sum "handler_us" in
+      let fingerprint = sum "fingerprint_us" in
+      let invariant = sum "invariant_us" in
+      let soundness = sum "soundness_us" in
+      let system_state = sum "system_state_us" in
+      (* system_state includes the invariant checks it runs; the
+         remainder of the wall clock is exploration bookkeeping and
+         (for --domains > 1) pool overhead.  Handler/fingerprint time
+         is summed across workers, so it can exceed the wall-clock
+         share when parallel. *)
+      let explore = max 0 (elapsed - system_state - soundness) in
+      let overhead = max 0 (explore - handler - fingerprint) in
+      let row name us =
+        Format.printf "%-28s %10.3f ms %5.1f%% %s@." name
+          (float_of_int us /. 1000.)
+          (pct us elapsed)
+          (bar ~width:24 (float_of_int us /. float_of_int elapsed))
+      in
+      row "handler execution" handler;
+      row "fingerprinting" fingerprint;
+      row "exploration overhead" overhead;
+      row "system-state creation" (max 0 (system_state - invariant));
+      row "invariant checks" invariant;
+      row "soundness verification" soundness;
+      Format.printf "%-28s %10.3f ms@." "total wall clock"
+        (float_of_int elapsed /. 1000.)
+    end
+
+  let render_soundness records =
+    section "soundness search";
+    let prelim = ref 0
+    and rejects_invalid = ref 0
+    and rejects_budget = ref 0
+    and checks_valid = ref 0
+    and checks_invalid = ref 0
+    and checks_budget = ref 0
+    and witnesses = ref 0 in
+    List.iter
+      (fun f ->
+        match ev_of f with
+        | "prelim" -> incr prelim
+        | "witness" -> incr witnesses
+        | "reject" -> (
+            match jstr (jfield "why" f) with
+            | Some "budget_exhausted" -> incr rejects_budget
+            | _ -> incr rejects_invalid)
+        | "soundness" -> (
+            match jstr (jfield "verdict" f) with
+            | Some "valid" -> incr checks_valid
+            | Some "budget_exhausted" -> incr checks_budget
+            | _ -> incr checks_invalid)
+        | _ -> ())
+      records;
+    Format.printf
+      "%d preliminary violation(s): %d confirmed sound, %d rejected as \
+       unsound, %d beyond the interleaving budget@."
+      !prelim !witnesses !rejects_invalid !rejects_budget;
+    if !checks_valid + !checks_invalid + !checks_budget > 0 then
+      Format.printf
+        "interleaving searches: %d valid, %d invalid, %d budget-capped@."
+        !checks_valid !checks_invalid !checks_budget
+
+  (* Pool stats ride in the metrics stream (satellite of PR 2), keyed
+     par.tasks.d<i> / par.steals.d<i> / par.qdepth.d<i>. *)
+  let render_pool metrics_path =
+    match metrics_path with
+    | None -> ()
+    | Some path ->
+        section "exploration pool";
+        let metrics = ref [] in
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            try
+              while true do
+                match Dsm.Json.of_string (input_line ic) with
+                | Ok (Dsm.Json.Obj fields) -> (
+                    match
+                      (jstr (jfield "metric" fields), jfield "value" fields)
+                    with
+                    | Some name, Some (Dsm.Json.Int v) ->
+                        metrics := (name, float_of_int v) :: !metrics
+                    | Some name, Some (Dsm.Json.Float v) ->
+                        metrics := (name, v) :: !metrics
+                    | _ -> ())
+                | Ok _ | Error _ -> ()
+              done
+            with End_of_file -> ());
+        let metrics = !metrics in
+        let per_domain prefix =
+          List.filter_map
+            (fun (name, v) ->
+              let plen = String.length prefix in
+              if
+                String.length name > plen
+                && String.sub name 0 plen = prefix
+              then
+                int_of_string_opt
+                  (String.sub name plen (String.length name - plen))
+                |> Option.map (fun d -> (d, v))
+              else None)
+            metrics
+          |> List.sort compare
+        in
+        let tasks = per_domain "par.tasks.d" in
+        let steals = per_domain "par.steals.d" in
+        if tasks = [] then
+          Format.printf
+            "no par.* metrics in %s (sequential run, or recorded without \
+             --metrics-out)@."
+            path
+        else begin
+          let total = List.fold_left (fun a (_, v) -> a +. v) 0. tasks in
+          Format.printf "%-8s %12s %12s %12s@." "DOMAIN" "TASKS" "STEALS"
+            "SHARE";
+          List.iter
+            (fun (d, v) ->
+              let stolen =
+                Option.value ~default:0. (List.assoc_opt d steals)
+              in
+              Format.printf "d%-7d %12.0f %12.0f %11.1f%%@." d v stolen
+                (if total = 0. then 0. else 100. *. v /. total))
+            tasks;
+          (match List.assoc_opt "par.batches" metrics with
+          | Some b -> Format.printf "%.0f parallel batch(es) submitted@." b
+          | None -> ())
+        end
+
+  (* Fig. 4-style message sequence chart of a recorded witness: one
+     lifeline per node, deliveries as arrows, internal actions as
+     starred events on their lifeline. *)
+  let render_witness_chart idx fields =
+    let wsteps =
+      match jfield "wsteps" fields with
+      | Some (Dsm.Json.List l) ->
+          List.filter_map
+            (function
+              | Dsm.Json.Obj f ->
+                  Some
+                    ( Option.value ~default:"?" (jstr (jfield "kind" f)),
+                      Option.value ~default:0 (jint (jfield "node" f)),
+                      Option.value ~default:(-1) (jint (jfield "src" f)),
+                      Option.value ~default:"?" (jstr (jfield "label" f)) )
+              | _ -> None)
+            l
+      | _ -> []
+    in
+    let nodes =
+      match jfield "init" fields with
+      | Some (Dsm.Json.List l) -> max 1 (List.length l)
+      | _ ->
+          1
+          + List.fold_left
+              (fun m (_, node, src, _) -> max m (max node src))
+              0 wsteps
+    in
+    Format.printf "@.-- witness #%d: %s (%s) --@." idx
+      (Option.value ~default:"?" (jstr (jfield "invariant" fields)))
+      (clip ~max_len:60
+         (Option.value ~default:"" (jstr (jfield "detail" fields))));
+    let colw = 12 in
+    let width = nodes * colw in
+    let col n = (n * colw) + (colw / 2) in
+    let line () =
+      let b = Bytes.make width ' ' in
+      for n = 0 to nodes - 1 do
+        Bytes.set b (col n) '|'
+      done;
+      b
+    in
+    let hdr = Bytes.make width ' ' in
+    for n = 0 to nodes - 1 do
+      let name = Printf.sprintf "n%d" n in
+      String.iteri
+        (fun i c ->
+          let p = col n - (String.length name / 2) + i in
+          if p >= 0 && p < width then Bytes.set hdr p c)
+        name
+    done;
+    Format.printf "%s@." (Bytes.to_string hdr);
+    List.iter
+      (fun (kind, node, src, label) ->
+        let b = line () in
+        let ok n = n >= 0 && n < nodes in
+        (match kind with
+        | "deliver" when ok src && ok node && src <> node ->
+            let lo = min (col src) (col node)
+            and hi = max (col src) (col node) in
+            for i = lo + 1 to hi - 1 do
+              Bytes.set b i '-'
+            done;
+            if node > src then Bytes.set b (hi - 1) '>'
+            else Bytes.set b (lo + 1) '<'
+        | "deliver" when ok node -> Bytes.set b (col node) 'o'
+        | _ -> if ok node then Bytes.set b (col node) '*');
+        Format.printf "%s  %s@." (Bytes.to_string b) (clip label))
+      wsteps;
+    Format.printf "(%d events; * internal action, o self-delivery)@."
+      (List.length wsteps)
+
+  let render ~records ~metrics_path =
+    let steps = parse_steps records in
+    render_header records;
+    render_coverage steps;
+    render_depth steps;
+    render_iplus steps;
+    render_phases records;
+    render_soundness records;
+    render_pool metrics_path;
+    List.iteri render_witness_chart
+      (List.filter (fun f -> ev_of f = "witness") records);
+    0
+end
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -748,6 +1477,67 @@ let progress_arg =
   in
   Arg.(value & opt (some float) None & info [ "progress" ] ~doc ~docv:"SECS")
 
+let record_arg =
+  let doc =
+    "Flight recorder: append every explored transition, soundness \
+     verdict and violation witness as trace.v1 JSONL to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"FILE")
+
+let record_ring_arg =
+  let doc =
+    "Bound the recorder to the last $(docv) records (an in-memory ring \
+     dumped at exit) instead of streaming the whole run to the file."
+  in
+  Arg.(value & opt (some int) None & info [ "record-ring" ] ~doc ~docv:"N")
+
+(* Like make_scope: unwritable paths must fail before the run starts. *)
+let make_trace ~record ~record_ring =
+  match record with
+  | None ->
+      if record_ring <> None then begin
+        Printf.eprintf "lmc_cli: --record-ring requires --record\n%!";
+        exit 2
+      end;
+      (Obs.Trace.null, fun () -> ())
+  | Some path ->
+      let t =
+        try
+          match record_ring with
+          | Some cap when cap < 1 ->
+              Printf.eprintf "lmc_cli: --record-ring must be >= 1\n%!";
+              exit 2
+          | Some cap -> Obs.Trace.ring ~capacity:cap path
+          | None -> Obs.Trace.to_file path
+        with Sys_error msg ->
+          Printf.eprintf "lmc_cli: %s\n%!" msg;
+          exit 2
+      in
+      (t, fun () -> Obs.Trace.close t)
+
+(* The CLI frames each recording with [run]/[end] records; the header
+   carries what `lmc replay' needs to re-run the exploration. *)
+let emit_run_header trace ~protocol ~mode ~checker ~max_depth ~domains
+    ~verify_domains =
+  if Obs.Trace.enabled trace then
+    ignore
+      (Obs.Trace.emit trace ~ev:"run"
+         [
+           ("protocol", Dsm.Json.String protocol);
+           ("mode", Dsm.Json.String mode);
+           ("checker", Dsm.Json.String checker);
+           ( "max_depth",
+             match max_depth with
+             | Some d -> Dsm.Json.Int d
+             | None -> Dsm.Json.Null );
+           ("domains", Dsm.Json.Int domains);
+           ("verify_domains", Dsm.Json.Int verify_domains);
+         ])
+
+let emit_run_end trace code =
+  if Obs.Trace.enabled trace then
+    ignore (Obs.Trace.emit trace ~ev:"end" [ ("exit", Dsm.Json.Int code) ])
+
 (* Positive domain counts; anything below 1 is a usage error, reported
    through cmdliner rather than as a runtime invalid_arg. *)
 let pos_int =
@@ -778,24 +1568,38 @@ let verify_domains_arg =
 let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
   let run protocol checker max_depth time_limit verbose minimize dot json
-      metrics_out trace_out progress domains verify_domains =
+      metrics_out trace_out progress domains verify_domains record
+      record_ring =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
         2
     | Ok r ->
         let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
-        Fun.protect ~finally:finish (fun () ->
-            r.check
-              { kind = checker; max_depth; time_limit; verbose; minimize;
-                dot; json; obs; domains; verify_domains })
+        let trace, finish_trace = make_trace ~record ~record_ring in
+        Fun.protect
+          ~finally:(fun () ->
+            finish_trace ();
+            finish ())
+          (fun () ->
+            emit_run_header trace ~protocol ~mode:"check"
+              ~checker:(checker_name checker) ~max_depth ~domains
+              ~verify_domains;
+            let code =
+              r.check
+                { kind = checker; max_depth; time_limit; verbose; minimize;
+                  dot; json; obs; domains; verify_domains; trace }
+            in
+            emit_run_end trace code;
+            code)
   in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
       $ verbose_arg $ minimize_arg $ dot_arg $ json_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg)
+      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg
+      $ record_arg $ record_ring_arg)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -830,7 +1634,7 @@ let hunt_cmd =
      model checking, 3.3)."
   in
   let run protocol seed drop interval max_live budget steer metrics_out
-      trace_out progress domains verify_domains =
+      trace_out progress domains verify_domains record record_ring =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -840,18 +1644,109 @@ let hunt_cmd =
         2
     | Ok { hunt = Some h; _ } ->
         let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
-        Fun.protect ~finally:finish (fun () ->
-            h ~obs ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
-              ~verify_domains)
+        let trace, finish_trace = make_trace ~record ~record_ring in
+        Fun.protect
+          ~finally:(fun () ->
+            finish_trace ();
+            finish ())
+          (fun () ->
+            emit_run_header trace ~protocol ~mode:"hunt" ~checker:"lmc"
+              ~max_depth:None ~domains ~verify_domains;
+            let code =
+              h ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+                ~domains ~verify_domains
+            in
+            emit_run_end trace code;
+            code)
   in
   Cmd.v
     (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
       $ max_live_arg $ budget_arg $ steer_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg)
+      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg
+      $ record_arg $ record_ring_arg)
+
+let trace_file_arg =
+  let doc = "A trace.v1 JSONL file produced by --record." in
+  Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"TRACE")
+
+let replay_cmd =
+  let doc =
+    "Re-execute a flight-recorder file transition by transition; exits \
+     non-zero on any fingerprint divergence."
+  in
+  let replay_domains_arg =
+    let doc =
+      "Re-run the exploration at $(docv) worker domains (default: the \
+       recorded count).  The record stream must stay bit-identical \
+       either way."
+    in
+    Arg.(value & opt (some pos_int) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let run file domains =
+    match (try Ok (load_trace file) with Sys_error msg -> Error msg) with
+    | Error msg ->
+        Printf.eprintf "lmc_cli: %s\n%!" msg;
+        2
+    | Ok records -> (
+        match List.find_opt (fun f -> ev_of f = "run") records with
+        | None ->
+            Printf.eprintf
+              "lmc_cli: %s: no run header; was it recorded with --record?\n%!"
+              file;
+            2
+        | Some header -> (
+            let mode =
+              Option.value ~default:"check" (jstr (jfield "mode" header))
+            in
+            match jstr (jfield "protocol" header) with
+            | None ->
+                Printf.eprintf "lmc_cli: %s: run header names no protocol\n%!"
+                  file;
+                2
+            | Some protocol -> (
+                match find_runner protocol with
+                | Error e ->
+                    prerr_endline e;
+                    2
+                | Ok r -> r.replay ~mode ~header ~records ~domains)))
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ trace_file_arg $ replay_domains_arg)
+
+let report_cmd =
+  let doc =
+    "Render an offline run report (handler coverage, depth and |I+| \
+     curves, per-phase time attribution, pool utilization, witness \
+     sequence charts) from recorded trace/metrics streams."
+  in
+  let metrics_arg =
+    let doc = "Metrics JSONL (from --metrics-out) for pool statistics." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+  in
+  let run file metrics_path =
+    match (try Ok (load_trace file) with Sys_error msg -> Error msg) with
+    | Error msg ->
+        Printf.eprintf "lmc_cli: %s\n%!" msg;
+        2
+    | Ok [] ->
+        Printf.eprintf "lmc_cli: %s: no trace.v1 records\n%!" file;
+        2
+    | Ok records -> (
+        try Report.render ~records ~metrics_path
+        with Sys_error msg ->
+          Printf.eprintf "lmc_cli: %s\n%!" msg;
+          2)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ trace_file_arg $ metrics_arg)
 
 let () =
   let doc = "local model checking of distributed protocols (NSDI'11)" in
   let info = Cmd.info "lmc_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; hunt_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; check_cmd; hunt_cmd; replay_cmd; report_cmd ]))

@@ -33,6 +33,7 @@ module Make (P : Dsm.Protocol.S) = struct
     domains : int;
     pool : Par.Pool.t option;
     obs : Obs.scope;
+    trace : Obs.Trace.t;
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
   }
 
@@ -58,6 +59,7 @@ module Make (P : Dsm.Protocol.S) = struct
       domains = 1;
       pool = None;
       obs = Obs.null;
+      trace = Obs.Trace.null;
       on_new_node_state = None;
     }
 
@@ -114,6 +116,9 @@ module Make (P : Dsm.Protocol.S) = struct
     local_count : int;
     key : 'k option;
     mutable preds : pred list;
+    mutable fp_hex : string option;
+        (* hex rendering of [fp], cached — every outgoing transition
+           of this entry puts it in a step record's [fp_before] *)
   }
 
   type net_entry = {
@@ -121,6 +126,13 @@ module Make (P : Dsm.Protocol.S) = struct
     env : P.message Envelope.t;
     net_fp : Fingerprint.t;
     mutable cursor : int;  (* states of [env.dst] already served *)
+    mutable first_inj : int;
+        (* I+ provenance: seq of the step record that first injected
+           this message; -1 = predates recording (or recording off) *)
+    mutable lbl : string option;
+        (* rendered payload, cached — exploration delivers the same
+           message to many states, the trace renders it once *)
+    mutable hex : string option;  (* hex of [net_fp], same reuse story *)
   }
 
   (* A soundness-rejected preliminary violation, cached so it can be
@@ -183,9 +195,28 @@ module Make (P : Dsm.Protocol.S) = struct
       h_soundness_us = Obs.histogram scope "lmc.soundness_us";
     }
 
+  (* Witness records embed marshalled protocol values so [lmc replay]
+     can re-execute them against the live handlers. *)
+  module RW = Obs.Replay.Make (P)
+
   type 'k t = {
     config : config;
     o : obs_handles;
+    tracing : bool;  (* [config.trace] is enabled; gates field assembly *)
+    soundness_trace : Obs.Trace.t option;
+        (* passed to {!Soundness} only on the sequential path *)
+    snapshot : P.state array;  (* starting states, for witness records *)
+    ph_handler_us : int Atomic.t;
+    ph_fingerprint_us : int Atomic.t;
+    ph_invariant_us : int Atomic.t;
+        (* per-phase attribution, accumulated from any domain *)
+    mutable timed_tick : int;
+        (* sampling cursor for {!timed}.  Deliberately non-atomic: an
+           occasionally lost increment only perturbs which calls get
+           sampled, and an atomic op on every handler / invariant call
+           is exactly the cost the sampling exists to avoid. *)
+    act_lbl : (P.action, string) Hashtbl.t;
+        (* rendered action labels, cached like [net_entry.lbl] *)
     strategy : 'k strategy;
     invariant : P.state Dsm.Invariant.t;
     stores : 'k entry Vec.t array;
@@ -221,6 +252,169 @@ module Make (P : Dsm.Protocol.S) = struct
   exception Stop
 
   let now () = Unix.gettimeofday ()
+
+  let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+  (* Attribute [f]'s wall time to [cell] when recording; free otherwise.
+     Worker domains call this concurrently — the cells are atomic.
+     Attribution is sampled: every 256th call is timed and counted for
+     256, so the hot path pays two clock reads on 0.4% of calls
+     instead of all of them.  Invariant checks on tuple states make
+     this wrapper far hotter than the step records themselves (tuple
+     enumeration grows with depth while the state graph saturates), so
+     the sampling stride is what keeps the ring recorder inside its 2%
+     budget.  The phases record is a statistical profile either way —
+     wall-clock is not part of the determinism contract. *)
+  let sample_mask = 255
+
+  let timed t cell f =
+    let tick = t.timed_tick in
+    t.timed_tick <- tick + 1;
+    if t.tracing && tick land sample_mask = 0 then begin
+      let t0 = now_us () in
+      let r = f () in
+      ignore
+        (Atomic.fetch_and_add cell ((now_us () - t0) * (sample_mask + 1)));
+      r
+    end
+    else f ()
+
+  (* ----- flight-recorder emission (sequential apply path only) ----- *)
+
+  (* Label caches: exploration revisits the same messages and actions
+     constantly, so each distinct value is rendered through Format
+     once and the trace reuses the string.  Only touched from record
+     thunks, which run on the sequential apply path or single-threaded
+     at ring dump time. *)
+  let message_label (m : net_entry) =
+    match m.lbl with
+    | Some l -> l
+    | None ->
+        let l = Format.asprintf "%a" P.pp_message m.env.Envelope.payload in
+        m.lbl <- Some l;
+        l
+
+  let action_label t action =
+    match Hashtbl.find_opt t.act_lbl action with
+    | Some l -> l
+    | None ->
+        let l = Format.asprintf "%a" P.pp_action action in
+        Hashtbl.add t.act_lbl action l;
+        l
+
+  let message_hex (m : net_entry) =
+    match m.hex with
+    | Some h -> h
+    | None ->
+        let h = Fingerprint.to_hex m.net_fp in
+        m.hex <- Some h;
+        h
+
+  let entry_hex (e : 'k entry) =
+    match e.fp_hex with
+    | Some h -> h
+    | None ->
+        let h = Fingerprint.to_hex e.fp in
+        e.fp_hex <- Some h;
+        h
+
+  (* [label] is a thunk: rendering a message or action goes through
+     Format, which is the most expensive part of assembling a step
+     record.  Deferring it (with the hex conversions) into the record
+     thunk means ring-mode recording pays neither per transition.
+     Provenance stays eager — [consumed] carries the [first_inj] the
+     caller read before this emit, and the produced entries are
+     stamped right after it, because a read deferred to dump time
+     could see a later injection. *)
+  let stamp_injections pentries seq =
+    List.iter
+      (fun e -> if e.first_inj < 0 then e.first_inj <- seq)
+      pentries
+
+  let record_net_step t (m : net_entry) (entry : 'k entry) ~fp_after ~pentries
+      =
+    let consumed_inj = m.first_inj in
+    let depth = entry.depth + 1 in
+    let seq =
+      Obs.Trace.record_step_lazy t.config.trace (fun () ->
+          {
+            Obs.Trace.node = m.env.Envelope.dst;
+            kind = Obs.Trace.Deliver;
+            src = m.env.Envelope.src;
+            label = message_label m;
+            fp_before = entry_hex entry;
+            fp_after = Fingerprint.to_hex fp_after;
+            consumed = Some (message_hex m, consumed_inj);
+            produced = List.map message_hex pentries;
+            depth;
+            dom = 0;
+          })
+    in
+    stamp_injections pentries seq
+
+  let record_act_step t ~node action (entry : 'k entry) ~fp_after ~pentries =
+    let depth = entry.depth + 1 in
+    let seq =
+      Obs.Trace.record_step_lazy t.config.trace (fun () ->
+          {
+            Obs.Trace.node;
+            kind = Obs.Trace.Action;
+            src = -1;
+            label = action_label t action;
+            fp_before = entry_hex entry;
+            fp_after = Fingerprint.to_hex fp_after;
+            consumed = None;
+            produced = List.map message_hex pentries;
+            depth;
+            dom = 0;
+          })
+    in
+    stamp_injections pentries seq
+
+  let record_drop t ~node ~kind ~src ~label ~fp_before ~depth =
+    ignore
+      (Obs.Trace.emit_lazy t.config.trace ~ev:"drop" (fun () ->
+           [
+             ("node", Dsm.Json.Int node);
+             ("kind", Dsm.Json.String kind);
+             ("src", Dsm.Json.Int src);
+             ("label", Dsm.Json.String (label ()));
+             ("fp_before", Dsm.Json.String (Fingerprint.to_hex fp_before));
+             ("depth", Dsm.Json.Int depth);
+           ]))
+
+  let record_prelim t (violation : Dsm.Invariant.violation) sdepth
+      (tuple : 'k entry array) =
+    ignore
+      (Obs.Trace.emit t.config.trace ~ev:"prelim"
+         [
+           ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
+           ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
+           ("system_depth", Dsm.Json.Int sdepth);
+           ( "tuple",
+             Dsm.Json.List
+               (Array.to_list
+                  (Array.map
+                     (fun (e : 'k entry) ->
+                       Dsm.Json.String (Fingerprint.to_hex e.fp))
+                     tuple)) );
+         ])
+
+  let record_reject t (violation : Dsm.Invariant.violation) sdepth ~why =
+    ignore
+      (Obs.Trace.emit t.config.trace ~ev:"reject"
+         [
+           ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
+           ("system_depth", Dsm.Json.Int sdepth);
+           ("why", Dsm.Json.String why);
+         ])
+
+  let record_witness t (violation : Dsm.Invariant.violation) schedule =
+    ignore
+      (Obs.Trace.emit t.config.trace ~ev:"witness"
+         (RW.witness_fields ~init:t.snapshot ~schedule
+            ~invariant:violation.Dsm.Invariant.invariant
+            ~detail:violation.Dsm.Invariant.detail))
 
   (* Live progress for long runs: explored node states, |I+| and the
      violation tallies (§5's headline numbers), reported while the
@@ -273,13 +467,25 @@ module Make (P : Dsm.Protocol.S) = struct
      takes it precomputed) so parallel rounds can hash message payloads
      on worker domains and register them on the main one. *)
   let register_message t env fp =
-    if not (Hashtbl.mem t.net_by_fp fp) then begin
-      let id = Vec.length t.net in
-      ignore (Vec.push t.net { net_id = id; env; net_fp = fp; cursor = 0 });
-      Hashtbl.replace t.net_by_fp fp id;
-      Obs.Metrics.incr t.o.c_net_messages
-    end;
-    fp
+    match Hashtbl.find_opt t.net_by_fp fp with
+    | Some id -> Vec.get t.net id
+    | None ->
+        let id = Vec.length t.net in
+        let entry =
+          {
+            net_id = id;
+            env;
+            net_fp = fp;
+            cursor = 0;
+            first_inj = -1;
+            lbl = None;
+            hex = None;
+          }
+        in
+        ignore (Vec.push t.net entry);
+        Hashtbl.replace t.net_by_fp fp id;
+        Obs.Metrics.incr t.o.c_net_messages;
+        entry
 
   (* ----- soundness verification (isStateSound, Fig. 9) ----- *)
 
@@ -391,6 +597,7 @@ module Make (P : Dsm.Protocol.S) = struct
       Hashtbl.create 64
     in
     let found = ref None in
+    let exhausted = ref false in
     if t.config.soundness_via_sequences then begin
       let paths =
         Array.map (fun e -> Array.of_list (enumerate_paths t e)) tuple
@@ -413,12 +620,17 @@ module Make (P : Dsm.Protocol.S) = struct
              in
              match
                Soundness.check ?obs:t.o.soundness_obs
-                 ~budget:t.config.soundness_budget ~initial_net:[] seqs
+                 ?trace:t.soundness_trace ~budget:t.config.soundness_budget
+                 ~initial_net:[] seqs
              with
              | Soundness.Valid order ->
                  found := Some order;
                  `Stop
-             | Soundness.Invalid | Soundness.Budget_exhausted ->
+             | Soundness.Invalid ->
+                 if !combos >= t.config.max_sequence_combos then `Stop
+                 else `Continue
+             | Soundness.Budget_exhausted ->
+                 exhausted := true;
                  if !combos >= t.config.max_sequence_combos then `Stop
                  else `Continue))
     end
@@ -428,11 +640,13 @@ module Make (P : Dsm.Protocol.S) = struct
       Obs.Metrics.incr t.o.c_sequences;
       (match
          Soundness.check_dag ?obs:t.o.soundness_obs
-           ~budget:t.config.soundness_budget ~initial_net:[] graphs
+           ?trace:t.soundness_trace ~budget:t.config.soundness_budget
+           ~initial_net:[] graphs
        with
       | Soundness.Valid order -> found := Some order
       | Soundness.Invalid -> ()
       | Soundness.Budget_exhausted ->
+          exhausted := true;
           t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1;
           Obs.Metrics.incr t.o.c_budget_exhausted);
       ()
@@ -443,6 +657,9 @@ module Make (P : Dsm.Protocol.S) = struct
       (int_of_float (1e6 *. spent));
     match !found with
     | None ->
+        if t.tracing then
+          record_reject t violation sdepth
+            ~why:(if !exhausted then "budget_exhausted" else "invalid");
         if cache_rejection then begin
           t.soundness_rejections <- t.soundness_rejections + 1;
           Obs.Metrics.incr t.o.c_rejections;
@@ -487,6 +704,7 @@ module Make (P : Dsm.Protocol.S) = struct
               ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
               ("witness_events", Dsm.Json.Int (List.length schedule));
             ];
+        if t.tracing then record_witness t violation schedule;
         if t.config.stop_on_violation then raise Stop
 
   (* ----- system state creation (checkSystemInvariant, Fig. 9) ----- *)
@@ -500,7 +718,10 @@ module Make (P : Dsm.Protocol.S) = struct
       Obs.Metrics.observe t.o.h_system_depth sdepth;
       if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
       let system = Array.map (fun e -> e.state) tuple in
-      match Dsm.Invariant.check t.invariant system with
+      match
+        timed t t.ph_invariant_us (fun () ->
+            Dsm.Invariant.check t.invariant system)
+      with
       | None -> ()
       | Some violation ->
           t.preliminary_violations <- t.preliminary_violations + 1;
@@ -512,6 +733,7 @@ module Make (P : Dsm.Protocol.S) = struct
                   Dsm.Json.String violation.Dsm.Invariant.invariant );
                 ("system_depth", Dsm.Json.Int sdepth);
               ];
+          if t.tracing then record_prelim t violation sdepth tuple;
           if t.config.verify_soundness then begin
             if
               t.config.defer_soundness
@@ -573,6 +795,7 @@ module Make (P : Dsm.Protocol.S) = struct
                     Dsm.Json.String violation.Dsm.Invariant.invariant );
                   ("system_depth", Dsm.Json.Int sdepth);
                 ];
+            if t.tracing then record_prelim t violation sdepth tuple;
             if t.config.verify_soundness then begin
               if
                 t.config.defer_soundness
@@ -600,7 +823,10 @@ module Make (P : Dsm.Protocol.S) = struct
             if not (depth_allows t sdepth) then C_gated
             else
               let system = Array.map (fun (e : 'k entry) -> e.state) tuple in
-              match Dsm.Invariant.check t.invariant system with
+              match
+                timed t t.ph_invariant_us (fun () ->
+                    Dsm.Invariant.check t.invariant system)
+              with
               | None -> C_ok
               | Some violation -> C_viol (system, violation))
       in
@@ -754,6 +980,7 @@ module Make (P : Dsm.Protocol.S) = struct
             local_count;
             key = abstract_key t state;
             preds = [ pred ];
+            fp_hex = None;
           }
         in
         ignore (Vec.push store entry);
@@ -795,13 +1022,21 @@ module Make (P : Dsm.Protocol.S) = struct
       t.config.use_history && Fingerprint.Set.mem m.net_fp entry.history
     in
     if (not skip_by_history) && depth_allows t (entry.depth + 1) then
-      match P.handle_message ~self:m.env.Envelope.dst entry.state m.env with
-      | exception Dsm.Protocol.Local_assert _ -> N_assert
-      | state', out ->
-          N_step
-            ( state',
-              Fingerprint.of_value state',
-              List.map (fun env -> (env, Fingerprint.of_value env)) out )
+      match
+        timed t t.ph_handler_us (fun () ->
+            match
+              P.handle_message ~self:m.env.Envelope.dst entry.state m.env
+            with
+            | exception Dsm.Protocol.Local_assert _ -> None
+            | state', out -> Some (state', out))
+      with
+      | None -> N_assert
+      | Some (state', out) ->
+          timed t t.ph_fingerprint_us (fun () ->
+              N_step
+                ( state',
+                  Fingerprint.of_value state',
+                  List.map (fun env -> (env, Fingerprint.of_value env)) out ))
     else N_skip
 
   let apply_net t (m : net_entry) (entry : 'k entry) = function
@@ -812,15 +1047,25 @@ module Make (P : Dsm.Protocol.S) = struct
         check_budget t;
         t.local_assert_drops <- t.local_assert_drops + 1;
         Obs.Metrics.incr t.o.c_local_drops;
+        if t.tracing then
+          record_drop t ~node:m.env.Envelope.dst ~kind:"deliver"
+            ~src:m.env.Envelope.src
+            ~label:(fun () -> message_label m)
+            ~fp_before:entry.fp ~depth:(entry.depth + 1);
         false
     | N_step (state', fp', outs) ->
         t.transitions <- t.transitions + 1;
         Obs.Metrics.incr t.o.c_transitions;
         check_budget t;
         let node = m.env.Envelope.dst in
-        let produces =
+        let pentries =
           List.map (fun (env, fp) -> register_message t env fp) outs
         in
+        let produces = List.map (fun e -> e.net_fp) pentries in
+        (* The step record precedes any record the new state causes
+           (prelim / soundness / witness), preserving causal order. *)
+        if t.tracing then
+          record_net_step t m entry ~fp_after:fp' ~pentries;
         let event =
           {
             label = m.net_fp;
@@ -878,15 +1123,21 @@ module Make (P : Dsm.Protocol.S) = struct
         (List.map
            (fun action ->
              ( action,
-               match P.handle_action ~self:node entry.state action with
-               | exception Dsm.Protocol.Local_assert _ -> A_assert
-               | state', out ->
-                   A_step
-                     ( state',
-                       Fingerprint.of_value state',
-                       List.map
-                         (fun env -> (env, Fingerprint.of_value env))
-                         out ) ))
+               match
+                 timed t t.ph_handler_us (fun () ->
+                     match P.handle_action ~self:node entry.state action with
+                     | exception Dsm.Protocol.Local_assert _ -> None
+                     | state', out -> Some (state', out))
+               with
+               | None -> A_assert
+               | Some (state', out) ->
+                   timed t t.ph_fingerprint_us (fun () ->
+                       A_step
+                         ( state',
+                           Fingerprint.of_value state',
+                           List.map
+                             (fun env -> (env, Fingerprint.of_value env))
+                             out )) ))
            (P.enabled_actions ~self:node entry.state))
     else A_blocked
 
@@ -902,11 +1153,19 @@ module Make (P : Dsm.Protocol.S) = struct
             | A_assert ->
                 t.local_assert_drops <- t.local_assert_drops + 1;
                 Obs.Metrics.incr t.o.c_local_drops;
+                if t.tracing then
+                  record_drop t ~node ~kind:"action" ~src:(-1)
+                    ~label:(fun () -> action_label t action)
+                    ~fp_before:entry.fp ~depth:(entry.depth + 1);
                 progress
             | A_step (state', fp', outs) ->
-                let produces =
+                let pentries =
                   List.map (fun (env, fp) -> register_message t env fp) outs
                 in
+                let produces = List.map (fun e -> e.net_fp) pentries in
+                if t.tracing then
+                  record_act_step t ~node action entry ~fp_after:fp'
+                    ~pentries;
                 let changed =
                   if Fingerprint.equal fp' entry.fp then false
                   else
@@ -1049,20 +1308,46 @@ module Make (P : Dsm.Protocol.S) = struct
     Obs.Metrics.add t.o.c_soundness_calls n;
     Obs.Metrics.add t.o.c_sequences n;
     t.soundness_time <- t.soundness_time +. (now () -. t0);
-    (* Fold the verdicts deterministically. *)
+    (* Fold the verdicts deterministically.  Trace records are emitted
+       here, not on the worker domains, so their order is the cache
+       order regardless of scheduling; the search-step count stays on
+       the workers and is reported as -1. *)
+    let record_par_verdict verdict_str witness_events =
+      ignore
+        (Obs.Trace.emit t.config.trace ~ev:"soundness"
+           [
+             ("kind", Dsm.Json.String "dag");
+             ("steps", Dsm.Json.Int (-1));
+             ("verdict", Dsm.Json.String verdict_str);
+             ( "witness_events",
+               match witness_events with
+               | Some n -> Dsm.Json.Int n
+               | None -> Dsm.Json.Null );
+           ])
+    in
     Array.iteri
       (fun i verdict ->
         let r, _, by_label = jobs.(i) in
         match verdict with
         | Soundness.Invalid ->
             t.soundness_rejections <- t.soundness_rejections + 1;
-            Obs.Metrics.incr t.o.c_rejections
+            Obs.Metrics.incr t.o.c_rejections;
+            if t.tracing then begin
+              record_par_verdict "invalid" None;
+              record_reject t r.r_violation r.r_depth ~why:"invalid"
+            end
         | Soundness.Budget_exhausted ->
             t.soundness_rejections <- t.soundness_rejections + 1;
             t.soundness_budget_exhausted <- t.soundness_budget_exhausted + 1;
             Obs.Metrics.incr t.o.c_rejections;
-            Obs.Metrics.incr t.o.c_budget_exhausted
+            Obs.Metrics.incr t.o.c_budget_exhausted;
+            if t.tracing then begin
+              record_par_verdict "budget_exhausted" None;
+              record_reject t r.r_violation r.r_depth ~why:"budget_exhausted"
+            end
         | Soundness.Valid order ->
+            if t.tracing then
+              record_par_verdict "valid" (Some (List.length order));
             if t.sound_violation = None then begin
               let schedule =
                 List.map
@@ -1088,7 +1373,8 @@ module Make (P : Dsm.Protocol.S) = struct
                     ( "detail",
                       Dsm.Json.String r.r_violation.Dsm.Invariant.detail );
                     ("witness_events", Dsm.Json.Int (List.length schedule));
-                  ]
+                  ];
+              if t.tracing then record_witness t r.r_violation schedule
             end)
       verdicts
 
@@ -1197,10 +1483,19 @@ module Make (P : Dsm.Protocol.S) = struct
     stores_bytes + net_bytes
 
   let exec config ~strategy ~invariant snapshot pool =
+    let tracing = Obs.Trace.enabled config.trace in
     let t =
       {
         config;
         o = make_obs_handles config;
+        tracing;
+        soundness_trace = (if tracing then Some config.trace else None);
+        snapshot = Array.copy snapshot;
+        ph_handler_us = Atomic.make 0;
+        ph_fingerprint_us = Atomic.make 0;
+        ph_invariant_us = Atomic.make 0;
+        timed_tick = 0;
+        act_lbl = Hashtbl.create 64;
         strategy;
         invariant;
         stores = Array.init P.num_nodes (fun _ -> Vec.create ());
@@ -1245,6 +1540,7 @@ module Make (P : Dsm.Protocol.S) = struct
             local_count = 0;
             key = abstract_key t state;
             preds = [];
+            fp_hex = None;
           }
         in
         ignore (Vec.push t.stores.(n) entry);
@@ -1262,6 +1558,15 @@ module Make (P : Dsm.Protocol.S) = struct
           ("domains", Dsm.Json.Int explore_domains);
           ("verify_domains", Dsm.Json.Int config.verify_domains);
         ];
+    if tracing then
+      ignore
+        (Obs.Trace.emit config.trace ~ev:"lmc_run"
+           [
+             ("protocol", Dsm.Json.String P.name);
+             ("nodes", Dsm.Json.Int P.num_nodes);
+             ("domains", Dsm.Json.Int explore_domains);
+             ("verify_domains", Dsm.Json.Int config.verify_domains);
+           ]);
     (try
        check_initial t snapshot;
        if not (t.config.stop_on_violation && t.sound_violation <> None) then begin
@@ -1296,6 +1601,39 @@ module Make (P : Dsm.Protocol.S) = struct
           ("verify_domains", Dsm.Json.Int config.verify_domains);
           ("elapsed_s", Dsm.Json.Float elapsed);
         ];
+    if tracing then begin
+      (* Per-phase time attribution.  Handler / fingerprint / invariant
+         are measured wherever they ran (worker domains included);
+         system-state and soundness phases reuse the result's
+         accounting; [lmc report] derives exploration/pool residue. *)
+      ignore
+        (Obs.Trace.emit config.trace ~ev:"phases"
+           [
+             ("handler_us", Dsm.Json.Int (Atomic.get t.ph_handler_us));
+             ( "fingerprint_us",
+               Dsm.Json.Int (Atomic.get t.ph_fingerprint_us) );
+             ("invariant_us", Dsm.Json.Int (Atomic.get t.ph_invariant_us));
+             ( "soundness_us",
+               Dsm.Json.Int (int_of_float (1e6 *. t.soundness_time)) );
+             ( "system_state_us",
+               Dsm.Json.Int (int_of_float (1e6 *. t.system_state_time)) );
+             ("elapsed_us", Dsm.Json.Int (int_of_float (1e6 *. elapsed)));
+           ]);
+      ignore
+        (Obs.Trace.emit config.trace ~ev:"lmc_end"
+           [
+             ("transitions", Dsm.Json.Int t.transitions);
+             ( "node_states",
+               Dsm.Json.Int (Array.fold_left ( + ) 0 node_states) );
+             ("net_messages", Dsm.Json.Int (Vec.length t.net));
+             ("system_states", Dsm.Json.Int t.system_states_created);
+             ( "preliminary_violations",
+               Dsm.Json.Int t.preliminary_violations );
+             ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
+             ("completed", Dsm.Json.Bool (not t.truncated));
+           ]);
+      Obs.Trace.flush config.trace
+    end;
     {
       node_states;
       total_node_states = Array.fold_left ( + ) 0 node_states;

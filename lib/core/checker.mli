@@ -126,6 +126,19 @@ module Make (P : Dsm.Protocol.S) : sig
             explored states / |I+| / preliminary violations during
             long runs.  Defaults to {!Obs.null} (no sinks, throwaway
             registry). *)
+    trace : Obs.Trace.t;
+        (** flight recorder.  When enabled, every explored transition
+            is logged as a causal [trace.v1] record (acting node,
+            handler label, consumed/produced message fingerprints with
+            I+ provenance, state fingerprints before/after, depth),
+            together with the soundness search's own records
+            (preliminary violations, per-call verdicts, rejections and
+            why), fully replayable violation witnesses, and per-phase
+            time attribution.  Records are emitted only on the
+            sequential apply path, so the stream's fingerprints are
+            bit-identical for any [domains] /​ [verify_domains] value.
+            Defaults to {!Obs.Trace.null} (disabled; the hot loops pay
+            one branch). *)
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
         (** @deprecated superseded by the [obs] event stream: the
             callback is kept working but is now just one more

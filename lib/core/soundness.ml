@@ -51,6 +51,31 @@ let record obs ~kind ~steps verdict =
            | Invalid -> "soundness.invalid"
            | Budget_exhausted -> "soundness.budget_exhausted"))
 
+let verdict_string = function
+  | Valid _ -> "valid"
+  | Invalid -> "invalid"
+  | Budget_exhausted -> "budget_exhausted"
+
+(* Flight-recorder view of the same call: one [ev = "soundness"]
+   record per interleaving search, with its effort and outcome.  Only
+   wired on the sequential verification path — worker-domain emissions
+   would make record order scheduling-dependent. *)
+let record_trace trace ~kind ~steps verdict =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      ignore
+        (Obs.Trace.emit tr ~ev:"soundness"
+           [
+             ("kind", Dsm.Json.String kind);
+             ("steps", Dsm.Json.Int steps);
+             ("verdict", Dsm.Json.String (verdict_string verdict));
+             ( "witness_events",
+               match verdict with
+               | Valid order -> Dsm.Json.Int (List.length order)
+               | Invalid | Budget_exhausted -> Dsm.Json.Null );
+           ])
+
 (* Necessary condition checked before any search: every consumed
    message must be produced somewhere (by another event or the initial
    net), with multiplicity.  Most invalid combinations of node states
@@ -68,7 +93,7 @@ let balanced ~initial_net sequences =
     sequences;
   Hashtbl.fold (fun _ c ok -> ok && c >= 0) counts true
 
-let check ?obs ?(budget = 200_000) ~initial_net sequences =
+let check ?obs ?trace ?(budget = 200_000) ~initial_net sequences =
   let n = Array.length sequences in
   let remaining = Array.map (fun s -> s) sequences in
   let net = Net.create initial_net in
@@ -136,6 +161,7 @@ let check ?obs ?(budget = 200_000) ~initial_net sequences =
       | exception Out_of_budget -> Budget_exhausted
   in
   record obs ~kind:"sequence" ~steps:!steps verdict;
+  record_trace trace ~kind:"sequence" ~steps:!steps verdict;
   verdict
 
 type node_graph = {
@@ -216,7 +242,7 @@ let feasible ~initial_net graphs =
   in
   Array.for_all graph_ok graphs
 
-let check_dag ?obs ?(budget = 200_000) ~initial_net graphs =
+let check_dag ?obs ?trace ?(budget = 200_000) ~initial_net graphs =
   let n = Array.length graphs in
   (* Adjacency: per node, state index -> outgoing (event, next). *)
   let adj =
@@ -342,4 +368,5 @@ let check_dag ?obs ?(budget = 200_000) ~initial_net graphs =
       | exception Out_of_budget -> Budget_exhausted
   in
   record obs ~kind:"dag" ~steps:!steps verdict;
+  record_trace trace ~kind:"dag" ~steps:!steps verdict;
   verdict

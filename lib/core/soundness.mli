@@ -46,9 +46,14 @@ type verdict =
     (default 200_000).  [obs] records per-call search effort into the
     scope's registry: a [soundness.steps] histogram plus
     per-kind/per-verdict counters; safe to pass from concurrent
-    verification domains. *)
+    verification domains.  [trace] additionally records one
+    [ev = "soundness"] flight-recorder record per call — the
+    interleaving search's kind, effort and verdict; pass it only from
+    the sequential verification path (record order must not depend on
+    domain scheduling). *)
 val check :
   ?obs:Obs.scope ->
+  ?trace:Obs.Trace.t ->
   ?budget:int ->
   initial_net:Dsm.Fingerprint.t list ->
   sequence array ->
@@ -79,6 +84,7 @@ type node_graph = {
     events form a valid run. *)
 val check_dag :
   ?obs:Obs.scope ->
+  ?trace:Obs.Trace.t ->
   ?budget:int ->
   initial_net:Dsm.Fingerprint.t list ->
   node_graph array ->

@@ -7,28 +7,48 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(* Copy maximal runs of characters that need no escaping in one
+   [add_substring] instead of per-character closure calls — strings
+   here are mostly hex fingerprints and handler labels, so the common
+   case is a single full-length copy. *)
 let escape_into b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
+  let n = String.length s in
+  let flush_from start i =
+    if i > start then Buffer.add_substring b s start (i - start)
+  in
+  let rec go start i =
+    if i = n then flush_from start i
+    else
+      let c = String.unsafe_get s i in
+      if c = '"' || c = '\\' || Char.code c < 0x20 then begin
+        flush_from start i;
+        (match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c)));
+        go (i + 1) (i + 1)
+      end
+      else go start (i + 1)
+  in
+  go 0 0
 
 let rec emit b = function
   | Null -> Buffer.add_string b "null"
   | Bool v -> Buffer.add_string b (if v then "true" else "false")
   | Int i -> Buffer.add_string b (string_of_int i)
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string b (Printf.sprintf "%.1f" f)
-      else Buffer.add_string b (Printf.sprintf "%.17g" f)
+      (* [string_of_float] is the C-level converter; [Printf] with a
+         float conversion runs the format interpreter and allocates an
+         order of magnitude more, which matters because every sink
+         event carries a float timestamp. *)
+      if Float.is_integer f && Float.abs f < 1e15 then begin
+        Buffer.add_string b (string_of_int (int_of_float f));
+        Buffer.add_string b ".0"
+      end
+      else Buffer.add_string b (string_of_float f)
   | String s ->
       Buffer.add_char b '"';
       escape_into b s;
@@ -56,6 +76,8 @@ let to_string t =
   let b = Buffer.create 256 in
   emit b t;
   Buffer.contents b
+
+let emit_into = emit
 
 (* ----- parsing (recursive descent over the emitted subset) ----- *)
 

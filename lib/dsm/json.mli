@@ -19,6 +19,10 @@ type t =
 (** Compact (single-line) rendering with RFC 8259 string escaping. *)
 val to_string : t -> string
 
+(** Serialise into an existing buffer — same bytes as {!to_string};
+    hot paths use it to compose lines without intermediate strings. *)
+val emit_into : Buffer.t -> t -> unit
+
 (** Parse one JSON value.  Numbers without a fraction or exponent
     parse as [Int] (falling back to [Float] beyond the [int] range);
     [\u] escapes decode to UTF-8.  [Error] carries a human-readable

@@ -41,6 +41,12 @@ module Make (P : Dsm.Protocol.S) = struct
            parallel BFS); 1 keeps the recursive DFS *)
     pool : Par.Pool.t option;  (* borrowed; overrides [domains] *)
     obs : Obs.scope;
+    trace : Obs.Trace.t;
+        (* flight recorder: first-visit transitions, violation
+           witnesses, run header/footer.  The global checker's network
+           is a consumable multiset, not the LMC's monotone I+, but
+           message provenance still applies: a delivery's consumed
+           fingerprint references the step that produced it. *)
   }
 
   let default_config =
@@ -53,6 +59,7 @@ module Make (P : Dsm.Protocol.S) = struct
       domains = 1;
       pool = None;
       obs = Obs.null;
+      trace = Obs.Trace.null;
     }
 
   (* The canonical fingerprint of a global state: node states are
@@ -86,9 +93,77 @@ module Make (P : Dsm.Protocol.S) = struct
       h_depth = Obs.histogram scope "bdfs.depth";
     }
 
+  module RWB = Obs.Replay.Make (P)
+
+  let step_label = function
+    | Trace.Deliver env ->
+        Format.asprintf "%a" P.pp_message env.Envelope.payload
+    | Trace.Execute (_, a) -> Format.asprintf "%a" P.pp_action a
+
+  (* One flight-recorder step for a first-visited global state.  [inj]
+     maps message fingerprints to the seq of the step that produced
+     them, giving deliveries their provenance link. *)
+  let record_global_step ~trace ~inj step out ~fp_before ~fp_after ~depth =
+    let node, kind, src, consumed =
+      match step with
+      | Trace.Deliver env ->
+          let mfp = Fingerprint.of_value env in
+          ( env.Envelope.dst,
+            Obs.Trace.Deliver,
+            env.Envelope.src,
+            Some
+              ( Fingerprint.to_hex mfp,
+                match Hashtbl.find_opt inj mfp with
+                | Some s -> s
+                | None -> -1 ) )
+      | Trace.Execute (n, _) -> (n, Obs.Trace.Action, -1, None)
+    in
+    let produces = List.map Fingerprint.of_value out in
+    let seq =
+      Obs.Trace.record_step trace
+        {
+          Obs.Trace.node;
+          kind;
+          src;
+          label = step_label step;
+          fp_before = Fingerprint.to_hex fp_before;
+          fp_after = Fingerprint.to_hex fp_after;
+          consumed;
+          produced = List.map Fingerprint.to_hex produces;
+          depth;
+          dom = 0;
+        }
+    in
+    List.iter
+      (fun f -> if not (Hashtbl.mem inj f) then Hashtbl.add inj f seq)
+      produces
+
+  let record_run_header ~trace ~domains =
+    ignore
+      (Obs.Trace.emit trace ~ev:"bdfs_run"
+         [
+           ("protocol", Dsm.Json.String P.name);
+           ("nodes", Dsm.Json.Int P.num_nodes);
+           ("domains", Dsm.Json.Int domains);
+         ])
+
+  let record_run_end ~trace (outcome : outcome) =
+    ignore
+      (Obs.Trace.emit trace ~ev:"bdfs_end"
+         [
+           ("transitions", Dsm.Json.Int outcome.stats.transitions);
+           ("global_states", Dsm.Json.Int outcome.stats.global_states);
+           ("violation", Dsm.Json.Bool (outcome.violation <> None));
+           ("completed", Dsm.Json.Bool outcome.completed);
+         ]);
+    Obs.Trace.flush trace
+
   type search = {
     config : config;
     o : obs_handles;
+    tracing : bool;
+    binj : (Fingerprint.t, int) Hashtbl.t;
+    root : P.state array;  (* starting states, for witness records *)
     invariant : P.state Dsm.Invariant.t;
     visited : (Fingerprint.t, int) Hashtbl.t;  (* fingerprint -> min depth *)
     parents :
@@ -126,26 +201,29 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let record_violation s g fp depth violation =
     if s.violation = None then begin
+      let tr = if s.config.track_traces then rebuild_trace s fp else [] in
       s.violation <-
-        Some
-          {
-            system = Array.copy g.nodes;
-            violation;
-            trace = (if s.config.track_traces then rebuild_trace s fp else []);
-            depth;
-          };
+        Some { system = Array.copy g.nodes; violation; trace = tr; depth };
       Obs.event s.o.scope "bdfs.violation"
         ~fields:
           [
             ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
             ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
             ("depth", Dsm.Json.Int depth);
-          ]
+          ];
+      if s.tracing && s.config.track_traces then
+        ignore
+          (Obs.Trace.emit s.config.trace ~ev:"witness"
+             (RWB.witness_fields ~init:s.root ~schedule:tr
+                ~invariant:violation.Dsm.Invariant.invariant
+                ~detail:violation.Dsm.Invariant.detail))
     end
 
   (* Successors of a global state: one delivery per distinct in-flight
      message, one execution per enabled internal action.  A handler
-     raising Local_assert makes the transition disabled. *)
+     raising Local_assert makes the transition disabled.  The sent
+     messages travel alongside each successor so the flight recorder
+     can log productions without re-running the handler. *)
   let successors g =
     let deliveries =
       Net.Multiset.fold_distinct
@@ -161,7 +239,7 @@ module Make (P : Dsm.Protocol.S) = struct
                 | Some net -> Net.Multiset.add_list out net
                 | None -> assert false
               in
-              (Trace.Deliver env, { nodes; net }) :: acc)
+              (Trace.Deliver env, { nodes; net }, out) :: acc)
         g.net []
     in
     let actions =
@@ -175,7 +253,7 @@ module Make (P : Dsm.Protocol.S) = struct
                   let nodes = Array.copy g.nodes in
                   nodes.(n) <- state';
                   let net = Net.Multiset.add_list out g.net in
-                  Some (Trace.Execute (n, action), { nodes; net }))
+                  Some (Trace.Execute (n, action), { nodes; net }, out))
             (P.enabled_actions ~self:n g.nodes.(n)))
         (Dsm.Node_id.all P.num_nodes)
     in
@@ -205,7 +283,7 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     if depth_ok then
       List.iter
-        (fun (step, g') ->
+        (fun (step, g', out) ->
           s.transitions <- s.transitions + 1;
           Obs.Metrics.incr s.o.c_transitions;
           let fp' = fingerprint g' in
@@ -225,6 +303,9 @@ module Make (P : Dsm.Protocol.S) = struct
             if s.config.track_traces && first_visit then
               Hashtbl.replace s.parents fp' (Some fp, step);
             if first_visit then begin
+              if s.tracing then
+                record_global_step ~trace:s.config.trace ~inj:s.binj step
+                  out ~fp_before:fp ~fp_after:fp' ~depth:depth';
               let sys_fp = system_fingerprint g'.nodes in
               if not (Fingerprint.Set.mem sys_fp s.system_states) then begin
                 s.system_states <- Fingerprint.Set.add sys_fp s.system_states;
@@ -246,6 +327,9 @@ module Make (P : Dsm.Protocol.S) = struct
       {
         config;
         o = make_obs_handles config;
+        tracing = Obs.Trace.enabled config.trace;
+        binj = Hashtbl.create 256;
+        root = Array.copy init;
         invariant;
         visited = Hashtbl.create 4096;
         parents = Hashtbl.create 4096;
@@ -257,6 +341,7 @@ module Make (P : Dsm.Protocol.S) = struct
         started = Unix.gettimeofday ();
       }
     in
+    if s.tracing then record_run_header ~trace:config.trace ~domains:1;
     let fp = fingerprint g in
     Hashtbl.replace s.visited fp 0;
     Obs.Metrics.incr s.o.c_global_states;
@@ -274,19 +359,23 @@ module Make (P : Dsm.Protocol.S) = struct
       (Hashtbl.length s.visited * visited_entry_bytes)
       + (Hashtbl.length s.parents * parent_entry_bytes)
     in
-    {
-      stats =
-        {
-          transitions = s.transitions;
-          global_states = Hashtbl.length s.visited;
-          system_states = Fingerprint.Set.cardinal s.system_states;
-          max_depth_reached = s.max_depth_reached;
-          retained_bytes;
-          elapsed;
-        };
-      violation = s.violation;
-      completed = not s.truncated;
-    }
+    let outcome =
+      {
+        stats =
+          {
+            transitions = s.transitions;
+            global_states = Hashtbl.length s.visited;
+            system_states = Fingerprint.Set.cardinal s.system_states;
+            max_depth_reached = s.max_depth_reached;
+            retained_bytes;
+            elapsed;
+          };
+        violation = s.violation;
+        completed = not s.truncated;
+      }
+    in
+    if s.tracing then record_run_end ~trace:config.trace outcome;
+    outcome
 
   (* ----- parallel frontier expansion (domains > 1) -----
 
@@ -311,10 +400,14 @@ module Make (P : Dsm.Protocol.S) = struct
         * Fingerprint.t
         * Fingerprint.t  (* system fingerprint of the node states *)
         * Dsm.Invariant.violation option
+        * P.message Envelope.t list  (* sent messages, for the recorder *)
 
   type fsearch = {
     fconfig : config;
     fo : obs_handles;
+    ftracing : bool;
+    fbinj : (Fingerprint.t, int) Hashtbl.t;
+    froot : P.state array;
     finvariant : P.state Dsm.Invariant.t;
     fvisited : (Fingerprint.t, int) Par.Shard_tbl.t;
     fparents :
@@ -350,22 +443,22 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let frecord_violation s g fp depth violation =
     if s.fviolation = None then begin
+      let tr = if s.fconfig.track_traces then frebuild_trace s fp else [] in
       s.fviolation <-
-        Some
-          {
-            system = Array.copy g.nodes;
-            violation;
-            trace =
-              (if s.fconfig.track_traces then frebuild_trace s fp else []);
-            depth;
-          };
+        Some { system = Array.copy g.nodes; violation; trace = tr; depth };
       Obs.event s.fo.scope "bdfs.violation"
         ~fields:
           [
             ("invariant", Dsm.Json.String violation.Dsm.Invariant.invariant);
             ("detail", Dsm.Json.String violation.Dsm.Invariant.detail);
             ("depth", Dsm.Json.Int depth);
-          ]
+          ];
+      if s.ftracing && s.fconfig.track_traces then
+        ignore
+          (Obs.Trace.emit s.fconfig.trace ~ev:"witness"
+             (RWB.witness_fields ~init:s.froot ~schedule:tr
+                ~invariant:violation.Dsm.Invariant.invariant
+                ~detail:violation.Dsm.Invariant.detail))
     end
 
   let run_frontier config ~invariant ~initial_net init pool =
@@ -374,6 +467,9 @@ module Make (P : Dsm.Protocol.S) = struct
       {
         fconfig = config;
         fo = make_obs_handles config;
+        ftracing = Obs.Trace.enabled config.trace;
+        fbinj = Hashtbl.create 256;
+        froot = Array.copy init;
         finvariant = invariant;
         fvisited = Par.Shard_tbl.create 4096;
         fparents = Hashtbl.create 4096;
@@ -385,6 +481,9 @@ module Make (P : Dsm.Protocol.S) = struct
         fstarted = Unix.gettimeofday ();
       }
     in
+    if s.ftracing then
+      record_run_header ~trace:config.trace
+        ~domains:(Par.Pool.domains pool);
     let root_fp = fingerprint g in
     ignore (Par.Shard_tbl.add_if_absent s.fvisited root_fp 0);
     Obs.Metrics.incr s.fo.c_global_states;
@@ -423,7 +522,7 @@ module Make (P : Dsm.Protocol.S) = struct
              Par.Pool.tabulate pool ~chunk:4 (Array.length layer) (fun i ->
                  let g, _fp = layer.(i) in
                  List.map
-                   (fun (step, g') ->
+                   (fun (step, g', out) ->
                      let fp' = fingerprint g' in
                      if Par.Shard_tbl.mem s.fvisited fp' then S_seen
                      else
@@ -432,7 +531,8 @@ module Make (P : Dsm.Protocol.S) = struct
                            g',
                            fp',
                            system_fingerprint g'.nodes,
-                           Dsm.Invariant.check invariant g'.nodes ))
+                           Dsm.Invariant.check invariant g'.nodes,
+                           out ))
                    (successors g))
            in
            (* Sequential merge in submission order. *)
@@ -451,7 +551,7 @@ module Make (P : Dsm.Protocol.S) = struct
                       Obs.Metrics.incr s.fo.c_transitions;
                       match succ with
                       | S_seen -> ()
-                      | S_new (step, g', fp', sys_fp, viol) ->
+                      | S_new (step, g', fp', sys_fp, viol, out) ->
                           if Par.Shard_tbl.add_if_absent s.fvisited fp' depth'
                           then begin
                             Obs.Metrics.incr s.fo.c_global_states;
@@ -461,6 +561,10 @@ module Make (P : Dsm.Protocol.S) = struct
                             if config.track_traces then
                               Hashtbl.replace s.fparents fp'
                                 (Some parent_fp, step);
+                            if s.ftracing then
+                              record_global_step ~trace:config.trace
+                                ~inj:s.fbinj step out ~fp_before:parent_fp
+                                ~fp_after:fp' ~depth:depth';
                             if not (Fingerprint.Set.mem sys_fp s.fsystem_states)
                             then begin
                               s.fsystem_states <-
@@ -490,19 +594,23 @@ module Make (P : Dsm.Protocol.S) = struct
       (visited_count * visited_entry_bytes)
       + (Hashtbl.length s.fparents * parent_entry_bytes)
     in
-    {
-      stats =
-        {
-          transitions = s.ftransitions;
-          global_states = visited_count;
-          system_states = Fingerprint.Set.cardinal s.fsystem_states;
-          max_depth_reached = s.fmax_depth;
-          retained_bytes;
-          elapsed;
-        };
-      violation = s.fviolation;
-      completed = not s.ftruncated;
-    }
+    let outcome =
+      {
+        stats =
+          {
+            transitions = s.ftransitions;
+            global_states = visited_count;
+            system_states = Fingerprint.Set.cardinal s.fsystem_states;
+            max_depth_reached = s.fmax_depth;
+            retained_bytes;
+            elapsed;
+          };
+        violation = s.fviolation;
+        completed = not s.ftruncated;
+      }
+    in
+    if s.ftracing then record_run_end ~trace:config.trace outcome;
+    outcome
 
   let run config ~invariant ?(initial_net = []) init =
     if config.domains < 1 then invalid_arg "Bdfs.run: domains must be >= 1";

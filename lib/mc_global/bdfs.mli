@@ -69,6 +69,17 @@ module Make (P : Dsm.Protocol.S) : sig
             [bdfs.depth] histogram mirror {!stats}; a periodic
             ["progress"] heartbeat and a [bdfs.violation] event flow to
             the scope's sinks.  Defaults to {!Obs.null}. *)
+    trace : Obs.Trace.t;
+        (** flight recorder: one [step] record per first-visited global
+            state (global-state fingerprints before/after, message
+            provenance), a replayable [witness] record per violation
+            (requires [track_traces]), and [bdfs_run] / [bdfs_end]
+            framing.  The DFS ([domains = 1]) and the layered frontier
+            BFS ([domains > 1]) traverse in different orders, so their
+            record streams legitimately differ — the determinism
+            guarantee (identical streams for any domain count) applies
+            among frontier runs, which emit only from the sequential
+            merge.  Defaults to {!Obs.Trace.null}. *)
   }
 
   val default_config : config

@@ -174,3 +174,15 @@ let find_counter t name =
       match Hashtbl.find_opt t.tbl name with
       | Some (Counter c) -> Some c
       | _ -> None)
+
+let find_gauge t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Gauge g) -> Some g
+      | _ -> None)
+
+let find_histogram t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Histogram h) -> Some h
+      | _ -> None)

@@ -68,4 +68,11 @@ val histogram_snapshot : histogram -> histogram_snapshot
     be written as JSONL. *)
 val to_json_lines : t -> Dsm.Json.t list
 
+(** Lookup without registration: [None] when the name is absent {e or}
+    registered as a different metric type.  Lets tests and tooling
+    read a finished run's registry without re-registering. *)
 val find_counter : t -> string -> counter option
+
+val find_gauge : t -> string -> gauge option
+
+val find_histogram : t -> string -> histogram option

@@ -1,5 +1,7 @@
 module Metrics = Metrics
 module Sink = Sink
+module Trace = Trace
+module Replay = Replay
 
 type scope = {
   metrics : Metrics.t;

@@ -20,6 +20,12 @@
 module Metrics = Metrics
 module Sink = Sink
 
+(** The flight recorder (causal transition records, [trace.v1]). *)
+module Trace = Trace
+
+(** Witness replay for {!Trace} recordings. *)
+module Replay = Replay
+
 type scope
 
 (** The disabled scope: no sinks, no heartbeat, a private throwaway

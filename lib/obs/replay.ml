@@ -1,0 +1,213 @@
+module Make (P : Dsm.Protocol.S) = struct
+  let marshal v = Trace.hex_of_string (Marshal.to_string v [])
+
+  let fp_hex v = Dsm.Fingerprint.to_hex (Dsm.Fingerprint.of_value v)
+
+  (* The final system fingerprint combines per-node fingerprints rather
+     than hashing the array in one go: marshalling the whole array
+     captures physical sharing *across* node states (live-sim snapshots
+     share message payload structure), which independently unmarshalled
+     replay states cannot reproduce.  Per-node values round-trip with
+     their internal sharing intact, so this form is replay-stable. *)
+  let system_fp states =
+    Dsm.Fingerprint.to_hex
+      (Dsm.Fingerprint.combine
+         (Array.to_list (Array.map Dsm.Fingerprint.of_value states)))
+
+  (* Apply one schedule step under the recorded-witness semantics:
+     handlers are deterministic functions of (state, event), so
+     sequential application from the recorded starting states
+     reproduces the violating run exactly.  A Local_assert keeps the
+     state (can only happen on malformed input; the soundness-verified
+     schedules we record never assert) — the same rule is applied at
+     record and at replay time, so the two stay comparable. *)
+  let apply_step states = function
+    | Dsm.Trace.Deliver env ->
+        let node = env.Dsm.Envelope.dst in
+        (match P.handle_message ~self:node states.(node) env with
+        | exception Dsm.Protocol.Local_assert _ -> node
+        | state', _out ->
+            states.(node) <- state';
+            node)
+    | Dsm.Trace.Execute (node, action) -> (
+        match P.handle_action ~self:node states.(node) action with
+        | exception Dsm.Protocol.Local_assert _ -> node
+        | state', _out ->
+            states.(node) <- state';
+            node)
+
+  let step_json step ~fp_after =
+    let kind, node, src, data, label =
+      match step with
+      | Dsm.Trace.Deliver env ->
+          ( "deliver",
+            env.Dsm.Envelope.dst,
+            env.Dsm.Envelope.src,
+            marshal env.Dsm.Envelope.payload,
+            Format.asprintf "%a" P.pp_message env.Dsm.Envelope.payload )
+      | Dsm.Trace.Execute (node, action) ->
+          ( "action",
+            node,
+            -1,
+            marshal action,
+            Format.asprintf "%a" P.pp_action action )
+    in
+    Dsm.Json.Obj
+      [
+        ("kind", Dsm.Json.String kind);
+        ("node", Dsm.Json.Int node);
+        ("src", Dsm.Json.Int src);
+        ("label", Dsm.Json.String label);
+        ("data", Dsm.Json.String data);
+        ("fp_after", Dsm.Json.String fp_after);
+      ]
+
+  let witness_fields ~init ~schedule ~invariant ~detail =
+    let states = Array.copy init in
+    let wsteps =
+      List.map
+        (fun step ->
+          let node = apply_step states step in
+          step_json step ~fp_after:(fp_hex states.(node)))
+        schedule
+    in
+    [
+      ("invariant", Dsm.Json.String invariant);
+      ("detail", Dsm.Json.String detail);
+      ("protocol", Dsm.Json.String P.name);
+      ("events", Dsm.Json.Int (List.length schedule));
+      ( "init",
+        Dsm.Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Dsm.Json.Obj
+                    [
+                      ("state", Dsm.Json.String (marshal s));
+                      ("fp", Dsm.Json.String (fp_hex s));
+                    ])
+                init)) );
+      ("wsteps", Dsm.Json.List wsteps);
+      ("final_fp", Dsm.Json.String (system_fp states));
+    ]
+
+  (* ----- decoding and re-execution ----- *)
+
+  type outcome = {
+    steps_checked : int;
+    divergence : (int * string * string) option;
+        (** (step index, expected fp, replayed fp) of the first
+            fingerprint mismatch; [None] = bit-identical throughout *)
+    final_matches : bool;
+    final : P.state array;
+  }
+
+  let ( let* ) = Result.bind
+
+  let field name fields =
+    match List.assoc_opt name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "witness: missing field %S" name)
+
+  let as_string name = function
+    | Dsm.Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "witness: field %S: expected string" name)
+
+  let as_int name = function
+    | Dsm.Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "witness: field %S: expected int" name)
+
+  let as_list name = function
+    | Dsm.Json.List l -> Ok l
+    | _ -> Error (Printf.sprintf "witness: field %S: expected list" name)
+
+  let unmarshal (type a) name hex : (a, string) result =
+    let* raw = Trace.string_of_hex hex in
+    match (Marshal.from_string raw 0 : a) with
+    | v -> Ok v
+    | exception _ ->
+        Error (Printf.sprintf "witness: field %S: cannot unmarshal" name)
+
+  let decode_step json : ((P.message, P.action) Dsm.Trace.step * string, string) result =
+    match json with
+    | Dsm.Json.Obj fields ->
+        let* kind = Result.bind (field "kind" fields) (as_string "kind") in
+        let* node = Result.bind (field "node" fields) (as_int "node") in
+        let* data = Result.bind (field "data" fields) (as_string "data") in
+        let* fp_after =
+          Result.bind (field "fp_after" fields) (as_string "fp_after")
+        in
+        let* step =
+          match kind with
+          | "deliver" ->
+              let* src = Result.bind (field "src" fields) (as_int "src") in
+              let* (payload : P.message) = unmarshal "data" data in
+              Ok (Dsm.Trace.Deliver { Dsm.Envelope.src; dst = node; payload })
+          | "action" ->
+              let* (action : P.action) = unmarshal "data" data in
+              Ok (Dsm.Trace.Execute (node, action))
+          | k -> Error (Printf.sprintf "witness: unknown step kind %S" k)
+        in
+        Ok (step, fp_after)
+    | _ -> Error "witness: step: expected object"
+
+  let decode_record fields =
+    let* init_json = Result.bind (field "init" fields) (as_list "init") in
+    let* init =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Dsm.Json.Obj f ->
+              let* hex = Result.bind (field "state" f) (as_string "state") in
+              let* (s : P.state) = unmarshal "state" hex in
+              Ok (s :: acc)
+          | _ -> Error "witness: init entry: expected object")
+        (Ok []) init_json
+      |> Result.map (fun l -> Array.of_list (List.rev l))
+    in
+    if Array.length init <> P.num_nodes then
+      Error
+        (Printf.sprintf "witness: %d initial states for a %d-node protocol"
+           (Array.length init) P.num_nodes)
+    else
+      let* wsteps = Result.bind (field "wsteps" fields) (as_list "wsteps") in
+      let* steps =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* s = decode_step item in
+            Ok (s :: acc))
+          (Ok []) wsteps
+        |> Result.map List.rev
+      in
+      let* final_fp =
+        Result.bind (field "final_fp" fields) (as_string "final_fp")
+      in
+      Ok (init, steps, final_fp)
+
+  (* Re-execute a recorded [ev = "witness"] record (given as the field
+     list of the parsed JSON object) transition by transition,
+     comparing the acting node's state fingerprint after every step
+     against the recorded one.  The walk continues past a divergence —
+     [steps_checked] always covers the whole schedule — but only the
+     first mismatch is reported. *)
+  let replay_witness fields =
+    let* init, steps, final_fp = decode_record fields in
+    let states = Array.copy init in
+    let divergence = ref None in
+    List.iteri
+      (fun i (step, expected) ->
+        let node = apply_step states step in
+        let got = fp_hex states.(node) in
+        if got <> expected && !divergence = None then
+          divergence := Some (i, expected, got))
+      steps;
+    Ok
+      {
+        steps_checked = List.length steps;
+        divergence = !divergence;
+        final_matches = system_fp states = final_fp;
+        final = states;
+      }
+end

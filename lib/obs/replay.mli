@@ -1,0 +1,45 @@
+(** Deterministic witness replay for {!Trace} recordings.
+
+    A recorded [ev = "witness"] record is self-contained: the starting
+    system states and every scheduled event travel as hex-marshalled
+    protocol values, together with the expected state fingerprint
+    after each step.  Replay decodes them inside the same protocol
+    functor (the binary that wrote them names the protocol in its run
+    header), re-executes the schedule against the live handlers, and
+    compares fingerprints step by step — any divergence means the
+    recorded run and the current code disagree bit-for-bit.
+
+    The decode trusts the trace to match [P] (Marshal carries no type
+    information); dispatch by the run header's protocol name before
+    calling in. *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  (** [witness_fields ~init ~schedule ~invariant ~detail] builds the
+      payload of an [ev = "witness"] trace record: the starting states,
+      the schedule with embedded payloads, and per-step expected
+      fingerprints computed by sequential re-execution from [init]. *)
+  val witness_fields :
+    init:P.state array ->
+    schedule:(P.message, P.action) Dsm.Trace.t ->
+    invariant:string ->
+    detail:string ->
+    (string * Dsm.Json.t) list
+
+  type outcome = {
+    steps_checked : int;
+    divergence : (int * string * string) option;
+        (** (step index, expected fp, replayed fp) of the first
+            fingerprint mismatch; [None] = bit-identical throughout *)
+    final_matches : bool;
+        (** the replayed final system fingerprint equals the recorded
+            one *)
+    final : P.state array;  (** the replayed final system state *)
+  }
+
+  (** [replay_witness fields] decodes the field list of a parsed
+      witness record and re-executes it.  [Error] means the record is
+      malformed (or for another protocol); a fingerprint mismatch is
+      reported through [divergence], not as [Error]. *)
+  val replay_witness :
+    (string * Dsm.Json.t) list -> (outcome, string) result
+end

@@ -13,12 +13,21 @@ let event_to_json e =
 type t = {
   only : string list option;
   emit : event -> unit;
+  raw : (Buffer.t -> unit) option;
+      (* byte-oriented fast path: the buffer holds whole pre-serialised
+         newline-terminated lines, written verbatim.  Only sinks whose
+         [emit] would produce exactly those bytes provide it. *)
   flush : unit -> unit;
   close : unit -> unit;
 }
 
-let accepts t e =
-  match t.only with None -> true | Some names -> List.mem e.name names
+let accepts_name t name =
+  match t.only with None -> true | Some names -> List.mem name names
+
+let accepts t e = accepts_name t e.name
+
+(* The raw line writer, if this sink has one and accepts [name]. *)
+let raw t ~name = if accepts_name t name then t.raw else None
 
 let emit t e = if accepts t e then t.emit e
 
@@ -42,6 +51,8 @@ let jsonl ?only oc =
         with_lock lock (fun () ->
             output_string oc line;
             output_char oc '\n'));
+    raw =
+      Some (fun buf -> with_lock lock (fun () -> Buffer.output_buffer oc buf));
     flush = (fun () -> with_lock lock (fun () -> Stdlib.flush oc));
     close = (fun () -> with_lock lock (fun () -> Stdlib.flush oc));
   }
@@ -58,6 +69,7 @@ let console ?only () =
   let lock = Mutex.create () in
   {
     only;
+    raw = None;
     emit =
       (fun e ->
         with_lock lock (fun () ->
@@ -74,6 +86,7 @@ let memory ?only () =
   let t =
     {
       only;
+      raw = None;
       emit = (fun e -> with_lock lock (fun () -> events := e :: !events));
       flush = (fun () -> ());
       close = (fun () -> ());

@@ -17,6 +17,13 @@ type t
 
 val emit : t -> event -> unit
 
+(** The sink's raw byte writer, if it has one and accepts [name]: the
+    buffer must hold whole newline-terminated lines, each a JSON
+    object serialised exactly as {!emit} would have, and is written
+    verbatim.  Lets hot paths skip the intermediate {!Dsm.Json.t} and
+    batch many records into one write. *)
+val raw : t -> name:string -> (Buffer.t -> unit) option
+
 val flush : t -> unit
 
 (** Flush and release resources; for [jsonl_file], closes the channel. *)

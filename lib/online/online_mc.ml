@@ -92,7 +92,9 @@ struct
         { config.sim with Sim_p.action_prob = Some action_prob }
       end
     in
-    let sim = Sim_p.create ~obs sim_config in
+    let sim =
+      Sim_p.create ~obs ~trace:config.checker.Checker.trace sim_config
+    in
     let checks = ref 0 in
     let check_time = ref 0. in
     let vetoed = ref [] in
@@ -127,6 +129,21 @@ struct
         | bound :: rest -> (
             incr checks;
             Obs.Metrics.incr c_checks;
+            (* Frame the restart in the flight recorder before the
+               checker emits its own [lmc_run] header, so a hunt trace
+               segments into per-snapshot, per-bound episodes. *)
+            let trace = config.checker.Checker.trace in
+            if Obs.Trace.enabled trace then
+              ignore
+                (Obs.Trace.emit trace ~ev:"restart"
+                   [
+                     ("run", Dsm.Json.Int !checks);
+                     ( "bound",
+                       match bound with
+                       | Some b -> Dsm.Json.Int b
+                       | None -> Dsm.Json.Null );
+                     ("live_time", Dsm.Json.Float (Sim_p.now sim));
+                   ]);
             let result =
               Checker.run
                 {

@@ -38,6 +38,8 @@ module Make (P : Dsm.Protocol.S) = struct
   type t = {
     config : config;
     o : obs_handles;
+    trace : Obs.Trace.t;
+    tracing : bool;
     states : P.state array;
     queue : event Event_queue.t;
     node_rng : Rng.t array;
@@ -53,7 +55,7 @@ module Make (P : Dsm.Protocol.S) = struct
     let delay = Rng.range rng t.config.timer_min t.config.timer_max in
     Event_queue.push t.queue ~time:(t.clock +. delay) (Tick n)
 
-  let create ?(obs = Obs.null) config =
+  let create ?(obs = Obs.null) ?(trace = Obs.Trace.null) config =
     if config.timer_min <= 0. || config.timer_max < config.timer_min then
       invalid_arg "Live_sim.create: need 0 < timer_min <= timer_max";
     let root = Rng.create ~seed:config.seed in
@@ -62,6 +64,8 @@ module Make (P : Dsm.Protocol.S) = struct
       {
         config;
         o = make_obs_handles obs;
+        trace;
+        tracing = Obs.Trace.enabled trace;
         states = Dsm.Protocol.initial_system (module P);
         queue = Event_queue.create ();
         node_rng;
@@ -106,9 +110,27 @@ module Make (P : Dsm.Protocol.S) = struct
         t.states.(node) <- state';
         List.iter (fun env -> send t env) out
 
+  (* Executed live events enter the flight recorder as lightweight
+     [live] records: wall-clock position, acting node, rendered event —
+     no fingerprints, the live half is not replayed bit-for-bit. *)
+  let record_live t ~kind ~node ~src ~label =
+    ignore
+      (Obs.Trace.emit t.trace ~ev:"live"
+         [
+           ("clock", Dsm.Json.Float t.clock);
+           ("kind", Dsm.Json.String kind);
+           ("node", Dsm.Json.Int node);
+           ("src", Dsm.Json.Int src);
+           ("label", Dsm.Json.String label);
+         ])
+
   let execute t = function
     | Deliver env ->
         let node = env.Dsm.Envelope.dst in
+        if t.tracing then
+          record_live t ~kind:"deliver" ~node ~src:env.Dsm.Envelope.src
+            ~label:
+              (Format.asprintf "%a" P.pp_message env.Dsm.Envelope.payload);
         apply t node (fun () -> P.handle_message ~self:node t.states.(node) env)
     | Tick n -> (
         match P.enabled_actions ~self:n t.states.(n) with
@@ -121,8 +143,12 @@ module Make (P : Dsm.Protocol.S) = struct
               | Some prob ->
                   Rng.bool t.node_rng.(n) ~prob:(prob n action)
             in
-            if fires then
-              apply t n (fun () -> P.handle_action ~self:n t.states.(n) action);
+            if fires then begin
+              if t.tracing then
+                record_live t ~kind:"action" ~node:n ~src:(-1)
+                  ~label:(Format.asprintf "%a" P.pp_action action);
+              apply t n (fun () -> P.handle_action ~self:n t.states.(n) action)
+            end;
             schedule_tick t n)
 
   let heartbeat t =
