@@ -2,7 +2,7 @@
 # unit tests, and a CLI smoke test asserting that the observability
 # output stays parseable JSONL.
 
-.PHONY: all build test check bench bench-quick clean
+.PHONY: all build test check lint bench bench-quick clean
 
 all: build
 
@@ -23,6 +23,15 @@ check: build test
 	dune exec bin/lmc_cli.exe -- report /tmp/rec.jsonl --metrics /tmp/m.jsonl \
 	  > /dev/null
 	@echo "check: OK"
+
+# Static-analysis gate: protocol sanitizers over every bundled instance
+# (fixtures included), reconciled against the checked-in allowlist; the
+# lint.v1 stream must itself validate.  The interleaving suite runs as
+# part of `make test` (test/test_lint.ml).
+lint: build
+	dune exec bin/lmc_cli.exe -- lint --all --out lint.jsonl \
+	  --allow lint_allow.jsonl
+	dune exec bin/jsonl_check.exe -- lint.jsonl
 
 bench:
 	dune exec bench/main.exe

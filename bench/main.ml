@@ -17,9 +17,9 @@
    runs; refs rather than parameters so the sections read as straight
    benchmark code. *)
 let quick = ref false
-let only : string option ref = ref None
+let only : string list ref = ref []
 
-let section name = match !only with None -> true | Some s -> s = name
+let section name = match !only with [] -> true | l -> List.mem name l
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -1258,6 +1258,75 @@ let scaling () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Par functorization guard (lib/lint)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Deque and Shard_tbl are functors over their synchronisation
+   primitives so the interleaving checker can interpose on every
+   shared access; the production fast path must not pay for that.
+   The default [Par.Deque] is [Make (Primitives.Native)] applied at
+   library build time — re-applying the same functor here and racing
+   the two instantiations through the pool's hot sequence (push/pop
+   with an occasional steal; add_if_absent/find for the table) makes
+   any functor-boundary cost show up as a throughput gap.  Expected
+   and asserted by EXPERIMENTS.md: within run-to-run noise. *)
+let par_functor () =
+  header "lib/par functorization: default vs re-applied Make (Native)";
+  let ops = if !quick then 2_000_000 else 10_000_000 in
+  let best f =
+    let rec go n acc =
+      if n = 0 then acc else go (n - 1) (min acc (f ()))
+    in
+    go 2 (f ())
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let bench_deque (module D : Par.Deque.S) () =
+    time (fun () ->
+        let q = D.create () in
+        for i = 1 to ops do
+          D.push q i;
+          if i land 7 = 0 then ignore (D.steal q) else ignore (D.pop q)
+        done)
+  in
+  let bench_tbl (module T : Par.Shard_tbl.S) () =
+    time (fun () ->
+        let t = T.create 1024 in
+        for i = 1 to ops do
+          ignore (T.add_if_absent t (i land 1023) i);
+          ignore (T.find_opt t (i land 1023))
+        done)
+  in
+  let module D2 = Par.Deque.Make (Par.Primitives.Native) in
+  let module T2 = Par.Shard_tbl.Make (Par.Primitives.Native) in
+  let dq_def = best (bench_deque (module Par.Deque)) in
+  let dq_fun = best (bench_deque (module D2)) in
+  let tb_def = best (bench_tbl (module Par.Shard_tbl)) in
+  let tb_fun = best (bench_tbl (module T2)) in
+  let pct a b = 100. *. (b /. max 1e-9 a -. 1.) in
+  row "%d ops each, best of 3:\n" ops;
+  row "%-34s %10.4f s\n" "Deque (library instantiation)" dq_def;
+  row "%-34s %10.4f s  (%+.1f%%)\n" "Deque (re-applied Make(Native))" dq_fun
+    (pct dq_def dq_fun);
+  row "%-34s %10.4f s\n" "Shard_tbl (library instantiation)" tb_def;
+  row "%-34s %10.4f s  (%+.1f%%)\n" "Shard_tbl (re-applied Make(Native))"
+    tb_fun (pct tb_def tb_fun);
+  Bench_out.record "par-functor"
+    (Dsm.Json.Obj
+       [
+         ("ops", Dsm.Json.Int ops);
+         ("deque_default_s", Dsm.Json.Float dq_def);
+         ("deque_functor_s", Dsm.Json.Float dq_fun);
+         ("deque_delta_pct", Dsm.Json.Float (pct dq_def dq_fun));
+         ("shard_tbl_default_s", Dsm.Json.Float tb_def);
+         ("shard_tbl_functor_s", Dsm.Json.Float tb_fun);
+         ("shard_tbl_delta_pct", Dsm.Json.Float (pct tb_def tb_fun));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1278,6 +1347,7 @@ let sections =
     ("obs-overhead", obs_overhead);
     ("record-overhead", record_overhead);
     ("scaling", scaling);
+    ("par-functor", par_functor);
   ]
 
 let main q o =
@@ -1299,11 +1369,11 @@ let () =
   in
   let only_arg =
     let doc =
-      "Run a single section instead of all of them.  $(docv) must be \
-       one of the section names (see the synopsis)."
+      "Run only the named section(s) instead of all of them; repeatable.  \
+       $(docv) must be one of the section names (see the synopsis)."
     in
     let sec = Arg.enum (List.map (fun (n, _) -> (n, n)) sections) in
-    Arg.(value & opt (some sec) None & info [ "only" ] ~doc ~docv:"SECTION")
+    Arg.(value & opt_all sec [] & info [ "only" ] ~doc ~docv:"SECTION")
   in
   let doc =
     "regenerate the paper's evaluation (tables, figures, ablations) and \

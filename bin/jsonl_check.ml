@@ -1,13 +1,14 @@
 (* jsonl_check: validate that every line of a JSONL file parses as a
-   JSON value, and that lines carrying the flight-recorder schema tag
-   ("schema": "trace.v1") are well-formed trace records: known record
-   kind, the fields that kind requires, and strictly increasing [seq]
-   numbers.  Exits 0 when every file is well-formed, 1 with
-   line-numbered diagnostics otherwise.  Used by `make check' to
-   assert that the CLI's --metrics-out / --trace-out / --record
-   streams stay parseable. *)
+   JSON value, and that lines carrying a known schema tag ("schema":
+   "trace.v1" from the flight recorder, "lint.v1" from `lmc lint
+   --out') are well-formed records: known record kind, the fields that
+   kind requires, and strictly increasing [seq] numbers per schema.
+   Exits 0 when every file is well-formed, 1 with line-numbered
+   diagnostics otherwise.  Used by `make check' / `make lint' to
+   assert that the CLI's machine-readable streams stay parseable. *)
 
 let trace_schema = "trace.v1"
+let lint_schema = "lint.v1"
 
 let field name fields = List.assoc_opt name fields
 
@@ -60,7 +61,46 @@ let required_fields = function
   | "ring_meta" -> Some [ ("dropped", is_int); ("capacity", is_int) ]
   | _ -> None
 
-let check_trace_record ~last_seq fields =
+(* The sanitizer's finding taxonomy; `lmc lint' must not grow a kind
+   without teaching the validator (and the allowlist readers). *)
+let lint_kinds =
+  [
+    "nondeterministic_handler";
+    "nondeterministic_actions";
+    "noncanonical_state";
+    "digest_collision";
+    "unmarshalable_state";
+    "dead_message";
+    "dead_action";
+    "handler_exception";
+  ]
+
+let is_lint_kind = function
+  | Dsm.Json.String s -> List.mem s lint_kinds
+  | _ -> false
+
+let lint_required_fields = function
+  | "run_start" -> Some [ ("protocol", is_string); ("max_transitions", is_int) ]
+  | "finding" ->
+      Some
+        [
+          ("kind", is_lint_kind);
+          ("protocol", is_string);
+          ("subject", is_string);
+          ("detail", is_string);
+        ]
+  | "run_end" ->
+      Some
+        [
+          ("protocol", is_string);
+          ("findings", is_int);
+          ("transitions", is_int);
+          ("states", is_int);
+          ("elapsed_s", is_number);
+        ]
+  | _ -> None
+
+let check_record ~required_fields ~last_seq fields =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   let seq =
@@ -92,9 +132,20 @@ let check_trace_record ~last_seq fields =
   | None -> err "missing field \"ev\"");
   (seq, List.rev !errors)
 
+(* Each schema validates independently: a file may interleave trace.v1
+   and lint.v1 lines (both ride Obs sinks), and each stream numbers
+   its own [seq] space. *)
 let check_file path =
   let ic = open_in path in
-  let last_seq = ref (-1) in
+  let last_trace_seq = ref (-1) and last_lint_seq = ref (-1) in
+  let validate ~required_fields ~last_seq ~schema lineno fields =
+    let seq, errors = check_record ~required_fields ~last_seq:!last_seq fields in
+    last_seq := seq;
+    List.iter
+      (fun msg -> Printf.eprintf "%s:%d: %s: %s\n" path lineno schema msg)
+      errors;
+    errors = []
+  in
   let rec loop lineno ok =
     match input_line ic with
     | exception End_of_file -> ok
@@ -103,13 +154,18 @@ let check_file path =
         match Dsm.Json.of_string line with
         | Ok (Dsm.Json.Obj fields)
           when field "schema" fields = Some (Dsm.Json.String trace_schema) ->
-            let seq, errors = check_trace_record ~last_seq:!last_seq fields in
-            last_seq := seq;
-            List.iter
-              (fun msg ->
-                Printf.eprintf "%s:%d: trace.v1: %s\n" path lineno msg)
-              errors;
-            loop (lineno + 1) (ok && errors = [])
+            let ok' =
+              validate ~required_fields ~last_seq:last_trace_seq
+                ~schema:trace_schema lineno fields
+            in
+            loop (lineno + 1) (ok && ok')
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields = Some (Dsm.Json.String lint_schema) ->
+            let ok' =
+              validate ~required_fields:lint_required_fields
+                ~last_seq:last_lint_seq ~schema:lint_schema lineno fields
+            in
+            loop (lineno + 1) (ok && ok')
         | Ok _ -> loop (lineno + 1) ok
         | Error msg ->
             Printf.eprintf "%s:%d: %s\n" path lineno msg;

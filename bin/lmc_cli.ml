@@ -4,6 +4,7 @@
      list   - the bundled protocol instances
      check  - model-check a protocol offline (B-DFS, LMC-GEN, LMC-OPT)
      hunt   - online checking against a simulated lossy deployment
+     lint   - protocol sanitizers (determinism, canonicality, coverage)
      replay - re-execute a flight-recorder file, fail on divergence
      report - offline analysis of recorded trace/metrics streams *)
 
@@ -31,8 +32,41 @@ type check_params = {
   trace : Obs.Trace.t;  (* flight recorder (--record) *)
 }
 
+(* A protocol-agnostic rendering of one sanitizer run ({!Lint.Sanitize}),
+   so the registry can lint any instance behind one closure type.
+   Findings are re-keyed to the registry name: module names do not
+   distinguish a buggy variant from its correct twin (both paxos
+   instantiations call themselves "paxos"), and the allowlist must. *)
+type lint_result = {
+  l_name : string;
+  l_findings : Lint.Report.finding list;
+  l_states : int;
+  l_transitions : int;
+  l_probes : int;
+  l_elapsed : float;
+  l_completed : bool;
+}
+
+let lint_protocol (module P : Dsm.Protocol.S) ~name ~max_depth
+    ~max_transitions =
+  let module S = Lint.Sanitize.Make (P) in
+  let r = S.run ~config:{ S.default_config with max_depth; max_transitions } () in
+  {
+    l_name = name;
+    l_findings =
+      List.map
+        (fun (f : Lint.Report.finding) -> { f with protocol = name })
+        r.findings;
+    l_states = r.stats.global_states;
+    l_transitions = r.stats.transitions;
+    l_probes = r.stats.probes;
+    l_elapsed = r.stats.elapsed;
+    l_completed = r.completed;
+  }
+
 (* One bundled protocol instance, closed over its invariant, its
-   optional LMC-OPT abstraction, and an online-hunt setup. *)
+   optional LMC-OPT abstraction, an online-hunt setup, and its
+   sanitizer entry point. *)
 type runner = {
   name : string;
   description : string;
@@ -42,6 +76,7 @@ type runner = {
      interval:float -> max_live:float -> budget:float -> steer:bool ->
      domains:int -> verify_domains:int -> int)
     option;
+  lint : max_depth:int option -> max_transitions:int -> lint_result;
   replay :
     mode:string ->
     header:(string * Dsm.Json.t) list ->
@@ -624,6 +659,10 @@ let tree_runner =
       (fun params ->
         D.run ~invariant:T.received_implies_sent params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module T) ~name:"tree" ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:T.received_implies_sent ~header ~records ~domains
@@ -642,6 +681,10 @@ let chain_runner =
       (fun params ->
         D.run ~invariant:C.prefix_closed params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module C) ~name:"chain" ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:C.prefix_closed ~header ~records ~domains ());
@@ -659,6 +702,10 @@ let ping_runner =
       (fun params ->
         D.run ~invariant:P.no_excess_pongs params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module P) ~name:"ping" ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:P.no_excess_pongs ~header ~records ~domains ());
@@ -676,8 +723,9 @@ let randtree_runner ~buggy =
     let bug = bug
   end) in
   let module D = Check_driver (R) in
+  let name = if buggy then "randtree-buggy" else "randtree" in
   {
-    name = (if buggy then "randtree-buggy" else "randtree");
+    name;
     description =
       (if buggy then
          "4-node RandTree overlay with the double-bookkeeping bug"
@@ -686,6 +734,10 @@ let randtree_runner ~buggy =
       (fun params ->
         D.run ~invariant:R.disjointness params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module R) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:R.disjointness ~header ~records ~domains ());
@@ -719,8 +771,9 @@ let paxos_runner ~buggy =
   end) in
   let module D = Check_driver (Bench) in
   let module H = Hunt_driver (Live) (Check) in
+  let name = if buggy then "paxos-buggy" else "paxos" in
   {
-    name = (if buggy then "paxos-buggy" else "paxos");
+    name;
     description =
       (if buggy then "3-node Paxos with the 5.5 last-response bug"
        else "3-node Paxos, one proposal (the 5.1 benchmark space)");
@@ -741,6 +794,10 @@ let paxos_runner ~buggy =
                  { abstract = Check.abstraction; conflict = Check.conflicts })
             ~obs ~trace ~invariant:Check.safety ~seed ~drop ~interval
             ~max_live ~budget ~steer ~domains ~verify_domains ());
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module Bench) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode ~header ~records ~domains ->
         (* hunt witnesses were recorded by the hunt's own Check
@@ -771,8 +828,9 @@ let onepaxos_runner ~buggy =
   end) in
   let module D = Check_driver (OP) in
   let module H = Hunt_driver (OP) (OP) in
+  let name = if buggy then "onepaxos-buggy" else "onepaxos" in
   {
-    name = (if buggy then "onepaxos-buggy" else "onepaxos");
+    name;
     description =
       (if buggy then "3-node 1Paxos with the 5.6 postfix-increment bug"
        else "3-node 1Paxos over an embedded PaxosUtility");
@@ -797,6 +855,10 @@ let onepaxos_runner ~buggy =
               | _ -> 1.0)
             ~obs ~trace ~invariant:OP.safety ~seed ~drop ~interval ~max_live
             ~budget ~steer ~domains ~verify_domains ());
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module OP) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode ~header ~records ~domains ->
         if mode = "hunt" then H.replay_witnesses records
@@ -819,8 +881,9 @@ let twophase_runner ~buggy =
     let bug = bug
   end) in
   let module D = Check_driver (T) in
+  let name = if buggy then "2pc-buggy" else "2pc" in
   {
-    name = (if buggy then "2pc-buggy" else "2pc");
+    name;
     description =
       (if buggy then
          "two-phase commit deciding on a majority instead of unanimity"
@@ -833,6 +896,10 @@ let twophase_runner ~buggy =
                { abstract = T.abstraction; conflict = T.conflicts })
           ~invariant:T.atomicity params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module T) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -853,8 +920,9 @@ let ring_runner ~buggy =
     let bug = bug
   end) in
   let module D = Check_driver (R) in
+  let name = if buggy then "ring-buggy" else "ring" in
   {
-    name = (if buggy then "ring-buggy" else "ring");
+    name;
     description =
       (if buggy then
          "Chang-Roberts election forwarding losing tokens (two leaders)"
@@ -867,6 +935,10 @@ let ring_runner ~buggy =
                { abstract = R.abstraction; conflict = R.conflicts })
           ~invariant:R.agreement params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module R) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -888,8 +960,9 @@ let mutex_runner ~buggy =
     let bug = bug
   end) in
   let module D = Check_driver (M) in
+  let name = if buggy then "mutex-buggy" else "mutex" in
   {
-    name = (if buggy then "mutex-buggy" else "mutex");
+    name;
     description =
       (if buggy then
          "token-ring mutual exclusion regenerating an unlost token"
@@ -902,6 +975,10 @@ let mutex_runner ~buggy =
                { abstract = M.abstraction; conflict = M.conflicts })
           ~invariant:M.mutual_exclusion params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module M) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -923,8 +1000,9 @@ let abp_runner ~buggy =
   end) in
   let module FA = Protocols.Fifo.Make (A) in
   let module D = Check_driver (FA) in
+  let name = if buggy then "abp-buggy" else "abp" in
   {
-    name = (if buggy then "abp-buggy" else "abp");
+    name;
     description =
       (if buggy then
          "alternating-bit over FIFO channels, receiver ignoring the bit"
@@ -935,6 +1013,10 @@ let abp_runner ~buggy =
           ~invariant:(FA.lift_invariant A.prefix_delivery)
           params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module FA) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -953,8 +1035,9 @@ let pb_runner ~buggy =
     let bug = bug
   end) in
   let module D = Check_driver (P) in
+  let name = if buggy then "pb-store-buggy" else "pb-store" in
   {
-    name = (if buggy then "pb-store-buggy" else "pb-store");
+    name;
     description =
       (if buggy then
          "primary-backup store acknowledging before replication"
@@ -962,6 +1045,10 @@ let pb_runner ~buggy =
     check =
       (fun params -> D.run ~invariant:P.read_your_writes params);
     hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module P) ~name:name ~max_depth
+          ~max_transitions);
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
@@ -996,6 +1083,31 @@ let find_runner name =
   | None ->
       Error
         (Printf.sprintf "unknown protocol %S; try `lmc_cli list'" name)
+
+(* The planted-defect fixtures are lint-only targets: they exist so
+   the suite (and `make lint') can prove each sanitizer class fires,
+   and they have no invariant worth model-checking. *)
+let lint_fixtures =
+  [
+    ( "fixture-nondet",
+      "planted defect: hidden counter leaks into a reply payload",
+      (module Protocols.Lint_fixtures.Nondet : Dsm.Protocol.S) );
+    ( "fixture-noncanon",
+      "planted defect: equal states with divergent Marshal sharing",
+      (module Protocols.Lint_fixtures.Noncanon : Dsm.Protocol.S) );
+    ( "fixture-dead",
+      "planted defect: a broadcast message nobody reacts to",
+      (module Protocols.Lint_fixtures.Dead_letter : Dsm.Protocol.S) );
+  ]
+
+let lint_targets =
+  List.map (fun r -> (r.name, r.lint)) runners
+  @ List.map
+      (fun (name, _, m) ->
+        ( name,
+          fun ~max_depth ~max_transitions ->
+            lint_protocol m ~name ~max_depth ~max_transitions ))
+      lint_fixtures
 
 (* ------------------------------------------------------------------ *)
 (* Offline run report                                                  *)
@@ -1403,6 +1515,10 @@ let list_cmd =
   let run () =
     Format.printf "%-16s %s@." "NAME" "DESCRIPTION";
     List.iter (fun r -> Format.printf "%-16s %s@." r.name r.description) runners;
+    Format.printf "@.lint-only targets (`lmc_cli lint'):@.";
+    List.iter
+      (fun (name, descr, _) -> Format.printf "%-16s %s@." name descr)
+      lint_fixtures;
     0
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
@@ -1715,6 +1831,132 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run $ trace_file_arg $ replay_domains_arg)
 
+let lint_cmd =
+  let doc =
+    "Run the protocol sanitizers (determinism, digest canonicality, \
+     enabled_actions purity, dead-constructor coverage) over bundled \
+     protocol instances."
+  in
+  let protocol_opt_arg =
+    let doc = "Protocol instance to lint (see `list'; includes fixtures)." in
+    Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~doc)
+  in
+  let all_arg =
+    let doc = "Lint every bundled instance, fixtures included." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let transitions_arg =
+    let doc = "Handler-invocation budget per protocol." in
+    Arg.(
+      value & opt pos_int 20_000 & info [ "max-transitions" ] ~doc ~docv:"N")
+  in
+  let out_arg =
+    let doc = "Stream findings as lint.v1 JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let allow_arg =
+    let doc =
+      "Allowlist of expected findings (JSONL: protocol/kind/subject \
+       objects, # comments).  The exit code then reflects the \
+       reconciliation: unexpected findings or stale entries fail."
+    in
+    Arg.(value & opt (some string) None & info [ "allow" ] ~doc ~docv:"FILE")
+  in
+  let run protocol all max_depth max_transitions out allow =
+    let targets =
+      match (protocol, all) with
+      | Some _, true -> Error "use either -p or --all, not both"
+      | None, false -> Error "name a protocol with -p, or pass --all"
+      | None, true -> Ok lint_targets
+      | Some name, false -> (
+          match List.assoc_opt name lint_targets with
+          | Some l -> Ok [ (name, l) ]
+          | None ->
+              Error
+                (Printf.sprintf "unknown protocol %S; try `lmc_cli list'"
+                   name))
+    in
+    let allowlist =
+      match allow with
+      | None -> Ok []
+      | Some path ->
+          Result.map_error
+            (fun e -> Printf.sprintf "%s: %s" path e)
+            (Lint.Report.load_allowlist path)
+    in
+    match (targets, allowlist) with
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "lmc_cli: %s\n%!" e;
+        2
+    | Ok targets, Ok allow ->
+        let emitter, close_sink =
+          match out with
+          | None -> (Lint.Report.null, fun () -> ())
+          | Some path -> (
+              match Obs.Sink.jsonl_file path with
+              | sink -> (Lint.Report.to_sink sink, fun () -> Obs.Sink.close sink)
+              | exception Sys_error msg ->
+                  Printf.eprintf "lmc_cli: %s\n%!" msg;
+                  exit 2)
+        in
+        Fun.protect ~finally:close_sink (fun () ->
+            Format.printf "%-18s %8s %8s %8s %10s  %s@." "PROTOCOL" "STATES"
+              "TRANS" "PROBES" "TIME" "FINDINGS";
+            let results =
+              List.map
+                (fun (name, l) ->
+                  Lint.Report.emit_start emitter ~protocol:name ~max_depth
+                    ~max_transitions;
+                  let r = l ~max_depth ~max_transitions in
+                  List.iter (Lint.Report.emit_finding emitter) r.l_findings;
+                  Lint.Report.emit_end emitter ~protocol:name
+                    ~findings:(List.length r.l_findings)
+                    ~transitions:r.l_transitions ~states:r.l_states
+                    ~elapsed_s:r.l_elapsed;
+                  Format.printf "%-18s %8d %8d %8d %9.3fs  %d%s@." name
+                    r.l_states r.l_transitions r.l_probes r.l_elapsed
+                    (List.length r.l_findings)
+                    (if r.l_completed then "" else " (budget-truncated)");
+                  List.iter
+                    (fun f ->
+                      Format.printf "  %a@." Lint.Report.pp_finding f)
+                    r.l_findings;
+                  r)
+                targets
+            in
+            let findings = List.concat_map (fun r -> r.l_findings) results in
+            let { Lint.Report.unexpected; stale } =
+              Lint.Report.reconcile ~allow
+                ~linted:(List.map (fun r -> r.l_name) results)
+                findings
+            in
+            match (unexpected, stale) with
+            | [], [] ->
+                Format.printf
+                  "lint: %d protocol(s), %d finding(s), all allowlisted@."
+                  (List.length results) (List.length findings);
+                0
+            | _ ->
+                List.iter
+                  (fun f ->
+                    Format.printf "UNEXPECTED %a@." Lint.Report.pp_finding f)
+                  unexpected;
+                List.iter
+                  (fun (e : Lint.Report.allow_entry) ->
+                    Format.printf
+                      "STALE allowlist entry %s: %s: %s (not found; drop it \
+                       or fix the lint)@."
+                      e.a_protocol
+                      (Lint.Report.kind_to_string e.a_kind)
+                      e.a_subject)
+                  stale;
+                1)
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ protocol_opt_arg $ all_arg $ depth_arg $ transitions_arg
+      $ out_arg $ allow_arg)
+
 let report_cmd =
   let doc =
     "Render an offline run report (handler coverage, depth and |I+| \
@@ -1749,4 +1991,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; check_cmd; hunt_cmd; replay_cmd; report_cmd ]))
+          [ list_cmd; check_cmd; hunt_cmd; lint_cmd; replay_cmd; report_cmd ]))

@@ -1,0 +1,313 @@
+(* Schedule-replay DFS with sleep sets over shimmed primitives.
+ *
+ * OCaml's one-shot continuations cannot be forked, so the explorer
+ * re-executes from scratch along the committed schedule prefix and
+ * then extends it ("stateless" search, as in dscheck or a DPOR
+ * checker's replay mode).  A scheduling point is one shimmed
+ * primitive operation: the scheduler picks an enabled thread, runs
+ * its pending operation atomically, and lets it continue until the
+ * next perform.  Guards (mutex acquisition) contribute blocking
+ * semantics: a thread whose guard is false is simply not enabled, so
+ * locks never spin.
+ *
+ * The reduction is Godefroid's sleep sets.  Every operation declares
+ * a footprint — the physical identity of the cell or mutex it
+ * touches, and whether it writes — and two operations are
+ * independent iff they touch different locations or are both reads.
+ * After the branch for thread [t] is fully explored at a node, [t]
+ * joins the node's sleep set: sibling branches need not re-run [t]
+ * first unless an intervening dependent operation wakes it, because
+ * any such interleaving only commutes independent steps of one
+ * already explored.  Sleep sets preserve every Mazurkiewicz trace,
+ * hence every reachable final state and deadlock, so the final check
+ * still sees every distinguishable outcome. *)
+
+open Effect
+open Effect.Deep
+
+exception Check_failure of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Check_failure m)) fmt
+
+type _ Effect.t +=
+  | Op : {
+      guard : unit -> bool;
+      op : unit -> 'a;
+      loc : Obj.t;  (* physical identity of the touched cell/mutex *)
+      wr : bool;
+    }
+      -> 'a Effect.t
+
+let op ~loc ~wr f = perform (Op { guard = (fun () -> true); op = f; loc; wr })
+
+let guarded ~loc ~guard f =
+  perform (Op { guard; op = f; loc; wr = true })
+
+module Shim : Par.Primitives.S = struct
+  module Atomic = struct
+    type 'a t = { mutable v : 'a }
+
+    (* Creation is not a scheduling point: a fresh cell is unshared
+       until its address escapes, which can only happen through a
+       later (shimmed) operation. *)
+    let make v = { v }
+    let get c = op ~loc:(Obj.repr c) ~wr:false (fun () -> c.v)
+    let set c x = op ~loc:(Obj.repr c) ~wr:true (fun () -> c.v <- x)
+
+    let compare_and_set c old x =
+      op ~loc:(Obj.repr c) ~wr:true (fun () ->
+          if c.v == old then begin
+            c.v <- x;
+            true
+          end
+          else false)
+
+    let fetch_and_add c n =
+      op ~loc:(Obj.repr c) ~wr:true (fun () ->
+          let v = c.v in
+          c.v <- v + n;
+          v)
+  end
+
+  module Mutex = struct
+    type t = { mutable held : bool }
+
+    let create () = { held = false }
+
+    let lock m =
+      guarded ~loc:(Obj.repr m)
+        ~guard:(fun () -> not m.held)
+        (fun () -> m.held <- true)
+
+    let unlock m = op ~loc:(Obj.repr m) ~wr:true (fun () -> m.held <- false)
+
+    let protect m f =
+      lock m;
+      Fun.protect ~finally:(fun () -> unlock m) f
+  end
+end
+
+type failure = { schedule : int list; steps : int; message : string }
+
+type outcome = {
+  executions : int;
+  truncated : int;
+  max_steps_seen : int;
+  complete : bool;
+  failure : failure option;
+}
+
+type status =
+  | Ready of (unit -> unit)  (* body not started; firing starts it *)
+  | Waiting of {
+      guard : unit -> bool;
+      fire : unit -> unit;
+      loc : Obj.t;
+      wr : bool;
+    }
+  | Finished
+
+(* One node of the committed schedule.  [sleep] and [chosen] are
+   mutated by the backtracking driver; [enabled] is fixed because
+   replay is deterministic.  Thread sets are bitmasks (thread counts
+   here are single digits). *)
+type frame = { enabled : int list; mutable sleep : int; mutable chosen : int }
+
+(* Run [f] with shim operations executed immediately (no scheduling):
+   used for [make]'s setup code and the client's final check, which
+   run sequentially and so cannot race anything. *)
+let quietly f =
+  match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Op { op; _ } ->
+              Some (fun (k : (a, _) continuation) -> continue k (op ()))
+          | _ -> None);
+    }
+
+type exec_result =
+  | Completed
+  | Failed of string
+  | Deadlock
+  | Covered  (* every enabled thread asleep: subtree explored elsewhere *)
+  | Hit_step_bound
+
+let independent ~loc ~wr (s : status) =
+  match s with
+  | Waiting w -> (not (w.loc == loc)) || ((not w.wr) && not wr)
+  | Ready _ | Finished -> false
+
+(* One execution: replay the committed [frames] (oldest first), then
+   extend greedily (first enabled thread not asleep), appending the
+   new frames to [push_frame].  Returns the schedule, step count and
+   result. *)
+let run_one ~max_steps ~frames ~push_frame make =
+  let bodies, check = quietly make in
+  let n = List.length bodies in
+  if n > 60 then invalid_arg "Interleave.explore: too many threads";
+  let slots = Array.make n Finished in
+  List.iteri
+    (fun i body ->
+      slots.(i) <-
+        Ready
+          (fun () ->
+            match_with body ()
+              {
+                retc = (fun () -> slots.(i) <- Finished);
+                exnc = raise;
+                effc =
+                  (fun (type a) (eff : a Effect.t) ->
+                    match eff with
+                    | Op { guard; op; loc; wr } ->
+                        Some
+                          (fun (k : (a, unit) continuation) ->
+                            slots.(i) <-
+                              Waiting
+                                {
+                                  guard;
+                                  loc;
+                                  wr;
+                                  fire = (fun () -> continue k (op ()));
+                                })
+                    | _ -> None);
+              }))
+    bodies;
+  let sched = ref [] (* thread ids, newest first *)
+  and steps = ref 0 in
+  let result = ref Completed in
+  (try
+     (* Start every body eagerly, up to its first operation.  The
+        code before a thread's first shimmed op touches no shared
+        state, so it commutes with everything; making thread start a
+        scheduling point would only multiply the schedule space by
+        the interleavings of [n] no-op tokens. *)
+     Array.iter (function Ready run -> run () | _ -> ()) slots;
+     (* Fire thread [tid]'s pending op and return the sleep set of
+        the successor node: sleeping threads stay asleep only past an
+        independent operation. *)
+     let fire tid sleep =
+       match slots.(tid) with
+       | Waiting w ->
+           let child = ref 0 in
+           for u = 0 to n - 1 do
+             if
+               sleep land (1 lsl u) <> 0
+               && independent ~loc:w.loc ~wr:w.wr slots.(u)
+             then child := !child lor (1 lsl u)
+           done;
+           sched := tid :: !sched;
+           incr steps;
+           w.fire ();
+           !child
+       | Ready _ | Finished -> assert false
+     in
+     (* Replay the committed prefix.  Each frame's stored sleep set
+        is the node's current one: it can only have grown by
+        backtracking, which pops every deeper frame first. *)
+     let sleep = ref 0 in
+     List.iter (fun f -> sleep := fire f.chosen f.sleep) frames;
+     let running = ref true in
+     while !running do
+       let enabled =
+         let acc = ref [] in
+         for i = n - 1 downto 0 do
+           match slots.(i) with
+           | Waiting { guard; _ } -> if guard () then acc := i :: !acc
+           | Ready _ | Finished -> ()
+         done;
+         !acc
+       in
+       match enabled with
+       | [] ->
+           let all_done =
+             Array.for_all (function Finished -> true | _ -> false) slots
+           in
+           if not all_done then result := Deadlock;
+           running := false
+       | _ when !steps >= max_steps ->
+           result := Hit_step_bound;
+           running := false
+       | _ -> (
+           match
+             List.find_opt (fun t -> !sleep land (1 lsl t) = 0) enabled
+           with
+           | None ->
+               result := Covered;
+               running := false
+           | Some tid ->
+               push_frame { enabled; sleep = !sleep; chosen = tid };
+               sleep := fire tid !sleep)
+     done;
+     match !result with Completed -> quietly check | _ -> ()
+   with
+  | Check_failure msg -> result := Failed msg
+  | e -> result := Failed (Printexc.to_string e));
+  (List.rev !sched, !steps, !result)
+
+let explore ?(max_steps = 10_000) ?(max_executions = 5_000_000) make =
+  let executions = ref 0
+  and runs = ref 0
+  and truncated = ref 0
+  and max_seen = ref 0
+  and failure = ref None
+  and budget_hit = ref false in
+  (* Committed schedule, newest frame first. *)
+  let stack = ref [] in
+  (* Put the fully-explored branch to sleep and move to the next
+     sibling; pop frames whose siblings are exhausted. *)
+  let rec backtrack () =
+    match !stack with
+    | [] -> false
+    | f :: rest -> (
+        f.sleep <- f.sleep lor (1 lsl f.chosen);
+        match
+          List.find_opt (fun t -> f.sleep land (1 lsl t) = 0) f.enabled
+        with
+        | Some t ->
+            f.chosen <- t;
+            true
+        | None ->
+            stack := rest;
+            backtrack ())
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    if !runs >= max_executions then begin
+      budget_hit := true;
+      continue_ := false
+    end
+    else begin
+      let sched, steps, result =
+        run_one ~max_steps
+          ~frames:(List.rev !stack)
+          ~push_frame:(fun f -> stack := f :: !stack)
+          make
+      in
+      incr runs;
+      if steps > !max_seen then max_seen := steps;
+      (match result with
+      | Completed -> incr executions
+      | Covered -> ()
+      | Hit_step_bound -> incr truncated
+      | Failed message ->
+          failure := Some { schedule = sched; steps; message }
+      | Deadlock ->
+          failure := Some { schedule = sched; steps; message = "deadlock" });
+      if !failure <> None || not (backtrack ()) then continue_ := false
+    end
+  done;
+  {
+    executions = !executions;
+    truncated = !truncated;
+    max_steps_seen = !max_seen;
+    complete = (!failure = None && !truncated = 0 && not !budget_hit);
+    failure = !failure;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s after %d step(s); schedule: %s" f.message f.steps
+    (String.concat " " (List.map string_of_int f.schedule))

@@ -1,0 +1,74 @@
+(** Systematic interleaving checker for the [lib/par] primitives.
+
+    Turns the repo's own exploration discipline on its concurrency
+    substrate: client code (thread bodies) is written against
+    {!Shim} — a [Par.Primitives.S] whose every atomic access and lock
+    acquisition is a {e scheduling point} — and {!explore} runs the
+    bodies under a deterministic cooperative scheduler, enumerating
+    {b every} interleaving of those points by depth-first search over
+    schedules (re-executing from scratch along each schedule prefix,
+    as one-shot continuations cannot be forked).
+
+    Between two scheduling points a thread runs atomically, which is
+    exactly the granularity of the claim being checked: the
+    linearizability arguments for [Par.Deque] and [Par.Shard_tbl]
+    rest only on the interleaving of their primitive operations.
+    Blocked threads (a {!Shim.Mutex.lock} on a held mutex) are
+    excluded from the enabled set rather than spun, so lock-based
+    histories stay finite; a state where no thread is enabled and not
+    all are finished is reported as a deadlock.
+
+    The explorer is exhaustive and deterministic: for a fixed client,
+    {!outcome.executions} is a reproducible exact count (asserted in
+    the test suite), not a sample. *)
+
+(** Raised by a client's final check (or mid-thread assertion) to
+    signal a property violation; the failing schedule is reported. *)
+exception Check_failure of string
+
+(** [failf fmt ...] raises {!Check_failure}. *)
+val failf : ('a, unit, string, 'b) format4 -> 'a
+
+(** Shimmed primitives: instantiate [Par.Deque.Make] /
+    [Par.Shard_tbl.Make] (or build ad-hoc shared state) over this
+    module inside thread bodies passed to {!explore}.  Operations
+    outside an {!explore} run raise. *)
+module Shim : Par.Primitives.S
+
+type failure = {
+  schedule : int list;
+      (** thread indices in fire order, reproducing the failure *)
+  steps : int;
+  message : string;
+}
+
+type outcome = {
+  executions : int;  (** complete interleavings executed *)
+  truncated : int;  (** executions cut short by [max_steps] *)
+  max_steps_seen : int;  (** longest execution, in scheduling points *)
+  complete : bool;
+      (** every interleaving explored: no failure, no truncation, and
+          the execution budget was not exhausted *)
+  failure : failure option;  (** first failing schedule, if any *)
+}
+
+(** [explore make] exhaustively interleaves the threads returned by
+    [make].  [make] is called once per execution and must build {e
+    fresh} shared state, returning the thread bodies and a final
+    check run after all threads finish (raise {!Check_failure} to
+    fail).  Both [make] and the check run under a pass-through
+    handler, so they may use {!Shim} operations freely: setup (e.g.
+    preloading a deque) is a sequential prefix before any
+    concurrency, and the final check cannot race anything.
+
+    [max_steps] (default [10_000]) bounds scheduling points per
+    execution; [max_executions] (default [5_000_000]) bounds the
+    number of interleavings.  Exploration stops at the first failure
+    or deadlock. *)
+val explore :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  (unit -> (unit -> unit) list * (unit -> unit)) ->
+  outcome
+
+val pp_failure : Format.formatter -> failure -> unit

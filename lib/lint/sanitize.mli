@@ -1,0 +1,56 @@
+(** Protocol sanitizers: dynamic static-analysis of a [Protocol.S]
+    module's contracts by bounded exploration.
+
+    The model checkers {e assume} four properties of a protocol
+    implementation; this engine {e checks} them, because a violation
+    silently corrupts every checker verdict rather than failing
+    loudly:
+
+    - {b determinism} — a handler invoked twice from identical inputs
+      must produce fingerprint-identical [(state', sends)]; hidden
+      mutable state (a module-level counter, randomness, wall-clock
+      reads) breaks exploration soundness and witness replay.
+    - {b canonicality} — logically-equal states must be structurally
+      identical and digest to the same fingerprint (the {!Dsm.Fingerprint}
+      contract); Marshal sharing divergence is the classic violation.
+      The dual audit also reports true digest collisions, and states
+      that cannot be marshalled at all.
+    - {b purity of [enabled_actions]} — same state, same action list.
+    - {b coverage} — message/action families that the bounded
+      exploration produced and repeatedly delivered but that never had
+      any effect are reported as dead (usually a forgotten handler
+      case or an unreachable constructor).
+
+    Exploration is a sequential BFS over global states (one delivery
+    per distinct in-flight message, one execution per enabled action,
+    exactly the global checker's successor relation), bounded by depth
+    and a handler-invocation budget. *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  type config = {
+    max_depth : int option;
+    max_transitions : int;  (** handler-invocation budget *)
+    initial_net : P.message Dsm.Envelope.t list;
+    min_deliveries : int;
+        (** coverage lint: a family is reported dead only after at
+            least this many fruitless delivery attempts *)
+  }
+
+  val default_config : config
+
+  type stats = {
+    global_states : int;
+    transitions : int;  (** first-run handler invocations *)
+    probes : int;  (** re-executions performed by the sanitizers *)
+    elapsed : float;
+  }
+
+  type result = {
+    findings : Report.finding list;
+        (** deduplicated on [(kind, subject)], in report order *)
+    stats : stats;
+    completed : bool;  (** the bounded space was exhausted in budget *)
+  }
+
+  val run : ?config:config -> unit -> result
+end

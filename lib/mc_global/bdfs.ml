@@ -408,7 +408,6 @@ module Make (P : Dsm.Protocol.S) = struct
     ftracing : bool;
     fbinj : (Fingerprint.t, int) Hashtbl.t;
     froot : P.state array;
-    finvariant : P.state Dsm.Invariant.t;
     fvisited : (Fingerprint.t, int) Par.Shard_tbl.t;
     fparents :
       (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
@@ -470,7 +469,6 @@ module Make (P : Dsm.Protocol.S) = struct
         ftracing = Obs.Trace.enabled config.trace;
         fbinj = Hashtbl.create 256;
         froot = Array.copy init;
-        finvariant = invariant;
         fvisited = Par.Shard_tbl.create 4096;
         fparents = Hashtbl.create 4096;
         ftransitions = 0;

@@ -11,86 +11,107 @@
  *
  * [grow] copies into a fresh array of fresh atomics; the old array is
  * never written again, so thieves still holding it see a consistent
- * (frozen) snapshot whose entries their CAS will validate. *)
+ * (frozen) snapshot whose entries their CAS will validate.
+ *
+ * The implementation is a functor over its atomic primitives so that
+ * [Lint.Interleave] can interpose a scheduling point on every shared
+ * access and exhaustively check small concurrent histories; the
+ * exported [Deque] is [Make (Primitives.Native)]. *)
 
-type 'a t = {
-  mutable buf : 'a option Atomic.t array;  (* owner writes; thieves read *)
-  top : int Atomic.t;
-  bottom : int Atomic.t;
-}
+module type S = sig
+  type 'a t
 
-let create ?(capacity = 64) () =
-  let cap = max 2 capacity in
-  let cap =
-    let c = ref 2 in
-    while !c < cap do
-      c := !c * 2
-    done;
-    !c
-  in
-  {
-    buf = Array.init cap (fun _ -> Atomic.make None);
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
+  val create : ?capacity:int -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+module Make (P : Primitives.S) = struct
+  module Atomic = P.Atomic
+
+  type 'a t = {
+    mutable buf : 'a option Atomic.t array;  (* owner writes; thieves read *)
+    top : int Atomic.t;
+    bottom : int Atomic.t;
   }
 
-let slot buf i = buf.(i land (Array.length buf - 1))
+  let create ?(capacity = 64) () =
+    let cap = max 2 capacity in
+    let cap =
+      let c = ref 2 in
+      while !c < cap do
+        c := !c * 2
+      done;
+      !c
+    in
+    {
+      buf = Array.init cap (fun _ -> Atomic.make None);
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+    }
 
-let grow q b t =
-  let old = q.buf in
-  let n = Array.length old in
-  let buf = Array.init (2 * n) (fun _ -> Atomic.make None) in
-  for i = t to b - 1 do
-    Atomic.set (slot buf i) (Atomic.get (slot old i))
-  done;
-  q.buf <- buf
+  let slot buf i = buf.(i land (Array.length buf - 1))
 
-let push q v =
-  let b = Atomic.get q.bottom in
-  let t = Atomic.get q.top in
-  if b - t >= Array.length q.buf - 1 then grow q b t;
-  Atomic.set (slot q.buf b) (Some v);
-  Atomic.set q.bottom (b + 1)
+  let grow q b t =
+    let old = q.buf in
+    let n = Array.length old in
+    let buf = Array.init (2 * n) (fun _ -> Atomic.make None) in
+    for i = t to b - 1 do
+      Atomic.set (slot buf i) (Atomic.get (slot old i))
+    done;
+    q.buf <- buf
 
-let pop q =
-  let b = Atomic.get q.bottom - 1 in
-  Atomic.set q.bottom b;
-  let t = Atomic.get q.top in
-  if b < t then begin
-    (* Empty: restore bottom. *)
-    Atomic.set q.bottom t;
-    None
-  end
-  else begin
-    let cell = slot q.buf b in
-    let v = Atomic.get cell in
-    if b > t then begin
-      (* More than one element: no thief can reach index b. *)
-      Atomic.set cell None;
-      v
+  let push q v =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    if b - t >= Array.length q.buf - 1 then grow q b t;
+    Atomic.set (slot q.buf b) (Some v);
+    Atomic.set q.bottom (b + 1)
+
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if b < t then begin
+      (* Empty: restore bottom. *)
+      Atomic.set q.bottom t;
+      None
     end
     else begin
-      (* Last element: race thieves for it via the top index. *)
-      let won = Atomic.compare_and_set q.top t (t + 1) in
-      Atomic.set q.bottom (t + 1);
-      if won then begin
+      let cell = slot q.buf b in
+      let v = Atomic.get cell in
+      if b > t then begin
+        (* More than one element: no thief can reach index b. *)
         Atomic.set cell None;
         v
       end
-      else None
+      else begin
+        (* Last element: race thieves for it via the top index. *)
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then begin
+          Atomic.set cell None;
+          v
+        end
+        else None
+      end
     end
-  end
 
-let steal q =
-  let t = Atomic.get q.top in
-  let b = Atomic.get q.bottom in
-  if b <= t then None
-  else begin
-    let v = Atomic.get (slot q.buf t) in
-    if Atomic.compare_and_set q.top t (t + 1) then v else None
-  end
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if b <= t then None
+    else begin
+      let v = Atomic.get (slot q.buf t) in
+      if Atomic.compare_and_set q.top t (t + 1) then v else None
+    end
 
-let length q =
-  let t = Atomic.get q.top in
-  let b = Atomic.get q.bottom in
-  max 0 (b - t)
+  let length q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    max 0 (b - t)
+end
+
+include Make (Primitives.Native)

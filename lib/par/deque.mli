@@ -9,25 +9,36 @@
     individual [Atomic.t] cells so that a thief racing a grow reads
     either the old or the new value of a slot, never a torn one —
     staleness is then caught by the CAS on the monotonically
-    increasing top index. *)
+    increasing top index.
 
-type 'a t
+    The implementation is parameterised over its atomic primitives
+    ({!Make}) so the interleaving checker in [lib/lint] can interpose
+    on every shared access; the default instantiation below is
+    [Make (Primitives.Native)] and is what [Pool] uses. *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** [create ()] makes an empty deque.  [capacity] (default 64) is
-    rounded up to a power of two. *)
+module type S = sig
+  type 'a t
 
-val push : 'a t -> 'a -> unit
-(** Owner only.  Add at the bottom. *)
+  val create : ?capacity:int -> unit -> 'a t
+  (** [create ()] makes an empty deque.  [capacity] (default 64) is
+      rounded up to a power of two. *)
 
-val pop : 'a t -> 'a option
-(** Owner only.  Remove the most recently pushed element (LIFO),
-    or [None] if the deque is empty. *)
+  val push : 'a t -> 'a -> unit
+  (** Owner only.  Add at the bottom. *)
 
-val steal : 'a t -> 'a option
-(** Any domain.  Remove the oldest element (FIFO), or [None] if the
-    deque is empty or the steal lost a race (callers should treat
-    [None] as "try elsewhere", not "definitely empty"). *)
+  val pop : 'a t -> 'a option
+  (** Owner only.  Remove the most recently pushed element (LIFO),
+      or [None] if the deque is empty. *)
 
-val length : 'a t -> int
-(** Snapshot of the number of elements; racy but never negative. *)
+  val steal : 'a t -> 'a option
+  (** Any domain.  Remove the oldest element (FIFO), or [None] if the
+      deque is empty or the steal lost a race (callers should treat
+      [None] as "try elsewhere", not "definitely empty"). *)
+
+  val length : 'a t -> int
+  (** Snapshot of the number of elements; racy but never negative. *)
+end
+
+module Make (_ : Primitives.S) : S
+
+include S

@@ -1,0 +1,35 @@
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val protect : t -> (unit -> 'a) -> 'a
+end
+
+module type S = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+end
+
+module Native : S = struct
+  module Atomic = Stdlib.Atomic
+
+  module Mutex = struct
+    include Stdlib.Mutex
+
+    let protect m f =
+      lock m;
+      Fun.protect ~finally:(fun () -> unlock m) f
+  end
+end

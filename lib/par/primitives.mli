@@ -1,0 +1,40 @@
+(** The atomic primitives [Deque] and [Shard_tbl] are built from.
+
+    Both data structures are functors over this signature so that a
+    model checker (see [Lint.Interleave]) can interpose on every
+    shared-memory operation — each [Atomic] access and each mutex
+    acquisition becomes a scheduling point — while production code
+    instantiates {!Native}, the stdlib primitives, with no behavioural
+    change. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  (** Physical-equality compare-and-set, like [Stdlib.Atomic]. *)
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+
+  val fetch_and_add : int t -> int -> int
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+
+  (** [protect m f] runs [f] with [m] held, releasing on any exit. *)
+  val protect : t -> (unit -> 'a) -> 'a
+end
+
+module type S = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+end
+
+(** The stdlib primitives ([Stdlib.Atomic], [Stdlib.Mutex]). *)
+module Native : S

@@ -1,44 +1,65 @@
-type ('k, 'v) shard = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+(* Lock-striped hash table, functorised over the mutex primitive so
+   the interleaving checker in lib/lint can interpose on every lock
+   acquisition; the exported Shard_tbl is Make (Primitives.Native). *)
 
-type ('k, 'v) t = { shards : ('k, 'v) shard array; mask : int }
+module type S = sig
+  type ('k, 'v) t
 
-let create ?(shards = 64) n =
-  let count =
-    let c = ref 1 in
-    while !c < max 1 shards do
-      c := !c * 2
-    done;
-    !c
-  in
-  let per = max 16 (n / count) in
-  {
-    shards =
-      Array.init count (fun _ ->
-          { lock = Mutex.create (); tbl = Hashtbl.create per });
-    mask = count - 1;
-  }
+  val create : ?shards:int -> int -> ('k, 'v) t
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  val mem : ('k, 'v) t -> 'k -> bool
+  val replace : ('k, 'v) t -> 'k -> 'v -> unit
+  val add_if_absent : ('k, 'v) t -> 'k -> 'v -> bool
+  val length : ('k, 'v) t -> int
+  val clear : ('k, 'v) t -> unit
+  val shard_count : ('k, 'v) t -> int
+end
 
-let shard t k = t.shards.(Hashtbl.hash k land t.mask)
+module Make (P : Primitives.S) = struct
+  module Mutex = P.Mutex
 
-let[@inline] locked s f =
-  Mutex.lock s.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s.tbl)
+  type ('k, 'v) shard = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
 
-let find_opt t k = locked (shard t k) (fun tbl -> Hashtbl.find_opt tbl k)
-let mem t k = locked (shard t k) (fun tbl -> Hashtbl.mem tbl k)
-let replace t k v = locked (shard t k) (fun tbl -> Hashtbl.replace tbl k v)
+  type ('k, 'v) t = { shards : ('k, 'v) shard array; mask : int }
 
-let add_if_absent t k v =
-  locked (shard t k) (fun tbl ->
-      if Hashtbl.mem tbl k then false
-      else begin
-        Hashtbl.add tbl k v;
-        true
-      end)
+  let create ?(shards = 64) n =
+    let count =
+      let c = ref 1 in
+      while !c < max 1 shards do
+        c := !c * 2
+      done;
+      !c
+    in
+    let per = max 16 (n / count) in
+    {
+      shards =
+        Array.init count (fun _ ->
+            { lock = Mutex.create (); tbl = Hashtbl.create per });
+      mask = count - 1;
+    }
 
-let length t =
-  Array.fold_left (fun acc s -> acc + locked s Hashtbl.length) 0 t.shards
+  let shard t k = t.shards.(Hashtbl.hash k land t.mask)
 
-let clear t = Array.iter (fun s -> locked s Hashtbl.reset) t.shards
+  let[@inline] locked s f = Mutex.protect s.lock (fun () -> f s.tbl)
 
-let shard_count t = t.mask + 1
+  let find_opt t k = locked (shard t k) (fun tbl -> Hashtbl.find_opt tbl k)
+  let mem t k = locked (shard t k) (fun tbl -> Hashtbl.mem tbl k)
+  let replace t k v = locked (shard t k) (fun tbl -> Hashtbl.replace tbl k v)
+
+  let add_if_absent t k v =
+    locked (shard t k) (fun tbl ->
+        if Hashtbl.mem tbl k then false
+        else begin
+          Hashtbl.add tbl k v;
+          true
+        end)
+
+  let length t =
+    Array.fold_left (fun acc s -> acc + locked s Hashtbl.length) 0 t.shards
+
+  let clear t = Array.iter (fun s -> locked s Hashtbl.reset) t.shards
+
+  let shard_count t = t.mask + 1
+end
+
+include Make (Primitives.Native)

@@ -9,28 +9,39 @@
 
     Iteration order is unspecified; the table is not meant for ordered
     traversal (deterministic merges happen outside, in submission
-    order). *)
+    order).
 
-type ('k, 'v) t
+    Like {!Deque}, the implementation is a functor over its
+    synchronisation primitive ({!Make}) so the interleaving checker
+    can interpose on lock operations; the default instantiation is
+    [Make (Primitives.Native)]. *)
 
-val create : ?shards:int -> int -> ('k, 'v) t
-(** [create n] makes an empty table sized for roughly [n] bindings.
-    [shards] (default 64) is rounded up to a power of two. *)
+module type S = sig
+  type ('k, 'v) t
 
-val find_opt : ('k, 'v) t -> 'k -> 'v option
-val mem : ('k, 'v) t -> 'k -> bool
+  val create : ?shards:int -> int -> ('k, 'v) t
+  (** [create n] makes an empty table sized for roughly [n] bindings.
+      [shards] (default 64) is rounded up to a power of two. *)
 
-val replace : ('k, 'v) t -> 'k -> 'v -> unit
-(** Insert or overwrite. *)
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  val mem : ('k, 'v) t -> 'k -> bool
 
-val add_if_absent : ('k, 'v) t -> 'k -> 'v -> bool
-(** [add_if_absent t k v] binds [k -> v] and returns [true] iff [k]
-    was absent; a single atomic check-and-insert under the shard
-    lock. *)
+  val replace : ('k, 'v) t -> 'k -> 'v -> unit
+  (** Insert or overwrite. *)
 
-val length : ('k, 'v) t -> int
-(** Total bindings across shards (takes every shard lock). *)
+  val add_if_absent : ('k, 'v) t -> 'k -> 'v -> bool
+  (** [add_if_absent t k v] binds [k -> v] and returns [true] iff [k]
+      was absent; a single atomic check-and-insert under the shard
+      lock. *)
 
-val clear : ('k, 'v) t -> unit
+  val length : ('k, 'v) t -> int
+  (** Total bindings across shards (takes every shard lock). *)
 
-val shard_count : ('k, 'v) t -> int
+  val clear : ('k, 'v) t -> unit
+
+  val shard_count : ('k, 'v) t -> int
+end
+
+module Make (_ : Primitives.S) : S
+
+include S

@@ -1,0 +1,17 @@
+(** Deliberately defective protocols for the lint suite.
+
+    Each fixture plants exactly one sanitizer-class defect — a bug no
+    invariant can see but that silently corrupts checker verdicts —
+    so tests and the CI gate can assert that [lmc lint] reports
+    exactly one finding of the expected kind per fixture:
+
+    - {!Nondet} — a module-level counter leaks into a reply payload:
+      [nondeterministic_handler].
+    - {!Noncanon} — two handler paths build structurally equal states
+      with different Marshal sharing: [noncanonical_state].
+    - {!Dead_letter} — a broadcast message no recipient ever reacts
+      to: [dead_message]. *)
+
+module Nondet : Dsm.Protocol.S
+module Noncanon : Dsm.Protocol.S
+module Dead_letter : Dsm.Protocol.S

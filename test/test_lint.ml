@@ -1,0 +1,505 @@
+(* Tests for lib/lint: the interleaving checker (soundness on known-racy
+   clients, exact exploration counts on the Par structures CI gates)
+   and the protocol sanitizers (each planted fixture detected with its
+   expected kind, every bundled correct protocol and a qcheck sweep of
+   synthetic seeds lint clean, lint.v1 emission round-trips). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module I = Lint.Interleave
+module A = I.Shim.Atomic
+module R = Lint.Report
+
+(* ------------------------------------------------------------------ *)
+(* Interleave: soundness on toy clients                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic lost update: two unsynchronised read-modify-write
+   threads.  The checker must find the interleaving where both read 0. *)
+let racy_counter () =
+  let c = A.make 0 in
+  let body () = A.set c (A.get c + 1) in
+  ( [ body; body ],
+    fun () ->
+      let v = A.get c in
+      if v <> 2 then I.failf "lost update: counter = %d" v )
+
+let test_racy_counter () =
+  let o = I.explore racy_counter in
+  match o.I.failure with
+  | None -> fail "interleaving checker missed the lost update"
+  | Some f ->
+      check Alcotest.bool "failure message names the lost update" true
+        (String.length f.I.message > 0
+        && String.sub f.I.message 0 11 = "lost update")
+
+let mutexed_counter () =
+  let m = I.Shim.Mutex.create () in
+  let c = A.make 0 in
+  let body () = I.Shim.Mutex.protect m (fun () -> A.set c (A.get c + 1)) in
+  ( [ body; body ],
+    fun () ->
+      let v = A.get c in
+      if v <> 2 then I.failf "counter = %d" v )
+
+let test_mutexed_counter () =
+  let o = I.explore mutexed_counter in
+  (match o.I.failure with
+  | Some f -> fail (Format.asprintf "%a" I.pp_failure f)
+  | None -> ());
+  check Alcotest.bool "complete" true o.I.complete;
+  (* the two lock orders are the only schedules that differ *)
+  check Alcotest.int "executions" 2 o.I.executions
+
+let deadlocking_locks () =
+  let ma = I.Shim.Mutex.create () and mb = I.Shim.Mutex.create () in
+  let t1 () = I.Shim.Mutex.protect ma (fun () -> I.Shim.Mutex.protect mb ignore) in
+  let t2 () = I.Shim.Mutex.protect mb (fun () -> I.Shim.Mutex.protect ma ignore) in
+  ([ t1; t2 ], fun () -> ())
+
+let test_deadlock_found () =
+  match (I.explore deadlocking_locks).I.failure with
+  | None -> fail "lock-order inversion not detected"
+  | Some f ->
+      check Alcotest.bool "reported as deadlock" true
+        (f.I.message = "deadlock")
+
+(* ------------------------------------------------------------------ *)
+(* Interleave: Par.Deque under the shimmed primitives                  *)
+(* ------------------------------------------------------------------ *)
+
+module D = Par.Deque.Make (I.Shim)
+
+(* Owner pushes [npush] (after [preload] sequential pushes in the
+   setup), then pops twice; [nthieves] thieves each steal once.  All
+   cross-thread traffic goes through the deque; per-thread results land
+   in single-writer cells read only by the final check. *)
+let deque_client ?(preload = 0) ~npush ~nthieves () =
+  let q = D.create () in
+  for i = 1 to preload do
+    D.push q i
+  done;
+  let owner_got = ref [] in
+  let thief_got = Array.make nthieves None in
+  let owner () =
+    for i = preload + 1 to preload + npush do
+      D.push q i
+    done;
+    (match D.pop q with Some x -> owner_got := x :: !owner_got | None -> ());
+    match D.pop q with Some x -> owner_got := x :: !owner_got | None -> ()
+  in
+  let thief i () = thief_got.(i) <- D.steal q in
+  ( owner :: List.init nthieves thief,
+    fun () ->
+      let taken =
+        !owner_got @ (Array.to_list thief_got |> List.filter_map Fun.id)
+      in
+      let rec drain acc =
+        match D.pop q with Some x -> drain (x :: acc) | None -> acc
+      in
+      let all = List.sort compare (taken @ drain []) in
+      if all <> List.init (preload + npush) (fun i -> i + 1) then
+        I.failf "items lost or duplicated: [%s]"
+          (String.concat ";" (List.map string_of_int all)) )
+
+(* Exhaustive exploration with the execution count pinned: a count
+   drift means the independence relation, the sleep sets, or the deque
+   itself changed — all of which demand a deliberate re-baseline. *)
+let deque_case name ?preload ~npush ~nthieves ~executions () =
+  let o = I.explore (deque_client ?preload ~npush ~nthieves) in
+  (match o.I.failure with
+  | Some f -> fail (Format.asprintf "%s: %a" name I.pp_failure f)
+  | None -> ());
+  check Alcotest.bool (name ^ ": complete") true o.I.complete;
+  check Alcotest.int (name ^ ": executions") executions o.I.executions
+
+let test_deque_owner_vs_thief () =
+  deque_case "push2" ~npush:2 ~nthieves:1 ~executions:22 ();
+  deque_case "push3" ~npush:3 ~nthieves:1 ~executions:18 ()
+
+let test_deque_two_thieves () =
+  deque_case "pre2" ~preload:2 ~npush:0 ~nthieves:2 ~executions:317 ();
+  deque_case "pre3" ~preload:3 ~npush:0 ~nthieves:2 ~executions:228 ();
+  deque_case "pre2push1" ~preload:2 ~npush:1 ~nthieves:2 ~executions:470 ()
+
+(* A deliberately broken steal (read top / read slot / non-CAS bump)
+   must be caught: proves the deque tests can fail at all. *)
+let broken_steal () =
+  let top = A.make 0 and items = [| "a"; "b" |] in
+  let got = Array.make 2 None in
+  let thief i () =
+    let t = A.get top in
+    if t < Array.length items then begin
+      got.(i) <- Some items.(t);
+      A.set top (t + 1)
+    end
+  in
+  ( [ thief 0; thief 1 ],
+    fun () ->
+      match (got.(0), got.(1)) with
+      | Some a, Some b when a = b -> I.failf "duplicate take: %s" a
+      | _ -> () )
+
+let test_broken_steal_caught () =
+  match (I.explore broken_steal).I.failure with
+  | None -> fail "non-CAS steal not detected"
+  | Some _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Interleave: Par.Shard_tbl under the shimmed primitives              *)
+(* ------------------------------------------------------------------ *)
+
+module T = Par.Shard_tbl.Make (I.Shim)
+
+(* Writers on distinct shards are fully independent, so sleep sets
+   collapse the exploration to a single execution. *)
+let tbl_distinct_keys () =
+  let t = T.create ~shards:2 4 in
+  let w k () = ignore (T.add_if_absent t k k) in
+  ( [ w 0; w 1 ],
+    fun () ->
+      if not (T.mem t 0 && T.mem t 1) || T.length t <> 2 then
+        I.failf "lost update: length = %d" (T.length t) )
+
+let tbl_same_key () =
+  let t = T.create ~shards:2 4 in
+  let won = Array.make 2 false in
+  let w i () = won.(i) <- T.add_if_absent t 7 i in
+  ( [ w 0; w 1 ],
+    fun () ->
+      (match (won.(0), won.(1)) with
+      | true, true -> I.failf "both inserts won"
+      | false, false -> I.failf "no insert won"
+      | _ -> ());
+      if T.length t <> 1 then I.failf "length = %d" (T.length t) )
+
+let tbl_case name client ~executions =
+  let o = I.explore client in
+  (match o.I.failure with
+  | Some f -> fail (Format.asprintf "%s: %a" name I.pp_failure f)
+  | None -> ());
+  check Alcotest.bool (name ^ ": complete") true o.I.complete;
+  check Alcotest.int (name ^ ": executions") executions o.I.executions
+
+let test_shard_tbl () =
+  tbl_case "distinct-keys" tbl_distinct_keys ~executions:1;
+  tbl_case "same-key" tbl_same_key ~executions:2
+
+(* ------------------------------------------------------------------ *)
+(* Sanitize: the planted fixtures                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_lint (module P : Dsm.Protocol.S) =
+  let module S = Lint.Sanitize.Make (P) in
+  let r = S.run () in
+  if not r.S.completed then fail (P.name ^ ": lint budget exhausted");
+  r.S.findings
+
+let expect_fixture (module P : Dsm.Protocol.S) kind subject =
+  match run_lint (module P) with
+  | [ f ] ->
+      check Alcotest.string "kind" (R.kind_to_string kind)
+        (R.kind_to_string f.R.kind);
+      check Alcotest.string "subject" subject f.R.subject
+  | fs ->
+      fail
+        (Printf.sprintf "%s: expected exactly one finding, got %d" P.name
+           (List.length fs))
+
+let test_fixture_nondet () =
+  expect_fixture
+    (module Protocols.Lint_fixtures.Nondet)
+    R.Nondeterministic_handler "Ping"
+
+let test_fixture_noncanon () =
+  expect_fixture
+    (module Protocols.Lint_fixtures.Noncanon)
+    R.Noncanonical_state "state"
+
+let test_fixture_dead () =
+  expect_fixture
+    (module Protocols.Lint_fixtures.Dead_letter)
+    R.Dead_message "Noise"
+
+(* ------------------------------------------------------------------ *)
+(* Sanitize: bundled correct protocols lint clean                      *)
+(* ------------------------------------------------------------------ *)
+
+let clean_instances : (string * (module Dsm.Protocol.S)) list =
+  [
+    ("tree", (module Protocols.Tree.Make (Protocols.Tree.Paper_config)));
+    ( "chain",
+      (module Protocols.Chain.Make (struct
+        let length = 8
+      end)) );
+    ( "ping",
+      (module Protocols.Ping.Make (struct
+        let num_servers = 2
+      end)) );
+    ( "randtree",
+      (module Protocols.Randtree.Make (struct
+        let num_nodes = 4
+        let max_children = 2
+        let max_attempts = 1
+        let bug = Protocols.Randtree.No_bug
+      end)) );
+    ( "2pc",
+      (module Protocols.Twophase.Make (struct
+        let num_nodes = 4
+        let no_voters = [ 2 ]
+        let bug = Protocols.Twophase.No_bug
+      end)) );
+    ( "ring",
+      (module Protocols.Ring_election.Make (struct
+        let num_nodes = 3
+        let starters = [ 0; 1 ]
+        let bug = Protocols.Ring_election.No_bug
+      end)) );
+    ( "mutex",
+      (module Protocols.Token_mutex.Make (struct
+        let num_nodes = 3
+        let contenders = [ 1; 2 ]
+        let max_regenerations = 1
+        let bug = Protocols.Token_mutex.No_bug
+      end)) );
+    ( "abp",
+      (module Protocols.Fifo.Make (Protocols.Alternating_bit.Make (struct
+        let data = [ 10; 20 ]
+        let max_retransmits = 1
+        let bug = Protocols.Alternating_bit.No_bug
+      end))) );
+    ( "pb-store",
+      (module Protocols.Pb_store.Make (struct
+        let key = 7
+        let value = 42
+        let bug = Protocols.Pb_store.No_bug
+      end)) );
+  ]
+
+let test_correct_protocols_clean () =
+  List.iter
+    (fun (name, p) ->
+      match run_lint p with
+      | [] -> ()
+      | f :: _ ->
+          fail
+            (Format.asprintf "%s: unexpected finding: %a" name R.pp_finding f))
+    clean_instances
+
+(* Synthetic protocols are pure by construction (every behavioural
+   decision hashes the seed and the inputs), so a determinism,
+   canonicality, purity, or exception finding on any seed is a
+   sanitizer false positive.  The coverage lint is excluded: a
+   hash-derived behaviour may legitimately make every delivery of some
+   message family a no-op (e.g. seed 34379), which in a hand-written
+   protocol would be dead code but here is just the dice.  *)
+let synthetic_clean =
+  QCheck.Test.make ~count:120 ~name:"synthetic seeds lint clean"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let module P = Protocols.Synthetic.Make (struct
+        let seed = seed
+        let num_nodes = 3
+        let max_state = 4
+        let kinds = 3
+      end) in
+      let module S = Lint.Sanitize.Make (P) in
+      let r =
+        S.run
+          ~config:{ S.default_config with min_deliveries = max_int }
+          ()
+      in
+      r.S.completed && r.S.findings = [])
+
+(* And under the default config, the only findings a synthetic seed
+   may ever produce are coverage verdicts. *)
+let synthetic_contract_only =
+  QCheck.Test.make ~count:60 ~name:"synthetic findings are coverage-only"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let module P = Protocols.Synthetic.Make (struct
+        let seed = seed
+        let num_nodes = 3
+        let max_state = 4
+        let kinds = 3
+      end) in
+      let module S = Lint.Sanitize.Make (P) in
+      let r = S.run () in
+      List.for_all
+        (fun (f : R.finding) ->
+          match f.R.kind with
+          | R.Dead_message | R.Dead_action -> true
+          | _ -> false)
+        r.S.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Report: families, allowlists, and the lint.v1 stream                *)
+(* ------------------------------------------------------------------ *)
+
+let test_family () =
+  let cases =
+    [
+      ("Prepare(1,2)", "Prepare");
+      ("Pong 3", "Pong");
+      ("m123", "m");
+      ("42", "42");
+      ("fail-over", "fail-over");
+      ("GetReply(miss)", "GetReply");
+    ]
+  in
+  List.iter
+    (fun (label, want) -> check Alcotest.string label want (R.family label))
+    cases
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "lint_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let test_allowlist_reconcile () =
+  let allow =
+    with_temp_file
+      "# a comment\n\
+       {\"protocol\":\"p\",\"kind\":\"dead_message\",\"subject\":\"M\"}\n\
+       {\"protocol\":\"q\",\"kind\":\"dead_action\",\"subject\":\"A\"}\n"
+      (fun path ->
+        match R.load_allowlist path with
+        | Ok l -> l
+        | Error e -> fail e)
+  in
+  check Alcotest.int "entries" 2 (List.length allow);
+  let finding =
+    { R.kind = R.Dead_message; protocol = "p"; subject = "M"; detail = "d" }
+  in
+  let novel = { finding with R.subject = "Other" } in
+  (* the covered finding is absorbed; the novel one surfaces; the "q"
+     entry is stale only once "q" is actually linted *)
+  let r = R.reconcile ~allow ~linted:[ "p" ] [ finding; novel ] in
+  check Alcotest.int "unexpected" 1 (List.length r.R.unexpected);
+  check Alcotest.int "stale (q unlinted)" 0 (List.length r.R.stale);
+  let r = R.reconcile ~allow ~linted:[ "p"; "q" ] [ finding ] in
+  check Alcotest.int "stale (q linted)" 1 (List.length r.R.stale)
+
+let test_allowlist_rejects_garbage () =
+  let bad s =
+    with_temp_file s (fun path ->
+        match R.load_allowlist path with Ok _ -> false | Error _ -> true)
+  in
+  check Alcotest.bool "unknown kind" true
+    (bad "{\"protocol\":\"p\",\"kind\":\"nope\",\"subject\":\"M\"}\n");
+  check Alcotest.bool "missing field" true (bad "{\"protocol\":\"p\"}\n");
+  check Alcotest.bool "not json" true (bad "hello\n")
+
+(* Round-trip: emit a run through a jsonl_file sink, then re-parse the
+   serialized lines and re-validate what bin/jsonl_check enforces —
+   schema tag, per-ev required fields, strictly increasing seq. *)
+let test_lint_v1_round_trip () =
+  let path = Filename.temp_file "lint_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Obs.Sink.jsonl_file path in
+      let t = R.to_sink sink in
+      R.emit_start t ~protocol:"demo" ~max_depth:None ~max_transitions:100;
+      R.emit_finding t
+        { R.kind = R.Dead_message; protocol = "demo"; subject = "M";
+          detail = "d" };
+      R.emit_end t ~protocol:"demo" ~findings:1 ~transitions:7 ~states:3
+        ~elapsed_s:0.01;
+      Obs.Sink.close sink;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      check Alcotest.int "records" 3 (List.length lines);
+      let last_seq = ref (-1) in
+      let evs =
+        List.map
+          (fun line ->
+            match Dsm.Json.of_string line with
+            | Error e -> fail e
+            | Ok (Dsm.Json.Obj fields) ->
+                let str name =
+                  match List.assoc_opt name fields with
+                  | Some (Dsm.Json.String s) -> s
+                  | _ -> fail (Printf.sprintf "missing string field %S" name)
+                in
+                check Alcotest.string "schema" "lint.v1" (str "schema");
+                (match List.assoc_opt "seq" fields with
+                | Some (Dsm.Json.Int s) ->
+                    if s <= !last_seq then fail "seq not increasing";
+                    last_seq := s
+                | _ -> fail "missing seq");
+                (match str "ev" with
+                | "finding" ->
+                    check Alcotest.string "kind" "dead_message" (str "kind");
+                    check Alcotest.string "subject" "M" (str "subject")
+                | "run_start" | "run_end" -> ()
+                | ev -> fail ("unknown ev " ^ ev));
+                str "ev"
+            | Ok _ -> fail "not an object")
+          lines
+      in
+      check
+        Alcotest.(list string)
+        "ev order"
+        [ "run_start"; "finding"; "run_end" ]
+        evs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "interleave-soundness",
+        [
+          Alcotest.test_case "racy counter fails" `Quick test_racy_counter;
+          Alcotest.test_case "mutexed counter clean" `Quick
+            test_mutexed_counter;
+          Alcotest.test_case "deadlock found" `Quick test_deadlock_found;
+          Alcotest.test_case "broken steal caught" `Quick
+            test_broken_steal_caught;
+        ] );
+      ( "interleave-par",
+        [
+          Alcotest.test_case "deque owner vs thief" `Quick
+            test_deque_owner_vs_thief;
+          Alcotest.test_case "deque two thieves" `Quick
+            test_deque_two_thieves;
+          Alcotest.test_case "shard_tbl" `Quick test_shard_tbl;
+        ] );
+      ( "sanitize-fixtures",
+        [
+          Alcotest.test_case "nondeterministic handler" `Quick
+            test_fixture_nondet;
+          Alcotest.test_case "noncanonical state" `Quick
+            test_fixture_noncanon;
+          Alcotest.test_case "dead message" `Quick test_fixture_dead;
+        ] );
+      ( "sanitize-clean",
+        Alcotest.test_case "bundled correct protocols" `Quick
+          test_correct_protocols_clean
+        :: List.map QCheck_alcotest.to_alcotest
+             [ synthetic_clean; synthetic_contract_only ] );
+      ( "report",
+        [
+          Alcotest.test_case "label families" `Quick test_family;
+          Alcotest.test_case "allowlist reconcile" `Quick
+            test_allowlist_reconcile;
+          Alcotest.test_case "allowlist rejects garbage" `Quick
+            test_allowlist_rejects_garbage;
+          Alcotest.test_case "lint.v1 round-trip" `Quick
+            test_lint_v1_round_trip;
+        ] );
+    ]
