@@ -2,7 +2,7 @@
 # unit tests, and a CLI smoke test asserting that the observability
 # output stays parseable JSONL.
 
-.PHONY: all build test check lint bench bench-quick clean
+.PHONY: all build test check lint bench bench-quick soak clean
 
 all: build
 
@@ -32,6 +32,33 @@ lint: build
 	dune exec bin/lmc_cli.exe -- lint --all --out lint.jsonl \
 	  --allow lint_allow.jsonl
 	dune exec bin/jsonl_check.exe -- lint.jsonl
+
+# Robustness soak: supervised online hunts under three fault plans ×
+# two protocols, bounded in simulated time.  Exit 0 (clean run) and
+# exit 1 (violation found and witnessed) both pass — the gate is that
+# the supervised loop survives every plan and each run leaves a
+# flight-recorder artifact in soak/ that still validates as JSONL
+# (CI uploads the artifacts).
+SOAK_PLAN1 = crash:node=0,at=20,recover=35;crash:node=1,at=60,recover=80
+SOAK_PLAN2 = dup:p=0.1;reorder:p=0.3,window=2;corrupt:p=0.02
+SOAK_PLAN3 = part:from=10,until=40,cut=0+1/2;dup:p=0.05
+
+soak: build
+	mkdir -p soak
+	for p in pb-store-crash paxos-buggy; do \
+	  i=0; \
+	  for plan in '$(SOAK_PLAN1)' '$(SOAK_PLAN2)' '$(SOAK_PLAN3)'; do \
+	    i=$$((i+1)); \
+	    echo "soak: $$p plan$$i [$$plan]"; \
+	    dune exec bin/lmc_cli.exe -- hunt -p $$p --faults "$$plan" \
+	      --interval 5 --max-live 120 --budget 2 --crash-budget 1 \
+	      --restart-budget-ms 4000 --max-retries 2 \
+	      --record soak/$$p-plan$$i.jsonl > /dev/null; \
+	    s=$$?; test $$s -le 1 || exit $$s; \
+	  done; \
+	done
+	dune exec bin/jsonl_check.exe -- soak/*.jsonl
+	@echo "soak: OK"
 
 bench:
 	dune exec bench/main.exe

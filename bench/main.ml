@@ -539,6 +539,7 @@ let table55 () =
           timer_min = 2.0;
           timer_max = 20.0;
           action_prob = None;
+          faults = Fault.Plan.empty;
         };
       check_interval = 30.0;
       max_live_time = 3600.0;
@@ -551,6 +552,7 @@ let table55 () =
       action_bounds = [ 1; 2 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = Online_p.default_supervisor;
     }
   in
   let strategy =
@@ -602,6 +604,7 @@ let table56 () =
                 match a with
                 | Protocols.Onepaxos.Claim_leadership -> 0.1
                 | _ -> 1.0);
+        faults = Fault.Plan.empty;
         };
       check_interval = 10.0;
       max_live_time = 3600.0;
@@ -614,6 +617,7 @@ let table56 () =
       action_bounds = [ 1; 2 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = Online_p.default_supervisor;
     }
   in
   let strategy =
@@ -1190,6 +1194,7 @@ let scaling () =
             timer_min = 2.0;
             timer_max = 20.0;
             action_prob = None;
+            faults = Fault.Plan.empty;
           };
         check_interval = 30.0;
         max_live_time = 3600.0;
@@ -1203,6 +1208,7 @@ let scaling () =
         action_bounds = [ 1; 2 ];
         steer = false;
         steer_scope = `Exact_action;
+        supervisor = Online_p.default_supervisor;
       }
     in
     let strategy =
@@ -1327,6 +1333,124 @@ let par_functor () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injector overhead                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The injector sits on the live sim's send/deliver hot path, so an
+   empty plan must cost (nearly) nothing: one boolean test per send
+   and two per delivery.  The bundled protocols all quiesce (finite
+   spaces, by design), which would leave the run timer-dominated, so
+   the deployment here is a token ring whose every timer tick launches
+   a 32-hop token — sends dominate, handlers are trivial, and any
+   injector cost is proportionally at its worst.  Three runs: empty
+   plan (the gated fast path), an "inert" plan whose clauses are all
+   windowed past the horizon (pays the per-message plan scan, rolls
+   nothing, trajectory bit-identical to empty), and an active plan for
+   reference (different trajectory; reported, not compared).
+   Acceptance bar (EXPERIMENTS.md): the empty plan within 5% of the
+   pre-injector simulator — validated by an A/B against the seed
+   commit on this exact deployment (bit-identical event counts); the
+   inert and active columns put numbers on the scan and the injected
+   work, for machines to diff across commits. *)
+let fault_overhead () =
+  header "Fault-injector overhead: one live deployment, three plans";
+  let module P = struct
+    let name = "bench-chatter"
+    let num_nodes = 3
+
+    type state = int
+    type message = int (* remaining hops *)
+    type action = unit
+
+    let initial _ = 0
+
+    let fwd self ttl =
+      if ttl <= 0 then []
+      else
+        [ Dsm.Envelope.make ~src:self ~dst:((self + 1) mod num_nodes)
+            (ttl - 1) ]
+
+    let handle_message ~self st (env : message Dsm.Envelope.t) =
+      (st + 1, fwd self env.Dsm.Envelope.payload)
+
+    let enabled_actions ~self:_ _ = [ () ]
+    let handle_action ~self st () = (st + 1, fwd self 32)
+    let on_recover = Dsm.Protocol.default_on_recover
+    let pp_state = Format.pp_print_int
+    let pp_message ppf ttl = Format.fprintf ppf "tok%d" ttl
+    let pp_action ppf () = Format.pp_print_string ppf "launch"
+  end in
+  let module S = Sim.Live_sim.Make (P) in
+  let horizon = if !quick then 500. else 3_000. in
+  let plan s =
+    match Fault.Plan.of_string s with Ok p -> p | Error e -> failwith e
+  in
+  let far = "from=9000000,until=9000001" in
+  let inert =
+    plan
+      (Printf.sprintf "corrupt:p=0.5,%s;dup:p=0.5,%s;part:%s,cut=0+1/2" far
+         far far)
+  in
+  let active = plan "dup:p=0.05;reorder:p=0.2,window=0.5;corrupt:p=0.01" in
+  let run faults =
+    let config =
+      {
+        S.seed = 11;
+        link =
+          Net.Lossy_link.create ~drop_prob:0.05 ~latency_min:0.05
+            ~latency_max:0.3 ();
+        timer_min = 0.5;
+        timer_max = 1.5;
+        action_prob = None;
+        faults;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let sim = S.create config in
+    S.run_until sim horizon;
+    (Unix.gettimeofday () -. t0, S.events_executed sim, S.messages_sent sim)
+  in
+  (* interleaved rounds, per-mode minimum: the three plans run
+     back-to-back so they see the same noise regime *)
+  let rounds = if !quick then 3 else 8 in
+  let empty_s = ref infinity and inert_s = ref infinity in
+  let active_s = ref infinity in
+  let empty_ev = ref 0 and inert_ev = ref 0 and sent = ref 0 in
+  for _ = 1 to rounds do
+    let t, ev, ms = run Fault.Plan.empty in
+    empty_s := min !empty_s t;
+    empty_ev := ev;
+    sent := ms;
+    let t, ev, _ = run inert in
+    inert_s := min !inert_s t;
+    inert_ev := ev;
+    let t, _, _ = run active in
+    active_s := min !active_s t
+  done;
+  let pct x = 100. *. (x /. max 1e-9 !empty_s -. 1.) in
+  row "horizon %.0f s simulated, %d events, %d sends, best of %d:\n" horizon
+    !empty_ev !sent rounds;
+  row "%-28s %10.4f s\n" "empty plan (fast path)" !empty_s;
+  row "%-28s %10.4f s  (%+.1f%%)\n" "inert plan (scan, no rolls)" !inert_s
+    (pct !inert_s);
+  row "%-28s %10.4f s  (%+.1f%%)\n" "active plan (dup+reorder+corrupt)"
+    !active_s (pct !active_s);
+  row "inert trajectory identical: %b\n" (!inert_ev = !empty_ev);
+  Bench_out.record "fault-overhead"
+    (Dsm.Json.Obj
+       [
+         ("horizon_s", Dsm.Json.Float horizon);
+         ("events", Dsm.Json.Int !empty_ev);
+         ("messages_sent", Dsm.Json.Int !sent);
+         ("empty_s", Dsm.Json.Float !empty_s);
+         ("inert_s", Dsm.Json.Float !inert_s);
+         ("active_s", Dsm.Json.Float !active_s);
+         ("inert_pct", Dsm.Json.Float (pct !inert_s));
+         ("active_pct", Dsm.Json.Float (pct !active_s));
+         ("inert_identical", Dsm.Json.Bool (!inert_ev = !empty_ev));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1348,6 +1472,7 @@ let sections =
     ("record-overhead", record_overhead);
     ("scaling", scaling);
     ("par-functor", par_functor);
+    ("fault-overhead", fault_overhead);
   ]
 
 let main q o =

@@ -73,6 +73,7 @@ let lint_kinds =
     "dead_message";
     "dead_action";
     "handler_exception";
+    "nondeterministic_recovery";
   ]
 
 let is_lint_kind = function

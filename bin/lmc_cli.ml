@@ -22,6 +22,7 @@ type check_params = {
   kind : checker_kind;
   max_depth : int option;
   time_limit : float option;
+  crash_budget : int;  (* crash-recovery events per node path (--crash-budget) *)
   verbose : bool;
   minimize : bool;
   dot : string option;  (* write the witness sequence chart here *)
@@ -74,6 +75,8 @@ type runner = {
   hunt :
     (obs:Obs.scope -> trace:Obs.Trace.t -> seed:int -> drop:float ->
      interval:float -> max_live:float -> budget:float -> steer:bool ->
+     faults:Fault.Plan.t -> crash_budget:int ->
+     restart_budget_ms:int option -> max_retries:int option ->
      domains:int -> verify_domains:int -> int)
     option;
   lint : max_depth:int option -> max_transitions:int -> lint_result;
@@ -285,6 +288,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             G.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            crash_budget = params.crash_budget;
             domains = params.domains;
             obs = params.obs;
             trace = params.trace;
@@ -349,6 +353,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             L.default_config with
             max_depth = params.max_depth;
             time_limit = params.time_limit;
+            crash_budget = params.crash_budget;
             domains = params.domains;
             verify_domains = params.verify_domains;
             obs = params.obs;
@@ -596,15 +601,26 @@ struct
       wcount wfail;
     if wfail > 0 then 1 else 0
 
-  let run ?strategy ?action_prob ~obs ~trace ~invariant ~seed ~drop ~interval
-      ~max_live ~budget ~steer ~domains ~verify_domains () =
+  let run ?strategy ?action_prob ?(faults = Fault.Plan.empty)
+      ?(crash_budget = 0) ?restart_budget_ms ?max_retries ~obs ~trace
+      ~invariant ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
+      ~verify_domains () =
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
         ()
     in
+    let supervisor =
+      {
+        O.default_supervisor with
+        O.restart_budget_ms;
+        max_retries =
+          Option.value max_retries ~default:O.default_supervisor.O.max_retries;
+        checksum_snapshots = true;
+      }
+    in
     let config =
       {
-        O.sim = { S.seed; link; timer_min = 2.0; timer_max = 20.0; action_prob };
+        O.sim = { S.seed; link; timer_min = 2.0; timer_max = 20.0; action_prob; faults };
         check_interval = interval;
         max_live_time = max_live;
         checker =
@@ -612,6 +628,7 @@ struct
             O.Checker.default_config with
             time_limit = Some budget;
             max_transitions = Some 100_000;
+            crash_budget;
             domains;
             verify_domains;
             trace;
@@ -619,6 +636,7 @@ struct
         action_bounds = [ 1; 2 ];
         steer;
         steer_scope = `Node;
+        supervisor;
       }
     in
     let strategy =
@@ -787,13 +805,15 @@ let paxos_runner ~buggy =
     hunt =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
-             ~domains ~verify_domains ->
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
+             ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
-            ~obs ~trace ~invariant:Check.safety ~seed ~drop ~interval
-            ~max_live ~budget ~steer ~domains ~verify_domains ());
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs ~trace
+            ~invariant:Check.safety ~seed ~drop ~interval ~max_live ~budget
+            ~steer ~domains ~verify_domains ());
     lint =
       (fun ~max_depth ~max_transitions ->
         lint_protocol (module Bench) ~name:name ~max_depth
@@ -844,7 +864,8 @@ let onepaxos_runner ~buggy =
     hunt =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
-             ~domains ~verify_domains ->
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
+             ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -853,8 +874,9 @@ let onepaxos_runner ~buggy =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
-            ~obs ~trace ~invariant:OP.safety ~seed ~drop ~interval ~max_live
-            ~budget ~steer ~domains ~verify_domains ());
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs ~trace
+            ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
+            ~steer ~domains ~verify_domains ());
     lint =
       (fun ~max_depth ~max_transitions ->
         lint_protocol (module OP) ~name:name ~max_depth
@@ -1054,6 +1076,43 @@ let pb_runner ~buggy =
         D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
   }
 
+(* The fault-injection fixture: correct under every message schedule,
+   broken only across a crash-recovery, so the hunt needs [--faults]
+   (live crash events) and [--crash-budget] (checker crash events) to
+   reach it. *)
+let pb_crash_runner =
+  let module P = Protocols.Pb_store.Make (struct
+    let key = 7
+    let value = 42
+    let bug = Protocols.Pb_store.Lose_acked_writes_on_recovery
+  end) in
+  let module D = Check_driver (P) in
+  let module H = Hunt_driver (P) (P) in
+  let name = "pb-store-crash" in
+  {
+    name;
+    description =
+      "primary-backup store losing acked writes on crash-recovery \
+       (needs --crash-budget/--faults)";
+    check = (fun params -> D.run ~invariant:P.read_your_writes params);
+    hunt =
+      Some
+        (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
+             ~verify_domains ->
+          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs
+            ~trace ~invariant:P.read_your_writes ~seed ~drop ~interval
+            ~max_live ~budget ~steer ~domains ~verify_domains ());
+    lint =
+      (fun ~max_depth ~max_transitions ->
+        lint_protocol (module P) ~name ~max_depth ~max_transitions);
+    replay =
+      (fun ~mode ~header ~records ~domains ->
+        if mode = "hunt" then H.replay_witnesses records
+        else
+          D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
+  }
+
 let runners =
   [
     tree_runner;
@@ -1075,6 +1134,7 @@ let runners =
     abp_runner ~buggy:true;
     pb_runner ~buggy:false;
     pb_runner ~buggy:true;
+    pb_crash_runner;
   ]
 
 let find_runner name =
@@ -1098,6 +1158,9 @@ let lint_fixtures =
     ( "fixture-dead",
       "planted defect: a broadcast message nobody reacts to",
       (module Protocols.Lint_fixtures.Dead_letter : Dsm.Protocol.S) );
+    ( "fixture-flaky-recovery",
+      "planted defect: an epoch counter leaks into on_recover",
+      (module Protocols.Lint_fixtures.Flaky_recovery : Dsm.Protocol.S) );
   ]
 
 let lint_targets =
@@ -1681,10 +1744,17 @@ let verify_domains_arg =
   in
   Arg.(value & opt pos_int 1 & info [ "verify-domains" ] ~doc ~docv:"N")
 
+let crash_budget_arg =
+  let doc =
+    "Crash-recovery events the checker explores per node path (0 \
+     disables the crash pass entirely)."
+  in
+  Arg.(value & opt int 0 & info [ "crash-budget" ] ~doc ~docv:"N")
+
 let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
-  let run protocol checker max_depth time_limit verbose minimize dot json
-      metrics_out trace_out progress domains verify_domains record
+  let run protocol checker max_depth time_limit crash_budget verbose minimize
+      dot json metrics_out trace_out progress domains verify_domains record
       record_ring =
     match find_runner protocol with
     | Error e ->
@@ -1703,8 +1773,9 @@ let check_cmd =
               ~verify_domains;
             let code =
               r.check
-                { kind = checker; max_depth; time_limit; verbose; minimize;
-                  dot; json; obs; domains; verify_domains; trace }
+                { kind = checker; max_depth; time_limit; crash_budget;
+                  verbose; minimize; dot; json; obs; domains; verify_domains;
+                  trace }
             in
             emit_run_end trace code;
             code)
@@ -1713,9 +1784,9 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
-      $ verbose_arg $ minimize_arg $ dot_arg $ json_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg
-      $ record_arg $ record_ring_arg)
+      $ crash_budget_arg $ verbose_arg $ minimize_arg $ dot_arg $ json_arg
+      $ metrics_out_arg $ trace_out_arg $ progress_arg $ domains_arg
+      $ verify_domains_arg $ record_arg $ record_ring_arg)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -1744,13 +1815,52 @@ let steer_arg =
   in
   Arg.(value & flag & info [ "steer" ] ~doc)
 
+(* Parse --faults through the plan DSL so a bad clause is a usage
+   error with the parser's own diagnostic, not a runtime failure. *)
+let fault_plan_conv =
+  let parse s =
+    match Fault.Plan.of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Fault.Plan.pp)
+
+let faults_arg =
+  let doc =
+    "Fault plan injected into the live simulation: semicolon-separated \
+     clauses, e.g. \
+     'crash:node=0,at=40,recover=60,persist=hook;dup:p=0.1'.  Same seed \
+     + same plan replays bit-identically."
+  in
+  Arg.(
+    value
+    & opt fault_plan_conv Fault.Plan.empty
+    & info [ "faults" ] ~doc ~docv:"PLAN")
+
+let restart_budget_ms_arg =
+  let doc =
+    "Supervisor wall-clock budget per checker restart; restarts that \
+     consume it degrade the next one (shrink depth, prune harder, defer \
+     soundness) instead of stalling the loop."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "restart-budget-ms" ] ~doc ~docv:"MS")
+
+let max_retries_arg =
+  let doc =
+    "Supervisor retries per restart when the checker fails, with \
+     jittered exponential backoff."
+  in
+  Arg.(value & opt (some int) None & info [ "max-retries" ] ~doc ~docv:"N")
+
 let hunt_cmd =
   let doc =
     "Run a simulated lossy deployment with periodic LMC restarts (online \
      model checking, 3.3)."
   in
-  let run protocol seed drop interval max_live budget steer metrics_out
-      trace_out progress domains verify_domains record record_ring =
+  let run protocol seed drop interval max_live budget steer faults
+      crash_budget restart_budget_ms max_retries metrics_out trace_out
+      progress domains verify_domains record record_ring =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -1770,6 +1880,7 @@ let hunt_cmd =
               ~max_depth:None ~domains ~verify_domains;
             let code =
               h ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+                ~faults ~crash_budget ~restart_budget_ms ~max_retries
                 ~domains ~verify_domains
             in
             emit_run_end trace code;
@@ -1779,9 +1890,10 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
-      $ max_live_arg $ budget_arg $ steer_arg $ metrics_out_arg
-      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg
-      $ record_arg $ record_ring_arg)
+      $ max_live_arg $ budget_arg $ steer_arg $ faults_arg
+      $ crash_budget_arg $ restart_budget_ms_arg $ max_retries_arg
+      $ metrics_out_arg $ trace_out_arg $ progress_arg $ domains_arg
+      $ verify_domains_arg $ record_arg $ record_ring_arg)
 
 let trace_file_arg =
   let doc = "A trace.v1 JSONL file produced by --record." in

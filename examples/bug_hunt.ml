@@ -44,7 +44,7 @@ let () =
   in
   let config =
     {
-      Online.sim = { Sim_p.seed = 7; link; timer_min = 2.0; timer_max = 20.0; action_prob = None };
+      Online.sim = { Sim_p.seed = 7; link; timer_min = 2.0; timer_max = 20.0; action_prob = None; faults = Fault.Plan.empty };
       check_interval = 30.0;
       max_live_time = 3600.0;
       checker =
@@ -56,6 +56,7 @@ let () =
       action_bounds = [ 1; 2 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = Online.default_supervisor;
     }
   in
   let strategy =

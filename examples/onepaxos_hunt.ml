@@ -49,6 +49,7 @@ let () =
                 match action with
                 | Protocols.Onepaxos.Claim_leadership -> 0.1
                 | _ -> 1.0);
+          faults = Fault.Plan.empty;
         };
       check_interval = 10.0;
       max_live_time = 3600.0;
@@ -61,6 +62,7 @@ let () =
       action_bounds = [ 1; 2 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = Online.default_supervisor;
     }
   in
   let strategy =

@@ -46,6 +46,7 @@ let config ~steer =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0);
+        faults = Fault.Plan.empty;
       };
     check_interval = 5.0;
     max_live_time = 300.0;
@@ -58,6 +59,7 @@ let config ~steer =
     action_bounds = [ 1; 2 ];
     steer;
     steer_scope = `Node;
+    supervisor = Online_op.default_supervisor;
   }
 
 let strategy =

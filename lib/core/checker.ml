@@ -17,6 +17,9 @@ module Make (P : Dsm.Protocol.S) = struct
     time_limit : float option;
     max_transitions : int option;
     local_action_bound : int option;
+    crash_budget : int;
+        (* crash-recovery events allowed per node path; 0 (default)
+           explores no crashes and leaves the state graph untouched *)
     create_system_states : bool;
     verify_soundness : bool;
     use_history : bool;
@@ -43,6 +46,7 @@ module Make (P : Dsm.Protocol.S) = struct
       time_limit = None;
       max_transitions = None;
       local_action_bound = None;
+      crash_budget = 0;
       create_system_states = true;
       verify_soundness = true;
       use_history = true;
@@ -94,7 +98,7 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let explore_time r = r.elapsed -. r.system_state_time -. r.soundness_time
 
-  type event_kind = Net_event of int | Action_event of P.action
+  type event_kind = Net_event of int | Action_event of P.action | Crash_event
 
   type event_info = {
     label : Fingerprint.t;
@@ -114,6 +118,7 @@ module Make (P : Dsm.Protocol.S) = struct
     history : Fingerprint.Set.t;
     depth : int;
     local_count : int;
+    crashes : int;  (* crash-recoveries consumed on the path here *)
     key : 'k option;
     mutable preds : pred list;
     mutable fp_hex : string option;
@@ -201,6 +206,10 @@ module Make (P : Dsm.Protocol.S) = struct
 
   type 'k t = {
     config : config;
+    crash_labels : Fingerprint.t array array;
+        (* [crash_labels.(n).(k)]: label of node [n]'s (k+1)-th
+           crash-recovery, precomputed so the hot path never hashes;
+           empty when [crash_budget = 0] *)
     o : obs_handles;
     tracing : bool;  (* [config.trace] is enabled; gates field assembly *)
     soundness_trace : Obs.Trace.t option;
@@ -222,6 +231,7 @@ module Make (P : Dsm.Protocol.S) = struct
     stores : 'k entry Vec.t array;
     by_fp : (Fingerprint.t, int) Hashtbl.t array;
     action_cursor : int array;  (* states already expanded for actions *)
+    crash_cursor : int array;  (* states already expanded for crashes *)
     net : net_entry Vec.t;
     net_by_fp : (Fingerprint.t, int) Hashtbl.t;
     seen_combos : (Fingerprint.t, unit) Hashtbl.t;
@@ -370,6 +380,22 @@ module Make (P : Dsm.Protocol.S) = struct
           })
     in
     stamp_injections pentries seq
+
+  let record_crash_step t ~node (entry : 'k entry) ~fp_after =
+    ignore
+      (Obs.Trace.record_step_lazy t.config.trace (fun () ->
+           {
+             Obs.Trace.node;
+             kind = Obs.Trace.Crash;
+             src = -1;
+             label = "crash-recover";
+             fp_before = entry_hex entry;
+             fp_after = Fingerprint.to_hex fp_after;
+             consumed = None;
+             produced = [];
+             depth = entry.depth + 1;
+             dom = 0;
+           }))
 
   let record_drop t ~node ~kind ~src ~label ~fp_before ~depth =
     ignore
@@ -534,6 +560,7 @@ module Make (P : Dsm.Protocol.S) = struct
     match e.kind with
     | Net_event id -> Trace.Deliver (Vec.get t.net id).env
     | Action_event a -> Trace.Execute (node, a)
+    | Crash_event -> Trace.Crash node
 
   (* The predecessor DAG of one component node state, restricted to the
      backward closure of the target.  Self-references are ignored
@@ -955,13 +982,15 @@ module Make (P : Dsm.Protocol.S) = struct
 
   (* ----- exploration (findBugs main loop, Fig. 9) ----- *)
 
-  let add_next_state t ~node ~state ~fp ~history ~depth ~local_count ~pred =
+  let add_next_state t ~node ~state ~fp ~history ~depth ~local_count ~crashes
+      ~pred =
     let store = t.stores.(node) in
     match Hashtbl.find_opt t.by_fp.(node) fp with
     | Some i ->
         (* Known node state reached by a new path: record one more
-           predecessor pointer (Fig. 9 line 14); the history keeps its
-           first value (§4.2 simplification). *)
+           predecessor pointer (Fig. 9 line 14); the history — and the
+           crash count — keep their first values (§4.2
+           simplification). *)
         let e = Vec.get store i in
         if List.length e.preds < t.config.max_preds_per_entry then
           e.preds <- pred :: e.preds;
@@ -978,6 +1007,7 @@ module Make (P : Dsm.Protocol.S) = struct
             history;
             depth;
             local_count;
+            crashes;
             key = abstract_key t state;
             preds = [ pred ];
             fp_hex = None;
@@ -1094,6 +1124,7 @@ module Make (P : Dsm.Protocol.S) = struct
                    Fingerprint.Set.add m.net_fp entry.history
                  else entry.history)
               ~depth:(entry.depth + 1) ~local_count:entry.local_count
+              ~crashes:entry.crashes
               ~pred:{ prev = Some entry.idx; event }
         in
         changed || produces <> []
@@ -1180,6 +1211,7 @@ module Make (P : Dsm.Protocol.S) = struct
                     add_next_state t ~node ~state:state' ~fp:fp'
                       ~history:entry.history ~depth:(entry.depth + 1)
                       ~local_count:(entry.local_count + 1)
+                      ~crashes:entry.crashes
                       ~pred:{ prev = Some entry.idx; event }
                 in
                 progress || changed || produces <> [])
@@ -1187,6 +1219,45 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let try_actions t node (entry : 'k entry) =
     apply_actions t node entry (compute_actions t node entry)
+
+  (* Crash-recovery expansion: a crash is a local event that rewrites
+     the node state through [P.on_recover] — requires no message,
+     produces none — so soundness schedules it like any other history
+     entry.  Bounded per path by [crash_budget]; a recovery that lands
+     on the same fingerprint is a no-op and adds nothing.  The pass is
+     sequential even under a pool: it is one handler call per newly
+     visited state, far off the hot path, and sequencing keeps the
+     store layout identical at any domain count. *)
+  let try_crash t node (entry : 'k entry) =
+    if entry.crashes >= t.config.crash_budget then false
+    else if not (depth_allows t (entry.depth + 1)) then false
+    else begin
+      let state' =
+        timed t t.ph_handler_us (fun () -> P.on_recover ~self:node entry.state)
+      in
+      let fp' =
+        timed t t.ph_fingerprint_us (fun () -> Fingerprint.of_value state')
+      in
+      t.transitions <- t.transitions + 1;
+      Obs.Metrics.incr t.o.c_transitions;
+      check_budget t;
+      if Fingerprint.equal fp' entry.fp then false
+      else begin
+        if t.tracing then record_crash_step t ~node entry ~fp_after:fp';
+        let event =
+          {
+            label = t.crash_labels.(node).(entry.crashes);
+            kind = Crash_event;
+            requires = None;
+            produces = [];
+          }
+        in
+        add_next_state t ~node ~state:state' ~fp:fp' ~history:entry.history
+          ~depth:(entry.depth + 1) ~local_count:entry.local_count
+          ~crashes:(entry.crashes + 1)
+          ~pred:{ prev = Some entry.idx; event }
+      end
+    end
 
   let net_chunk = 16
   let action_chunk = 8
@@ -1247,6 +1318,20 @@ module Make (P : Dsm.Protocol.S) = struct
             done
       end
     done;
+    (* Crash events: visit each node state once, like the action pass. *)
+    if t.config.crash_budget > 0 then
+      for n = 0 to P.num_nodes - 1 do
+        let store = t.stores.(n) in
+        let upto = Vec.length store in
+        let from = t.crash_cursor.(n) in
+        if from < upto then begin
+          t.crash_cursor.(n) <- upto;
+          progress := true;
+          for si = from to upto - 1 do
+            if try_crash t n (Vec.get store si) then progress := true
+          done
+        end
+      done;
     !progress
 
   (* Parallel a-posteriori verification: the paper's third contribution
@@ -1487,6 +1572,12 @@ module Make (P : Dsm.Protocol.S) = struct
     let t =
       {
         config;
+        crash_labels =
+          Array.init
+            (if config.crash_budget > 0 then P.num_nodes else 0)
+            (fun n ->
+              Array.init config.crash_budget (fun k ->
+                  Fingerprint.of_value ("crash", n, k)));
         o = make_obs_handles config;
         tracing;
         soundness_trace = (if tracing then Some config.trace else None);
@@ -1501,6 +1592,7 @@ module Make (P : Dsm.Protocol.S) = struct
         stores = Array.init P.num_nodes (fun _ -> Vec.create ());
         by_fp = Array.init P.num_nodes (fun _ -> Hashtbl.create 256);
         action_cursor = Array.make P.num_nodes 0;
+        crash_cursor = Array.make P.num_nodes 0;
         net = Vec.create ();
         net_by_fp = Hashtbl.create 256;
         seen_combos = Hashtbl.create 256;
@@ -1538,6 +1630,7 @@ module Make (P : Dsm.Protocol.S) = struct
             history = Fingerprint.Set.empty;
             depth = 0;
             local_count = 0;
+            crashes = 0;
             key = abstract_key t state;
             preds = [];
             fp_hex = None;

@@ -53,6 +53,14 @@ module Make (P : Dsm.Protocol.S) : sig
     local_action_bound : int option;
         (** max internal actions per node along a path (§4.2 "Local
             events") *)
+    crash_budget : int;
+        (** crash-recovery events explored per node path.  A crash is a
+            local event that rewrites the node state through
+            {!Dsm.Protocol.S.on_recover} — it requires no message and
+            produces none, so soundness schedules it like any other
+            history entry.  [0] (the default) skips the crash pass
+            entirely and reproduces the crash-free state graph
+            bit-for-bit. *)
     create_system_states : bool;
         (** disable for the LMC-explore configuration of Fig. 13 *)
     verify_soundness : bool;

@@ -27,6 +27,10 @@ module Make (P : Dsm.Protocol.S) = struct
                   net := Net.Multiset.add_list out net';
                   states.(node) <- s';
                   true))
+      | Dsm.Trace.Crash n ->
+          (* a crash-recovery is always enabled and emits nothing *)
+          states.(n) <- P.on_recover ~self:n states.(n);
+          true
     in
     if List.for_all step_ok schedule then Some states else None
 
@@ -117,6 +121,8 @@ module Make (P : Dsm.Protocol.S) = struct
               | Dsm.Trace.Deliver env ->
                   Format.asprintf "%d: recv %a" (i + 1) P.pp_message
                     env.Dsm.Envelope.payload
+              | Dsm.Trace.Crash _ ->
+                  Printf.sprintf "%d: crash-recover" (i + 1)
             in
             Buffer.add_string b
               (Printf.sprintf "    e%d [label=\"%s\"];\n" i (escape label)))
@@ -177,7 +183,9 @@ module Make (P : Dsm.Protocol.S) = struct
             | exception Dsm.Protocol.Local_assert _ -> ()
             | s', out ->
                 states.(node) <- s';
-                List.iter (produce i) out))
+                List.iter (produce i) out)
+        | Dsm.Trace.Crash n ->
+            states.(n) <- P.on_recover ~self:n states.(n))
       steps;
     Buffer.add_string b "}\n";
     Buffer.contents b

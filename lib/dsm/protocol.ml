@@ -21,10 +21,17 @@ module type S = sig
   val handle_action :
     self:Node_id.t -> state -> action -> state * message Envelope.t list
 
+  val on_recover : self:Node_id.t -> state -> state
+
   val pp_state : Format.formatter -> state -> unit
   val pp_message : Format.formatter -> message -> unit
   val pp_action : Format.formatter -> action -> unit
 end
+
+(* Full persistence: the node restarts with exactly the state it
+   crashed with.  Protocols without durable/volatile distinction bind
+   [on_recover] to this. *)
+let default_on_recover ~self:_ state = state
 
 let initial_system (type s) (module P : S with type state = s) : s array =
   Array.init P.num_nodes (fun n -> P.initial (Node_id.of_int n))

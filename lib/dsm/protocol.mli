@@ -52,10 +52,24 @@ module type S = sig
   val handle_action :
     self:Node_id.t -> state -> action -> state * message Envelope.t list
 
+  (** Crash-recovery semantics: [on_recover ~self s] is the state the
+      node restarts with after crashing in state [s] — i.e. whatever it
+      reconstructs from its durable storage.  Must be deterministic and
+      produce canonical states (the {!Fingerprint} contract applies
+      like to any handler).  Most protocols keep everything ("full
+      persistence") and bind this to {!default_on_recover}; fault
+      injection ({!Sim.Live_sim}) and crash exploration (the checkers'
+      crash budget) both call it. *)
+  val on_recover : self:Node_id.t -> state -> state
+
   val pp_state : Format.formatter -> state -> unit
   val pp_message : Format.formatter -> message -> unit
   val pp_action : Format.formatter -> action -> unit
 end
+
+(** Identity recovery — full persistence, the default for protocols
+    that model no volatile state. *)
+val default_on_recover : self:Node_id.t -> 's -> 's
 
 (** [initial_system (module P)] is the array of initial node states,
     indexed by node identifier. *)

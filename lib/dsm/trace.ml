@@ -1,17 +1,20 @@
 type ('m, 'a) step =
   | Deliver of 'm Envelope.t
   | Execute of Node_id.t * 'a
+  | Crash of Node_id.t
 
 type ('m, 'a) t = ('m, 'a) step list
 
 let step_node = function
   | Deliver env -> env.Envelope.dst
   | Execute (n, _) -> n
+  | Crash n -> n
 
 let pp_step ~pp_message ~pp_action ppf = function
   | Deliver env -> Format.fprintf ppf "deliver %a" (Envelope.pp pp_message) env
   | Execute (n, a) ->
       Format.fprintf ppf "execute %a at %a" pp_action a Node_id.pp n
+  | Crash n -> Format.fprintf ppf "crash-recover %a" Node_id.pp n
 
 let pp ~pp_message ~pp_action ppf steps =
   List.iteri

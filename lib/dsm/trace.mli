@@ -1,12 +1,16 @@
 (** Execution traces: the sequences of events a model checker reports.
 
-    A step is either the delivery of a network message to its
-    destination or the execution of an internal action at a node —
-    exactly the two transition kinds of Fig. 5. *)
+    A step is the delivery of a network message to its destination,
+    the execution of an internal action at a node — the two transition
+    kinds of Fig. 5 — or a crash-recovery event: the node loses its
+    volatile state and restarts from whatever [Protocol.S.on_recover]
+    reconstructs from its durable part.  Crash steps carry no payload;
+    replaying one applies the protocol's recovery function. *)
 
 type ('m, 'a) step =
   | Deliver of 'm Envelope.t
   | Execute of Node_id.t * 'a
+  | Crash of Node_id.t
 
 type ('m, 'a) t = ('m, 'a) step list
 

@@ -1,0 +1,372 @@
+type persistence = Full | Volatile | Hook
+
+type spec =
+  | Crash of {
+      node : int;
+      at : float;
+      recover : float option;
+      persistence : persistence;
+    }
+  | Partition of { groups : int list list; from_ : float; until : float }
+  | Duplicate of { prob : float; from_ : float; until : float }
+  | Reorder of { prob : float; window : float; from_ : float; until : float }
+  | Corrupt of { prob : float; from_ : float; until : float }
+
+type t = spec list
+
+let empty = []
+
+let is_empty plan = plan = []
+
+(* ----- parsing ----- *)
+
+let persistence_of_string = function
+  | "full" -> Ok Full
+  | "volatile" -> Ok Volatile
+  | "hook" -> Ok Hook
+  | s -> Error (Printf.sprintf "unknown persistence %S" s)
+
+let persistence_to_string = function
+  | Full -> "full"
+  | Volatile -> "volatile"
+  | Hook -> "hook"
+
+let ( let* ) = Result.bind
+
+let strip s = String.trim s
+
+let split_on c s = List.map strip (String.split_on_char c s)
+
+let parse_kvs clause body =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      if item = "" then Ok acc
+      else
+        match String.index_opt item '=' with
+        | None ->
+            Error
+              (Printf.sprintf "fault plan: clause %S: expected key=value, got %S"
+                 clause item)
+        | Some i ->
+            let k = strip (String.sub item 0 i) in
+            let v =
+              strip (String.sub item (i + 1) (String.length item - i - 1))
+            in
+            Ok ((k, v) :: acc))
+    (Ok [])
+    (split_on ',' body)
+  |> Result.map List.rev
+
+let lookup kvs k = List.assoc_opt k kvs
+
+let required clause kvs k =
+  match lookup kvs k with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "fault plan: clause %S: missing %s=" clause k)
+
+let parse_float clause k v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None ->
+      Error (Printf.sprintf "fault plan: clause %S: %s=%S is not a number"
+               clause k v)
+
+let parse_int clause k v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None ->
+      Error (Printf.sprintf "fault plan: clause %S: %s=%S is not an integer"
+               clause k v)
+
+let opt_float clause kvs k ~default =
+  match lookup kvs k with
+  | None -> Ok default
+  | Some v -> parse_float clause k v
+
+let window clause kvs =
+  let* from_ = opt_float clause kvs "from" ~default:0. in
+  let* until = opt_float clause kvs "until" ~default:infinity in
+  if until <= from_ then
+    Error (Printf.sprintf "fault plan: clause %S: until must exceed from" clause)
+  else Ok (from_, until)
+
+let reject_unknown clause kvs allowed =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+  | Some (k, _) ->
+      Error (Printf.sprintf "fault plan: clause %S: unknown key %S" clause k)
+  | None -> Ok ()
+
+let parse_groups clause v =
+  List.fold_left
+    (fun acc group ->
+      let* acc = acc in
+      let* nodes =
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            let* n = parse_int clause "cut" n in
+            Ok (n :: acc))
+          (Ok [])
+          (List.filter (fun s -> s <> "") (split_on '+' group))
+      in
+      match nodes with
+      | [] -> Error (Printf.sprintf "fault plan: clause %S: empty group" clause)
+      | ns -> Ok (List.rev ns :: acc))
+    (Ok [])
+    (split_on '/' v)
+  |> Result.map List.rev
+
+let parse_clause clause =
+  match String.index_opt clause ':' with
+  | None ->
+      Error
+        (Printf.sprintf "fault plan: clause %S: expected kind:key=value,..."
+           clause)
+  | Some i ->
+      let kind = strip (String.sub clause 0 i) in
+      let body = String.sub clause (i + 1) (String.length clause - i - 1) in
+      let* kvs = parse_kvs clause body in
+      (match kind with
+      | "crash" ->
+          let* () =
+            reject_unknown clause kvs [ "node"; "at"; "recover"; "persist" ]
+          in
+          let* node = Result.bind (required clause kvs "node")
+                        (parse_int clause "node") in
+          let* at = Result.bind (required clause kvs "at")
+                      (parse_float clause "at") in
+          let* recover =
+            match lookup kvs "recover" with
+            | None -> Ok None
+            | Some v ->
+                let* r = parse_float clause "recover" v in
+                if r <= at then
+                  Error
+                    (Printf.sprintf
+                       "fault plan: clause %S: recover must follow at" clause)
+                else Ok (Some r)
+          in
+          let* persistence =
+            match lookup kvs "persist" with
+            | None -> Ok Hook
+            | Some v -> (
+                match persistence_of_string v with
+                | Ok p -> Ok p
+                | Error e ->
+                    Error (Printf.sprintf "fault plan: clause %S: %s" clause e))
+          in
+          Ok (Crash { node; at; recover; persistence })
+      | "part" ->
+          let* () = reject_unknown clause kvs [ "from"; "until"; "cut" ] in
+          let* from_, until = window clause kvs in
+          if until = infinity && lookup kvs "until" = None then
+            Error
+              (Printf.sprintf "fault plan: clause %S: partitions need until="
+                 clause)
+          else
+            let* cut = required clause kvs "cut" in
+            let* groups = parse_groups clause cut in
+            if List.length groups < 2 then
+              Error
+                (Printf.sprintf
+                   "fault plan: clause %S: a cut needs >= 2 groups (a/b)"
+                   clause)
+            else Ok (Partition { groups; from_; until })
+      | "dup" ->
+          let* () = reject_unknown clause kvs [ "p"; "from"; "until" ] in
+          let* prob = Result.bind (required clause kvs "p")
+                        (parse_float clause "p") in
+          let* from_, until = window clause kvs in
+          Ok (Duplicate { prob; from_; until })
+      | "reorder" ->
+          let* () =
+            reject_unknown clause kvs [ "p"; "window"; "from"; "until" ]
+          in
+          let* prob = Result.bind (required clause kvs "p")
+                        (parse_float clause "p") in
+          let* w = Result.bind (required clause kvs "window")
+                     (parse_float clause "window") in
+          if w <= 0. then
+            Error
+              (Printf.sprintf "fault plan: clause %S: window must be positive"
+                 clause)
+          else
+            let* from_, until = window clause kvs in
+            Ok (Reorder { prob; window = w; from_; until })
+      | "corrupt" ->
+          let* () = reject_unknown clause kvs [ "p"; "from"; "until" ] in
+          let* prob = Result.bind (required clause kvs "p")
+                        (parse_float clause "p") in
+          let* from_, until = window clause kvs in
+          Ok (Corrupt { prob; from_; until })
+      | k ->
+          Error
+            (Printf.sprintf
+               "fault plan: unknown clause kind %S (crash|part|dup|reorder|corrupt)"
+               k))
+
+let check_prob spec prob =
+  if prob < 0. || prob > 1. then
+    Error
+      (Printf.sprintf "fault plan: clause %S: p must be within [0,1]" spec)
+  else Ok ()
+
+let of_string s =
+  let clauses = List.filter (fun c -> c <> "") (split_on ';' s) in
+  let* plan =
+    List.fold_left
+      (fun acc clause ->
+        let* acc = acc in
+        let* spec = parse_clause clause in
+        let* () =
+          match spec with
+          | Duplicate { prob; _ } | Reorder { prob; _ } | Corrupt { prob; _ }
+            ->
+              check_prob clause prob
+          | Crash _ | Partition _ -> Ok ()
+        in
+        Ok (spec :: acc))
+      (Ok []) clauses
+  in
+  Ok (List.rev plan)
+
+(* ----- printing ----- *)
+
+let float_str f =
+  if f = infinity then "inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else string_of_float f
+
+let window_str from_ until =
+  (if from_ = 0. then "" else ",from=" ^ float_str from_)
+  ^ if until = infinity then "" else ",until=" ^ float_str until
+
+let spec_to_string = function
+  | Crash { node; at; recover; persistence } ->
+      Printf.sprintf "crash:node=%d,at=%s%s%s" node (float_str at)
+        (match recover with
+        | None -> ""
+        | Some r -> ",recover=" ^ float_str r)
+        (match persistence with
+        | Hook -> ""
+        | p -> ",persist=" ^ persistence_to_string p)
+  | Partition { groups; from_; until } ->
+      Printf.sprintf "part:cut=%s%s"
+        (String.concat "/"
+           (List.map
+              (fun g -> String.concat "+" (List.map string_of_int g))
+              groups))
+        (window_str from_ until)
+  | Duplicate { prob; from_; until } ->
+      Printf.sprintf "dup:p=%g%s" prob (window_str from_ until)
+  | Reorder { prob; window; from_; until } ->
+      Printf.sprintf "reorder:p=%g,window=%s%s" prob (float_str window)
+        (window_str from_ until)
+  | Corrupt { prob; from_; until } ->
+      Printf.sprintf "corrupt:p=%g%s" prob (window_str from_ until)
+
+let to_string plan = String.concat ";" (List.map spec_to_string plan)
+
+let pp ppf plan = Format.pp_print_string ppf (to_string plan)
+
+let validate ~num_nodes plan =
+  let check_node n =
+    if n < 0 || n >= num_nodes then
+      Error
+        (Printf.sprintf "fault plan: node %d outside instance of %d nodes" n
+           num_nodes)
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc spec ->
+      let* () = acc in
+      match spec with
+      | Crash { node; _ } -> check_node node
+      | Partition { groups; _ } ->
+          List.fold_left
+            (fun acc g ->
+              let* () = acc in
+              List.fold_left
+                (fun acc n ->
+                  let* () = acc in
+                  check_node n)
+                (Ok ()) g)
+            (Ok ()) groups
+      | Duplicate _ | Reorder _ | Corrupt _ -> Ok ())
+    (Ok ()) plan
+
+(* ----- pure injection queries ----- *)
+
+let node_events plan =
+  let events =
+    List.concat_map
+      (function
+        | Crash { node; at; recover; persistence } -> (
+            ((at, `Crash node)
+             : float * [ `Crash of int | `Recover of int * persistence ])
+            ::
+            (match recover with
+            | None -> []
+            | Some r -> [ (r, `Recover (node, persistence)) ]))
+        | Partition _ | Duplicate _ | Reorder _ | Corrupt _ -> [])
+      plan
+  in
+  (* stable: simultaneous events keep plan order *)
+  List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) events
+
+let active ~time from_ until = time >= from_ && time < until
+
+let group_index groups n =
+  let rec go i = function
+    | [] -> None
+    | g :: rest -> if List.mem n g then Some i else go (i + 1) rest
+  in
+  go 0 groups
+
+(* a named loop, not [List.exists] with a closure: this runs once per
+   live delivery under a non-empty plan *)
+let rec partitioned_loop ~time ~src ~dst = function
+  | [] -> false
+  | Partition { groups; from_; until } :: rest ->
+      (active ~time from_ until
+      &&
+      match (group_index groups src, group_index groups dst) with
+      | Some i, Some j -> i <> j
+      | _ -> false)
+      || partitioned_loop ~time ~src ~dst rest
+  | _ :: rest -> partitioned_loop ~time ~src ~dst rest
+
+let partitioned plan ~time ~src ~dst =
+  src <> dst && partitioned_loop ~time ~src ~dst plan
+
+type fate = { corrupt : bool; duplicate : bool; extra_latency : float }
+
+let no_fate = { corrupt = false; duplicate = false; extra_latency = 0. }
+
+(* One roll per active probabilistic clause, in plan order; the roll is
+   consumed whether or not the clause fires, so the fault stream's
+   consumption pattern depends only on (plan, time). *)
+(* a named top-level loop with accumulator arguments, not a fold with
+   closures: this runs once per live send, and the inactive-plan walk
+   must not allocate *)
+let rec fate_loop ~time ~roll corrupt duplicate extra = function
+  | [] ->
+      if corrupt || duplicate || extra <> 0. then
+        { corrupt; duplicate; extra_latency = extra }
+      else no_fate
+  | Duplicate { prob; from_; until } :: rest when active ~time from_ until ->
+      let fired = roll () < prob in
+      fate_loop ~time ~roll corrupt (duplicate || fired) extra rest
+  | Reorder { prob; window; from_; until } :: rest
+    when active ~time from_ until ->
+      let fired = roll () < prob in
+      let extra = if fired then extra +. (roll () *. window) else extra in
+      fate_loop ~time ~roll corrupt duplicate extra rest
+  | Corrupt { prob; from_; until } :: rest when active ~time from_ until ->
+      let fired = roll () < prob in
+      fate_loop ~time ~roll (corrupt || fired) duplicate extra rest
+  | _ :: rest -> fate_loop ~time ~roll corrupt duplicate extra rest
+
+let message_fate plan ~time ~roll = fate_loop ~time ~roll false false 0. plan

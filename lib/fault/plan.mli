@@ -1,0 +1,99 @@
+(** Deterministic fault plans.
+
+    A plan is a pure value describing when and how the environment
+    misbehaves: crash-stop and crash-recovery of nodes, network
+    partitions over time windows, message duplication, bounded
+    reordering, and payload corruption (modelled as a drop — the
+    receiver's checksum rejects the packet).  {!Sim.Live_sim} turns a
+    plan into ordinary events on its event queue, so the same seed and
+    the same plan always produce bit-identical runs.
+
+    The concrete syntax (for the CLI's [--faults PLAN]) is a
+    semicolon-separated list of clauses, each [kind:key=value,...]:
+
+    {v
+    crash:node=0,at=40                        crash-stop node 0 at t=40
+    crash:node=0,at=40,recover=60             ... restart at t=60 (hook)
+    crash:node=0,at=40,recover=60,persist=volatile
+    part:from=10,until=30,cut=0+1/2           {0,1} | {2} during [10,30)
+    dup:p=0.1                                 duplicate 10% of sends
+    reorder:p=0.3,window=2                    extra latency U[0,2) on 30%
+    corrupt:p=0.05,from=5,until=50            corrupt (drop) 5% of sends
+    v}
+
+    [from]/[until] default to the whole run.  Probabilistic clauses
+    ([dup]/[reorder]/[corrupt]) draw from a dedicated fault RNG stream,
+    so the base simulation's random choices are untouched by the plan. *)
+
+(** What survives a crash, for recovery scheduled by a plan:
+    [Full] — the state is kept verbatim (amnesia-free restart);
+    [Volatile] — everything is volatile, the node restarts from
+    [Protocol.S.initial];
+    [Hook] — the protocol's [on_recover] reconstructs the state from
+    its durable part (the default, and the only mode the checkers
+    explore under a crash budget). *)
+type persistence = Full | Volatile | Hook
+
+type spec =
+  | Crash of {
+      node : int;
+      at : float;
+      recover : float option;  (** [None]: crash-stop, never restarts *)
+      persistence : persistence;
+    }
+  | Partition of {
+      groups : int list list;
+          (** nodes in different groups cannot exchange messages;
+              unlisted nodes stay connected to everyone *)
+      from_ : float;
+      until : float;
+    }
+  | Duplicate of { prob : float; from_ : float; until : float }
+  | Reorder of {
+      prob : float;
+      window : float;  (** extra delivery latency drawn from [0, window) *)
+      from_ : float;
+      until : float;
+    }
+  | Corrupt of { prob : float; from_ : float; until : float }
+
+type t = spec list
+
+val empty : t
+
+val is_empty : t -> bool
+
+(** Parse the concrete syntax above.  [Error] carries a one-line
+    diagnostic naming the offending clause. *)
+val of_string : string -> (t, string) result
+
+(** Round-trips through {!of_string}. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Check node indices and time windows against an instance size. *)
+val validate : num_nodes:int -> t -> (unit, string) result
+
+(** {2 Pure injection queries}
+
+    Everything below is a deterministic function of the plan and its
+    arguments; the simulator supplies time and random rolls. *)
+
+(** Crash/recovery schedule entries, sorted by time (ties keep plan
+    order).  Recoveries carry the persistence mode of their crash. *)
+val node_events :
+  t -> (float * [ `Crash of int | `Recover of int * persistence ]) list
+
+(** Whether [src -> dst] traffic is cut at [time] by an active
+    partition (same cut, different groups). *)
+val partitioned : t -> time:float -> src:int -> dst:int -> bool
+
+(** The fate of one message sent at [time].  [roll] is consumed once
+    per active probabilistic clause, in plan order — a fixed pattern,
+    so runs replay exactly.  [corrupt] wins over everything else;
+    [duplicate] sends one extra copy; [extra_latency] delays the
+    (first) copy within its reorder window. *)
+type fate = { corrupt : bool; duplicate : bool; extra_latency : float }
+
+val message_fate : t -> time:float -> roll:(unit -> float) -> fate

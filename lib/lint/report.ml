@@ -7,6 +7,7 @@ type kind =
   | Dead_message
   | Dead_action
   | Handler_exception
+  | Nondeterministic_recovery
 
 let all_kinds =
   [
@@ -18,6 +19,7 @@ let all_kinds =
     Dead_message;
     Dead_action;
     Handler_exception;
+    Nondeterministic_recovery;
   ]
 
 let kind_to_string = function
@@ -29,6 +31,7 @@ let kind_to_string = function
   | Dead_message -> "dead_message"
   | Dead_action -> "dead_action"
   | Handler_exception -> "handler_exception"
+  | Nondeterministic_recovery -> "nondeterministic_recovery"
 
 let kind_of_string s =
   match

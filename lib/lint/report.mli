@@ -31,6 +31,10 @@ type kind =
           changed state or sent anything *)
   | Handler_exception
       (** a handler raised something other than [Local_assert] *)
+  | Nondeterministic_recovery
+      (** [on_recover] executed twice from one state produced different
+          recovered-state fingerprints — crash exploration in the
+          checkers would not be replayable *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result

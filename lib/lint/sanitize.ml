@@ -200,6 +200,57 @@ module Make (P : Dsm.Protocol.S) = struct
           end;
           `Effect r
     in
+    (* ----- crash-recovery audit -----
+
+       [on_recover] is what the checkers run at every Crash step, so
+       it is held to the same contract as the handlers: probed once
+       per distinct (node, state) for determinism, and the recovered
+       state fed through the canonicality audit — an alias-heavy
+       recovery (e.g. sharing one list into two fields) would make a
+       recovered state digest differently from its structurally equal
+       message-reachable twin, and crash exploration would visit it
+       twice.  Recovered states are only audited, never explored:
+       crash interleavings belong to the checkers. *)
+    let recovery_probed : (Fingerprint.t, unit) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let audit_recovery self st = function
+      | None -> ()
+      | Some st_fp ->
+          let key =
+            Fingerprint.combine [ Fingerprint.of_value (`Recover, self); st_fp ]
+          in
+          if not (Hashtbl.mem recovery_probed key) then begin
+            Hashtbl.add recovery_probed key ();
+            incr probes;
+            let subject = Printf.sprintf "on_recover(node %d)" self in
+            match P.on_recover ~self st with
+            | exception Dsm.Protocol.Local_assert _ -> ()
+            | exception e ->
+                found Handler_exception subject
+                  (Printf.sprintf "on_recover raised %s"
+                     (Printexc.to_string e))
+            | r1 -> (
+                ignore (audit_state r1);
+                match P.on_recover ~self st with
+                | exception e ->
+                    found Nondeterministic_recovery subject
+                      (Printf.sprintf
+                         "second execution raised %s where the first \
+                          returned"
+                         (Printexc.to_string e))
+                | r2 -> (
+                    match (outcome_fp (r1, []), outcome_fp (r2, [])) with
+                    | Some f1, Some f2 when not (Fingerprint.equal f1 f2) ->
+                        found Nondeterministic_recovery subject
+                          (Printf.sprintf
+                             "two recoveries from one state produced \
+                              different states: %s vs %s (crash \
+                              exploration would not be replayable)"
+                             (Fingerprint.to_hex f1) (Fingerprint.to_hex f2))
+                    | _ -> ()))
+          end
+    in
     (* [enabled_actions] purity: probed once per distinct (node,
        state).  Returns the first run's list; exploration uses it. *)
     let enabled_probed : (Fingerprint.t, unit) Hashtbl.t =
@@ -241,7 +292,7 @@ module Make (P : Dsm.Protocol.S) = struct
           end
     in
     let init = Dsm.Protocol.initial_system (module P) in
-    Array.iter (fun s -> ignore (audit_state s)) init;
+    Array.iteri (fun self s -> audit_recovery self s (audit_state s)) init;
     count_produced config.initial_net;
     enqueue
       { nodes = init; net = Net.Multiset.of_list config.initial_net }
@@ -273,7 +324,7 @@ module Make (P : Dsm.Protocol.S) = struct
                | `Effect (st', out) ->
                    if st' <> st || out <> [] then
                      c.effective <- c.effective + 1;
-                   ignore (audit_state st');
+                   audit_recovery self st' (audit_state st');
                    count_produced out;
                    let nodes = Array.copy g.nodes in
                    nodes.(self) <- st';
@@ -307,7 +358,7 @@ module Make (P : Dsm.Protocol.S) = struct
                              let c = act_cover fam in
                              c.acted <- c.acted + 1
                            end;
-                           ignore (audit_state st');
+                           audit_recovery self st' (audit_state st');
                            count_produced out;
                            let nodes = Array.copy g.nodes in
                            nodes.(self) <- st';

@@ -16,6 +16,11 @@
       The dual audit also reports true digest collisions, and states
       that cannot be marshalled at all.
     - {b purity of [enabled_actions]} — same state, same action list.
+    - {b recovery} — [on_recover] is what crash exploration runs at
+      every [Crash] step, so it is probed like a handler: twice per
+      distinct (node, state) for determinism, with the recovered state
+      fed through the canonicality audit.  Recovered states are only
+      audited, never explored.
     - {b coverage} — message/action families that the bounded
       exploration produced and repeatedly delivered but that never had
       any effect are reported as dead (usually a forgotten handler

@@ -6,6 +6,9 @@ module Make (P : Dsm.Protocol.S) = struct
   type global = {
     nodes : P.state array;
     net : P.message Envelope.t Net.Multiset.t;
+    crashes : int array;
+        (* never mutated in place: crash successors copy, everything
+           else shares the parent's array *)
   }
 
   type violation = {
@@ -34,6 +37,7 @@ module Make (P : Dsm.Protocol.S) = struct
     max_depth : int option;
     time_limit : float option;
     max_transitions : int option;
+    crash_budget : int;
     stop_on_violation : bool;
     track_traces : bool;
     domains : int;
@@ -54,6 +58,7 @@ module Make (P : Dsm.Protocol.S) = struct
       max_depth = None;
       time_limit = None;
       max_transitions = None;
+      crash_budget = 0;
       stop_on_violation = true;
       track_traces = true;
       domains = 1;
@@ -63,8 +68,13 @@ module Make (P : Dsm.Protocol.S) = struct
     }
 
   (* The canonical fingerprint of a global state: node states are
-     positional, the network multiset is sorted by construction. *)
-  let fingerprint g = Fingerprint.of_value (g.nodes, Net.Multiset.bindings g.net)
+     positional, the network multiset is sorted by construction.  The
+     crash counts join the tuple only once some node has crashed, so a
+     [crash_budget = 0] run hashes exactly what it always did. *)
+  let fingerprint g =
+    if Array.exists (fun c -> c > 0) g.crashes then
+      Fingerprint.of_value (g.nodes, Net.Multiset.bindings g.net, g.crashes)
+    else Fingerprint.of_value (g.nodes, Net.Multiset.bindings g.net)
 
   let system_fingerprint nodes = Fingerprint.of_value nodes
 
@@ -99,6 +109,7 @@ module Make (P : Dsm.Protocol.S) = struct
     | Trace.Deliver env ->
         Format.asprintf "%a" P.pp_message env.Envelope.payload
     | Trace.Execute (_, a) -> Format.asprintf "%a" P.pp_action a
+    | Trace.Crash _ -> "crash-recover"
 
   (* One flight-recorder step for a first-visited global state.  [inj]
      maps message fingerprints to the seq of the step that produced
@@ -117,6 +128,7 @@ module Make (P : Dsm.Protocol.S) = struct
                 | Some s -> s
                 | None -> -1 ) )
       | Trace.Execute (n, _) -> (n, Obs.Trace.Action, -1, None)
+      | Trace.Crash n -> (n, Obs.Trace.Crash, -1, None)
     in
     let produces = List.map Fingerprint.of_value out in
     let seq =
@@ -224,7 +236,7 @@ module Make (P : Dsm.Protocol.S) = struct
      raising Local_assert makes the transition disabled.  The sent
      messages travel alongside each successor so the flight recorder
      can log productions without re-running the handler. *)
-  let successors g =
+  let successors ~crash_budget g =
     let deliveries =
       Net.Multiset.fold_distinct
         (fun env _count acc ->
@@ -239,7 +251,7 @@ module Make (P : Dsm.Protocol.S) = struct
                 | Some net -> Net.Multiset.add_list out net
                 | None -> assert false
               in
-              (Trace.Deliver env, { nodes; net }, out) :: acc)
+              (Trace.Deliver env, { g with nodes; net }, out) :: acc)
         g.net []
     in
     let actions =
@@ -253,11 +265,36 @@ module Make (P : Dsm.Protocol.S) = struct
                   let nodes = Array.copy g.nodes in
                   nodes.(n) <- state';
                   let net = Net.Multiset.add_list out g.net in
-                  Some (Trace.Execute (n, action), { nodes; net }, out))
+                  Some (Trace.Execute (n, action), { g with nodes; net }, out))
             (P.enabled_actions ~self:n g.nodes.(n)))
         (Dsm.Node_id.all P.num_nodes)
     in
-    List.rev_append deliveries actions
+    let crashes =
+      if crash_budget <= 0 then []
+      else
+        List.filter_map
+          (fun n ->
+            if g.crashes.(n) >= crash_budget then None
+            else
+              let state' = P.on_recover ~self:n g.nodes.(n) in
+              (* a recovery that lands on the same state adds nothing:
+                 every successor of the crashed branch exists verbatim
+                 on the uncrashed one, so the prune is sound *)
+              if
+                Fingerprint.equal
+                  (Fingerprint.of_value state')
+                  (Fingerprint.of_value g.nodes.(n))
+              then None
+              else begin
+                let nodes = Array.copy g.nodes in
+                nodes.(n) <- state';
+                let crashes = Array.copy g.crashes in
+                crashes.(n) <- crashes.(n) + 1;
+                Some (Trace.Crash n, { g with nodes; crashes }, [])
+              end)
+          (Dsm.Node_id.all P.num_nodes)
+    in
+    List.rev_append deliveries (actions @ crashes)
 
   let heartbeat s =
     Obs.heartbeat s.o.scope (fun () ->
@@ -319,10 +356,16 @@ module Make (P : Dsm.Protocol.S) = struct
             end;
             explore s g' fp' depth'
           end)
-        (successors g)
+        (successors ~crash_budget:s.config.crash_budget g)
 
   let run_dfs config ~invariant ?(initial_net = []) init =
-    let g = { nodes = Array.copy init; net = Net.Multiset.of_list initial_net } in
+    let g =
+      {
+        nodes = Array.copy init;
+        net = Net.Multiset.of_list initial_net;
+        crashes = Array.make P.num_nodes 0;
+      }
+    in
     let s =
       {
         config;
@@ -461,7 +504,13 @@ module Make (P : Dsm.Protocol.S) = struct
     end
 
   let run_frontier config ~invariant ~initial_net init pool =
-    let g = { nodes = Array.copy init; net = Net.Multiset.of_list initial_net } in
+    let g =
+      {
+        nodes = Array.copy init;
+        net = Net.Multiset.of_list initial_net;
+        crashes = Array.make P.num_nodes 0;
+      }
+    in
     let s =
       {
         fconfig = config;
@@ -531,7 +580,7 @@ module Make (P : Dsm.Protocol.S) = struct
                            system_fingerprint g'.nodes,
                            Dsm.Invariant.check invariant g'.nodes,
                            out ))
-                   (successors g))
+                   (successors ~crash_budget:config.crash_budget g))
            in
            (* Sequential merge in submission order. *)
            let next = ref [] in

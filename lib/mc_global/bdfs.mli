@@ -15,6 +15,9 @@ module Make (P : Dsm.Protocol.S) : sig
   type global = {
     nodes : P.state array;
     net : P.message Dsm.Envelope.t Net.Multiset.t;
+    crashes : int array;
+        (** crash-recoveries taken per node on the path to this state;
+            all zero unless [crash_budget > 0] *)
   }
 
   type violation = {
@@ -45,6 +48,14 @@ module Make (P : Dsm.Protocol.S) : sig
     max_depth : int option;
     time_limit : float option;  (** wall-clock seconds *)
     max_transitions : int option;
+    crash_budget : int;
+        (** crash-recovery transitions allowed per node on any path: a
+            crash rewrites the node state through
+            {!Dsm.Protocol.S.on_recover}, consumes and produces no
+            messages, and is pruned when the recovered state equals the
+            current one.  The crash count joins the global fingerprint
+            only when some node has crashed, so [0] (the default)
+            explores the crash-free space bit-identically. *)
     stop_on_violation : bool;
     track_traces : bool;
         (** keep parent pointers for counterexample traces; disable to

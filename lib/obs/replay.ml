@@ -35,6 +35,9 @@ module Make (P : Dsm.Protocol.S) = struct
         | state', _out ->
             states.(node) <- state';
             node)
+    | Dsm.Trace.Crash node ->
+        states.(node) <- P.on_recover ~self:node states.(node);
+        node
 
   let step_json step ~fp_after =
     let kind, node, src, data, label =
@@ -51,6 +54,8 @@ module Make (P : Dsm.Protocol.S) = struct
             -1,
             marshal action,
             Format.asprintf "%a" P.pp_action action )
+      | Dsm.Trace.Crash node ->
+          ("crash", node, -1, marshal (), "crash-recover")
     in
     Dsm.Json.Obj
       [
@@ -146,6 +151,7 @@ module Make (P : Dsm.Protocol.S) = struct
           | "action" ->
               let* (action : P.action) = unmarshal "data" data in
               Ok (Dsm.Trace.Execute (node, action))
+          | "crash" -> Ok (Dsm.Trace.Crash node)
           | k -> Error (Printf.sprintf "witness: unknown step kind %S" k)
         in
         Ok (step, fp_after)

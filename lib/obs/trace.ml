@@ -41,7 +41,7 @@ let string_of_hex h =
    with the [seq] of the step that first injected it into I+ (-1 when
    it predates the recording, e.g. an initial in-flight message). *)
 
-type step_kind = Deliver | Action
+type step_kind = Deliver | Action | Crash
 
 type step = {
   node : int;
@@ -56,11 +56,15 @@ type step = {
   dom : int;
 }
 
-let kind_to_string = function Deliver -> "deliver" | Action -> "action"
+let kind_to_string = function
+  | Deliver -> "deliver"
+  | Action -> "action"
+  | Crash -> "crash"
 
 let kind_of_string = function
   | "deliver" -> Ok Deliver
   | "action" -> Ok Action
+  | "crash" -> Ok Crash
   | s -> Error (Printf.sprintf "unknown step kind %S" s)
 
 let step_fields (s : step) =

@@ -70,12 +70,13 @@ val close : t -> unit
     The [ev = "step"] payload, typed so encode/decode can be
     round-trip tested and consumers need no ad-hoc field picking. *)
 
-type step_kind = Deliver | Action
+type step_kind = Deliver | Action | Crash
 
 type step = {
   node : int;  (** acting node *)
   kind : step_kind;
-  src : int;  (** sender for deliveries; [-1] for internal actions *)
+  src : int;  (** sender for deliveries; [-1] for internal actions and
+                  crash-recoveries *)
   label : string;  (** rendered message/action (protocol [pp]) *)
   fp_before : string;  (** full-hex fingerprint of the node state *)
   fp_after : string;

@@ -8,6 +8,27 @@ struct
   module Checker = Lmc.Checker.Make (Check)
   module Sim_p = Sim.Live_sim.Make (Live)
 
+  type supervisor = {
+    restart_budget_ms : int option;
+    memory_budget_bytes : int option;
+    max_retries : int;
+    backoff_base_ms : int;
+    backoff_cap_ms : int;
+    checksum_snapshots : bool;
+    snapshot_tamper : (string -> string) option;
+  }
+
+  let default_supervisor =
+    {
+      restart_budget_ms = None;
+      memory_budget_bytes = None;
+      max_retries = 2;
+      backoff_base_ms = 10;
+      backoff_cap_ms = 1_000;
+      checksum_snapshots = false;
+      snapshot_tamper = None;
+    }
+
   type config = {
     sim : Sim_p.config;
     check_interval : float;
@@ -16,6 +37,7 @@ struct
     action_bounds : int list;
     steer : bool;
     steer_scope : [ `Exact_action | `Node ];
+    supervisor : supervisor;
   }
 
   type report = {
@@ -32,6 +54,8 @@ struct
     total_check_time : float;
     vetoed : (Dsm.Node_id.t * Live.action) list;
     live_violation_time : float option;
+    degradations : string list;
+    final_tier : int;
   }
 
   (* The first live-controllable step of a witness: the earliest
@@ -41,7 +65,7 @@ struct
     List.find_map
       (function
         | Dsm.Trace.Execute (n, a) -> Some (n, a)
-        | Dsm.Trace.Deliver _ -> None)
+        | Dsm.Trace.Deliver _ | Dsm.Trace.Crash _ -> None)
       violation.Checker.schedule
 
   let run ?(obs = Obs.null) config ~strategy ~invariant =
@@ -121,9 +145,149 @@ struct
       | Some _ as p -> p
       | None -> owned_pool
     in
+    (* ---- Supervision ----------------------------------------------
+       The live loop must outlive its checker.  Every pathology below
+       — a checker exception, a restart that blows its wall-clock or
+       memory budget, a snapshot that arrives torn — is recorded as an
+       [online.degraded] event and the loop continues, possibly with a
+       narrower checker. *)
+    let sup = config.supervisor in
+    let c_degraded = Obs.counter obs "online.degraded" in
+    let degradations = ref [] in
+    (* Backoff jitter must not perturb the simulation's replayable
+       streams, so it draws from its own stream off a derived seed. *)
+    let jitter_rng =
+      Sim.Rng.create ~seed:(config.sim.Sim_p.seed lxor 0x5eed)
+    in
+    let tier = ref 0 in
+    let degraded ~reason ~detail =
+      Obs.Metrics.incr c_degraded;
+      degradations := reason :: !degradations;
+      Obs.event obs "online.degraded"
+        ~fields:
+          [
+            ("live_time", Dsm.Json.Float (Sim_p.now sim));
+            ("reason", Dsm.Json.String reason);
+            ("tier", Dsm.Json.Int !tier);
+            ("detail", Dsm.Json.String detail);
+          ]
+    in
+    let escalate ~reason ~detail =
+      if !tier < 3 then incr tier;
+      degraded ~reason ~detail
+    in
+    (* Graceful degradation tiers: 1 halves the depth bound, 2 drops
+       LMC-GEN to the invariant-pruned Automatic strategy, 3 defers
+       soundness out of the budgeted window.  Each trip narrows the
+       next restart instead of killing the loop. *)
+    let tiered_checker base =
+      let c =
+        if !tier >= 1 then
+          {
+            base with
+            Checker.max_depth =
+              Some
+                (match base.Checker.max_depth with
+                | Some d -> max 4 (d / 2)
+                | None -> 16);
+          }
+        else base
+      in
+      let c =
+        match sup.restart_budget_ms with
+        | None -> c
+        | Some ms ->
+            let budget_s = float_of_int ms /. 1000. in
+            let tl =
+              match c.Checker.time_limit with
+              | Some t -> Float.min t budget_s
+              | None -> budget_s
+            in
+            { c with Checker.time_limit = Some tl }
+      in
+      if !tier >= 3 then { c with Checker.defer_soundness = true } else c
+    in
+    let tiered_strategy () =
+      if !tier >= 2 then
+        match strategy with Checker.General -> Checker.Automatic | s -> s
+      else strategy
+    in
+    let backoff attempt =
+      let ms =
+        min sup.backoff_cap_ms (sup.backoff_base_ms * (1 lsl min attempt 16))
+      in
+      (* full jitter in [0.5, 1.5) of the nominal delay *)
+      let jitter = 0.5 +. Sim.Rng.float jitter_rng in
+      Unix.sleepf (float_of_int ms /. 1000. *. jitter)
+    in
+    (* An exception out of [Checker.run] (a throwing invariant closure,
+       an abstraction function that raises, a dead pool worker) is
+       retried with jittered exponential backoff; after [max_retries]
+       the restart is abandoned and the loop degrades instead. *)
+    let supervised_run cfg snapshot =
+      let rec attempt k =
+        match
+          Checker.run (tiered_checker cfg) ~strategy:(tiered_strategy ())
+            ~invariant snapshot
+        with
+        | result -> Some result
+        | exception e when k < sup.max_retries ->
+            degraded ~reason:"checker_failure" ~detail:(Printexc.to_string e);
+            backoff k;
+            attempt (k + 1)
+        | exception e ->
+            escalate ~reason:"checker_failed_permanently"
+              ~detail:(Printexc.to_string e);
+            None
+      in
+      attempt 0
+    in
+    (* Post-run budget audit: a restart that consumed its wall-clock
+       budget (its time limit was capped to it above) or exceeded the
+       memory budget escalates the degradation tier for the next one. *)
+    let audit_budgets (result : Checker.result) =
+      (match sup.restart_budget_ms with
+      | Some ms when result.Checker.elapsed *. 1000. >= float_of_int ms ->
+          escalate ~reason:"restart_budget_exceeded"
+            ~detail:
+              (Printf.sprintf "%.0f ms >= %d ms"
+                 (result.Checker.elapsed *. 1000.)
+                 ms)
+      | _ -> ());
+      match sup.memory_budget_bytes with
+      | Some b when result.Checker.retained_bytes > b ->
+          escalate ~reason:"memory_budget_exceeded"
+            ~detail:
+              (Printf.sprintf "%d B > %d B" result.Checker.retained_bytes b)
+      | _ -> ()
+    in
+    (* Checksummed snapshot hand-off: round-trip the capture through
+       the wire encoding so a torn or tampered snapshot is rejected
+       with a typed diagnostic before [Marshal] can lie about it.
+       [snapshot_tamper] exists so tests can flip bits in flight. *)
+    let validated snapshot =
+      if not sup.checksum_snapshots then Some snapshot
+      else begin
+        let wire =
+          Sim.Snapshot.to_string
+            (Sim.Snapshot.make ~time:(Sim_p.now sim) snapshot)
+        in
+        let wire =
+          match sup.snapshot_tamper with Some f -> f wire | None -> wire
+        in
+        match Sim.Snapshot.of_string wire with
+        | Ok s -> Some s.Sim.Snapshot.states
+        | Error (Sim.Snapshot.Corrupt_snapshot why) ->
+            degraded ~reason:"corrupt_snapshot" ~detail:why;
+            None
+      end
+    in
     (* One snapshot, several runs with widening local-event bounds; the
        checker restarts from scratch at each bound, as in §4.2. *)
-    let check_snapshot snapshot =
+    let check_snapshot raw_snapshot =
+      match validated raw_snapshot with
+      | None -> None
+      | Some snapshot ->
       let rec widen = function
         | [] -> None
         | bound :: rest -> (
@@ -144,16 +308,19 @@ struct
                        | None -> Dsm.Json.Null );
                      ("live_time", Dsm.Json.Float (Sim_p.now sim));
                    ]);
-            let result =
-              Checker.run
+            match
+              supervised_run
                 {
                   config.checker with
                   local_action_bound = bound;
                   obs = checker_obs;
                   pool;
                 }
-                ~strategy ~invariant snapshot
-            in
+                snapshot
+            with
+            | None -> widen rest
+            | Some result -> (
+            audit_budgets result;
             check_time := !check_time +. result.Checker.elapsed;
             Obs.event obs "online.check"
               ~fields:
@@ -177,7 +344,7 @@ struct
                 ];
             match result.Checker.sound_violation with
             | Some violation -> Some (violation, result)
-            | None -> widen rest)
+            | None -> widen rest))
       in
       widen bounds
     in
@@ -237,6 +404,8 @@ struct
       total_check_time = !check_time;
       vetoed = List.rev !vetoed;
       live_violation_time = !live_violation_time;
+      degradations = List.rev !degradations;
+      final_tier = !tier;
     }
 
   let pp_report ppf r =

@@ -26,6 +26,47 @@ module Make
                 and type action = Live.action) : sig
   module Checker : module type of Lmc.Checker.Make (Check)
 
+  (** Hardening knobs for the supervised loop.  The live loop must
+      outlive its checker: every pathology — a checker exception, a
+      restart that blows its budget, a corrupt snapshot — is recorded
+      as an [online.degraded] event and the hunt continues, possibly
+      with a narrower checker. *)
+  type supervisor = {
+    restart_budget_ms : int option;
+        (** wall-clock budget per checker restart.  Caps each restart's
+            [time_limit]; a restart that consumes it escalates the
+            degradation tier: tier 1 halves [max_depth], tier 2 drops a
+            [General] strategy to [Automatic], tier 3 sets
+            [defer_soundness].  [None] (default): no budget, no
+            tiers. *)
+    memory_budget_bytes : int option;
+        (** retained-bytes budget per restart, audited after each run
+            from the checker's analytic footprint; exceeding it
+            escalates the tier like a wall-clock trip *)
+    max_retries : int;
+        (** retries per restart when [Checker.run] raises; after the
+            last one the restart is abandoned (degradation event
+            ["checker_failed_permanently"]) and the loop moves on *)
+    backoff_base_ms : int;
+        (** base of the exponential retry backoff; attempt [k] sleeps
+            [base * 2^k] ms, jittered uniformly in [0.5, 1.5) of that
+            from a deterministic stream split off the simulation seed *)
+    backoff_cap_ms : int;  (** upper bound on the nominal backoff *)
+    checksum_snapshots : bool;
+        (** round-trip every snapshot through the checksummed wire
+            encoding ({!Sim.Snapshot.to_string} / [of_string]); a
+            capture failing its digest is skipped with a typed
+            ["corrupt_snapshot"] degradation event instead of being
+            handed to [Marshal] *)
+    snapshot_tamper : (string -> string) option;
+        (** test hook: rewrite the wire bytes between encode and
+            decode (fault injection for the checksum path) *)
+  }
+
+  (** No budgets, 2 retries, 10 ms base / 1 s cap backoff, no
+      checksumming. *)
+  val default_supervisor : supervisor
+
   type config = {
     sim : Sim.Live_sim.Make(Live).config;
     check_interval : float;
@@ -52,6 +93,10 @@ module Make
             the same violation through a sibling action before the next
             restart; [`Node] quarantines the offending node's driver
             entirely. *)
+    supervisor : supervisor;
+        (** hardened-loop knobs; {!default_supervisor} preserves the
+            unsupervised behaviour except that checker exceptions are
+            retried instead of propagated *)
   }
 
   type report = {
@@ -73,6 +118,14 @@ module Make
         (** first simulated time at which the {e live} system state
             itself violated the invariant — [None] is the steering
             success criterion *)
+    degradations : string list;
+        (** reasons of every [online.degraded] event, in order
+            (["checker_failure"], ["checker_failed_permanently"],
+            ["restart_budget_exceeded"], ["memory_budget_exceeded"],
+            ["corrupt_snapshot"]) *)
+    final_tier : int;
+        (** degradation tier at the end of the hunt, 0 (never
+            degraded) to 3 *)
   }
 
   (** [run ?obs config ~strategy ~invariant] drives the hunt.  When

@@ -104,6 +104,8 @@ module Make (C : CONFIG) = struct
               to_receiver (Data (s.bit, x)) ))
     | R _, _ -> raise (Dsm.Protocol.Local_assert "receiver has no actions")
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf = function
     | S s ->
         Format.fprintf ppf "S{pending=%d bit=%b awaiting=%b}"

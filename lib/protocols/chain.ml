@@ -30,6 +30,8 @@ struct
   let handle_action ~self state () =
     ({ state with forwarded = true }, send_next self)
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     Format.fprintf ppf "%c%c"
       (if s.received then 'r' else '-')

@@ -56,6 +56,11 @@ module Make (P : Dsm.Protocol.S) = struct
     let inner', outs = P.handle_action ~self state.inner a in
     stamp { state with inner = inner' } outs
 
+  (* The sequence counters model the transport's connection state,
+     which survives checking-time crash-recovery: only the inner
+     protocol's recovery hook decides what a restarted node keeps. *)
+  let on_recover ~self state = { state with inner = P.on_recover ~self state.inner }
+
   let pp_state ppf s = P.pp_state ppf s.inner
 
   let pp_message ppf m =

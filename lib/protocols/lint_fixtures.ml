@@ -37,6 +37,8 @@ module Nondet = struct
   let handle_action ~self _st Kick =
     (1, [ Envelope.make ~src:self ~dst:1 Ping ])
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s = Format.fprintf ppf "%d" s
   let pp_message ppf = function
     | Ping -> Format.fprintf ppf "Ping"
@@ -80,6 +82,8 @@ module Noncanon = struct
     | Send_shared -> (Sent 1, [ Envelope.make ~src:self ~dst:1 Shared ])
     | Send_split -> (Sent 2, [ Envelope.make ~src:self ~dst:1 Split ])
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf = function
     | Start -> Format.fprintf ppf "start"
     | Sent n -> Format.fprintf ppf "sent%d" n
@@ -120,7 +124,54 @@ module Dead_letter = struct
   let handle_action ~self st Tick =
     (st + 1, [ Envelope.make ~src:self ~dst:1 Noise ])
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s = Format.fprintf ppf "%d" s
   let pp_message ppf Noise = Format.fprintf ppf "Noise"
   let pp_action ppf Tick = Format.fprintf ppf "Tick"
+end
+
+(* ----- nondeterministic recovery -----
+
+   The handlers are clean, but node 0's [on_recover] folds a
+   module-level epoch counter into the recovered state: two recoveries
+   from the same pre-crash state disagree, so a crash-exploring
+   checker could neither deduplicate recovered states nor replay a
+   crash witness.  This is the recovery analogue of {!Nondet} — a
+   wall-clock read or restart counter leaking into recovery logic. *)
+module Flaky_recovery = struct
+  let name = "fixture-flaky-recovery"
+  let num_nodes = 2
+
+  type state = int
+  type message = Ping | Pong
+  type action = Kick
+
+  let initial _ = 0
+
+  let handle_message ~self st (env : message Envelope.t) =
+    match env.payload with
+    | Ping -> (st + 1, [ Envelope.make ~src:self ~dst:env.src Pong ])
+    | Pong -> (st + 2, [])
+
+  let enabled_actions ~self st =
+    if self = 0 && st = 0 then [ Kick ] else []
+
+  let handle_action ~self st Kick =
+    (st + 1, [ Envelope.make ~src:self ~dst:1 Ping ])
+
+  let epoch = ref 0
+
+  let on_recover ~self st =
+    if self = 0 then begin
+      incr epoch;
+      (st * 16) + !epoch
+    end
+    else st
+
+  let pp_state ppf s = Format.fprintf ppf "%d" s
+  let pp_message ppf = function
+    | Ping -> Format.fprintf ppf "Ping"
+    | Pong -> Format.fprintf ppf "Pong"
+  let pp_action ppf Kick = Format.fprintf ppf "Kick"
 end

@@ -10,8 +10,12 @@
     - {!Noncanon} — two handler paths build structurally equal states
       with different Marshal sharing: [noncanonical_state].
     - {!Dead_letter} — a broadcast message no recipient ever reacts
-      to: [dead_message]. *)
+      to: [dead_message].
+    - {!Flaky_recovery} — node 0's [on_recover] folds a module-level
+      epoch counter into the recovered state:
+      [nondeterministic_recovery]. *)
 
 module Nondet : Dsm.Protocol.S
 module Noncanon : Dsm.Protocol.S
 module Dead_letter : Dsm.Protocol.S
+module Flaky_recovery : Dsm.Protocol.S

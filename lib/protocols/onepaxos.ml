@@ -253,6 +253,8 @@ module Make (C : CONFIG) = struct
       (String.concat ";"
          (List.map (fun (k, v) -> Printf.sprintf "%d->%d" k v) l))
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     if not s.booted then Format.pp_print_string ppf "(not booted)"
     else

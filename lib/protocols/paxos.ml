@@ -93,6 +93,8 @@ module Make (C : CONFIG) = struct
         in
         ({ state with core }, envelopes self out)
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     if not s.booted then Format.pp_print_string ppf "(not booted)"
     else Paxos_core.pp_state ppf s.core

@@ -1,4 +1,9 @@
-type bug = No_bug | Ack_before_replication
+type bug =
+  | No_bug
+  | Ack_before_replication
+  | Lose_acked_writes_on_recovery
+      (* the primary serves Put from memory without writing through to
+         disk; invisible until a crash-recovery restores from disk *)
 
 module type CONFIG = sig
   val key : int
@@ -7,7 +12,8 @@ module type CONFIG = sig
 end
 
 type pb_role = {
-  store : (int * int) list;
+  store : (int * int) list;  (* in-memory working copy *)
+  disk : (int * int) list;  (* write-through copy, the recovery source *)
   repl_pending : (int * int) option;
 }
 
@@ -53,7 +59,7 @@ module Make (C : CONFIG) = struct
           get_sent = false;
           response = None;
         }
-    else Replica { store = []; repl_pending = None }
+    else Replica { store = []; disk = []; repl_pending = None }
 
   let rec put_assoc k v = function
     | [] -> [ (k, v) ]
@@ -68,10 +74,15 @@ module Make (C : CONFIG) = struct
     | Put (k, v) ->
         if self <> primary then
           raise (Dsm.Protocol.Local_assert "write at the backup");
-        let r = { r with store = put_assoc k v r.store } in
+        let disk =
+          match C.bug with
+          | Lose_acked_writes_on_recovery -> r.disk (* forgot write-through *)
+          | No_bug | Ack_before_replication -> put_assoc k v r.disk
+        in
+        let r = { r with store = put_assoc k v r.store; disk } in
         let replicate = env ~src:self ~dst:backup (Replicate (k, v)) in
         (match C.bug with
-        | No_bug ->
+        | No_bug | Lose_acked_writes_on_recovery ->
             (* remember the write; ack only on the backup's confirm *)
             (Replica { r with repl_pending = Some (k, v) }, [ replicate ])
         | Ack_before_replication ->
@@ -80,7 +91,8 @@ module Make (C : CONFIG) = struct
     | Replicate (k, v) ->
         if self <> backup then
           raise (Dsm.Protocol.Local_assert "replication at the primary");
-        ( Replica { r with store = put_assoc k v r.store },
+        ( Replica
+            { r with store = put_assoc k v r.store; disk = put_assoc k v r.disk },
           [ env ~src:self ~dst:primary Repl_ack ] )
     | Repl_ack -> (
         if self <> primary then
@@ -137,6 +149,22 @@ module Make (C : CONFIG) = struct
           [ env ~src:self ~dst:target (Get C.key) ] )
     | Replica _, _ ->
         raise (Dsm.Protocol.Local_assert "replicas have no driver")
+
+  (* A recovering replica reloads from disk; the in-memory store and
+     the replication window are volatile.  Clients are the test driver
+     and survive crashes untouched (their crash is a no-op and gets
+     pruned by the checkers). *)
+  let on_recover ~self:_ state =
+    match state with
+    | Client _ -> state
+    | Replica r ->
+        (* the message paths never alias store and disk, so recovery
+           must not either: a shared list marshals with a
+           back-reference and the recovered state would digest
+           differently from its structurally equal message-reachable
+           twin *)
+        let reload () = List.map (fun (k, v) -> (k, v)) r.disk in
+        Replica { store = reload (); disk = reload (); repl_pending = None }
 
   let pp_state ppf = function
     | Replica r ->

@@ -10,12 +10,21 @@
     the client: once a write has been acknowledged, no later read may
     miss it — wherever the read was served.
 
-    The injectable bug is the classic replication shortcut: the primary
-    acknowledges the client {e before} the backup has confirmed, so a
-    failed-over read can reach the backup ahead of the replication and
-    return stale data. *)
+    Two bugs are injectable.  [Ack_before_replication] is the classic
+    replication shortcut: the primary acknowledges the client
+    {e before} the backup has confirmed, so a failed-over read can
+    reach the backup ahead of the replication and return stale data.
+    [Lose_acked_writes_on_recovery] is a persistence bug: the primary
+    serves writes from memory without writing through to its disk
+    image, so the protocol is correct under any message schedule and
+    the defect is reachable {e only} through a crash-recovery event
+    (the primary reloads from disk and the acknowledged write is
+    gone) — the fixture for LMC-under-faults hunts. *)
 
-type bug = No_bug | Ack_before_replication
+type bug =
+  | No_bug
+  | Ack_before_replication
+  | Lose_acked_writes_on_recovery
 
 module type CONFIG = sig
   (** The key/value the client writes, then reads back. *)
@@ -27,7 +36,10 @@ module type CONFIG = sig
 end
 
 type pb_role = {
-  store : (int * int) list;  (** sorted association list *)
+  store : (int * int) list;  (** sorted association list (in memory) *)
+  disk : (int * int) list;
+      (** write-through image; {!Dsm.Protocol.S.on_recover} reloads the
+          store from it and clears [repl_pending] *)
   repl_pending : (int * int) option;
       (** primary only: write awaiting the backup's confirmation *)
 }

@@ -46,6 +46,8 @@ struct
     in
     ({ state with pinged = true }, pings)
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     Format.fprintf ppf "{pinged=%b; pongs=%d; served=%b}" s.pinged
       (List.length s.pongs) s.served

@@ -140,6 +140,8 @@ module Make (C : CONFIG) = struct
   let pp_int_list ppf l =
     Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int l))
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     Format.fprintf ppf "{%s parent=%s children=%a siblings=%a}"
       (match s.status with Out -> "out" | Joining -> "joining" | In -> "in")

@@ -71,6 +71,8 @@ module Make (C : CONFIG) = struct
     ( { state with participating = true; woke = true },
       send self (Token self) )
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     Format.fprintf ppf "{part=%b leader=%s}" s.participating
       (match s.leader with None -> "-" | Some l -> string_of_int l)

@@ -62,6 +62,8 @@ module Make (C : CONFIG) = struct
     let state' = min C.max_state (state + 1) in
     (state', sends self state (-1))
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state = Format.pp_print_int
   let pp_message ppf k = Format.fprintf ppf "m%d" k
   let pp_action ppf () = Format.pp_print_string ppf "start"

@@ -99,6 +99,8 @@ module Make (C : CONFIG) = struct
         ( { state with has_token = true; regenerations = state.regenerations + 1 },
           [] )
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     Format.fprintf ppf "{%s%s%s%s}"
       (if s.has_token then "T" else "-")

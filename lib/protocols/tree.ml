@@ -42,6 +42,8 @@ module Make (C : CONFIG) = struct
 
   let handle_action ~self _state () = (Sent, forward self)
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf = function
     | Waiting -> Format.pp_print_char ppf '-'
     | Sent -> Format.pp_print_char ppf 's'

@@ -115,6 +115,8 @@ module Make (C : CONFIG) = struct
   let handle_action ~self state () =
     ({ state with coord = C_preparing }, to_participants self Prepare)
 
+  let on_recover = Dsm.Protocol.default_on_recover
+
   let pp_state ppf s =
     let c =
       match s.coord with

@@ -5,6 +5,7 @@ module Make (P : Dsm.Protocol.S) = struct
     timer_min : float;
     timer_max : float;
     action_prob : (Dsm.Node_id.t -> P.action -> float) option;
+    faults : Fault.Plan.t;
   }
 
   let default_config =
@@ -14,9 +15,17 @@ module Make (P : Dsm.Protocol.S) = struct
       timer_min = 0.5;
       timer_max = 1.5;
       action_prob = None;
+      faults = Fault.Plan.empty;
     }
 
-  type event = Deliver of P.message Dsm.Envelope.t | Tick of Dsm.Node_id.t
+  (* Ticks carry the epoch they were scheduled in: a crash bumps the
+     node's epoch, so timers pending from before the crash fire into
+     the void and the recovery schedules a fresh one. *)
+  type event =
+    | Deliver of P.message Dsm.Envelope.t
+    | Tick of Dsm.Node_id.t * int
+    | Crash of Dsm.Node_id.t
+    | Recover of Dsm.Node_id.t * Fault.Plan.persistence
 
   (* Metric handles resolved once at [create]; see the LMC checker for
      the cost model. *)
@@ -25,6 +34,9 @@ module Make (P : Dsm.Protocol.S) = struct
     c_events : Obs.Metrics.counter;
     c_sent : Obs.Metrics.counter;
     c_dropped : Obs.Metrics.counter;
+    c_faults : Obs.Metrics.counter;
+    c_fault_drops : Obs.Metrics.counter;
+    c_duplicated : Obs.Metrics.counter;
   }
 
   let make_obs_handles scope =
@@ -33,6 +45,9 @@ module Make (P : Dsm.Protocol.S) = struct
       c_events = Obs.counter scope "sim.events";
       c_sent = Obs.counter scope "sim.messages_sent";
       c_dropped = Obs.counter scope "sim.messages_dropped";
+      c_faults = Obs.counter scope "sim.fault_events";
+      c_fault_drops = Obs.counter scope "sim.fault_drops";
+      c_duplicated = Obs.counter scope "sim.messages_duplicated";
     }
 
   type t = {
@@ -44,22 +59,42 @@ module Make (P : Dsm.Protocol.S) = struct
     queue : event Event_queue.t;
     node_rng : Rng.t array;
     link_rng : Rng.t;
+    fault_rng : Rng.t;
+        (* probabilistic fault decisions draw here, never from the
+           link/node streams: an empty plan leaves the base run's
+           random choices bit-identical *)
+    injecting : bool;  (* plan non-empty; gates all fault work *)
+    fault_roll : unit -> float;
+        (* the fault stream's roll, allocated once: [send] is the hot
+           path and must not build a closure per message *)
+    up : bool array;
+    tick_epoch : int array;
     mutable clock : float;
     mutable events_executed : int;
     mutable messages_sent : int;
     mutable messages_dropped : int;
+    mutable fault_events : int;
+    mutable fault_drops : int;
+    mutable messages_duplicated : int;
   }
 
   let schedule_tick t n =
     let rng = t.node_rng.(n) in
     let delay = Rng.range rng t.config.timer_min t.config.timer_max in
-    Event_queue.push t.queue ~time:(t.clock +. delay) (Tick n)
+    Event_queue.push t.queue ~time:(t.clock +. delay)
+      (Tick (n, t.tick_epoch.(n)))
 
   let create ?(obs = Obs.null) ?(trace = Obs.Trace.null) config =
     if config.timer_min <= 0. || config.timer_max < config.timer_min then
       invalid_arg "Live_sim.create: need 0 < timer_min <= timer_max";
+    (match Fault.Plan.validate ~num_nodes:P.num_nodes config.faults with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Live_sim.create: " ^ e));
     let root = Rng.create ~seed:config.seed in
     let node_rng = Array.init P.num_nodes (fun _ -> Rng.split root) in
+    let link_rng = Rng.split root in
+    (* split last: pre-fault seeds reproduce their exact old runs *)
+    let fault_rng = Rng.split root in
     let t =
       {
         config;
@@ -69,14 +104,29 @@ module Make (P : Dsm.Protocol.S) = struct
         states = Dsm.Protocol.initial_system (module P);
         queue = Event_queue.create ();
         node_rng;
-        link_rng = Rng.split root;
+        link_rng;
+        fault_rng;
+        injecting = not (Fault.Plan.is_empty config.faults);
+        fault_roll = (fun () -> Rng.float fault_rng);
+        up = Array.make P.num_nodes true;
+        tick_epoch = Array.make P.num_nodes 0;
         clock = 0.;
         events_executed = 0;
         messages_sent = 0;
         messages_dropped = 0;
+        fault_events = 0;
+        fault_drops = 0;
+        messages_duplicated = 0;
       }
     in
     List.iter (fun n -> schedule_tick t n) (Dsm.Node_id.all P.num_nodes);
+    List.iter
+      (fun (time, ev) ->
+        Event_queue.push t.queue ~time
+          (match ev with
+          | `Crash n -> Crash n
+          | `Recover (n, p) -> Recover (n, p)))
+      (Fault.Plan.node_events config.faults);
     t
 
   let now t = t.clock
@@ -84,6 +134,12 @@ module Make (P : Dsm.Protocol.S) = struct
   let states t = Array.copy t.states
 
   let snapshot t = Snapshot.make ~time:t.clock t.states
+
+  let push_delivery t env extra =
+    let latency =
+      Net.Lossy_link.latency t.config.link ~roll:(Rng.float t.link_rng)
+    in
+    Event_queue.push t.queue ~time:(t.clock +. latency +. extra) (Deliver env)
 
   let send t (env : P.message Dsm.Envelope.t) =
     t.messages_sent <- t.messages_sent + 1;
@@ -93,11 +149,30 @@ module Make (P : Dsm.Protocol.S) = struct
       t.messages_dropped <- t.messages_dropped + 1;
       Obs.Metrics.incr t.o.c_dropped
     end
+    else if not t.injecting then push_delivery t env 0.
     else begin
-      let latency =
-        Net.Lossy_link.latency t.config.link ~roll:(Rng.float t.link_rng)
+      let fate =
+        Fault.Plan.message_fate t.config.faults ~time:t.clock
+          ~roll:t.fault_roll
       in
-      Event_queue.push t.queue ~time:(t.clock +. latency) (Deliver env)
+      if fate.Fault.Plan.corrupt then begin
+        (* payload corruption: the receiver's checksum rejects it *)
+        t.fault_drops <- t.fault_drops + 1;
+        Obs.Metrics.incr t.o.c_fault_drops
+      end
+      else begin
+        push_delivery t env fate.Fault.Plan.extra_latency;
+        if fate.Fault.Plan.duplicate then begin
+          t.messages_duplicated <- t.messages_duplicated + 1;
+          Obs.Metrics.incr t.o.c_duplicated;
+          (* the copy rolls its own latency, from the fault stream *)
+          let latency =
+            Net.Lossy_link.latency t.config.link
+              ~roll:(Rng.float t.fault_rng)
+          in
+          Event_queue.push t.queue ~time:(t.clock +. latency) (Deliver env)
+        end
+      end
     end
 
   let apply t node run =
@@ -124,32 +199,81 @@ module Make (P : Dsm.Protocol.S) = struct
            ("label", Dsm.Json.String label);
          ])
 
+  let count_fault_drop t ~node ~src ~why env =
+    t.fault_drops <- t.fault_drops + 1;
+    Obs.Metrics.incr t.o.c_fault_drops;
+    if t.tracing then
+      record_live t ~kind:"fault_drop" ~node ~src
+        ~label:
+          (Format.asprintf "%s %a" why P.pp_message env.Dsm.Envelope.payload)
+
+  let count_fault t = t.fault_events <- t.fault_events + 1;
+    Obs.Metrics.incr t.o.c_faults
+
   let execute t = function
     | Deliver env ->
         let node = env.Dsm.Envelope.dst in
+        if t.injecting && not t.up.(node) then
+          count_fault_drop t ~node ~src:env.Dsm.Envelope.src ~why:"crashed"
+            env
+        else if
+          t.injecting
+          && Fault.Plan.partitioned t.config.faults ~time:t.clock
+               ~src:env.Dsm.Envelope.src ~dst:node
+        then
+          count_fault_drop t ~node ~src:env.Dsm.Envelope.src
+            ~why:"partitioned" env
+        else begin
+          if t.tracing then
+            record_live t ~kind:"deliver" ~node ~src:env.Dsm.Envelope.src
+              ~label:
+                (Format.asprintf "%a" P.pp_message env.Dsm.Envelope.payload);
+          apply t node (fun () ->
+              P.handle_message ~self:node t.states.(node) env)
+        end
+    | Tick (n, epoch) ->
+        if epoch = t.tick_epoch.(n) then begin
+          match P.enabled_actions ~self:n t.states.(n) with
+          | [] -> schedule_tick t n
+          | actions ->
+              let action = Rng.pick t.node_rng.(n) actions in
+              let fires =
+                match t.config.action_prob with
+                | None -> true
+                | Some prob -> Rng.bool t.node_rng.(n) ~prob:(prob n action)
+              in
+              if fires then begin
+                if t.tracing then
+                  record_live t ~kind:"action" ~node:n ~src:(-1)
+                    ~label:(Format.asprintf "%a" P.pp_action action);
+                apply t n (fun () ->
+                    P.handle_action ~self:n t.states.(n) action)
+              end;
+              schedule_tick t n
+        end
+    | Crash n ->
+        count_fault t;
+        t.up.(n) <- false;
+        t.tick_epoch.(n) <- t.tick_epoch.(n) + 1;
         if t.tracing then
-          record_live t ~kind:"deliver" ~node ~src:env.Dsm.Envelope.src
+          record_live t ~kind:"crash" ~node:n ~src:(-1) ~label:"crash"
+    | Recover (n, persistence) ->
+        count_fault t;
+        t.up.(n) <- true;
+        t.tick_epoch.(n) <- t.tick_epoch.(n) + 1;
+        t.states.(n) <-
+          (match persistence with
+          | Fault.Plan.Full -> t.states.(n)
+          | Fault.Plan.Volatile -> P.initial n
+          | Fault.Plan.Hook -> P.on_recover ~self:n t.states.(n));
+        if t.tracing then
+          record_live t ~kind:"recover" ~node:n ~src:(-1)
             ~label:
-              (Format.asprintf "%a" P.pp_message env.Dsm.Envelope.payload);
-        apply t node (fun () -> P.handle_message ~self:node t.states.(node) env)
-    | Tick n -> (
-        match P.enabled_actions ~self:n t.states.(n) with
-        | [] -> schedule_tick t n
-        | actions ->
-            let action = Rng.pick t.node_rng.(n) actions in
-            let fires =
-              match t.config.action_prob with
-              | None -> true
-              | Some prob ->
-                  Rng.bool t.node_rng.(n) ~prob:(prob n action)
-            in
-            if fires then begin
-              if t.tracing then
-                record_live t ~kind:"action" ~node:n ~src:(-1)
-                  ~label:(Format.asprintf "%a" P.pp_action action);
-              apply t n (fun () -> P.handle_action ~self:n t.states.(n) action)
-            end;
-            schedule_tick t n)
+              (match persistence with
+              | Fault.Plan.Full -> "recover full"
+              | Fault.Plan.Volatile -> "recover volatile"
+              | Fault.Plan.Hook -> "recover hook");
+        schedule_tick t n
 
   let heartbeat t =
     Obs.heartbeat t.o.scope (fun () ->
@@ -184,4 +308,7 @@ module Make (P : Dsm.Protocol.S) = struct
   let events_executed t = t.events_executed
   let messages_sent t = t.messages_sent
   let messages_dropped t = t.messages_dropped
+  let fault_events t = t.fault_events
+  let fault_drops t = t.fault_drops
+  let messages_duplicated t = t.messages_duplicated
 end

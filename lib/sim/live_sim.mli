@@ -4,7 +4,15 @@
     5.5/5.6: nodes run the protocol state machine, messages cross a
     lossy link with random latency, and a per-node timer periodically
     fires one enabled internal action (the application/test driver).
-    Everything is driven by a seeded {!Rng}, so runs replay exactly. *)
+    Everything is driven by a seeded {!Rng}, so runs replay exactly.
+
+    A {!Fault.Plan.t} in the config injects environment faults as
+    ordinary events on the same queue: crash/recovery of nodes (with
+    configurable persistence), partitions, duplication, bounded
+    reordering, and corruption-as-drop.  Fault randomness draws from a
+    dedicated stream split off the same seed, so an empty plan leaves
+    the base run bit-identical and a non-empty plan is itself exactly
+    replayable (same seed + same plan = same trace). *)
 
 module Make (P : Dsm.Protocol.S) : sig
   type config = {
@@ -17,10 +25,13 @@ module Make (P : Dsm.Protocol.S) : sig
             fires; [None] means always.  Models drivers like §5.6's
             fault detector, which the application "triggers with the
             probability of 0.1". *)
+    faults : Fault.Plan.t;
+        (** deterministic fault schedule; {!Fault.Plan.empty} (the
+            default) injects nothing and costs nothing *)
   }
 
   (** Sensible defaults: seed 42, reliable link, ticks in [0.5, 1.5],
-      actions always fire. *)
+      actions always fire, no faults. *)
   val default_config : config
 
   type t
@@ -53,5 +64,15 @@ module Make (P : Dsm.Protocol.S) : sig
 
   val messages_sent : t -> int
 
+  (** Dropped by the lossy link's own Bernoulli loss. *)
   val messages_dropped : t -> int
+
+  (** Executed crash/recover events from the fault plan. *)
+  val fault_events : t -> int
+
+  (** Messages destroyed by the plan: corruption, delivery to a
+      crashed node, or an active partition. *)
+  val fault_drops : t -> int
+
+  val messages_duplicated : t -> int
 end

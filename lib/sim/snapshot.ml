@@ -6,3 +6,40 @@ let make ~time states =
 
 let initial (type s) (module P : Dsm.Protocol.S with type state = s) =
   { time = 0.; states = Dsm.Protocol.initial_system (module P) }
+
+type error = Corrupt_snapshot of string
+
+let pp_error ppf (Corrupt_snapshot why) =
+  Format.fprintf ppf "corrupt snapshot: %s" why
+
+(* Wire format: an 8-byte magic, the 16-byte MD5 of the payload, then
+   the marshalled snapshot.  The digest is checked before any byte
+   reaches [Marshal], so a torn or bit-flipped snapshot surfaces as a
+   typed [Corrupt_snapshot] instead of a segfault-adjacent
+   [Marshal.from_string] failure. *)
+let magic = "lmcsnp01"
+
+let to_string snapshot =
+  let payload = Marshal.to_string snapshot [] in
+  let digest = Digest.string payload in
+  magic ^ digest ^ payload
+
+let of_string s =
+  let mlen = String.length magic in
+  let hlen = mlen + 16 in
+  if String.length s < hlen then
+    Error (Corrupt_snapshot "truncated header")
+  else if String.sub s 0 mlen <> magic then
+    Error (Corrupt_snapshot "bad magic")
+  else
+    let digest = String.sub s mlen 16 in
+    let payload = String.sub s hlen (String.length s - hlen) in
+    if not (String.equal (Digest.string payload) digest) then
+      Error (Corrupt_snapshot "digest mismatch")
+    else
+      match (Marshal.from_string payload 0 : 'state t) with
+      | snapshot ->
+          if Array.length snapshot.states = 0 then
+            Error (Corrupt_snapshot "empty snapshot")
+          else Ok snapshot
+      | exception _ -> Error (Corrupt_snapshot "unmarshal failure")

@@ -13,3 +13,23 @@ val make : time:float -> 'state array -> 'state t
 
 (** Initial-system snapshot at time 0, for offline checking. *)
 val initial : (module Dsm.Protocol.S with type state = 's) -> 's t
+
+(** {2 Checksummed transport encoding}
+
+    In the CrystalBall deployment a snapshot crosses a wire from the
+    live node to the checker; a torn or corrupted capture must fail
+    loudly and typed, not somewhere inside [Marshal]. *)
+
+type error = Corrupt_snapshot of string  (** carries a diagnostic *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Marshal with an integrity header (magic + MD5 digest). *)
+val to_string : 'state t -> string
+
+(** Verify the header and digest {e before} unmarshalling; every
+    failure mode (truncation, bad magic, bit flips, unmarshalable
+    payload) comes back as [Error (Corrupt_snapshot reason)].  Type
+    safety is the caller's promise, as with any [Marshal] read: the
+    string must encode a snapshot of the expected state type. *)
+val of_string : string -> ('state t, error) result

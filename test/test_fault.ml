@@ -1,0 +1,319 @@
+(* Tests for the fault-injection subsystem: plan DSL round-trips and
+   diagnostics, the pure injection queries, Live_sim fault events, and
+   the determinism contract — same seed + same plan is bit-identical,
+   and a hunt under faults records identical streams at any --domains
+   count. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------- plan DSL ---------- *)
+
+let parse s =
+  match Fault.Plan.of_string s with
+  | Ok p -> p
+  | Error e -> fail (Printf.sprintf "parse %S: %s" s e)
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = parse s in
+      let printed = Fault.Plan.to_string p in
+      let p' = parse printed in
+      check Alcotest.string
+        (Printf.sprintf "round-trip %s" s)
+        printed (Fault.Plan.to_string p'))
+    [
+      "crash:node=0,at=40";
+      "crash:node=0,at=40,recover=60,persist=volatile";
+      "crash:node=2,at=1.5,recover=2.5,persist=full";
+      "part:from=10,until=30,cut=0+1/2";
+      "dup:p=0.1";
+      "reorder:p=0.3,window=2";
+      "corrupt:p=0.05,from=5,until=50";
+      "crash:node=1,at=5;dup:p=0.5;corrupt:p=1";
+    ]
+
+let test_diagnostics () =
+  List.iter
+    (fun s ->
+      match Fault.Plan.of_string s with
+      | Ok _ -> fail (Printf.sprintf "accepted %S" s)
+      | Error e ->
+          check Alcotest.bool
+            (Printf.sprintf "diagnostic for %S non-empty" s)
+            true
+            (String.length e > 0))
+    [
+      "boom:p=1" (* unknown clause kind *);
+      "dup:p=2" (* probability out of range *);
+      "dup:p=0.1,zap=3" (* unknown key *);
+      "part:from=1,cut=0/1" (* partition without until *);
+      "part:from=1,until=2,cut=0+1" (* fewer than two groups *);
+      "crash:node=0,at=1,persist=wat" (* bad persistence mode *);
+    ]
+
+let test_validate () =
+  let p = parse "crash:node=9,at=1" in
+  (match Fault.Plan.validate ~num_nodes:3 p with
+  | Ok () -> fail "node 9 accepted for a 3-node instance"
+  | Error _ -> ());
+  match Fault.Plan.validate ~num_nodes:3 (parse "crash:node=2,at=1") with
+  | Ok () -> ()
+  | Error e -> fail e
+
+let test_node_events_sorted () =
+  let p = parse "crash:node=1,at=50,recover=60;crash:node=0,at=10" in
+  match Fault.Plan.node_events p with
+  | [ (10., `Crash 0); (50., `Crash 1); (60., `Recover (1, Fault.Plan.Hook)) ]
+    ->
+      ()
+  | evs -> fail (Printf.sprintf "unexpected schedule (%d events)" (List.length evs))
+
+let test_partitioned_window () =
+  let p = parse "part:from=10,until=30,cut=0+1/2" in
+  let cut ~time ~src ~dst = Fault.Plan.partitioned p ~time ~src ~dst in
+  check Alcotest.bool "cut inside window" true (cut ~time:20. ~src:0 ~dst:2);
+  check Alcotest.bool "cut is symmetric" true (cut ~time:20. ~src:2 ~dst:1);
+  check Alcotest.bool "same group stays connected" false
+    (cut ~time:20. ~src:0 ~dst:1);
+  check Alcotest.bool "before the window" false (cut ~time:5. ~src:0 ~dst:2);
+  check Alcotest.bool "window end exclusive" false
+    (cut ~time:30. ~src:0 ~dst:2)
+
+let test_message_fate_rolls () =
+  (* one roll per active probabilistic clause, in plan order *)
+  let p = parse "dup:p=0;corrupt:p=0" in
+  let rolls = ref 0 in
+  let roll () =
+    incr rolls;
+    0.9
+  in
+  let fate = Fault.Plan.message_fate p ~time:1.0 ~roll in
+  check Alcotest.int "two clauses, two rolls" 2 !rolls;
+  check Alcotest.bool "nothing fired" true
+    ((not fate.Fault.Plan.corrupt)
+    && (not fate.Fault.Plan.duplicate)
+    && fate.Fault.Plan.extra_latency = 0.);
+  let certain = parse "corrupt:p=1" in
+  let fate = Fault.Plan.message_fate certain ~time:1.0 ~roll:(fun () -> 0.5) in
+  check Alcotest.bool "corruption fires at p=1" true fate.Fault.Plan.corrupt;
+  let dup = parse "dup:p=1" in
+  let fate = Fault.Plan.message_fate dup ~time:1.0 ~roll:(fun () -> 0.5) in
+  check Alcotest.bool "duplication fires at p=1" true fate.Fault.Plan.duplicate;
+  let reorder = parse "reorder:p=1,window=2" in
+  let fate =
+    Fault.Plan.message_fate reorder ~time:1.0 ~roll:(fun () -> 0.25)
+  in
+  check Alcotest.bool "reorder adds latency" true
+    (fate.Fault.Plan.extra_latency > 0.);
+  (* an inactive window consumes no rolls *)
+  let windowed = parse "corrupt:p=1,from=10,until=20" in
+  let rolls = ref 0 in
+  let fate =
+    Fault.Plan.message_fate windowed ~time:5.0
+      ~roll:(fun () ->
+        incr rolls;
+        0.0)
+  in
+  check Alcotest.int "inactive clause rolls nothing" 0 !rolls;
+  check Alcotest.bool "inactive clause is a no-op" false fate.Fault.Plan.corrupt
+
+(* ---------- live-sim injection ---------- *)
+
+module Ping = Protocols.Ping.Make (struct
+  let num_servers = 2
+end)
+
+module S = Sim.Live_sim.Make (Ping)
+
+let sim_config ?(seed = 11) ?(drop = 0.0) faults =
+  {
+    S.seed;
+    link =
+      Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
+        ();
+    timer_min = 0.5;
+    timer_max = 1.5;
+    action_prob = None;
+    faults;
+  }
+
+let test_empty_plan_no_fault_work () =
+  let sim = S.create (sim_config Fault.Plan.empty) in
+  S.run_until sim 50.0;
+  check Alcotest.bool "traffic flowed" true (S.messages_sent sim > 0);
+  check Alcotest.int "no fault events" 0 (S.fault_events sim);
+  check Alcotest.int "no fault drops" 0 (S.fault_drops sim);
+  check Alcotest.int "no duplicates" 0 (S.messages_duplicated sim)
+
+let test_crash_recover_events () =
+  let sim = S.create (sim_config (parse "crash:node=0,at=5,recover=9")) in
+  S.run_until sim 20.0;
+  check Alcotest.int "crash + recover executed" 2 (S.fault_events sim);
+  let stopped = S.create (sim_config (parse "crash:node=0,at=5")) in
+  S.run_until stopped 20.0;
+  check Alcotest.int "crash-stop executes once" 1 (S.fault_events stopped)
+
+let test_duplication_and_corruption () =
+  let dup = S.create (sim_config (parse "dup:p=1")) in
+  S.run_until dup 30.0;
+  check Alcotest.bool "duplicates counted" true
+    (S.messages_duplicated dup > 0);
+  let corrupt = S.create (sim_config (parse "corrupt:p=1")) in
+  S.run_until corrupt 30.0;
+  check Alcotest.bool "corrupted sends dropped" true (S.fault_drops corrupt > 0)
+
+let test_partition_drops () =
+  let sim = S.create (sim_config (parse "part:from=0,until=1000,cut=0/1+2")) in
+  S.run_until sim 30.0;
+  check Alcotest.bool "cut traffic dropped at delivery" true
+    (S.fault_drops sim > 0)
+
+(* ---------- determinism ---------- *)
+
+(* Same seed + same plan: bit-identical states, counters, and live
+   trace records.  The plan is drawn from a small generator covering
+   every clause kind. *)
+let plan_gen =
+  QCheck.Gen.(
+    let* crash_at = int_range 1 20 in
+    let* crash_len = int_range 1 10 in
+    let* node = int_range 0 2 in
+    let* persist = oneofl [ "hook"; "full"; "volatile" ] in
+    let* dup_p = int_range 0 10 in
+    let* corrupt_p = int_range 0 10 in
+    let* reorder_p = int_range 0 10 in
+    return
+      (Printf.sprintf
+         "crash:node=%d,at=%d,recover=%d,persist=%s;dup:p=0.%d;corrupt:p=0.%d;reorder:p=0.%d,window=2"
+         node crash_at (crash_at + crash_len) persist dup_p corrupt_p
+         reorder_p))
+
+let run_fingerprint ~seed plan_str =
+  let sink, events = Obs.Sink.memory () in
+  let trace = Obs.Trace.of_sink sink in
+  let sim = S.create ~trace (sim_config ~seed ~drop:0.2 (parse plan_str)) in
+  S.run_until sim 40.0;
+  Obs.Trace.close trace;
+  let records =
+    List.map
+      (fun (e : Obs.Sink.event) -> Dsm.Json.to_string (Dsm.Json.Obj e.Obs.Sink.fields))
+      (events ())
+  in
+  ( Dsm.Fingerprint.of_value (S.states sim),
+    ( S.events_executed sim,
+      S.messages_sent sim,
+      S.fault_events sim,
+      S.fault_drops sim,
+      S.messages_duplicated sim ),
+    records )
+
+let prop_same_seed_same_plan_identical =
+  QCheck.Test.make ~count:20 ~name:"same seed + same plan = identical run"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 0 1000) plan_gen)
+       ~print:(fun (seed, plan) -> Printf.sprintf "seed=%d plan=%s" seed plan))
+    (fun (seed, plan) ->
+      let fp1, counters1, records1 = run_fingerprint ~seed plan in
+      let fp2, counters2, records2 = run_fingerprint ~seed plan in
+      Dsm.Fingerprint.equal fp1 fp2 && counters1 = counters2
+      && records1 = records2)
+
+(* ---------- hunt under faults: domain-count determinism ---------- *)
+
+module PB_cr = Protocols.Pb_store.Make (struct
+  let key = 7
+  let value = 42
+  let bug = Protocols.Pb_store.Lose_acked_writes_on_recovery
+end)
+
+module O = Online.Online_mc.Make (PB_cr) (PB_cr)
+module Sim_pb = Sim.Live_sim.Make (PB_cr)
+
+let hunt_trace ~domains =
+  let sink, events = Obs.Sink.memory () in
+  let trace = Obs.Trace.of_sink sink in
+  let config =
+    {
+      O.sim =
+        {
+          Sim_pb.seed = 7;
+          link =
+            Net.Lossy_link.create ~drop_prob:0.1 ~latency_min:0.05
+              ~latency_max:0.3 ();
+          timer_min = 1.0;
+          timer_max = 4.0;
+          action_prob = None;
+          faults = parse "crash:node=0,at=5,recover=7;dup:p=0.1";
+        };
+      check_interval = 1.0;
+      max_live_time = 60.0;
+      (* deterministic budgets only: a wall-clock limit would truncate
+         restarts at machine-speed-dependent points *)
+      checker =
+        {
+          O.Checker.default_config with
+          max_transitions = Some 100_000;
+          crash_budget = 1;
+          domains;
+          trace;
+        };
+      action_bounds = [ 1; 2 ];
+      steer = false;
+      steer_scope = `Exact_action;
+      supervisor = O.default_supervisor;
+    }
+  in
+  let outcome = O.run config ~strategy:O.Checker.General ~invariant:PB_cr.read_your_writes in
+  Obs.Trace.close trace;
+  ( outcome,
+    List.filter_map
+      (fun (e : Obs.Sink.event) ->
+        match List.assoc_opt "ev" e.Obs.Sink.fields with
+        | Some (Dsm.Json.String "step") ->
+            Some (Dsm.Json.to_string (Dsm.Json.Obj e.Obs.Sink.fields))
+        | _ -> None)
+      (events ()) )
+
+let test_fault_hunt_deterministic_across_domains () =
+  let outcome1, steps1 = hunt_trace ~domains:1 in
+  let outcome2, steps2 = hunt_trace ~domains:2 in
+  check Alcotest.bool "bug found at 1 domain" true (outcome1.O.report <> None);
+  check Alcotest.bool "bug found at 2 domains" true (outcome2.O.report <> None);
+  check Alcotest.bool "steps recorded" true (List.length steps1 > 0);
+  check
+    Alcotest.(list string)
+    "identical step records at 1 vs 2 domains" steps1 steps2
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "DSL round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "diagnostics" `Quick test_diagnostics;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "node events sorted" `Quick
+            test_node_events_sorted;
+          Alcotest.test_case "partition window" `Quick test_partitioned_window;
+          Alcotest.test_case "message fate rolls" `Quick
+            test_message_fate_rolls;
+        ] );
+      ( "live-sim",
+        [
+          Alcotest.test_case "empty plan, no fault work" `Quick
+            test_empty_plan_no_fault_work;
+          Alcotest.test_case "crash/recover events" `Quick
+            test_crash_recover_events;
+          Alcotest.test_case "duplication and corruption" `Quick
+            test_duplication_and_corruption;
+          Alcotest.test_case "partition drops" `Quick test_partition_drops;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_same_seed_same_plan_identical;
+          Alcotest.test_case "fault hunt identical at 1/2 domains" `Slow
+            test_fault_hunt_deterministic_across_domains;
+        ] );
+    ]

@@ -222,6 +222,28 @@ let test_fixture_dead () =
     (module Protocols.Lint_fixtures.Dead_letter)
     R.Dead_message "Noise"
 
+let test_fixture_flaky_recovery () =
+  expect_fixture
+    (module Protocols.Lint_fixtures.Flaky_recovery)
+    R.Nondeterministic_recovery "on_recover(node 0)"
+
+(* The crash-recovery pb-store variant must lint clean under
+   message-only exploration (the defect is reachable only through a
+   crash), and in particular its [on_recover] must pass the recovery
+   audit: deterministic, and canonical — recovered states digest like
+   their message-reachable twins. *)
+let test_crash_variant_recovery_clean () =
+  match
+    run_lint
+      (module Protocols.Pb_store.Make (struct
+        let key = 7
+        let value = 42
+        let bug = Protocols.Pb_store.Lose_acked_writes_on_recovery
+      end))
+  with
+  | [] -> ()
+  | f :: _ -> fail (Format.asprintf "unexpected finding: %a" R.pp_finding f)
+
 (* ------------------------------------------------------------------ *)
 (* Sanitize: bundled correct protocols lint clean                      *)
 (* ------------------------------------------------------------------ *)
@@ -486,6 +508,10 @@ let () =
           Alcotest.test_case "noncanonical state" `Quick
             test_fixture_noncanon;
           Alcotest.test_case "dead message" `Quick test_fixture_dead;
+          Alcotest.test_case "flaky recovery" `Quick
+            test_fixture_flaky_recovery;
+          Alcotest.test_case "crash variant recovers clean" `Quick
+            test_crash_variant_recovery_clean;
         ] );
       ( "sanitize-clean",
         Alcotest.test_case "bundled correct protocols" `Quick

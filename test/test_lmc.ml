@@ -82,7 +82,9 @@ let test_primer_sound_violation_confirmed () =
               let node = env.Dsm.Envelope.dst in
               let s', out = Tree.handle_message ~self:node states.(node) env in
               states.(node) <- s';
-              net := Net.Multiset.add_list out !net)
+              net := Net.Multiset.add_list out !net
+          | Dsm.Trace.Crash n ->
+              states.(n) <- Tree.on_recover ~self:n states.(n))
         v.schedule;
       check Alcotest.bool "replay reaches the reported state" true
         (states.(0) = v.system.(0) && states.(4) = v.system.(4))

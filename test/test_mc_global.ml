@@ -87,7 +87,9 @@ let test_violation_reported_with_trace () =
               let node = env.Dsm.Envelope.dst in
               let s', out = Tree.handle_message ~self:node states.(node) env in
               states.(node) <- s';
-              net := Net.Multiset.add_list out !net)
+              net := Net.Multiset.add_list out !net
+          | Dsm.Trace.Crash n ->
+              states.(n) <- Tree.on_recover ~self:n states.(n))
         v.trace;
       check Alcotest.bool "replayed state matches report" true
         (states = v.system);

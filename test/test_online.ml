@@ -49,7 +49,7 @@ let buggy_config ~max_live_time =
   {
     Online_buggy.sim =
       { Sim_buggy.seed = 7; link = lossy (); timer_min = 2.0; timer_max = 20.0;
-        action_prob = None };
+        action_prob = None; faults = Fault.Plan.empty };
     check_interval = 30.0;
     max_live_time;
     checker =
@@ -61,6 +61,7 @@ let buggy_config ~max_live_time =
     action_bounds = [ 1; 2 ];
     steer = false;
     steer_scope = `Exact_action;
+    supervisor = Online_buggy.default_supervisor;
   }
 
 let strategy_buggy =
@@ -100,7 +101,7 @@ let test_correct_paxos_quiet () =
     {
       Online_fixed.sim =
         { Sim_fixed.seed = 7; link = lossy (); timer_min = 2.0;
-          timer_max = 20.0; action_prob = None };
+          timer_max = 20.0; action_prob = None; faults = Fault.Plan.empty };
       check_interval = 30.0;
       max_live_time = 120.0;
       checker =
@@ -112,6 +113,7 @@ let test_correct_paxos_quiet () =
       action_bounds = [ 1 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = Online_fixed.default_supervisor;
     }
   in
   let strategy =
@@ -158,6 +160,7 @@ let test_steering_prevents_live_violation () =
                 match a with
                 | Protocols.Onepaxos.Claim_leadership -> 0.1
                 | _ -> 1.0);
+          faults = Fault.Plan.empty;
         };
       check_interval = 5.0;
       max_live_time = 120.0;
@@ -170,6 +173,7 @@ let test_steering_prevents_live_violation () =
       action_bounds = [ 1; 2 ];
       steer;
       steer_scope = `Node;
+      supervisor = O.default_supervisor;
     }
   in
   let strategy =
@@ -181,6 +185,159 @@ let test_steering_prevents_live_violation () =
   check Alcotest.bool "vetoes installed" true (steered.vetoed <> []);
   check Alcotest.bool "live system never violated" true
     (steered.live_violation_time = None)
+
+(* ---------- supervised loop (hardening) ---------- *)
+
+(* A throwing abstraction function fails every Checker.run attempt
+   while leaving the live loop's own invariant evaluation untouched
+   (the abstraction is only ever called inside the checker). *)
+let test_survives_checker_failure () =
+  let calls = ref 0 in
+  let strategy =
+    Online_fixed.Checker.Invariant_specific
+      {
+        abstract =
+          (fun s ->
+            incr calls;
+            if !calls <= 1 then failwith "injected checker failure";
+            Check_fixed.abstraction s);
+        conflict = Check_fixed.conflicts;
+      }
+  in
+  let config =
+    {
+      Online_fixed.sim =
+        { Sim_fixed.seed = 7; link = lossy (); timer_min = 2.0;
+          timer_max = 20.0; action_prob = None; faults = Fault.Plan.empty };
+      check_interval = 30.0;
+      max_live_time = 60.0;
+      checker =
+        {
+          Online_fixed.Checker.default_config with
+          time_limit = Some 3.0;
+          max_transitions = Some 50_000;
+        };
+      action_bounds = [ 1 ];
+      steer = false;
+      steer_scope = `Exact_action;
+      supervisor =
+        {
+          Online_fixed.default_supervisor with
+          Online_fixed.max_retries = 2;
+          backoff_base_ms = 1;
+          backoff_cap_ms = 2;
+        };
+    }
+  in
+  let outcome =
+    Online_fixed.run config ~strategy ~invariant:Check_fixed.safety
+  in
+  check Alcotest.bool "loop survived the injected failure" true
+    (outcome.total_checks >= 2);
+  check Alcotest.bool "failure recorded as degradation" true
+    (List.mem "checker_failure" outcome.degradations);
+  check Alcotest.bool "retry recovered, no permanent failure" false
+    (List.mem "checker_failed_permanently" outcome.degradations);
+  check Alcotest.bool "no false positive" true (outcome.report = None)
+
+let test_survives_permanent_checker_failure () =
+  let strategy =
+    Online_fixed.Checker.Invariant_specific
+      {
+        abstract = (fun _ -> failwith "checker always dies");
+        conflict = Check_fixed.conflicts;
+      }
+  in
+  let config =
+    {
+      Online_fixed.sim =
+        { Sim_fixed.seed = 7; link = lossy (); timer_min = 2.0;
+          timer_max = 20.0; action_prob = None; faults = Fault.Plan.empty };
+      check_interval = 30.0;
+      max_live_time = 120.0;
+      checker =
+        {
+          Online_fixed.Checker.default_config with
+          time_limit = Some 3.0;
+          max_transitions = Some 50_000;
+        };
+      action_bounds = [ 1 ];
+      steer = false;
+      steer_scope = `Exact_action;
+      supervisor =
+        {
+          Online_fixed.default_supervisor with
+          Online_fixed.max_retries = 0;
+          backoff_base_ms = 1;
+          backoff_cap_ms = 2;
+        };
+    }
+  in
+  let outcome =
+    Online_fixed.run config ~strategy ~invariant:Check_fixed.safety
+  in
+  check Alcotest.bool "every restart degraded" true
+    (List.mem "checker_failed_permanently" outcome.degradations);
+  check Alcotest.bool "degradation escalates to the last tier" true
+    (outcome.final_tier = 3);
+  check Alcotest.bool "loop still ran to its live budget" true
+    (outcome.total_checks >= 3)
+
+let test_survives_corrupt_snapshot () =
+  let tampered = ref 0 in
+  let config =
+    {
+      (buggy_config ~max_live_time:600.0) with
+      Online_buggy.supervisor =
+        {
+          Online_buggy.default_supervisor with
+          Online_buggy.checksum_snapshots = true;
+          snapshot_tamper =
+            Some
+              (fun wire ->
+                if !tampered > 0 then wire
+                else begin
+                  incr tampered;
+                  (* flip one payload byte: the digest must catch it *)
+                  let b = Bytes.of_string wire in
+                  let i = String.length wire - 1 in
+                  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+                  Bytes.to_string b
+                end);
+        };
+    }
+  in
+  let outcome =
+    Online_buggy.run config ~strategy:strategy_buggy ~invariant:Check_p.safety
+  in
+  check Alcotest.int "exactly one snapshot tampered" 1 !tampered;
+  check Alcotest.bool "rejected with a typed diagnostic" true
+    (List.mem "corrupt_snapshot" outcome.degradations);
+  (* the checksummed hand-off is otherwise transparent: the hunt still
+     finds the injected Paxos bug from a later, intact snapshot *)
+  check Alcotest.bool "bug still found after the corrupt capture" true
+    (outcome.report <> None)
+
+let test_restart_budget_degrades () =
+  let config =
+    {
+      (buggy_config ~max_live_time:120.0) with
+      Online_buggy.check_interval = 30.0;
+      supervisor =
+        {
+          Online_buggy.default_supervisor with
+          Online_buggy.restart_budget_ms = Some 0;
+        };
+    }
+  in
+  let outcome =
+    Online_buggy.run config ~strategy:strategy_buggy ~invariant:Check_p.safety
+  in
+  check Alcotest.bool "budget trips recorded" true
+    (List.mem "restart_budget_exceeded" outcome.degradations);
+  check Alcotest.bool "tiers escalate" true (outcome.final_tier >= 1);
+  check Alcotest.bool "loop survived every truncated restart" true
+    (outcome.total_checks >= 3)
 
 let test_interval_validation () =
   match
@@ -204,5 +361,16 @@ let () =
             test_steering_prevents_live_violation;
           Alcotest.test_case "interval validation" `Quick
             test_interval_validation;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "survives a checker failure" `Slow
+            test_survives_checker_failure;
+          Alcotest.test_case "survives permanent checker failure" `Slow
+            test_survives_permanent_checker_failure;
+          Alcotest.test_case "survives a corrupt snapshot" `Slow
+            test_survives_corrupt_snapshot;
+          Alcotest.test_case "restart budget degrades gracefully" `Slow
+            test_restart_budget_degrades;
         ] );
     ]

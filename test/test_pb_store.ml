@@ -78,7 +78,7 @@ let test_buggy_acks_early () =
 let test_get_paths () =
   let replica =
     Protocols.Pb_store.Replica
-      { Protocols.Pb_store.store = [ (7, 42) ]; repl_pending = None }
+      { Protocols.Pb_store.store = [ (7, 42) ]; disk = [ (7, 42) ]; repl_pending = None }
   in
   let _, out =
     PB.handle_message ~self:1 replica
@@ -189,6 +189,86 @@ let test_primary_reads_always_fresh () =
            v.trace)
   | None -> fail "expected the buggy build to violate somewhere"
 
+(* ---------- crash-recovery (fault injection) ---------- *)
+
+module PB_cr = Protocols.Pb_store.Make (struct
+  let key = 7
+  let value = 42
+  let bug = Protocols.Pb_store.Lose_acked_writes_on_recovery
+end)
+
+let test_crash_bug_invisible_without_faults () =
+  (* the persistence bug is unreachable under any message schedule *)
+  let module G = Mc_global.Bdfs.Make (PB_cr) in
+  let o =
+    G.run G.default_config ~invariant:PB_cr.read_your_writes
+      (init (module PB_cr))
+  in
+  check Alcotest.bool "B-DFS completes" true o.completed;
+  check Alcotest.bool "no violation without crashes" true (o.violation = None);
+  let module L = Lmc.Checker.Make (PB_cr) in
+  let r =
+    L.run L.default_config ~strategy:L.Automatic
+      ~invariant:PB_cr.read_your_writes (init (module PB_cr))
+  in
+  check Alcotest.bool "LMC agrees" true (r.sound_violation = None)
+
+let test_crash_bug_found_lmc () =
+  let module L = Lmc.Checker.Make (PB_cr) in
+  let snapshot = init (module PB_cr) in
+  let r =
+    L.run
+      { L.default_config with crash_budget = 1 }
+      ~strategy:L.Automatic ~invariant:PB_cr.read_your_writes snapshot
+  in
+  match r.sound_violation with
+  | None -> fail "crash budget 1 should expose the lost acked write"
+  | Some v ->
+      check Alcotest.bool "witness crashes a replica" true
+        (List.exists
+           (function Dsm.Trace.Crash _ -> true | _ -> false)
+           v.schedule);
+      let module W = Lmc.Witness.Make (PB_cr) in
+      (match W.replay ~init:snapshot v.schedule with
+      | Some final ->
+          check Alcotest.bool "witness replays to the lost write" true
+            (Dsm.Invariant.check PB_cr.read_your_writes final <> None)
+      | None -> fail "witness does not replay")
+
+let test_crash_bug_found_bdfs () =
+  let module G = Mc_global.Bdfs.Make (PB_cr) in
+  let o =
+    G.run
+      { G.default_config with crash_budget = 1 }
+      ~invariant:PB_cr.read_your_writes (init (module PB_cr))
+  in
+  match o.violation with
+  | None -> fail "B-DFS with a crash budget should find the lost write"
+  | Some v ->
+      check Alcotest.bool "trace crashes a replica" true
+        (List.exists
+           (function Dsm.Trace.Crash _ -> true | _ -> false)
+           v.trace)
+
+let test_write_through_survives_crashes () =
+  (* the correct build persists before acking: crash-recovery cannot
+     lose an acknowledged write, so a crash budget finds nothing *)
+  let module G = Mc_global.Bdfs.Make (PB) in
+  let o =
+    G.run
+      { G.default_config with crash_budget = 1 }
+      ~invariant:PB.read_your_writes (init (module PB))
+  in
+  check Alcotest.bool "completed" true o.completed;
+  check Alcotest.bool "crash-safe" true (o.violation = None);
+  let module L = Lmc.Checker.Make (PB) in
+  let r =
+    L.run
+      { L.default_config with crash_budget = 1 }
+      ~strategy:L.Automatic ~invariant:PB.read_your_writes (init (module PB))
+  in
+  check Alcotest.bool "LMC agrees" true (r.sound_violation = None)
+
 let () =
   Alcotest.run "pb_store"
     [
@@ -206,5 +286,16 @@ let () =
           Alcotest.test_case "bug found" `Quick test_bug_found_both_checkers;
           Alcotest.test_case "failover required" `Quick
             test_primary_reads_always_fresh;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "invisible without faults" `Quick
+            test_crash_bug_invisible_without_faults;
+          Alcotest.test_case "LMC finds the lost write" `Quick
+            test_crash_bug_found_lmc;
+          Alcotest.test_case "B-DFS finds the lost write" `Quick
+            test_crash_bug_found_bdfs;
+          Alcotest.test_case "write-through is crash-safe" `Quick
+            test_write_through_survives_crashes;
         ] );
     ]

@@ -113,6 +113,7 @@ let test_fifo_live_integration () =
         timer_min = 0.5;
         timer_max = 1.5;
         action_prob = None;
+        faults = Fault.Plan.empty;
       }
   in
   Sim_fp.run_until sim 20.0;

@@ -121,6 +121,7 @@ let reliable_config seed =
     timer_min = 0.5;
     timer_max = 1.5;
     action_prob = None;
+    faults = Fault.Plan.empty;
   }
 
 let test_sim_runs_ping () =
@@ -152,7 +153,7 @@ let test_sim_lossy_drops () =
   let sim =
     Sim_ping.create
       { Sim_ping.seed = 1; link; timer_min = 0.5; timer_max = 1.5;
-        action_prob = None }
+        action_prob = None; faults = Fault.Plan.empty }
   in
   Sim_ping.run_until sim 50.0;
   check Alcotest.bool "some drops" true (Sim_ping.messages_dropped sim > 0)
@@ -185,6 +186,7 @@ let test_sim_action_prob_zero () =
         timer_min = 0.5;
         timer_max = 1.5;
         action_prob = Some (fun _ _ -> 0.0);
+        faults = Fault.Plan.empty;
       }
   in
   Sim_ping.run_until sim 20.0;
@@ -196,7 +198,7 @@ let test_sim_config_validation () =
   match
     Sim_ping.create
       { Sim_ping.seed = 1; link = Net.Lossy_link.reliable; timer_min = 0.;
-        timer_max = 1.; action_prob = None }
+        timer_max = 1.; action_prob = None; faults = Fault.Plan.empty }
   with
   | exception Invalid_argument _ -> ()
   | _ -> fail "zero timer_min accepted"

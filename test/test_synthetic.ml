@@ -75,7 +75,9 @@ let replays (type s m a)
             let node = env.Dsm.Envelope.dst in
             let s', out = P.handle_message ~self:node states.(node) env in
             states.(node) <- s';
-            net := Net.Multiset.add_list out !net)
+            net := Net.Multiset.add_list out !net
+        | Dsm.Trace.Crash n ->
+            states.(n) <- P.on_recover ~self:n states.(n))
       schedule;
     Some states
   with Exit -> None

@@ -176,6 +176,7 @@ let hunt_trace ~domains =
           timer_min = 2.0;
           timer_max = 20.0;
           action_prob = None;
+          faults = Fault.Plan.empty;
         };
       check_interval = 30.0;
       max_live_time = 600.0;
@@ -193,6 +194,7 @@ let hunt_trace ~domains =
       action_bounds = [ 1; 2 ];
       steer = false;
       steer_scope = `Exact_action;
+      supervisor = O.default_supervisor;
     }
   in
   let outcome = O.run config ~strategy ~invariant:Check_p.safety in

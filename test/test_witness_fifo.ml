@@ -148,6 +148,7 @@ let test_to_dot_escapes () =
     let handle_message ~self:_ () _ = ((), [])
     let enabled_actions ~self:_ () = []
     let handle_action ~self:_ () () = ((), [])
+    let on_recover = Dsm.Protocol.default_on_recover
     let pp_state ppf () = Format.pp_print_string ppf "()"
     let pp_message ppf () = Format.pp_print_string ppf "say \"hi\""
     let pp_action ppf () = Format.pp_print_string ppf "do \"it\""
@@ -180,6 +181,8 @@ module Burst = struct
     ( 99 :: state,
       List.map (fun i -> Dsm.Envelope.make ~src:0 ~dst:1 i) [ 1; 2; 3 ] )
   [@@warning "-27"]
+
+  let on_recover = Dsm.Protocol.default_on_recover
 
   let pp_state ppf s =
     Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int s))
