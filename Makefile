@@ -57,8 +57,64 @@ soak: build
 	    s=$$?; test $$s -le 1 || exit $$s; \
 	  done; \
 	done
+	$(MAKE) soak-resume
 	dune exec bin/jsonl_check.exe -- soak/*.jsonl
 	@echo "soak: OK"
+
+# Kill-and-resume legs over the pb-store-crash checkpoint format.  The
+# checkpoint directories under soak/ ship with the CI soak artifacts.
+#
+# Leg A (robustness): SIGKILL a long hunt mid-run, then resume the
+# torn checkpoint directory.  The resumed process must warm-start
+# (resumed_at is a time, not "cold") and finish cleanly — a kill
+# between checkpoint saves loses at most one check interval, never the
+# directory.
+#
+# Leg B (incremental bar): phase 1 hunts with the checker
+# under-provisioned (no --crash-budget, so the planted crash-recovery
+# bug is unreachable) and stops inside the bug's live window (the
+# plan's first crash at t=20 destroys the evidence); phase 2 resumes
+# with crash exploration enabled and must find the bug (exit 1) from a
+# warm start, and the resumed hunt's cumulative states-explored must
+# stay below the sum of two cold runs of the same two configurations.
+SOAK_RESUME = _build/default/bin/lmc_cli.exe hunt -p pb-store-crash \
+  --faults '$(SOAK_PLAN1)' --interval 5 --budget 2
+
+soak-resume: build
+	rm -rf soak/store soak/store-kill soak/store-cold1 soak/store-cold2
+	mkdir -p soak
+	$(SOAK_RESUME) --max-live 30000 --store soak/store-kill \
+	  > soak/resume-kill.out 2>&1 & \
+	pid=$$!; sleep 1; kill -9 $$pid 2>/dev/null || true; \
+	wait $$pid 2>/dev/null; true
+	test -f soak/store-kill/meta.bin
+	$(SOAK_RESUME) --max-live 30000 --store soak/store-kill --resume \
+	  > soak/resume-killed-resumed.out 2>&1; test $$? -eq 0
+	grep 'resumed_at=' soak/resume-killed-resumed.out; \
+	grep 'resumed_at=' soak/resume-killed-resumed.out \
+	  | grep -qv 'resumed_at=cold'
+	$(SOAK_RESUME) --max-live 10 --store soak/store \
+	  > soak/resume-phase1.out 2>&1; test $$? -eq 0
+	$(SOAK_RESUME) --max-live 120 --crash-budget 1 --store soak/store \
+	  --resume --record soak/resume-phase2.jsonl \
+	  > soak/resume-phase2.out 2>&1; \
+	s=$$?; test $$s -eq 1
+	grep 'resumed_at=' soak/resume-phase2.out; \
+	grep 'resumed_at=' soak/resume-phase2.out | grep -qv 'resumed_at=cold'
+	grep -q '"schema":"store.v1"' soak/resume-phase2.jsonl
+	$(SOAK_RESUME) --max-live 10 --store soak/store-cold1 \
+	  > soak/resume-cold1.out 2>&1; test $$? -eq 0
+	$(SOAK_RESUME) --max-live 120 --crash-budget 1 --store soak/store-cold2 \
+	  > soak/resume-cold2.out 2>&1; test $$? -eq 1
+	@combined=$$(sed -n 's/.*states_explored=\([0-9]*\).*/\1/p' \
+	  soak/resume-phase2.out); \
+	cold1=$$(sed -n 's/.*states_explored=\([0-9]*\).*/\1/p' \
+	  soak/resume-cold1.out); \
+	cold2=$$(sed -n 's/.*states_explored=\([0-9]*\).*/\1/p' \
+	  soak/resume-cold2.out); \
+	echo "soak-resume: combined=$$combined cold1=$$cold1 cold2=$$cold2"; \
+	test "$$combined" -lt $$((cold1 + cold2))
+	@echo "soak-resume: OK"
 
 bench:
 	dune exec bench/main.exe

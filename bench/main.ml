@@ -553,6 +553,7 @@ let table55 () =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = Online_p.default_supervisor;
+      store = None;
     }
   in
   let strategy =
@@ -618,6 +619,7 @@ let table56 () =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = Online_p.default_supervisor;
+      store = None;
     }
   in
   let strategy =
@@ -1209,6 +1211,7 @@ let scaling () =
         steer = false;
         steer_scope = `Exact_action;
         supervisor = Online_p.default_supervisor;
+        store = None;
       }
     in
     let strategy =
@@ -1451,6 +1454,94 @@ let fault_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* lib/store: mmap'd visited set vs the heap table, and warm restarts   *)
+(* ------------------------------------------------------------------ *)
+
+(* The Fig. 10 axis the paper frames as "state explosion vs RAM": with
+   the visited set in an mmap'd store file, fingerprints live in the
+   page cache instead of the OCaml heap, so RAM stops bounding the
+   explorable space.  The bar is that the mmap store holds states/sec
+   within ~25% of the heap table; a warm rerun against a completed
+   store file then revisits nothing (the incremental-restart story). *)
+let store_bench () =
+  header "lib/store: B-DFS visited set, RAM vs mmap (Fig. 10 axis)";
+  let depths = if !quick then [ 6; 8; 10 ] else [ 8; 10; 12; 14 ] in
+  let dir = Filename.temp_file "lmc-bench-store" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rss () =
+    Gc.compact ();
+    match Store.Rss.sample_bytes () with Some b -> b | None -> 0
+  in
+  let points =
+    List.map
+      (fun depth ->
+        let cfg =
+          {
+            G1.default_config with
+            max_depth = Some depth;
+            time_limit = Some (if !quick then 5.0 else 60.0);
+            domains = 2;
+          }
+        in
+        let ram = G1.run cfg ~invariant:Paxos1.safety (paxos1_init ()) in
+        let ram_rss = rss () in
+        let path = Filename.concat dir (Printf.sprintf "d%d.fps" depth) in
+        let set = Store.Fp_set.create path in
+        let mcfg = { cfg with visited_store = Some set } in
+        let mmap = G1.run mcfg ~invariant:Paxos1.safety (paxos1_init ()) in
+        let mmap_rss = rss () in
+        let warm = G1.run mcfg ~invariant:Paxos1.safety (paxos1_init ()) in
+        Store.Fp_set.close set;
+        Sys.remove path;
+        (depth, ram, ram_rss, mmap, mmap_rss, warm))
+      depths
+  in
+  Unix.rmdir dir;
+  let rate (o : G1.outcome) =
+    if o.stats.elapsed > 0. then
+      float_of_int o.stats.global_states /. o.stats.elapsed
+    else 0.
+  in
+  row "\n-- states/sec and retained memory: heap table vs mmap store --\n";
+  row "%5s %10s %10s %6s %12s %12s %10s %10s\n" "depth" "RAM-st/s"
+    "mmap-st/s" "ratio" "RAM-bytes" "mmap-bytes" "warm-s" "warm-hits";
+  List.iter
+    (fun (depth, ram, _, mmap, _, (warm : G1.outcome)) ->
+      let rr = rate ram and mr = rate mmap in
+      row "%5d %10.0f %10.0f %6.2f %12d %12d %10.4f %10d\n" depth rr mr
+        (if rr > 0. then mr /. rr else 0.)
+        ram.stats.retained_bytes mmap.stats.retained_bytes warm.stats.elapsed
+        warm.stats.store_hits)
+    points;
+  row
+    "\nbar: mmap within ~25%% of the heap table's states/sec with the \
+     visited fingerprints off the heap; the warm rerun of a completed \
+     depth discovers 0 new states (cold-vs-incremental restart).\n";
+  Bench_out.record "store"
+    (Dsm.Json.List
+       (List.map
+          (fun (depth, ram, ram_rss, mmap, mmap_rss, warm) ->
+            Dsm.Json.Obj
+              [
+                ("depth", Dsm.Json.Int depth);
+                ("ram_s", Dsm.Json.Float ram.G1.stats.elapsed);
+                ("ram_states", Dsm.Json.Int ram.G1.stats.global_states);
+                ("ram_states_per_s", Dsm.Json.Float (rate ram));
+                ("ram_bytes", Dsm.Json.Int ram.G1.stats.retained_bytes);
+                ("ram_rss_bytes", Dsm.Json.Int ram_rss);
+                ("cold_s", Dsm.Json.Float mmap.G1.stats.elapsed);
+                ("mmap_states_per_s", Dsm.Json.Float (rate mmap));
+                ("mmap_bytes", Dsm.Json.Int mmap.G1.stats.retained_bytes);
+                ("mmap_rss_bytes", Dsm.Json.Int mmap_rss);
+                ("warm_s", Dsm.Json.Float warm.G1.stats.elapsed);
+                ("warm_new_states", Dsm.Json.Int warm.G1.stats.global_states);
+                ("warm_store_hits", Dsm.Json.Int warm.G1.stats.store_hits);
+                ("completed", Dsm.Json.Bool mmap.G1.completed);
+              ])
+          points))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1473,6 +1564,7 @@ let sections =
     ("scaling", scaling);
     ("par-functor", par_functor);
     ("fault-overhead", fault_overhead);
+    ("store", store_bench);
   ]
 
 let main q o =

@@ -1,14 +1,16 @@
 (* jsonl_check: validate that every line of a JSONL file parses as a
    JSON value, and that lines carrying a known schema tag ("schema":
    "trace.v1" from the flight recorder, "lint.v1" from `lmc lint
-   --out') are well-formed records: known record kind, the fields that
-   kind requires, and strictly increasing [seq] numbers per schema.
-   Exits 0 when every file is well-formed, 1 with line-numbered
-   diagnostics otherwise.  Used by `make check' / `make lint' to
-   assert that the CLI's machine-readable streams stay parseable. *)
+   --out', "store.v1" from the persistent-checkpoint layer) are
+   well-formed records: known record kind, the fields that kind
+   requires, and strictly increasing [seq] numbers per schema.  Exits
+   0 when every file is well-formed, 1 with line-numbered diagnostics
+   otherwise.  Used by `make check' / `make lint' to assert that the
+   CLI's machine-readable streams stay parseable. *)
 
 let trace_schema = "trace.v1"
 let lint_schema = "lint.v1"
+let store_schema = "store.v1"
 
 let field name fields = List.assoc_opt name fields
 
@@ -74,6 +76,7 @@ let lint_kinds =
     "dead_action";
     "handler_exception";
     "nondeterministic_recovery";
+    "store_digest_drift";
   ]
 
 let is_lint_kind = function
@@ -98,6 +101,39 @@ let lint_required_fields = function
           ("transitions", is_int);
           ("states", is_int);
           ("elapsed_s", is_number);
+        ]
+  | _ -> None
+
+(* The checkpoint layer's record kinds (lib/store/events.ml): opening
+   or resuming a checkpoint directory, the per-snapshot flush, and
+   hash-table growth.  Like lint.v1, the stream interleaves with
+   trace.v1 in one JSONL sink but numbers its own [seq] space. *)
+let store_required_fields = function
+  | "open" -> Some [ ("dir", is_string); ("resumed", is_bool) ]
+  | "flush" ->
+      Some
+        [
+          ("live_time", is_number);
+          ("combos", is_int);
+          ("node_states", is_int);
+          ("iplus", is_int);
+          ("hits", is_int);
+        ]
+  | "compact" ->
+      Some
+        [
+          ("file", is_string);
+          ("old_capacity", is_int);
+          ("new_capacity", is_int);
+        ]
+  | "resume" ->
+      Some
+        [
+          ("dir", is_string);
+          ("live_time", is_number);
+          ("checks", is_int);
+          ("states", is_int);
+          ("hits", is_int);
         ]
   | _ -> None
 
@@ -138,7 +174,9 @@ let check_record ~required_fields ~last_seq fields =
    its own [seq] space. *)
 let check_file path =
   let ic = open_in path in
-  let last_trace_seq = ref (-1) and last_lint_seq = ref (-1) in
+  let last_trace_seq = ref (-1)
+  and last_lint_seq = ref (-1)
+  and last_store_seq = ref (-1) in
   let validate ~required_fields ~last_seq ~schema lineno fields =
     let seq, errors = check_record ~required_fields ~last_seq:!last_seq fields in
     last_seq := seq;
@@ -165,6 +203,13 @@ let check_file path =
             let ok' =
               validate ~required_fields:lint_required_fields
                 ~last_seq:last_lint_seq ~schema:lint_schema lineno fields
+            in
+            loop (lineno + 1) (ok && ok')
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields = Some (Dsm.Json.String store_schema) ->
+            let ok' =
+              validate ~required_fields:store_required_fields
+                ~last_seq:last_store_seq ~schema:store_schema lineno fields
             in
             loop (lineno + 1) (ok && ok')
         | Ok _ -> loop (lineno + 1) ok

@@ -77,6 +77,7 @@ type runner = {
      interval:float -> max_live:float -> budget:float -> steer:bool ->
      faults:Fault.Plan.t -> crash_budget:int ->
      restart_budget_ms:int option -> max_retries:int option ->
+     store_dir:string option -> resume:bool ->
      domains:int -> verify_domains:int -> int)
     option;
   lint : max_depth:int option -> max_transitions:int -> lint_result;
@@ -602,9 +603,9 @@ struct
     if wfail > 0 then 1 else 0
 
   let run ?strategy ?action_prob ?(faults = Fault.Plan.empty)
-      ?(crash_budget = 0) ?restart_budget_ms ?max_retries ~obs ~trace
-      ~invariant ~seed ~drop ~interval ~max_live ~budget ~steer ~domains
-      ~verify_domains () =
+      ?(crash_budget = 0) ?restart_budget_ms ?max_retries ?store_dir
+      ?(resume = false) ~obs ~trace ~invariant ~seed ~drop ~interval
+      ~max_live ~budget ~steer ~domains ~verify_domains () =
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
         ()
@@ -637,12 +638,21 @@ struct
         steer;
         steer_scope = `Node;
         supervisor;
+        store = Option.map (fun dir -> { O.dir; resume }) store_dir;
       }
     in
     let strategy =
       match strategy with Some s -> s | None -> O.Checker.General
     in
     let outcome = O.run ~obs config ~strategy ~invariant in
+    (* One greppable line per phase: the soak harness compares the
+       cumulative states-explored of kill+resume against cold reruns. *)
+    (if store_dir <> None then
+       Format.printf "store: states_explored=%d hits=%d resumed_at=%s@."
+         outcome.states_explored outcome.store_hits
+         (match outcome.resumed_at with
+         | Some t -> Printf.sprintf "%.0f" t
+         | None -> "cold"));
     (if steer then
        Format.printf
          "steering: %d veto(s) installed; live system %s@."
@@ -805,13 +815,13 @@ let paxos_runner ~buggy =
     hunt =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
-             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
-             ~verify_domains ->
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
+             ~resume ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
-            ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs ~trace
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs ~trace
             ~invariant:Check.safety ~seed ~drop ~interval ~max_live ~budget
             ~steer ~domains ~verify_domains ());
     lint =
@@ -864,8 +874,8 @@ let onepaxos_runner ~buggy =
     hunt =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
-             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
-             ~verify_domains ->
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
+             ~resume ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -874,7 +884,7 @@ let onepaxos_runner ~buggy =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
-            ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs ~trace
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs ~trace
             ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
             ~steer ~domains ~verify_domains ());
     lint =
@@ -1098,9 +1108,9 @@ let pb_crash_runner =
     hunt =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
-             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~domains
-             ~verify_domains ->
-          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries ~obs
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
+             ~resume ~domains ~verify_domains ->
+          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs
             ~trace ~invariant:P.read_your_writes ~seed ~drop ~interval
             ~max_live ~budget ~steer ~domains ~verify_domains ());
     lint =
@@ -1853,14 +1863,36 @@ let max_retries_arg =
   in
   Arg.(value & opt (some int) None & info [ "max-retries" ] ~doc ~docv:"N")
 
+let store_arg =
+  let doc =
+    "Persist the hunt's stores (per-node states, I+, clean \
+     combinations) in mmap'd files under $(docv), checkpointed after \
+     every snapshot check.  See --resume."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
+
+let resume_arg =
+  let doc =
+    "Warm-start from the checkpoint in --store: fast-forward the \
+     deterministic simulation to the saved live time and skip every \
+     combination an earlier phase proved invariant-clean.  A corrupt \
+     or mismatched checkpoint degrades to a cold start."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 let hunt_cmd =
   let doc =
     "Run a simulated lossy deployment with periodic LMC restarts (online \
      model checking, 3.3)."
   in
   let run protocol seed drop interval max_live budget steer faults
-      crash_budget restart_budget_ms max_retries metrics_out trace_out
-      progress domains verify_domains record record_ring =
+      crash_budget restart_budget_ms max_retries store_dir resume
+      metrics_out trace_out progress domains verify_domains record
+      record_ring =
+    if resume && store_dir = None then begin
+      prerr_endline "lmc_cli: --resume requires --store DIR";
+      exit 2
+    end;
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -1881,7 +1913,7 @@ let hunt_cmd =
             let code =
               h ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
                 ~faults ~crash_budget ~restart_budget_ms ~max_retries
-                ~domains ~verify_domains
+                ~store_dir ~resume ~domains ~verify_domains
             in
             emit_run_end trace code;
             code)
@@ -1892,8 +1924,9 @@ let hunt_cmd =
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
       $ max_live_arg $ budget_arg $ steer_arg $ faults_arg
       $ crash_budget_arg $ restart_budget_ms_arg $ max_retries_arg
-      $ metrics_out_arg $ trace_out_arg $ progress_arg $ domains_arg
-      $ verify_domains_arg $ record_arg $ record_ring_arg)
+      $ store_arg $ resume_arg $ metrics_out_arg $ trace_out_arg
+      $ progress_arg $ domains_arg $ verify_domains_arg $ record_arg
+      $ record_ring_arg)
 
 let trace_file_arg =
   let doc = "A trace.v1 JSONL file produced by --record." in

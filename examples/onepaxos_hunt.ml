@@ -63,6 +63,7 @@ let () =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = Online.default_supervisor;
+      store = None;
     }
   in
   let strategy =

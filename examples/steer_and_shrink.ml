@@ -60,6 +60,7 @@ let config ~steer =
     steer;
     steer_scope = `Node;
     supervisor = Online_op.default_supervisor;
+    store = None;
   }
 
 let strategy =

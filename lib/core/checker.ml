@@ -1,3 +1,16 @@
+(* Cross-restart persistence (lib/store): not parameterised by the
+   protocol, so the online supervisor can build it once and thread it
+   through every [Make(P)] restart. *)
+type persist = {
+  p_combos : Store.Fp_set.t;
+      (* combinations whose invariant check came back clean; the
+         verdict is a pure function of the tuple, so a clean
+         combination stays clean and warm restarts skip it *)
+  p_nodes : Store.Fp_set.t array;
+      (* per-node visited node-state fingerprints, across restarts *)
+  p_iplus : Store.Fp_set.t;  (* every message that ever entered I+ *)
+}
+
 module Make (P : Dsm.Protocol.S) = struct
   module Envelope = Dsm.Envelope
   module Fingerprint = Dsm.Fingerprint
@@ -38,6 +51,10 @@ module Make (P : Dsm.Protocol.S) = struct
     obs : Obs.scope;
     trace : Obs.Trace.t;
     on_new_node_state : (Dsm.Node_id.t -> P.state -> unit) option;
+    persist : persist option;
+        (* disk-backed stores shared across restarts; combination
+           skips happen on the sequential apply path only, so verdicts
+           stay bit-identical at any domain count *)
   }
 
   let default_config =
@@ -65,6 +82,7 @@ module Make (P : Dsm.Protocol.S) = struct
       obs = Obs.null;
       trace = Obs.Trace.null;
       on_new_node_state = None;
+      persist = None;
     }
 
   type violation = {
@@ -87,6 +105,10 @@ module Make (P : Dsm.Protocol.S) = struct
     soundness_rejections : int;
     soundness_budget_exhausted : int;
     local_assert_drops : int;
+    store_hits : int;
+        (** combinations skipped because a previous (or earlier) run
+            already proved them invariant-clean; [0] without
+            [config.persist] *)
     completed : bool;
     elapsed : float;
     system_state_time : float;
@@ -173,6 +195,7 @@ module Make (P : Dsm.Protocol.S) = struct
     c_rejections : Obs.Metrics.counter;
     c_budget_exhausted : Obs.Metrics.counter;
     c_local_drops : Obs.Metrics.counter;
+    c_store_hits : Obs.Metrics.counter;
     h_system_depth : Obs.Metrics.histogram;
     h_node_depth : Obs.Metrics.histogram;
     h_soundness_us : Obs.Metrics.histogram;
@@ -195,6 +218,7 @@ module Make (P : Dsm.Protocol.S) = struct
       c_rejections = Obs.counter scope "lmc.soundness_rejections";
       c_budget_exhausted = Obs.counter scope "lmc.soundness_budget_exhausted";
       c_local_drops = Obs.counter scope "lmc.local_assert_drops";
+      c_store_hits = Obs.counter scope "lmc.store_hits";
       h_system_depth = Obs.histogram scope "lmc.system_depth";
       h_node_depth = Obs.histogram scope "lmc.node_depth";
       h_soundness_us = Obs.histogram scope "lmc.soundness_us";
@@ -239,12 +263,14 @@ module Make (P : Dsm.Protocol.S) = struct
     pool : Par.Pool.t option;
         (* exploration pool ([config.domains]); independent of the
            deferred-verification fan-out ([config.verify_domains]) *)
-    combo_buf : ('k entry array * int) Vec.t;
-        (* combination tuples awaiting a batched invariant check;
+    combo_buf : ('k entry array * int * Fingerprint.t option) Vec.t;
+        (* combination tuples awaiting a batched invariant check (with
+           their store fingerprint when [config.persist] is set);
            always drained before [check_system_invariant] returns *)
     started : float;
     mutable transitions : int;
     mutable system_states_created : int;
+    mutable store_hits : int;
     mutable preliminary_violations : int;
     mutable soundness_calls : int;
     mutable sequences_checked : int;
@@ -510,6 +536,9 @@ module Make (P : Dsm.Protocol.S) = struct
         in
         ignore (Vec.push t.net entry);
         Hashtbl.replace t.net_by_fp fp id;
+        (match t.config.persist with
+        | Some p -> ignore (Store.Fp_set.add p.p_iplus fp)
+        | None -> ());
         Obs.Metrics.incr t.o.c_net_messages;
         entry
 
@@ -736,10 +765,30 @@ module Make (P : Dsm.Protocol.S) = struct
 
   (* ----- system state creation (checkSystemInvariant, Fig. 9) ----- *)
 
+  let tuple_fp tuple =
+    Fingerprint.combine (Array.to_list (Array.map (fun e -> e.fp) tuple))
+
+  (* With [config.persist], every combination consults the on-disk set
+     of proven-clean combinations before a system state is created: a
+     hit is work some earlier restart already did.  Only clean
+     verdicts are recorded — a violating combination must be re-judged
+     from every snapshot, because soundness depends on the snapshot it
+     is scheduled from.  All store reads and writes below happen on
+     the sequential apply path, in submission order. *)
   let consider_combo t (tuple : 'k entry array) =
     check_budget t;
     let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
     if depth_allows t sdepth then begin
+      let stored =
+        match t.config.persist with
+        | None -> None
+        | Some p -> Some (p, tuple_fp tuple)
+      in
+      match stored with
+      | Some (p, cfp) when Store.Fp_set.mem p.p_combos cfp ->
+          t.store_hits <- t.store_hits + 1;
+          Obs.Metrics.incr t.o.c_store_hits
+      | _ -> (
       t.system_states_created <- t.system_states_created + 1;
       Obs.Metrics.incr t.o.c_system_states;
       Obs.Metrics.observe t.o.h_system_depth sdepth;
@@ -749,7 +798,10 @@ module Make (P : Dsm.Protocol.S) = struct
         timed t t.ph_invariant_us (fun () ->
             Dsm.Invariant.check t.invariant system)
       with
-      | None -> ()
+      | None -> (
+          match stored with
+          | Some (p, cfp) -> ignore (Store.Fp_set.add p.p_combos cfp)
+          | None -> ())
       | Some violation ->
           t.preliminary_violations <- t.preliminary_violations + 1;
           Obs.Metrics.incr t.o.c_prelim;
@@ -781,7 +833,7 @@ module Make (P : Dsm.Protocol.S) = struct
                      r_depth = sdepth;
                    })
             else verify_soundness t (Array.copy tuple) system violation sdepth
-          end
+          end)
     end
 
   (* ----- batched combination checking (parallel rounds) -----
@@ -795,23 +847,41 @@ module Make (P : Dsm.Protocol.S) = struct
 
   type combo_verdict =
     | C_gated  (* system depth beyond the bound: budget check only *)
+    | C_seen  (* store prefilter hit: proven clean by an earlier run *)
     | C_ok
     | C_viol of P.state array * Dsm.Invariant.violation
 
   let combo_buf_max = 1024
   let combo_chunk = 64
 
-  let apply_combo t (tuple : 'k entry array) sdepth verdict =
+  let apply_combo t (tuple : 'k entry array) sdepth cfp verdict =
     check_budget t;
+    let store_hit () =
+      t.store_hits <- t.store_hits + 1;
+      Obs.Metrics.incr t.o.c_store_hits
+    in
+    (* The prefilter in [flush_combos] is read-only and ran against the
+       store as of flush time; the check-and-insert here is the
+       authoritative one, in apply (= submission) order, so the store
+       and every counter evolve exactly as the inline path's would. *)
+    let store_skip =
+      match (t.config.persist, cfp, verdict) with
+      | _, _, (C_gated | C_seen) -> false
+      | Some p, Some f, C_ok -> not (Store.Fp_set.add p.p_combos f)
+      | Some p, Some f, C_viol _ -> Store.Fp_set.mem p.p_combos f
+      | _ -> false
+    in
     match verdict with
     | C_gated -> ()
+    | C_seen -> store_hit ()
+    | (C_ok | C_viol _) when store_skip -> store_hit ()
     | C_ok | C_viol _ -> (
         t.system_states_created <- t.system_states_created + 1;
         Obs.Metrics.incr t.o.c_system_states;
         Obs.Metrics.observe t.o.h_system_depth sdepth;
         if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
         match verdict with
-        | C_gated | C_ok -> ()
+        | C_gated | C_seen | C_ok -> ()
         | C_viol (system, violation) ->
             t.preliminary_violations <- t.preliminary_violations + 1;
             Obs.Metrics.incr t.o.c_prelim;
@@ -844,10 +914,26 @@ module Make (P : Dsm.Protocol.S) = struct
     if n > 0 then begin
       let items = Vec.to_array t.combo_buf in
       Vec.clear t.combo_buf;
+      (* Batched read-only prefilter against the persistent store: one
+         lookup sweep for the whole batch spares the pool the invariant
+         work on combinations an earlier run already proved clean.
+         Monotone like the Shard_tbl prefilter — a miss here is
+         re-decided at apply time. *)
+      let seen =
+        match t.config.persist with
+        | None -> [||]
+        | Some p ->
+            Store.Fp_set.mem_batch p.p_combos
+              (Array.map
+                 (fun (_, _, cfp) ->
+                   match cfp with Some f -> f | None -> assert false)
+                 items)
+      in
       let verdicts =
         Par.Pool.tabulate pool ~chunk:combo_chunk n (fun i ->
-            let tuple, sdepth = items.(i) in
+            let tuple, sdepth, _ = items.(i) in
             if not (depth_allows t sdepth) then C_gated
+            else if seen <> [||] && seen.(i) then C_seen
             else
               let system = Array.map (fun (e : 'k entry) -> e.state) tuple in
               match
@@ -859,8 +945,8 @@ module Make (P : Dsm.Protocol.S) = struct
       in
       Array.iteri
         (fun i verdict ->
-          let tuple, sdepth = items.(i) in
-          apply_combo t tuple sdepth verdict)
+          let tuple, sdepth, cfp = items.(i) in
+          apply_combo t tuple sdepth cfp verdict)
         verdicts
     end
 
@@ -872,7 +958,12 @@ module Make (P : Dsm.Protocol.S) = struct
     | None -> consider_combo t tuple
     | Some pool ->
         let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
-        ignore (Vec.push t.combo_buf (Array.copy tuple, sdepth));
+        let cfp =
+          match t.config.persist with
+          | None -> None
+          | Some _ -> Some (tuple_fp tuple)
+        in
+        ignore (Vec.push t.combo_buf (Array.copy tuple, sdepth, cfp));
         if Vec.length t.combo_buf >= combo_buf_max then flush_combos t pool
 
   let drain_combos t =
@@ -899,8 +990,6 @@ module Make (P : Dsm.Protocol.S) = struct
      system state from the full stores of the remaining nodes.  States
      that map to [None] never seed a combination, which is why a
      bug-free run creates no system states at all. *)
-  let tuple_fp tuple =
-    Fingerprint.combine (Array.to_list (Array.map (fun e -> e.fp) tuple))
 
   (* Pin [new_entry] together with each partner the filter accepts and
      complete the system state from the remaining nodes' full stores. *)
@@ -1015,6 +1104,9 @@ module Make (P : Dsm.Protocol.S) = struct
         in
         ignore (Vec.push store entry);
         Hashtbl.replace t.by_fp.(node) fp idx;
+        (match t.config.persist with
+        | Some p -> ignore (Store.Fp_set.add p.p_nodes.(node) fp)
+        | None -> ());
         if depth > t.max_node_depth then t.max_node_depth <- depth;
         Obs.Metrics.incr t.o.c_node_states;
         Obs.Metrics.observe t.o.h_node_depth depth;
@@ -1602,6 +1694,7 @@ module Make (P : Dsm.Protocol.S) = struct
         started = now ();
         transitions = 0;
         system_states_created = 0;
+        store_hits = 0;
         preliminary_violations = 0;
         soundness_calls = 0;
         sequences_checked = 0;
@@ -1638,6 +1731,9 @@ module Make (P : Dsm.Protocol.S) = struct
         in
         ignore (Vec.push t.stores.(n) entry);
         Hashtbl.replace t.by_fp.(n) fp 0;
+        (match config.persist with
+        | Some p -> ignore (Store.Fp_set.add p.p_nodes.(n) fp)
+        | None -> ());
         Obs.Metrics.incr t.o.c_node_states)
       snapshot;
     let explore_domains =
@@ -1689,11 +1785,23 @@ module Make (P : Dsm.Protocol.S) = struct
           ("preliminary_violations", Dsm.Json.Int t.preliminary_violations);
           ("soundness_calls", Dsm.Json.Int t.soundness_calls);
           ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
+          ("store_hits", Dsm.Json.Int t.store_hits);
           ("completed", Dsm.Json.Bool (not t.truncated));
           ("domains", Dsm.Json.Int explore_domains);
           ("verify_domains", Dsm.Json.Int config.verify_domains);
           ("elapsed_s", Dsm.Json.Float elapsed);
         ];
+    (match config.persist with
+    | Some p ->
+        Obs.Metrics.set
+          (Obs.gauge t.o.scope "lmc.store_occupancy")
+          (Store.Fp_set.occupancy p.p_combos);
+        let considered = t.store_hits + t.system_states_created in
+        if considered > 0 then
+          Obs.Metrics.set
+            (Obs.gauge t.o.scope "lmc.store_hit_rate")
+            (float_of_int t.store_hits /. float_of_int considered)
+    | None -> ());
     if tracing then begin
       (* Per-phase time attribution.  Handler / fingerprint / invariant
          are measured wherever they ran (worker domains included);
@@ -1740,6 +1848,7 @@ module Make (P : Dsm.Protocol.S) = struct
       soundness_rejections = t.soundness_rejections;
       soundness_budget_exhausted = t.soundness_budget_exhausted;
       local_assert_drops = t.local_assert_drops;
+      store_hits = t.store_hits;
       completed = not t.truncated;
       elapsed;
       system_state_time = t.system_state_time;
@@ -1754,6 +1863,10 @@ module Make (P : Dsm.Protocol.S) = struct
       invalid_arg "Checker.run: snapshot size does not match num_nodes";
     if config.domains < 1 then
       invalid_arg "Checker.run: domains must be >= 1";
+    (match config.persist with
+    | Some p when Array.length p.p_nodes <> P.num_nodes ->
+        invalid_arg "Checker.run: persist has wrong node count"
+    | _ -> ());
     match config.pool with
     | Some _ as pool ->
         (* Caller-owned pool (e.g. Online_mc sharing one across

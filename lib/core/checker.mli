@@ -23,6 +23,20 @@
        that abstraction; states that map to [None] are never combined
        at all.}} *)
 
+(** Cross-restart persistence, built from {!Store.Checkpoint} stores.
+    Not parameterised by the protocol, so the online supervisor builds
+    it once and threads it through every [Make(P)] restart. *)
+type persist = {
+  p_combos : Store.Fp_set.t;
+      (** combinations whose invariant check came back clean; an
+          invariant verdict is a pure function of the combination, so a
+          clean combination stays clean and warm restarts skip it *)
+  p_nodes : Store.Fp_set.t array;
+      (** per-node visited node-state fingerprints, across restarts *)
+  p_iplus : Store.Fp_set.t;
+      (** every message that ever entered [I+] *)
+}
+
 module Make (P : Dsm.Protocol.S) : sig
   (** How system states are created for invariant checking. *)
   type 'k strategy =
@@ -153,6 +167,16 @@ module Make (P : Dsm.Protocol.S) : sig
             subscriber of the [lmc.node_state] notification (fired
             once per newly visited node state).  New code should
             attach an {!Obs.Sink} instead. *)
+    persist : persist option;
+        (** disk-backed stores shared across restarts ({!persist}).
+            When set, every combination consults the on-disk set of
+            proven-clean combinations before a system state is created;
+            clean verdicts are recorded back.  Skips and inserts happen
+            on the sequential apply path only, so verdicts and traces
+            stay bit-identical at any [domains] value.  Violating
+            combinations are never stored: soundness depends on the
+            snapshot, so they must be re-judged on every restart.
+            Default [None]. *)
   }
 
   val default_config : config
@@ -185,6 +209,10 @@ module Make (P : Dsm.Protocol.S) : sig
             within [soundness_rejections]; a nonzero value means some
             rejections are "unknown", not "proven invalid" *)
     local_assert_drops : int;  (** node states discarded per §4.2 *)
+    store_hits : int;
+        (** combinations skipped because a previous run (or an earlier
+            restart) already proved them invariant-clean; [0] without
+            [config.persist] *)
     completed : bool;  (** fixpoint reached within budget *)
     elapsed : float;
     system_state_time : float;

@@ -8,6 +8,7 @@ type kind =
   | Dead_action
   | Handler_exception
   | Nondeterministic_recovery
+  | Store_digest_drift
 
 let all_kinds =
   [
@@ -20,6 +21,7 @@ let all_kinds =
     Dead_action;
     Handler_exception;
     Nondeterministic_recovery;
+    Store_digest_drift;
   ]
 
 let kind_to_string = function
@@ -32,6 +34,7 @@ let kind_to_string = function
   | Dead_action -> "dead_action"
   | Handler_exception -> "handler_exception"
   | Nondeterministic_recovery -> "nondeterministic_recovery"
+  | Store_digest_drift -> "store_digest_drift"
 
 let kind_of_string s =
   match

@@ -35,6 +35,11 @@ type kind =
       (** [on_recover] executed twice from one state produced different
           recovered-state fingerprints — crash exploration in the
           checkers would not be replayable *)
+  | Store_digest_drift
+      (** a fingerprint inserted into a disk-backed {!Store.Fp_set}
+          did not read back bit-identical to its 64-bit folding — a
+          corrupted persistence layer would silently skip unexplored
+          states on resume *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result

@@ -7,6 +7,7 @@ module Make (P : Dsm.Protocol.S) = struct
     max_transitions : int;
     initial_net : P.message Envelope.t list;
     min_deliveries : int;
+    store_tamper : (int64 -> int64) option;
   }
 
   let default_config =
@@ -15,6 +16,7 @@ module Make (P : Dsm.Protocol.S) = struct
       max_transitions = 20_000;
       initial_net = [];
       min_deliveries = 3;
+      store_tamper = None;
     }
 
   type stats = {
@@ -102,6 +104,46 @@ module Make (P : Dsm.Protocol.S) = struct
        serialisation with its fingerprint intact. *)
     let by_digest : (Fingerprint.t, P.state) Hashtbl.t = Hashtbl.create 256 in
     let by_struct : (P.state, Fingerprint.t) Hashtbl.t = Hashtbl.create 256 in
+    (* ----- persistence audit -----
+
+       The resumable checkers trust {!Store.Fp_set} with their visited
+       sets: a store that does not read a fingerprint back
+       bit-identical to its 64-bit folding would silently skip
+       unexplored states on every resume.  Each distinct state
+       fingerprint is round-tripped through a scratch store file
+       (created lazily, removed at the end).  [store_tamper] is the
+       planted fixture's hook: it rewrites the key between folding and
+       insertion, standing in for a corrupting persistence layer. *)
+    let scratch_store = ref None in
+    let store_of () =
+      match !scratch_store with
+      | Some s -> s
+      | None ->
+          let path = Filename.temp_file "lmc-lint-store" ".fps" in
+          let s = Store.Fp_set.create ~capacity:1024 path in
+          scratch_store := Some s;
+          s
+    in
+    let audit_store fp =
+      let s = store_of () in
+      let k = Store.Fp_set.key fp in
+      let written =
+        match config.store_tamper with Some f -> f k | None -> k
+      in
+      ignore (Store.Fp_set.add_key s written);
+      incr probes;
+      (* [probe] terminates with the slot holding exactly [k], or the
+         empty slot ending its probe sequence: [None] means whatever
+         [add] wrote is not bit-identical to the folding *)
+      match Store.Fp_set.probe s fp with
+      | Some _ -> ()
+      | None ->
+          found Store_digest_drift "state"
+            (Printf.sprintf
+               "fingerprint %s folds to %Ld but the store read back no \
+                matching entry (resume would silently skip states)"
+               (Fingerprint.to_hex fp) k)
+    in
     let audit_state (s : P.state) =
       match Fingerprint.of_value s with
       | exception Invalid_argument msg ->
@@ -118,6 +160,7 @@ module Make (P : Dsm.Protocol.S) = struct
           | Some _ -> ()
           | None -> (
               Hashtbl.add by_digest fp s;
+              audit_store fp;
               (match Hashtbl.find_opt by_struct s with
               | Some prior_fp when not (Fingerprint.equal prior_fp fp) ->
                   found Noncanonical_state "state"
@@ -403,6 +446,12 @@ module Make (P : Dsm.Protocol.S) = struct
                (a.kind, a.subject, a.detail)
                (b.kind, b.subject, b.detail))
     in
+    (match !scratch_store with
+    | Some s ->
+        let path = Store.Fp_set.path s in
+        Store.Fp_set.close s;
+        (try Sys.remove path with Sys_error _ -> ())
+    | None -> ());
     {
       findings;
       stats =

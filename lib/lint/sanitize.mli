@@ -25,6 +25,10 @@
       exploration produced and repeatedly delivered but that never had
       any effect are reported as dead (usually a forgotten handler
       case or an unreachable constructor).
+    - {b persistence} — every distinct state fingerprint is
+      round-tripped through a scratch {!Store.Fp_set} file and must
+      read back bit-identical to its 64-bit folding; drift means a
+      resumed checker would silently skip unexplored states.
 
     Exploration is a sequential BFS over global states (one delivery
     per distinct in-flight message, one execution per enabled action,
@@ -39,6 +43,11 @@ module Make (P : Dsm.Protocol.S) : sig
     min_deliveries : int;
         (** coverage lint: a family is reported dead only after at
             least this many fruitless delivery attempts *)
+    store_tamper : (int64 -> int64) option;
+        (** test hook for the persistence audit: rewrite the 64-bit
+            key between {!Store.Fp_set.key} folding and insertion,
+            standing in for a corrupting store layer.  [None]
+            (default) audits the real round-trip. *)
   }
 
   val default_config : config

@@ -24,6 +24,7 @@ module Make (P : Dsm.Protocol.S) = struct
     system_states : int;
     max_depth_reached : int;
     retained_bytes : int;
+    store_hits : int;
     elapsed : float;
   }
 
@@ -44,6 +45,14 @@ module Make (P : Dsm.Protocol.S) = struct
         (* > 1 switches to layered frontier expansion (deterministic
            parallel BFS); 1 keeps the recursive DFS *)
     pool : Par.Pool.t option;  (* borrowed; overrides [domains] *)
+    visited_store : Store.Fp_set.t option;
+        (* disk-backed visited set (lib/store).  Forces layered
+           frontier expansion — layers visit each state at its minimum
+           depth, so a presence-only set is exactly equivalent to the
+           depth-keyed table, which the DFS's revisit-shallower
+           correction is not.  Entries from earlier runs gate
+           re-expansion, making restarts incremental; [retained_bytes]
+           then counts only the parent table. *)
     obs : Obs.scope;
     trace : Obs.Trace.t;
         (* flight recorder: first-visit transitions, violation
@@ -63,6 +72,7 @@ module Make (P : Dsm.Protocol.S) = struct
       track_traces = true;
       domains = 1;
       pool = None;
+      visited_store = None;
       obs = Obs.null;
       trace = Obs.Trace.null;
     }
@@ -411,6 +421,7 @@ module Make (P : Dsm.Protocol.S) = struct
             system_states = Fingerprint.Set.cardinal s.system_states;
             max_depth_reached = s.max_depth_reached;
             retained_bytes;
+            store_hits = 0;
             elapsed;
           };
         violation = s.violation;
@@ -452,10 +463,15 @@ module Make (P : Dsm.Protocol.S) = struct
     fbinj : (Fingerprint.t, int) Hashtbl.t;
     froot : P.state array;
     fvisited : (Fingerprint.t, int) Par.Shard_tbl.t;
+        (* unused when [fstore] is set: presence then lives on disk *)
+    fstore : Store.Fp_set.t option;
     fparents :
       (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
       Hashtbl.t;
     mutable ftransitions : int;
+    mutable ffresh : int;  (* states first visited by THIS run *)
+    mutable fstore_hits : int;
+        (* successors already present in the persistent visited set *)
     mutable fsystem_states : Fingerprint.Set.t;
     mutable fmax_depth : int;
     mutable fviolation : violation option;
@@ -519,8 +535,11 @@ module Make (P : Dsm.Protocol.S) = struct
         fbinj = Hashtbl.create 256;
         froot = Array.copy init;
         fvisited = Par.Shard_tbl.create 4096;
+        fstore = config.visited_store;
         fparents = Hashtbl.create 4096;
         ftransitions = 0;
+        ffresh = 0;
+        fstore_hits = 0;
         fsystem_states = Fingerprint.Set.empty;
         fmax_depth = 0;
         fviolation = None;
@@ -531,9 +550,29 @@ module Make (P : Dsm.Protocol.S) = struct
     if s.ftracing then
       record_run_header ~trace:config.trace
         ~domains:(Par.Pool.domains pool);
+    (* Presence checks and inserts, dispatched on the backing set.
+       [fseen] is read-only (safe from pool workers); [fadd] runs only
+       on the sequential merge path. *)
+    let fseen fp =
+      match s.fstore with
+      | Some st -> Store.Fp_set.mem st fp
+      | None -> Par.Shard_tbl.mem s.fvisited fp
+    in
+    let fadd fp depth =
+      let fresh =
+        match s.fstore with
+        | Some st -> Store.Fp_set.add st fp
+        | None -> Par.Shard_tbl.add_if_absent s.fvisited fp depth
+      in
+      if fresh then begin
+        s.ffresh <- s.ffresh + 1;
+        Obs.Metrics.incr s.fo.c_global_states
+      end
+      else if s.fstore <> None then s.fstore_hits <- s.fstore_hits + 1;
+      fresh
+    in
     let root_fp = fingerprint g in
-    ignore (Par.Shard_tbl.add_if_absent s.fvisited root_fp 0);
-    Obs.Metrics.incr s.fo.c_global_states;
+    ignore (fadd root_fp 0);
     s.fsystem_states <-
       Fingerprint.Set.add (system_fingerprint g.nodes) s.fsystem_states;
     Obs.Metrics.incr s.fo.c_system_states;
@@ -548,8 +587,8 @@ module Make (P : Dsm.Protocol.S) = struct
          Obs.heartbeat s.fo.scope (fun () ->
              [
                ("transitions", Dsm.Json.Int s.ftransitions);
-               ( "global_states",
-                 Dsm.Json.Int (Par.Shard_tbl.length s.fvisited) );
+               ("global_states", Dsm.Json.Int s.ffresh);
+               ("store_hits", Dsm.Json.Int s.fstore_hits);
                ("depth", Dsm.Json.Int !depth);
                ( "elapsed_s",
                  Dsm.Json.Float (Unix.gettimeofday () -. s.fstarted) );
@@ -571,7 +610,7 @@ module Make (P : Dsm.Protocol.S) = struct
                  List.map
                    (fun (step, g', out) ->
                      let fp' = fingerprint g' in
-                     if Par.Shard_tbl.mem s.fvisited fp' then S_seen
+                     if fseen fp' then S_seen
                      else
                        S_new
                          ( step,
@@ -597,11 +636,11 @@ module Make (P : Dsm.Protocol.S) = struct
                       s.ftransitions <- s.ftransitions + 1;
                       Obs.Metrics.incr s.fo.c_transitions;
                       match succ with
-                      | S_seen -> ()
+                      | S_seen ->
+                          if s.fstore <> None then
+                            s.fstore_hits <- s.fstore_hits + 1
                       | S_new (step, g', fp', sys_fp, viol, out) ->
-                          if Par.Shard_tbl.add_if_absent s.fvisited fp' depth'
-                          then begin
-                            Obs.Metrics.incr s.fo.c_global_states;
+                          if fadd fp' depth' then begin
                             Obs.Metrics.observe s.fo.h_depth depth';
                             if depth' > s.fmax_depth then
                               s.fmax_depth <- depth';
@@ -636,9 +675,13 @@ module Make (P : Dsm.Protocol.S) = struct
        done
      with Stop -> ());
     let elapsed = Unix.gettimeofday () -. s.fstarted in
-    let visited_count = Par.Shard_tbl.length s.fvisited in
+    let visited_count = s.ffresh in
     let retained_bytes =
-      (visited_count * visited_entry_bytes)
+      (* with a disk-backed visited set the fingerprints live in the
+         page cache, not the heap: only the parent table is retained *)
+      (match s.fstore with
+      | Some _ -> 0
+      | None -> visited_count * visited_entry_bytes)
       + (Hashtbl.length s.fparents * parent_entry_bytes)
     in
     let outcome =
@@ -650,6 +693,7 @@ module Make (P : Dsm.Protocol.S) = struct
             system_states = Fingerprint.Set.cardinal s.fsystem_states;
             max_depth_reached = s.fmax_depth;
             retained_bytes;
+            store_hits = s.fstore_hits;
             elapsed;
           };
         violation = s.fviolation;
@@ -663,7 +707,10 @@ module Make (P : Dsm.Protocol.S) = struct
     if config.domains < 1 then invalid_arg "Bdfs.run: domains must be >= 1";
     match config.pool with
     | Some pool -> run_frontier config ~invariant ~initial_net init pool
-    | None when config.domains > 1 ->
+    | None when config.domains > 1 || config.visited_store <> None ->
+        (* a visited store forces frontier mode even at [domains = 1]:
+           only the layered traversal's minimum-depth-first discipline
+           makes a presence-only set equivalent to the depth table *)
         Par.Pool.with_pool ~obs:config.obs config.domains (fun pool ->
             run_frontier config ~invariant ~initial_net init pool)
     | None -> run_dfs config ~invariant ~initial_net init

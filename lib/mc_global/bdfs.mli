@@ -33,7 +33,14 @@ module Make (P : Dsm.Protocol.S) : sig
     global_states : int;  (** distinct global states visited *)
     system_states : int;  (** distinct system states among them *)
     max_depth_reached : int;
-    retained_bytes : int;  (** analytic memory of the visited set *)
+    retained_bytes : int;
+        (** analytic heap memory of the visited + parent sets; with
+            [visited_store] the fingerprints live in the page cache
+            instead and only the parent table counts *)
+    store_hits : int;
+        (** successors whose fingerprint was already present in
+            [visited_store] (earlier run or this one); [0] without a
+            store *)
     elapsed : float;  (** wall-clock seconds *)
   }
 
@@ -74,6 +81,20 @@ module Make (P : Dsm.Protocol.S) : sig
     pool : Par.Pool.t option;
         (** run frontier expansion on a caller-owned pool (borrowed,
             never shut down); overrides [domains] when set. *)
+    visited_store : Store.Fp_set.t option;
+        (** disk-backed visited set ({!Store.Fp_set}): global-state
+            fingerprints go to an mmap'd file instead of the heap, so
+            the visited set no longer bounds the explorable space by
+            RAM (the paper's Fig. 10 axis) and a later run against the
+            same file skips everything a {e completed} earlier run
+            visited.  Forces layered frontier expansion even at
+            [domains = 1], because only minimum-depth-first traversal
+            makes a presence-only set equivalent to the DFS's
+            depth-keyed table.  Reports stay sound after a resume
+            (every violation found is real), but completeness is only
+            guaranteed when the prior run [completed]: a truncated
+            run may have recorded states whose successors it never
+            expanded.  Default [None]. *)
     obs : Obs.scope;
         (** observability scope: [bdfs.transitions] /
             [bdfs.global_states] / [bdfs.system_states] counters and a

@@ -214,6 +214,11 @@ let of_sink sink =
 
 let to_file path = of_sink (Sink.jsonl_file path)
 
+let sink t =
+  match t.mode with
+  | Some (Stream { sink; _ }) -> Some sink
+  | Some (Ring _) | None -> None
+
 let default_ring_capacity = 65_536
 
 let ring ?(capacity = default_ring_capacity) path =

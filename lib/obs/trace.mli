@@ -39,6 +39,13 @@ val to_file : string -> t
 (** Record through an existing sink (e.g. {!Sink.memory} in tests). *)
 val of_sink : Sink.t -> t
 
+(** The underlying sink of a streaming recorder ({!to_file} /
+    {!of_sink}); [None] for {!null} and for {!ring} mode, whose file
+    is only written at {!close}.  Lets sibling schemas (the
+    checkpoint layer's [store.v1] records) interleave their own
+    [seq]-spaces into the same JSONL stream. *)
+val sink : t -> Sink.t option
+
 (** Keep only the last [capacity] (default 65536) records in memory;
     {!close} writes them to [path] oldest-first, followed by a
     [ring_meta] record saying how many early records were overwritten.

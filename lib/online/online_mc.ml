@@ -29,6 +29,15 @@ struct
       snapshot_tamper = None;
     }
 
+  type store_config = {
+    dir : string;  (* checkpoint directory (created if missing) *)
+    resume : bool;
+        (* warm-start from an existing checkpoint: fast-forward the
+           deterministic simulation to the saved live time and skip
+           every combination an earlier phase proved clean.  A missing
+           or corrupt checkpoint degrades to a cold start. *)
+  }
+
   type config = {
     sim : Sim_p.config;
     check_interval : float;
@@ -38,6 +47,7 @@ struct
     steer : bool;
     steer_scope : [ `Exact_action | `Node ];
     supervisor : supervisor;
+    store : store_config option;
   }
 
   type report = {
@@ -56,6 +66,11 @@ struct
     live_violation_time : float option;
     degradations : string list;
     final_tier : int;
+    resumed_at : float option;
+        (* simulated time the hunt fast-forwarded to, [None] cold *)
+    states_explored : int;
+        (* system states created, cumulative across resumed phases *)
+    store_hits : int;  (* combination-store hits, cumulative *)
   }
 
   (* The first live-controllable step of a witness: the earliest
@@ -175,6 +190,87 @@ struct
     let escalate ~reason ~detail =
       if !tier < 3 then incr tier;
       degraded ~reason ~detail
+    in
+    (* ---- Persistence (lib/store) ----------------------------------
+       A checkpoint directory makes the restart loop *incremental*:
+       per-node stores, I+ and the clean-combination set survive the
+       process, and a resumed hunt fast-forwards the deterministic
+       simulation to the saved live time instead of re-living it.
+       Anything wrong with an existing checkpoint (truncated file, bad
+       digest, seed/protocol mismatch) is a ["corrupt_checkpoint"]
+       degradation followed by a cold start — never a crash. *)
+    let states_total = ref 0 in
+    let hits_total = ref 0 in
+    let found = ref false in
+    let ckpt, resumed_at =
+      match config.store with
+      | None -> (None, None)
+      | Some sc ->
+          let events = Store.Events.of_trace config.checker.Checker.trace in
+          let open_cold () =
+            Store.Checkpoint.create ~events ~dir:sc.dir ~protocol:Check.name
+              ~num_nodes:Check.num_nodes ~seed:config.sim.Sim_p.seed ()
+          in
+          if not sc.resume then (Some (open_cold ()), None)
+          else begin
+            match
+              Store.Checkpoint.load ~events ~dir:sc.dir ~protocol:Check.name
+                ~num_nodes:Check.num_nodes ~seed:config.sim.Sim_p.seed ()
+            with
+            | Error (Store.Checkpoint.Corrupt_checkpoint why) ->
+                degraded ~reason:"corrupt_checkpoint" ~detail:why;
+                (Some (open_cold ()), None)
+            | Ok c ->
+                let m = Store.Checkpoint.meta c in
+                checks := m.Store.Checkpoint.m_checks;
+                states_total := m.Store.Checkpoint.m_states;
+                hits_total := m.Store.Checkpoint.m_hits;
+                (* the simulation is deterministic in its seed, so
+                   replaying up to the saved time restores the exact
+                   live state the previous phase died in *)
+                if m.Store.Checkpoint.m_live_time > 0. then
+                  Sim_p.run_until sim m.Store.Checkpoint.m_live_time;
+                Store.Events.emit events ~ev:"resume"
+                  [
+                    ("dir", Dsm.Json.String sc.dir);
+                    ( "live_time",
+                      Dsm.Json.Float m.Store.Checkpoint.m_live_time );
+                    ("checks", Dsm.Json.Int m.Store.Checkpoint.m_checks);
+                    ("states", Dsm.Json.Int m.Store.Checkpoint.m_states);
+                    ("hits", Dsm.Json.Int m.Store.Checkpoint.m_hits);
+                  ];
+                (Some c, Some m.Store.Checkpoint.m_live_time)
+          end
+    in
+    let persist =
+      Option.map
+        (fun c ->
+          {
+            Lmc.Checker.p_combos = Store.Checkpoint.combos c;
+            p_nodes = Store.Checkpoint.node_states c;
+            p_iplus = Store.Checkpoint.iplus c;
+          })
+        ckpt
+    in
+    let save_progress () =
+      match ckpt with
+      | None -> ()
+      | Some c ->
+          Store.Checkpoint.save c ~live_time:(Sim_p.now sim) ~checks:!checks
+            ~states:!states_total ~hits:!hits_total ~found:!found;
+          Obs.Metrics.set
+            (Obs.gauge obs "online.store_occupancy")
+            (Store.Fp_set.occupancy (Store.Checkpoint.combos c));
+          let considered = !hits_total + !states_total in
+          if considered > 0 then
+            Obs.Metrics.set
+              (Obs.gauge obs "online.store_hit_rate")
+              (float_of_int !hits_total /. float_of_int considered);
+          (match Store.Rss.sample_bytes () with
+          | Some b ->
+              Obs.Metrics.set (Obs.gauge obs "online.rss_bytes")
+                (float_of_int b)
+          | None -> ())
     in
     (* Graceful degradation tiers: 1 halves the depth bound, 2 drops
        LMC-GEN to the invariant-pruned Automatic strategy, 3 defers
@@ -315,6 +411,7 @@ struct
                   local_action_bound = bound;
                   obs = checker_obs;
                   pool;
+                  persist;
                 }
                 snapshot
             with
@@ -322,6 +419,9 @@ struct
             | Some result -> (
             audit_budgets result;
             check_time := !check_time +. result.Checker.elapsed;
+            states_total :=
+              !states_total + result.Checker.system_states_created;
+            hits_total := !hits_total + result.Checker.store_hits;
             Obs.event obs "online.check"
               ~fields:
                 [
@@ -340,6 +440,7 @@ struct
                     Dsm.Json.Int result.Checker.preliminary_violations );
                   ( "sound_violation",
                     Dsm.Json.Bool (result.Checker.sound_violation <> None) );
+                  ("store_hits", Dsm.Json.Int result.Checker.store_hits);
                   ("elapsed_s", Dsm.Json.Float result.Checker.elapsed);
                 ];
             match result.Checker.sound_violation with
@@ -347,6 +448,14 @@ struct
             | None -> widen rest))
       in
       widen bounds
+    in
+    (* Checkpoint after every snapshot check, hit or miss: a SIGKILL at
+       any point costs at most one check interval of progress. *)
+    let check_snapshot snapshot =
+      let r = check_snapshot snapshot in
+      if Option.is_some r then found := true;
+      save_progress ();
+      r
     in
     let rec loop () =
       let deadline = Sim_p.now sim +. config.check_interval in
@@ -395,7 +504,9 @@ struct
     in
     let report =
       Fun.protect
-        ~finally:(fun () -> Option.iter Par.Pool.shutdown owned_pool)
+        ~finally:(fun () ->
+          Option.iter Par.Pool.shutdown owned_pool;
+          Option.iter Store.Checkpoint.close ckpt)
         loop
     in
     {
@@ -406,6 +517,9 @@ struct
       live_violation_time = !live_violation_time;
       degradations = List.rev !degradations;
       final_tier = !tier;
+      resumed_at;
+      states_explored = !states_total;
+      store_hits = !hits_total;
     }
 
   let pp_report ppf r =

@@ -67,6 +67,23 @@ module Make
       checksumming. *)
   val default_supervisor : supervisor
 
+  (** Disk-backed persistence for the hunt ({!Store.Checkpoint}): the
+      per-node stores, [I+] and the set of invariant-clean combinations
+      live in mmap'd files under [dir], checkpointed after every
+      snapshot check, so a killed hunt resumes instead of restarting. *)
+  type store_config = {
+    dir : string;  (** checkpoint directory, created if missing *)
+    resume : bool;
+        (** warm-start: load the checkpoint, fast-forward the
+            deterministic simulation to the saved live time and skip
+            every combination an earlier phase already proved clean —
+            a resumed phase creates strictly fewer system states than
+            a cold rerun.  A missing or corrupt checkpoint (truncated
+            file, digest mismatch, different seed or protocol) emits a
+            ["corrupt_checkpoint"] degradation and falls back to a
+            cold start; it never crashes the hunt. *)
+  }
+
   type config = {
     sim : Sim.Live_sim.Make(Live).config;
     check_interval : float;
@@ -97,6 +114,11 @@ module Make
         (** hardened-loop knobs; {!default_supervisor} preserves the
             unsupervised behaviour except that checker exceptions are
             retried instead of propagated *)
+    store : store_config option;
+        (** persistent, resumable checking; [None] keeps everything in
+            memory.  When the flight recorder streams to a file, the
+            checkpoint emits its own [store.v1] records
+            (open/flush/compact/resume) into the same JSONL sink. *)
   }
 
   type report = {
@@ -126,6 +148,15 @@ module Make
     final_tier : int;
         (** degradation tier at the end of the hunt, 0 (never
             degraded) to 3 *)
+    resumed_at : float option;
+        (** simulated time the hunt fast-forwarded to after loading a
+            checkpoint; [None] for a cold start *)
+    states_explored : int;
+        (** system states created, {e cumulative across resumed
+            phases} (a warm phase inherits the checkpoint's count) *)
+    store_hits : int;
+        (** combinations skipped because the persistent store already
+            proved them clean, cumulative across phases *)
   }
 
   (** [run ?obs config ~strategy ~invariant] drives the hunt.  When

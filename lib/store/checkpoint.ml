@@ -1,0 +1,219 @@
+type meta = {
+  m_protocol : string;
+  m_seed : int;
+  m_live_time : float;
+  m_checks : int;
+  m_states : int;
+  m_hits : int;
+  m_found : bool;
+}
+
+type t = {
+  dir : string;
+  combos : Fp_set.t;
+  node_states : Fp_set.t array;
+  iplus : Fp_set.t;
+  events : Events.t;
+  mutable meta : meta;
+}
+
+type error = Corrupt_checkpoint of string
+
+let pp_error ppf (Corrupt_checkpoint why) =
+  Format.fprintf ppf "corrupt checkpoint: %s" why
+
+(* meta.bin: magic, MD5 of the payload, marshalled [meta] — the same
+   torn-write discipline as [Sim.Snapshot]. *)
+let meta_magic = "lmcckpt1"
+
+let meta_file dir = Filename.concat dir "meta.bin"
+let combos_file dir = Filename.concat dir "combos.fps"
+let node_file dir i = Filename.concat dir (Printf.sprintf "node%d.fps" i)
+let iplus_file dir = Filename.concat dir "iplus.fps"
+
+let meta_to_string m =
+  let payload = Marshal.to_string m [] in
+  meta_magic ^ Digest.string payload ^ payload
+
+let meta_of_string s =
+  let mlen = String.length meta_magic in
+  let hlen = mlen + 16 in
+  if String.length s < hlen then Error (Corrupt_checkpoint "truncated meta")
+  else if String.sub s 0 mlen <> meta_magic then
+    Error (Corrupt_checkpoint "bad meta magic")
+  else
+    let digest = String.sub s mlen 16 in
+    let payload = String.sub s hlen (String.length s - hlen) in
+    if not (String.equal (Digest.string payload) digest) then
+      Error (Corrupt_checkpoint "meta digest mismatch")
+    else
+      match (Marshal.from_string payload 0 : meta) with
+      | m -> Ok m
+      | exception _ -> Error (Corrupt_checkpoint "meta unmarshal failure")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s);
+  Unix.rename tmp path
+
+let wire_compaction events name set =
+  Fp_set.on_compact set (fun ~old_capacity ~new_capacity ->
+      Events.emit events ~ev:"compact"
+        [
+          ("file", Dsm.Json.String name);
+          ("old_capacity", Dsm.Json.Int old_capacity);
+          ("new_capacity", Dsm.Json.Int new_capacity);
+        ])
+
+let emit_open t ~resumed =
+  Events.emit t.events ~ev:"open"
+    [
+      ("dir", Dsm.Json.String t.dir);
+      ("resumed", Dsm.Json.Bool resumed);
+      ("combos", Dsm.Json.Int (Fp_set.length t.combos));
+    ]
+
+let finish ~resumed t =
+  wire_compaction t.events "combos.fps" t.combos;
+  Array.iteri
+    (fun i set ->
+      wire_compaction t.events (Printf.sprintf "node%d.fps" i) set)
+    t.node_states;
+  wire_compaction t.events "iplus.fps" t.iplus;
+  emit_open t ~resumed;
+  t
+
+let create ?(events = Events.null) ~dir ~protocol ~num_nodes ~seed () =
+  mkdir_p dir;
+  let meta =
+    {
+      m_protocol = protocol;
+      m_seed = seed;
+      m_live_time = 0.;
+      m_checks = 0;
+      m_states = 0;
+      m_hits = 0;
+      m_found = false;
+    }
+  in
+  write_file_atomic (meta_file dir) (meta_to_string meta);
+  finish ~resumed:false
+    {
+      dir;
+      combos = Fp_set.create (combos_file dir);
+      node_states =
+        Array.init num_nodes (fun i -> Fp_set.create (node_file dir i));
+      iplus = Fp_set.create (iplus_file dir);
+      events;
+      meta;
+    }
+
+let load ?(events = Events.null) ~dir ~protocol ~num_nodes ~seed () =
+  let ( let* ) = Result.bind in
+  let* raw =
+    match read_file (meta_file dir) with
+    | s -> Ok s
+    | exception Sys_error why -> Error (Corrupt_checkpoint why)
+  in
+  let* meta = meta_of_string raw in
+  let* () =
+    if not (String.equal meta.m_protocol protocol) then
+      Error
+        (Corrupt_checkpoint
+           (Printf.sprintf "protocol mismatch: checkpoint has %S, hunt is %S"
+              meta.m_protocol protocol))
+    else if meta.m_seed <> seed then
+      Error
+        (Corrupt_checkpoint
+           (Printf.sprintf "seed mismatch: checkpoint has %d, hunt is %d"
+              meta.m_seed seed))
+    else Ok ()
+  in
+  let load_set path =
+    Result.map_error
+      (fun (Fp_set.Corrupt_store why) ->
+        Corrupt_checkpoint (Filename.basename path ^ ": " ^ why))
+      (Fp_set.load path)
+  in
+  let* combos = load_set (combos_file dir) in
+  let* node_states =
+    let rec go i acc =
+      if i >= num_nodes then Ok (Array.of_list (List.rev acc))
+      else
+        match load_set (node_file dir i) with
+        | Ok s -> go (i + 1) (s :: acc)
+        | Error e ->
+            List.iter Fp_set.close acc;
+            Error e
+    in
+    match go 0 [] with
+    | Ok sets -> Ok sets
+    | Error e ->
+        Fp_set.close combos;
+        Error e
+  in
+  let* iplus =
+    match load_set (iplus_file dir) with
+    | Ok s -> Ok s
+    | Error e ->
+        Fp_set.close combos;
+        Array.iter Fp_set.close node_states;
+        Error e
+  in
+  Ok (finish ~resumed:true { dir; combos; node_states; iplus; events; meta })
+
+let meta t = t.meta
+
+let combos t = t.combos
+
+let node_states t = t.node_states
+
+let iplus t = t.iplus
+
+let events t = t.events
+
+let save t ~live_time ~checks ~states ~hits ~found =
+  Fp_set.flush t.combos;
+  Array.iter Fp_set.flush t.node_states;
+  Fp_set.flush t.iplus;
+  t.meta <-
+    {
+      t.meta with
+      m_live_time = live_time;
+      m_checks = checks;
+      m_states = states;
+      m_hits = hits;
+      m_found = found;
+    };
+  write_file_atomic (meta_file t.dir) (meta_to_string t.meta);
+  Events.emit t.events ~ev:"flush"
+    [
+      ("live_time", Dsm.Json.Float live_time);
+      ("combos", Dsm.Json.Int (Fp_set.length t.combos));
+      ( "node_states",
+        Dsm.Json.Int
+          (Array.fold_left
+             (fun acc s -> acc + Fp_set.length s)
+             0 t.node_states) );
+      ("iplus", Dsm.Json.Int (Fp_set.length t.iplus));
+      ("hits", Dsm.Json.Int hits);
+    ]
+
+let close t =
+  Fp_set.close t.combos;
+  Array.iter Fp_set.close t.node_states;
+  Fp_set.close t.iplus

@@ -1,0 +1,17 @@
+(* statm counts pages; 4 KiB on every platform this runs on *)
+let page_size = 4096
+
+let sample_bytes () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match String.split_on_char ' ' (input_line ic) with
+          | _size :: resident :: _ -> (
+              match int_of_string_opt resident with
+              | Some pages -> Some (pages * page_size)
+              | None -> None)
+          | _ -> None
+          | exception End_of_file -> None)

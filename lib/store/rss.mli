@@ -1,0 +1,6 @@
+(** Resident-set sampling for the steady-state memory gauges.
+
+    Reads [/proc/self/statm]; [None] where procfs is absent, so the
+    gauges simply stay unset off Linux. *)
+
+val sample_bytes : unit -> int option

@@ -263,6 +263,7 @@ let hunt_trace ~domains =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = O.default_supervisor;
+      store = None;
     }
   in
   let outcome = O.run config ~strategy:O.Checker.General ~invariant:PB_cr.read_your_writes in

@@ -244,6 +244,30 @@ let test_crash_variant_recovery_clean () =
   | [] -> ()
   | f :: _ -> fail (Format.asprintf "unexpected finding: %a" R.pp_finding f)
 
+(* The persistence audit's planted fixture: a tampering hook between
+   the 64-bit folding and the insert stands in for a corrupting store
+   layer, and must surface as a digest-drift finding.  The clean
+   round-trip is exercised by every other lint in this file (the audit
+   runs on each distinct state fingerprint). *)
+let test_fixture_store_drift () =
+  let module P = Protocols.Tree.Make (Protocols.Tree.Paper_config) in
+  let module S = Lint.Sanitize.Make (P) in
+  let r =
+    S.run
+      ~config:
+        {
+          S.default_config with
+          store_tamper = Some (fun k -> Int64.logxor k 0x00ff_00ff_00ff_00ffL);
+        }
+      ()
+  in
+  if not r.S.completed then fail "lint budget exhausted";
+  match
+    List.filter (fun f -> f.R.kind = R.Store_digest_drift) r.S.findings
+  with
+  | _ :: _ -> ()
+  | [] -> fail "tampered store produced no store_digest_drift finding"
+
 (* ------------------------------------------------------------------ *)
 (* Sanitize: bundled correct protocols lint clean                      *)
 (* ------------------------------------------------------------------ *)
@@ -512,6 +536,8 @@ let () =
             test_fixture_flaky_recovery;
           Alcotest.test_case "crash variant recovers clean" `Quick
             test_crash_variant_recovery_clean;
+          Alcotest.test_case "store digest drift" `Quick
+            test_fixture_store_drift;
         ] );
       ( "sanitize-clean",
         Alcotest.test_case "bundled correct protocols" `Quick

@@ -62,6 +62,7 @@ let buggy_config ~max_live_time =
     steer = false;
     steer_scope = `Exact_action;
     supervisor = Online_buggy.default_supervisor;
+    store = None;
   }
 
 let strategy_buggy =
@@ -114,6 +115,7 @@ let test_correct_paxos_quiet () =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = Online_fixed.default_supervisor;
+      store = None;
     }
   in
   let strategy =
@@ -174,6 +176,7 @@ let test_steering_prevents_live_violation () =
       steer;
       steer_scope = `Node;
       supervisor = O.default_supervisor;
+      store = None;
     }
   in
   let strategy =
@@ -227,6 +230,7 @@ let test_survives_checker_failure () =
           backoff_base_ms = 1;
           backoff_cap_ms = 2;
         };
+      store = None;
     }
   in
   let outcome =
@@ -271,6 +275,7 @@ let test_survives_permanent_checker_failure () =
           backoff_base_ms = 1;
           backoff_cap_ms = 2;
         };
+      store = None;
     }
   in
   let outcome =

@@ -195,6 +195,7 @@ let hunt_trace ~domains =
       steer = false;
       steer_scope = `Exact_action;
       supervisor = O.default_supervisor;
+      store = None;
     }
   in
   let outcome = O.run config ~strategy ~invariant:Check_p.safety in
