@@ -2,7 +2,7 @@
 # unit tests, and a CLI smoke test asserting that the observability
 # output stays parseable JSONL.
 
-.PHONY: all build test check lint bench bench-quick soak clean
+.PHONY: all build test check lint bench bench-quick soak soak-telemetry clean
 
 all: build
 
@@ -58,8 +58,71 @@ soak: build
 	  done; \
 	done
 	$(MAKE) soak-resume
+	$(MAKE) soak-telemetry
 	dune exec bin/jsonl_check.exe -- soak/*.jsonl
 	@echo "soak: OK"
+
+# Live-telemetry leg: one supervised hunt runs with the exporter up
+# (--serve) plus the profiler and timeseries ring enabled.  While the
+# hunt is live we scrape /healthz (must report "status":"ok"); once the
+# final metrics dump lands the run lingers (--serve-linger) so we can
+# take a final /metrics scrape and require that the scraped
+# lmc_system_states_created_total equals lmc.system_states_created in
+# the --metrics-out dump — the exporter serves the same registry the
+# dump is written from, so any drift is a bug.  The flamegraph,
+# speedscope, timeseries, and recorder files land in soak/ for the CI
+# artifact upload; the JSONL ones are validated by the soak gate above.
+SOAK_TELEMETRY_PORT = 19891
+
+soak-telemetry: build
+	mkdir -p soak
+	rm -f soak/telemetry.jsonl soak/telemetry-metrics.jsonl \
+	  soak/timeseries.jsonl soak/flamegraph.txt \
+	  soak/profile.speedscope.json soak/healthz.json \
+	  soak/scrape-mid.txt soak/scrape-final.txt
+	dune exec bin/lmc_cli.exe -- hunt -p paxos-buggy \
+	  --faults '$(SOAK_PLAN2)' \
+	  --interval 5 --max-live 120 --budget 2 --crash-budget 1 \
+	  --restart-budget-ms 4000 --max-retries 2 \
+	  --record soak/telemetry.jsonl --profile \
+	  --flamegraph soak/flamegraph.txt \
+	  --speedscope soak/profile.speedscope.json \
+	  --timeseries soak/timeseries.jsonl --timeseries-interval 0.5 \
+	  --metrics-out soak/telemetry-metrics.jsonl \
+	  --serve $(SOAK_TELEMETRY_PORT) --serve-linger 10 \
+	  > soak/telemetry.out 2>&1 & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+	  if curl -sf http://127.0.0.1:$(SOAK_TELEMETRY_PORT)/healthz \
+	       > soak/healthz.json 2>/dev/null; then up=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	if test $$up -ne 1; then \
+	  echo "soak-telemetry: exporter never came up"; \
+	  cat soak/telemetry.out; kill $$pid 2>/dev/null; exit 1; fi; \
+	grep -q '"status":"ok"' soak/healthz.json || exit 1; \
+	curl -sf http://127.0.0.1:$(SOAK_TELEMETRY_PORT)/metrics \
+	  > soak/scrape-mid.txt 2>/dev/null || true; \
+	dumped=0; for i in $$(seq 1 600); do \
+	  if test -s soak/telemetry-metrics.jsonl; then dumped=1; break; fi; \
+	  if ! kill -0 $$pid 2>/dev/null; then break; fi; \
+	  sleep 0.2; \
+	done; \
+	if test $$dumped -ne 1; then \
+	  echo "soak-telemetry: metrics dump never appeared"; \
+	  cat soak/telemetry.out; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -sf http://127.0.0.1:$(SOAK_TELEMETRY_PORT)/metrics \
+	  > soak/scrape-final.txt; \
+	wait $$pid; s=$$?; test $$s -le 1 || exit $$s
+	test -s soak/flamegraph.txt
+	@want=$$(sed -n \
+	  's/.*"metric":"lmc.system_states_created".*"value":\([0-9]*\).*/\1/p' \
+	  soak/telemetry-metrics.jsonl | tail -1); \
+	got=$$(sed -n 's/^lmc_system_states_created_total \([0-9]*\)$$/\1/p' \
+	  soak/scrape-final.txt); \
+	echo "soak-telemetry: scraped=$$got dumped=$$want"; \
+	test -n "$$want" && test "$$got" = "$$want"
+	@echo "soak-telemetry: OK"
 
 # Kill-and-resume legs over the pb-store-crash checkpoint format.  The
 # checkpoint directories under soak/ ship with the CI soak artifacts.
@@ -119,10 +182,13 @@ soak-resume: build
 bench:
 	dune exec bench/main.exe
 
-# CI-sized pass: micro-benchmarks only, trimmed budgets (used by the
-# workflow in .github/workflows/ci.yml).
+# CI-sized pass: micro-benchmarks plus the telemetry-overhead gate,
+# trimmed budgets (used by the workflow in .github/workflows/ci.yml).
+# The telemetry section records within_bar in BENCH_lmc.json; the grep
+# enforces the <=5% overhead bar.
 bench-quick:
-	dune exec bench/main.exe -- --quick --only micro
+	dune exec bench/main.exe -- --quick --only micro --only telemetry-overhead
+	grep -q '"within_bar":true' BENCH_lmc.json
 
 clean:
 	dune clean

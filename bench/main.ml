@@ -1058,6 +1058,66 @@ let obs_overhead () =
          ("sink_pct", Dsm.Json.Float (pct sink_s));
        ])
 
+(* What do the three live-telemetry pillars cost when all of them are
+   on at once?  The Fig. 10 LMC-GEN series runs under a disabled scope
+   and under a scope with the sampling profiler, the soak-timeseries
+   ring AND a live /metrics exporter attached (a scraping thread
+   sharing the process), interleaved at depth granularity with the
+   per-(mode, depth) minimum kept, like the recorder bench below.  The
+   acceptance bar is 5%. *)
+let telemetry_overhead () =
+  header "Live telemetry overhead: Fig. 10 LMC-GEN series, off vs full";
+  (* The 5% bar is defined on the full Fig. 10 sweep, where combination
+     checking dominates; stopping at depth 12 would inflate the ratio
+     (frame push/pop scales with transitions, combination work grows
+     much faster with depth).  Quick mode trims rounds, not depth —
+     this section is a CI gate. *)
+  let max_depth = 18 in
+  let run_one depth obs =
+    let cfg = { L1.default_config with max_depth = Some depth; obs } in
+    let r =
+      L1.run cfg ~strategy:L1.General ~invariant:Paxos1.safety
+        (paxos1_init ())
+    in
+    r.elapsed
+  in
+  let ts_path = Filename.temp_file "telemetry_overhead" ".jsonl" in
+  let metrics = Obs.Metrics.create () in
+  let profiler = Obs.Prof.create () in
+  let timeseries = Obs.Timeseries.create ~interval:0.5 ~metrics ts_path in
+  let exporter = Obs.Exporter.start ~metrics ~port:0 () in
+  let scope = Obs.create ~metrics ~profiler ~timeseries () in
+  let rounds = if !quick then 3 else 12 in
+  let off = Array.make (max_depth + 1) infinity in
+  let tel = Array.make (max_depth + 1) infinity in
+  for _ = 1 to rounds do
+    for depth = 0 to max_depth do
+      off.(depth) <- min off.(depth) (run_one depth Obs.null);
+      tel.(depth) <- min tel.(depth) (run_one depth scope)
+    done
+  done;
+  Obs.Exporter.stop exporter;
+  Obs.close scope;
+  Sys.remove ts_path;
+  let sum = Array.fold_left ( +. ) 0. in
+  let off_s = sum off and tel_s = sum tel in
+  let pct = 100. *. (tel_s /. max 1e-9 off_s -. 1.) in
+  let bar = 5.0 in
+  row "%-36s %10.4f s\n" "telemetry off (Obs.null)" off_s;
+  row "%-36s %10.4f s  (%+.1f%%)\n"
+    "profiler + timeseries + /metrics" tel_s pct;
+  if pct > bar then
+    row "WARNING: telemetry overhead %.1f%% exceeds the %.0f%% bar\n" pct bar;
+  Bench_out.record "telemetry-overhead"
+    (Dsm.Json.Obj
+       [
+         ("off_s", Dsm.Json.Float off_s);
+         ("telemetry_s", Dsm.Json.Float tel_s);
+         ("telemetry_pct", Dsm.Json.Float pct);
+         ("bar_pct", Dsm.Json.Float bar);
+         ("within_bar", Dsm.Json.Bool (pct <= bar));
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Flight-recorder overhead                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1560,6 +1620,7 @@ let sections =
     ("breadth", breadth);
     ("micro", micro);
     ("obs-overhead", obs_overhead);
+    ("telemetry-overhead", telemetry_overhead);
     ("record-overhead", record_overhead);
     ("scaling", scaling);
     ("par-functor", par_functor);

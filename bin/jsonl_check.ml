@@ -1,7 +1,9 @@
 (* jsonl_check: validate that every line of a JSONL file parses as a
    JSON value, and that lines carrying a known schema tag ("schema":
    "trace.v1" from the flight recorder, "lint.v1" from `lmc lint
-   --out', "store.v1" from the persistent-checkpoint layer) are
+   --out', "store.v1" from the persistent-checkpoint layer,
+   "profile.v1" from the sampling profiler, "timeseries.v1" from the
+   heartbeat gauge ring) are
    well-formed records: known record kind, the fields that kind
    requires, and strictly increasing [seq] numbers per schema.  Exits
    0 when every file is well-formed, 1 with line-numbered diagnostics
@@ -11,6 +13,8 @@
 let trace_schema = "trace.v1"
 let lint_schema = "lint.v1"
 let store_schema = "store.v1"
+let profile_schema = "profile.v1"
+let timeseries_schema = "timeseries.v1"
 
 let field name fields = List.assoc_opt name fields
 
@@ -19,6 +23,7 @@ let is_string = function Dsm.Json.String _ -> true | _ -> false
 let is_list = function Dsm.Json.List _ -> true | _ -> false
 let is_bool = function Dsm.Json.Bool _ -> true | _ -> false
 let is_number = function Dsm.Json.Int _ | Dsm.Json.Float _ -> true | _ -> false
+let is_obj = function Dsm.Json.Obj _ -> true | _ -> false
 
 (* Required fields per record kind: the CLI's [run]/[end] framing and
    every record the checkers emit.  A missing kind here means a
@@ -137,6 +142,26 @@ let store_required_fields = function
         ]
   | _ -> None
 
+(* The sampling profiler's export (lib/obs/prof.ml): one [prof_run]
+   header with the run's total attributed time, then one [stack] line
+   per distinct collapsed stack. *)
+let profile_required_fields = function
+  | "prof_run" -> Some [ ("clock_us", is_int); ("stacks", is_int) ]
+  | "stack" ->
+      Some [ ("stack", is_list); ("us", is_int); ("samples", is_int) ]
+  | _ -> None
+
+(* The heartbeat-driven gauge/counter ring (lib/obs/timeseries.ml):
+   [ts_run] header, [sample] lines with the counter and gauge maps,
+   and a [ts_meta] trailer accounting for ring drops. *)
+let timeseries_required_fields = function
+  | "ts_run" -> Some [ ("interval_s", is_number); ("capacity", is_int) ]
+  | "sample" ->
+      Some [ ("t", is_number); ("counters", is_obj); ("gauges", is_obj) ]
+  | "ts_meta" ->
+      Some [ ("samples", is_int); ("dropped", is_int); ("capacity", is_int) ]
+  | _ -> None
+
 let check_record ~required_fields ~last_seq fields =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
@@ -176,7 +201,9 @@ let check_file path =
   let ic = open_in path in
   let last_trace_seq = ref (-1)
   and last_lint_seq = ref (-1)
-  and last_store_seq = ref (-1) in
+  and last_store_seq = ref (-1)
+  and last_profile_seq = ref (-1)
+  and last_timeseries_seq = ref (-1) in
   let validate ~required_fields ~last_seq ~schema lineno fields =
     let seq, errors = check_record ~required_fields ~last_seq:!last_seq fields in
     last_seq := seq;
@@ -210,6 +237,24 @@ let check_file path =
             let ok' =
               validate ~required_fields:store_required_fields
                 ~last_seq:last_store_seq ~schema:store_schema lineno fields
+            in
+            loop (lineno + 1) (ok && ok')
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields = Some (Dsm.Json.String profile_schema)
+          ->
+            let ok' =
+              validate ~required_fields:profile_required_fields
+                ~last_seq:last_profile_seq ~schema:profile_schema lineno
+                fields
+            in
+            loop (lineno + 1) (ok && ok')
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields
+               = Some (Dsm.Json.String timeseries_schema) ->
+            let ok' =
+              validate ~required_fields:timeseries_required_fields
+                ~last_seq:last_timeseries_seq ~schema:timeseries_schema
+                lineno fields
             in
             loop (lineno + 1) (ok && ok')
         | Ok _ -> loop (lineno + 1) ok

@@ -101,10 +101,11 @@ let jbool = function Some (Dsm.Json.Bool b) -> Some b | _ -> None
 let ev_of fields =
   match jstr (jfield "ev" fields) with Some e -> e | None -> ""
 
-(* Every trace.v1 record of a JSONL file, as field lists, in file
+(* Every record of one schema in a JSONL file, as field lists, in file
    order.  Foreign lines (other schemas, blank lines) are skipped so a
-   trace interleaved with ordinary --trace-out events still loads. *)
-let load_trace path =
+   trace interleaved with ordinary --trace-out events — or with the
+   profiler's profile.v1 stream — still loads. *)
+let load_records ~schema path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -116,12 +117,14 @@ let load_trace path =
            if String.trim line <> "" then
              match Dsm.Json.of_string line with
              | Ok (Dsm.Json.Obj fields)
-               when jstr (jfield "schema" fields) = Some Obs.Trace.schema ->
+               when jstr (jfield "schema" fields) = Some schema ->
                  records := fields :: !records
              | Ok _ | Error _ -> ()
          done
        with End_of_file -> ());
       List.rev !records)
+
+let load_trace path = load_records ~schema:Obs.Trace.schema path
 
 (* A record rendered without the sink-level framing: the wall-clock
    [ts] legitimately differs between a recording and its replay, and
@@ -171,18 +174,55 @@ end
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* The live-telemetry flag bundle shared by `check' and `hunt':
+   /metrics exposition, the sampling profiler and its exports, and the
+   soak timeseries ring.  All pure observers — none of them may move a
+   verdict or a counter. *)
+type telemetry = {
+  tel_serve : int option;  (* --serve PORT: HTTP /metrics + /healthz *)
+  tel_linger : float;  (* --serve-linger: keep serving after the run *)
+  tel_profile : bool;  (* --profile: profile.v1 into the record file *)
+  tel_flamegraph : string option;  (* collapsed-stack text *)
+  tel_speedscope : string option;  (* speedscope JSON *)
+  tel_timeseries : string option;  (* timeseries.v1 JSONL *)
+  tel_ts_interval : float;  (* seconds between samples *)
+}
+
+let no_telemetry =
+  {
+    tel_serve = None;
+    tel_linger = 0.;
+    tel_profile = false;
+    tel_flamegraph = None;
+    tel_speedscope = None;
+    tel_timeseries = None;
+    tel_ts_interval = 1.0;
+  }
+
+let telemetry_profiling t =
+  t.tel_profile || t.tel_flamegraph <> None || t.tel_speedscope <> None
+
 (* Build the scope requested on the command line; returns it with a
-   finaliser that dumps the metrics registry and closes the sinks.
-   With none of the three flags this is [Obs.null] and a no-op.
-   Unwritable paths must fail here, before the run, not at the end. *)
-let make_scope ~metrics_out ~trace_out ~progress =
-  if metrics_out = None && trace_out = None && progress = None then
-    (Obs.null, fun () -> ())
+   finaliser that dumps the metrics registry, writes the profiler
+   exports, closes the sinks (which dumps the timeseries ring) and
+   finally lingers and stops the exporter.  With no observability
+   flags this is [Obs.null] and a no-op.  Unwritable paths must fail
+   here, before the run, not at the end. *)
+let make_scope ?(telemetry = no_telemetry) ?record ~metrics_out ~trace_out
+    ~progress () =
+  let profiling = telemetry_profiling telemetry in
+  if
+    metrics_out = None && trace_out = None && progress = None
+    && telemetry.tel_serve = None && telemetry.tel_timeseries = None
+    && not profiling
+  then (Obs.null, fun () -> ())
   else begin
     let fail_io msg =
       Printf.eprintf "lmc_cli: %s\n%!" msg;
       exit 2
     in
+    if telemetry.tel_profile && record = None then
+      fail_io "--profile requires --record (profile.v1 rides the record file)";
     (match metrics_out with
     | Some path -> (
         try close_out (open_out_gen [ Open_wronly; Open_creat ] 0o644 path)
@@ -199,14 +239,72 @@ let make_scope ~metrics_out ~trace_out ~progress =
       | Some _ -> [ Obs.Sink.console ~only:[ "progress" ] () ]
       | None -> []
     in
-    let scope = Obs.create ~sinks ?progress () in
+    let metrics = Obs.Metrics.create () in
+    let profiler = if profiling then Some (Obs.Prof.create ()) else None in
+    let timeseries =
+      match telemetry.tel_timeseries with
+      | Some path -> (
+          try
+            Some
+              (Obs.Timeseries.create ~interval:telemetry.tel_ts_interval
+                 ~metrics path)
+          with Sys_error msg -> fail_io msg)
+      | None -> None
+    in
+    let scope =
+      Obs.create ~metrics ~sinks ?progress ?profiler ?timeseries ()
+    in
+    let exporter =
+      match telemetry.tel_serve with
+      | Some port -> (
+          try Some (Obs.Exporter.start ~metrics ~port ())
+          with Unix.Unix_error (e, _, _) ->
+            fail_io
+              (Printf.sprintf "--serve %d: %s" port (Unix.error_message e)))
+      | None -> None
+    in
+    (match exporter with
+    | Some e ->
+        Printf.eprintf "lmc_cli: serving /metrics on 127.0.0.1:%d\n%!"
+          (Obs.Exporter.port e)
+    | None -> ());
     let finish () =
+      (* Order matters: the record file's trace sink is closed by the
+         caller before this runs, so appending profile.v1 here keeps
+         the streams whole; the metrics dump precedes the linger so a
+         scraper can compare the live endpoint against the file. *)
+      (match profiler with
+      | Some p ->
+          let export what f =
+            try f ()
+            with Sys_error msg ->
+              Printf.eprintf "lmc_cli: %s: %s\n%!" what msg
+          in
+          (match record with
+          | Some path ->
+              export "profile" (fun () -> Obs.Prof.append_jsonl p path)
+          | None -> ());
+          (match telemetry.tel_flamegraph with
+          | Some path ->
+              export "flamegraph" (fun () -> Obs.Prof.write_collapsed p path)
+          | None -> ());
+          (match telemetry.tel_speedscope with
+          | Some path ->
+              export "speedscope" (fun () ->
+                  Obs.Prof.write_speedscope p ~name:"lmc" path)
+          | None -> ())
+      | None -> ());
       (match metrics_out with
       | Some path -> (
           try Obs.write_metrics_jsonl scope path
           with Sys_error msg -> Printf.eprintf "lmc_cli: %s\n%!" msg)
       | None -> ());
-      Obs.close scope
+      Obs.close scope;
+      match exporter with
+      | Some e ->
+          if telemetry.tel_linger > 0. then Unix.sleepf telemetry.tel_linger;
+          Obs.Exporter.stop e
+      | None -> ()
     in
     (scope, finish)
   end
@@ -1565,6 +1663,86 @@ module Report = struct
     Format.printf "(%d events; * internal action, o self-delivery)@."
       (List.length wsteps)
 
+  (* The sampled-profile sections (profile.v1 records appended to the
+     record file by --profile).  Self time per frame is the leaf-frame
+     attribution: on the Fig. 10 sweep it names combination checking
+     as the dominant phase, the paper's headline cost finding. *)
+  let render_profile records =
+    let stacks =
+      List.filter_map
+        (fun f ->
+          if ev_of f <> "stack" then None
+          else
+            let frames =
+              match jfield "stack" f with
+              | Some (Dsm.Json.List l) ->
+                  List.filter_map
+                    (function Dsm.Json.String s -> Some s | _ -> None)
+                    l
+              | _ -> []
+            in
+            Some
+              ( frames,
+                Option.value ~default:0 (jint (jfield "us" f)),
+                Option.value ~default:0 (jint (jfield "samples" f)) ))
+        records
+    in
+    section "sampled profile";
+    (List.iter
+       (fun f ->
+         if ev_of f = "prof_run" then
+           Format.printf
+             "%.3f ms attributed across %d stack(s), 1 sample per %d \
+              transition tick(s)@."
+             (float_of_int
+                (Option.value ~default:0 (jint (jfield "clock_us" f)))
+             /. 1000.)
+             (Option.value ~default:0 (jint (jfield "stacks" f)))
+             (Option.value ~default:1 (jint (jfield "sample_every" f))))
+       records;
+     let total = List.fold_left (fun a (_, us, _) -> a + us) 0 stacks in
+     if total = 0 then
+       Format.printf "no samples (was the run long enough to tick?)@."
+     else begin
+       (* Self time: the interval a sample lands in belongs to the
+          innermost frame live at that moment. *)
+       let self : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+       List.iter
+         (fun (frames, us, _) ->
+           let leaf =
+             match List.rev frames with leaf :: _ -> leaf | [] -> "(idle)"
+           in
+           match Hashtbl.find_opt self leaf with
+           | Some r -> r := !r + us
+           | None -> Hashtbl.add self leaf (ref us))
+         stacks;
+       let rows =
+         Hashtbl.fold (fun name r acc -> (name, !r) :: acc) self []
+         |> List.sort (fun (_, a) (_, b) -> compare b a)
+       in
+       Format.printf "%-28s %12s %6s@." "FRAME (self time)" "MS" "%";
+       List.iter
+         (fun (name, us) ->
+           Format.printf "%-28s %12.3f %5.1f%% %s@." (clip ~max_len:28 name)
+             (float_of_int us /. 1000.)
+             (pct us total)
+             (bar ~width:24 (float_of_int us /. float_of_int total)))
+         rows;
+       let top = 12 in
+       Format.printf "@.%-52s %12s %6s@." "HOT STACK" "MS" "%";
+       List.iteri
+         (fun i (frames, us, _) ->
+           if i < top then
+             Format.printf "%-52s %12.3f %5.1f%%@."
+               (clip ~max_len:52 (String.concat ";" frames))
+               (float_of_int us /. 1000.)
+               (pct us total))
+         (List.sort (fun (_, a, _) (_, b, _) -> compare b a) stacks);
+       if List.length stacks > top then
+         Format.printf "(%d more stack(s))@." (List.length stacks - top)
+     end);
+    0
+
   let render ~records ~metrics_path =
     let steps = parse_steps records in
     render_header records;
@@ -1680,6 +1858,75 @@ let record_ring_arg =
   in
   Arg.(value & opt (some int) None & info [ "record-ring" ] ~doc ~docv:"N")
 
+let serve_arg =
+  let doc =
+    "Serve live telemetry over HTTP on 127.0.0.1:$(docv) while the run \
+     is in flight: /metrics (Prometheus text exposition of the live \
+     registry) and /healthz (supervisor tier, restart budget, snapshot \
+     age, GC/RSS).  Port 0 picks a free port (printed to stderr)."
+  in
+  Arg.(value & opt (some int) None & info [ "serve" ] ~doc ~docv:"PORT")
+
+let serve_linger_arg =
+  let doc =
+    "Keep the --serve endpoint up for $(docv) seconds after the run \
+     finishes (and after the final --metrics-out dump), so a scraper \
+     can collect the end-of-run values."
+  in
+  Arg.(value & opt float 0. & info [ "serve-linger" ] ~doc ~docv:"SECS")
+
+let profile_arg =
+  let doc =
+    "Enable the sampling profiler and append its profile.v1 records to \
+     the --record file; read them back with `lmc report --profile'."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let flamegraph_arg =
+  let doc =
+    "Write the profile as collapsed-stack text ('frame;frame us' per \
+     line, flamegraph.pl / inferno / speedscope input) to $(docv).  \
+     Implies profiling."
+  in
+  Arg.(value & opt (some string) None & info [ "flamegraph" ] ~doc ~docv:"FILE")
+
+let speedscope_arg =
+  let doc =
+    "Write the profile as speedscope JSON to $(docv).  Implies \
+     profiling."
+  in
+  Arg.(value & opt (some string) None & info [ "speedscope" ] ~doc ~docv:"FILE")
+
+let timeseries_arg =
+  let doc =
+    "Sample every counter and gauge (plus GC and RSS) from the \
+     progress-heartbeat tick gate into a bounded ring, dumped as \
+     timeseries.v1 JSONL to $(docv) when the run finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~doc ~docv:"FILE")
+
+let timeseries_interval_arg =
+  let doc = "Seconds between --timeseries samples." in
+  Arg.(
+    value & opt float 1.0 & info [ "timeseries-interval" ] ~doc ~docv:"SECS")
+
+let telemetry_term =
+  let mk tel_serve tel_linger tel_profile tel_flamegraph tel_speedscope
+      tel_timeseries tel_ts_interval =
+    {
+      tel_serve;
+      tel_linger;
+      tel_profile;
+      tel_flamegraph;
+      tel_speedscope;
+      tel_timeseries;
+      tel_ts_interval;
+    }
+  in
+  Term.(
+    const mk $ serve_arg $ serve_linger_arg $ profile_arg $ flamegraph_arg
+    $ speedscope_arg $ timeseries_arg $ timeseries_interval_arg)
+
 (* Like make_scope: unwritable paths must fail before the run starts. *)
 let make_trace ~record ~record_ring =
   match record with
@@ -1765,13 +2012,15 @@ let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
   let run protocol checker max_depth time_limit crash_budget verbose minimize
       dot json metrics_out trace_out progress domains verify_domains record
-      record_ring =
+      record_ring telemetry =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
         2
     | Ok r ->
-        let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
+        let obs, finish =
+          make_scope ~telemetry ?record ~metrics_out ~trace_out ~progress ()
+        in
         let trace, finish_trace = make_trace ~record ~record_ring in
         Fun.protect
           ~finally:(fun () ->
@@ -1796,7 +2045,7 @@ let check_cmd =
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
       $ crash_budget_arg $ verbose_arg $ minimize_arg $ dot_arg $ json_arg
       $ metrics_out_arg $ trace_out_arg $ progress_arg $ domains_arg
-      $ verify_domains_arg $ record_arg $ record_ring_arg)
+      $ verify_domains_arg $ record_arg $ record_ring_arg $ telemetry_term)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -1888,7 +2137,7 @@ let hunt_cmd =
   let run protocol seed drop interval max_live budget steer faults
       crash_budget restart_budget_ms max_retries store_dir resume
       metrics_out trace_out progress domains verify_domains record
-      record_ring =
+      record_ring telemetry =
     if resume && store_dir = None then begin
       prerr_endline "lmc_cli: --resume requires --store DIR";
       exit 2
@@ -1901,7 +2150,9 @@ let hunt_cmd =
         prerr_endline "this protocol has no online-hunt setup";
         2
     | Ok { hunt = Some h; _ } ->
-        let obs, finish = make_scope ~metrics_out ~trace_out ~progress in
+        let obs, finish =
+          make_scope ~telemetry ?record ~metrics_out ~trace_out ~progress ()
+        in
         let trace, finish_trace = make_trace ~record ~record_ring in
         Fun.protect
           ~finally:(fun () ->
@@ -1926,7 +2177,7 @@ let hunt_cmd =
       $ crash_budget_arg $ restart_budget_ms_arg $ max_retries_arg
       $ store_arg $ resume_arg $ metrics_out_arg $ trace_out_arg
       $ progress_arg $ domains_arg $ verify_domains_arg $ record_arg
-      $ record_ring_arg)
+      $ record_ring_arg $ telemetry_term)
 
 let trace_file_arg =
   let doc = "A trace.v1 JSONL file produced by --record." in
@@ -2113,22 +2364,49 @@ let report_cmd =
     Arg.(
       value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
   in
-  let run file metrics_path =
+  let report_profile_arg =
+    let doc =
+      "Also render the sampled profile (self time per frame, hottest \
+       stacks) from the profile.v1 records a --profile run appended to \
+       the file."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let run file metrics_path profile =
     match (try Ok (load_trace file) with Sys_error msg -> Error msg) with
     | Error msg ->
         Printf.eprintf "lmc_cli: %s\n%!" msg;
         2
-    | Ok [] ->
-        Printf.eprintf "lmc_cli: %s: no trace.v1 records\n%!" file;
-        2
     | Ok records -> (
-        try Report.render ~records ~metrics_path
-        with Sys_error msg ->
-          Printf.eprintf "lmc_cli: %s\n%!" msg;
-          2)
+        let prof_records =
+          if profile then load_records ~schema:Obs.Prof.schema file else []
+        in
+        if profile && prof_records = [] then begin
+          Printf.eprintf
+            "lmc_cli: %s: no profile.v1 records (was the run recorded \
+             with --profile?)\n\
+             %!"
+            file;
+          2
+        end
+        else if records = [] && not profile then begin
+          Printf.eprintf "lmc_cli: %s: no trace.v1 records\n%!" file;
+          2
+        end
+        else
+          try
+            let code =
+              if records = [] then 0 else Report.render ~records ~metrics_path
+            in
+            if profile then
+              max code (Report.render_profile prof_records)
+            else code
+          with Sys_error msg ->
+            Printf.eprintf "lmc_cli: %s\n%!" msg;
+            2)
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ trace_file_arg $ metrics_arg)
+    Term.(const run $ trace_file_arg $ metrics_arg $ report_profile_arg)
 
 let () =
   let doc = "local model checking of distributed protocols (NSDI'11)" in

@@ -160,6 +160,9 @@ module Make (P : Dsm.Protocol.S) = struct
         (* rendered payload, cached — exploration delivers the same
            message to many states, the trace renders it once *)
     mutable hex : string option;  (* hex of [net_fp], same reuse story *)
+    mutable frm : string option;
+        (* profiler frame name ("deliver:Accept"), cached on the entry
+           so the per-transition push is a field read, not a lookup *)
   }
 
   (* A soundness-rejected preliminary violation, cached so it can be
@@ -182,6 +185,14 @@ module Make (P : Dsm.Protocol.S) = struct
     soundness_obs : Obs.scope option;
         (* [None] for the null scope, sparing {!Soundness} the
            per-call recording entirely *)
+    prof : Obs.Prof.t option;
+        (* the scope's sampling profiler, resolved once; frames are
+           pushed on the sequential apply path only, like trace
+           records, so profiles never depend on domain scheduling *)
+    fam_act : (P.action, string) Hashtbl.t;
+        (* action -> profiler frame name ("action:Propose"), touched
+           only when a profiler is attached; delivery frames are
+           cached on the net entry itself ([net_entry.frm]) *)
     node_state_observers : (Dsm.Node_id.t -> P.state -> unit) list;
         (* subscribers of the lmc.node_state stream; the deprecated
            [on_new_node_state] callback is re-implemented as one *)
@@ -206,6 +217,8 @@ module Make (P : Dsm.Protocol.S) = struct
     {
       scope;
       soundness_obs = (if Obs.is_null scope then None else Some scope);
+      prof = Obs.prof scope;
+      fam_act = Hashtbl.create 16;
       node_state_observers =
         (match config.on_new_node_state with Some f -> [ f ] | None -> []);
       c_transitions = Obs.counter scope "lmc.transitions";
@@ -345,6 +358,38 @@ module Make (P : Dsm.Protocol.S) = struct
         let h = Fingerprint.to_hex m.net_fp in
         m.hex <- Some h;
         h
+
+  (* ----- profiler frames (sequential apply path only) ----- *)
+
+  (* Frame names group by label *family* — the constructor before any
+     payload — so "Accept(2,7)" and "Accept(3,1)" share one flamegraph
+     frame.  Memoised per rendered label; only touched with a profiler
+     attached. *)
+  let label_family label =
+    let cut = ref (String.length label) in
+    (match String.index_opt label '(' with
+    | Some i -> if i < !cut then cut := i
+    | None -> ());
+    (match String.index_opt label ' ' with
+    | Some i -> if i < !cut then cut := i
+    | None -> ());
+    String.sub label 0 !cut
+
+  let net_frame (m : net_entry) =
+    match m.frm with
+    | Some f -> f
+    | None ->
+        let f = "deliver:" ^ label_family (message_label m) in
+        m.frm <- Some f;
+        f
+
+  let action_frame t action =
+    match Hashtbl.find_opt t.o.fam_act action with
+    | Some f -> f
+    | None ->
+        let f = "action:" ^ label_family (action_label t action) in
+        Hashtbl.add t.o.fam_act action f;
+        f
 
   let entry_hex (e : 'k entry) =
     match e.fp_hex with
@@ -532,6 +577,7 @@ module Make (P : Dsm.Protocol.S) = struct
             first_inj = -1;
             lbl = None;
             hex = None;
+            frm = None;
           }
         in
         ignore (Vec.push t.net entry);
@@ -643,8 +689,8 @@ module Make (P : Dsm.Protocol.S) = struct
   (* Confirm a preliminary violation (isStateSound): either search the
      product of the per-node predecessor DAGs directly (default), or
      enumerate explicit event-sequence combinations as in the paper. *)
-  let verify_soundness ?(cache_rejection = true) t (tuple : 'k entry array)
-      system violation sdepth =
+  let verify_soundness_run ?(cache_rejection = true) t
+      (tuple : 'k entry array) system violation sdepth =
     t.soundness_calls <- t.soundness_calls + 1;
     Obs.Metrics.incr t.o.c_soundness_calls;
     let t0 = now () in
@@ -762,6 +808,15 @@ module Make (P : Dsm.Protocol.S) = struct
             ];
         if t.tracing then record_witness t violation schedule;
         if t.config.stop_on_violation then raise Stop
+
+  (* Soundness verification under a boundary-sampled profiler frame:
+     [Prof.enter]/[leave] pin the phase edges, so the (often long)
+     search never bleeds into the enclosing combination frame. *)
+  let verify_soundness ?cache_rejection t (tuple : 'k entry array) system
+      violation sdepth =
+    Obs.frame t.o.scope "soundness" (fun () ->
+        verify_soundness_run ?cache_rejection t tuple system violation
+          sdepth)
 
   (* ----- system state creation (checkSystemInvariant, Fig. 9) ----- *)
 
@@ -1052,21 +1107,23 @@ module Make (P : Dsm.Protocol.S) = struct
     if t.config.create_system_states then begin
       let t0 = now () in
       let soundness_before = t.soundness_time in
-      Fun.protect
-        ~finally:(fun () ->
-          let phase = now () -. t0 in
-          t.system_state_time <-
-            t.system_state_time +. phase
-            -. (t.soundness_time -. soundness_before))
-        (fun () ->
-          (match t.strategy with
-          | General -> general_combos t new_entry
-          | Invariant_specific { conflict; _ } ->
-              opt_combos t conflict new_entry
-          | Automatic -> auto_combos t new_entry);
-          (* Verdicts land before any later node state is created, so
-             the pooled path interleaves exactly like the inline one. *)
-          drain_combos t)
+      Obs.frame t.o.scope "combination" (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              let phase = now () -. t0 in
+              t.system_state_time <-
+                t.system_state_time +. phase
+                -. (t.soundness_time -. soundness_before))
+            (fun () ->
+              (match t.strategy with
+              | General -> general_combos t new_entry
+              | Invariant_specific { conflict; _ } ->
+                  opt_combos t conflict new_entry
+              | Automatic -> auto_combos t new_entry);
+              (* Verdicts land before any later node state is created,
+                 so the pooled path interleaves exactly like the
+                 inline one. *)
+              drain_combos t))
     end
 
   (* ----- exploration (findBugs main loop, Fig. 9) ----- *)
@@ -1161,7 +1218,7 @@ module Make (P : Dsm.Protocol.S) = struct
                   List.map (fun env -> (env, Fingerprint.of_value env)) out ))
     else N_skip
 
-  let apply_net t (m : net_entry) (entry : 'k entry) = function
+  let apply_net_seq t (m : net_entry) (entry : 'k entry) = function
     | N_skip -> false
     | N_assert ->
         t.transitions <- t.transitions + 1;
@@ -1221,6 +1278,25 @@ module Make (P : Dsm.Protocol.S) = struct
         in
         changed || produces <> []
 
+  (* The apply half under a per-delivery handler-family frame
+     ("deliver:Accept"): nested combination/soundness frames then
+     attribute to the handler whose new state triggered them.  Hot
+     push/pop — no clock, no closure; the exception match keeps the
+     stack balanced when [check_budget] raises [Stop].  Zero cost
+     without a profiler. *)
+  let apply_net t (m : net_entry) (entry : 'k entry) comp =
+    match t.o.prof with
+    | None -> apply_net_seq t m entry comp
+    | Some p -> (
+        Obs.Prof.push p (net_frame m);
+        match apply_net_seq t m entry comp with
+        | r ->
+            Obs.Prof.pop p;
+            r
+        | exception e ->
+            Obs.Prof.pop p;
+            raise e)
+
   let try_net_event t (m : net_entry) (entry : 'k entry) =
     apply_net t m entry (compute_net t m entry)
 
@@ -1264,49 +1340,62 @@ module Make (P : Dsm.Protocol.S) = struct
            (P.enabled_actions ~self:node entry.state))
     else A_blocked
 
+  let apply_one_action t node (entry : 'k entry) action step progress =
+    t.transitions <- t.transitions + 1;
+    Obs.Metrics.incr t.o.c_transitions;
+    check_budget t;
+    match step with
+    | A_assert ->
+        t.local_assert_drops <- t.local_assert_drops + 1;
+        Obs.Metrics.incr t.o.c_local_drops;
+        if t.tracing then
+          record_drop t ~node ~kind:"action" ~src:(-1)
+            ~label:(fun () -> action_label t action)
+            ~fp_before:entry.fp ~depth:(entry.depth + 1);
+        progress
+    | A_step (state', fp', outs) ->
+        let pentries =
+          List.map (fun (env, fp) -> register_message t env fp) outs
+        in
+        let produces = List.map (fun e -> e.net_fp) pentries in
+        if t.tracing then
+          record_act_step t ~node action entry ~fp_after:fp' ~pentries;
+        let changed =
+          if Fingerprint.equal fp' entry.fp then false
+          else
+            let event =
+              {
+                label = Fingerprint.of_value (node, action);
+                kind = Action_event action;
+                requires = None;
+                produces;
+              }
+            in
+            add_next_state t ~node ~state:state' ~fp:fp'
+              ~history:entry.history ~depth:(entry.depth + 1)
+              ~local_count:(entry.local_count + 1) ~crashes:entry.crashes
+              ~pred:{ prev = Some entry.idx; event }
+        in
+        progress || changed || produces <> []
+
   let apply_actions t node (entry : 'k entry) = function
     | A_blocked -> false
     | A_steps steps ->
         List.fold_left
           (fun progress (action, step) ->
-            t.transitions <- t.transitions + 1;
-            Obs.Metrics.incr t.o.c_transitions;
-            check_budget t;
-            match step with
-            | A_assert ->
-                t.local_assert_drops <- t.local_assert_drops + 1;
-                Obs.Metrics.incr t.o.c_local_drops;
-                if t.tracing then
-                  record_drop t ~node ~kind:"action" ~src:(-1)
-                    ~label:(fun () -> action_label t action)
-                    ~fp_before:entry.fp ~depth:(entry.depth + 1);
-                progress
-            | A_step (state', fp', outs) ->
-                let pentries =
-                  List.map (fun (env, fp) -> register_message t env fp) outs
-                in
-                let produces = List.map (fun e -> e.net_fp) pentries in
-                if t.tracing then
-                  record_act_step t ~node action entry ~fp_after:fp'
-                    ~pentries;
-                let changed =
-                  if Fingerprint.equal fp' entry.fp then false
-                  else
-                    let event =
-                      {
-                        label = Fingerprint.of_value (node, action);
-                        kind = Action_event action;
-                        requires = None;
-                        produces;
-                      }
-                    in
-                    add_next_state t ~node ~state:state' ~fp:fp'
-                      ~history:entry.history ~depth:(entry.depth + 1)
-                      ~local_count:(entry.local_count + 1)
-                      ~crashes:entry.crashes
-                      ~pred:{ prev = Some entry.idx; event }
-                in
-                progress || changed || produces <> [])
+            match t.o.prof with
+            | None -> apply_one_action t node entry action step progress
+            | Some p -> (
+                (* Per-action frame ("action:Propose"), like the
+                   delivery path. *)
+                Obs.Prof.push p (action_frame t action);
+                match apply_one_action t node entry action step progress with
+                | r ->
+                    Obs.Prof.pop p;
+                    r
+                | exception e ->
+                    Obs.Prof.pop p;
+                    raise e))
           false steps
 
   let try_actions t node (entry : 'k entry) =
@@ -1320,7 +1409,7 @@ module Make (P : Dsm.Protocol.S) = struct
      sequential even under a pool: it is one handler call per newly
      visited state, far off the hot path, and sequencing keeps the
      store layout identical at any domain count. *)
-  let try_crash t node (entry : 'k entry) =
+  let crash_step t node (entry : 'k entry) =
     if entry.crashes >= t.config.crash_budget then false
     else if not (depth_allows t (entry.depth + 1)) then false
     else begin
@@ -1350,6 +1439,19 @@ module Make (P : Dsm.Protocol.S) = struct
           ~pred:{ prev = Some entry.idx; event }
       end
     end
+
+  let try_crash t node (entry : 'k entry) =
+    match t.o.prof with
+    | None -> crash_step t node entry
+    | Some p -> (
+        Obs.Prof.push p "crash";
+        match crash_step t node entry with
+        | r ->
+            Obs.Prof.pop p;
+            r
+        | exception e ->
+            Obs.Prof.pop p;
+            raise e)
 
   let net_chunk = 16
   let action_chunk = 8
@@ -1575,6 +1677,7 @@ module Make (P : Dsm.Protocol.S) = struct
             ("verify_domains", Dsm.Json.Int t.config.verify_domains);
           ]
         (fun () ->
+          Obs.frame t.o.scope "reverify" @@ fun () ->
           if
             t.config.verify_domains > 1
             && not t.config.soundness_via_sequences
@@ -1757,6 +1860,7 @@ module Make (P : Dsm.Protocol.S) = struct
              ("verify_domains", Dsm.Json.Int config.verify_domains);
            ]);
     (try
+       Obs.frame t.o.scope "lmc" @@ fun () ->
        check_initial t snapshot;
        if not (t.config.stop_on_violation && t.sound_violation <> None) then begin
          let rounds = ref 0 in

@@ -705,6 +705,7 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let run config ~invariant ?(initial_net = []) init =
     if config.domains < 1 then invalid_arg "Bdfs.run: domains must be >= 1";
+    Obs.frame config.obs "bdfs" @@ fun () ->
     match config.pool with
     | Some pool -> run_frontier config ~invariant ~initial_net init pool
     | None when config.domains > 1 || config.visited_store <> None ->

@@ -1,0 +1,218 @@
+(* Minimal HTTP/1.0 telemetry endpoint: a single listener thread
+   (stdlib [Thread] + [Unix], no dependencies) serving
+
+     /metrics  - the live Metrics registry in Prometheus text
+                 exposition format (counters get the _total suffix,
+                 log-scale histograms render as cumulative buckets);
+     /healthz  - a one-object JSON health report fed by the online
+                 supervisor's gauges (degradation tier, restart budget
+                 remaining, last-snapshot age) plus process memory.
+
+   Scrapes are read-only: every registry cell is an [Atomic.t] and
+   [Metrics.snapshot_all] takes only the registration mutex, so a
+   scrape never blocks or perturbs the checker beyond a lock the hot
+   path does not touch.  Connections are handled serially on the
+   listener thread; [stop] flips a flag the 200 ms accept-select
+   notices. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  metrics : Metrics.t;
+  health : unit -> (string * Dsm.Json.t) list;
+  stopping : bool Atomic.t;
+  started : float;
+  mutable thread : Thread.t option;
+  requests : int Atomic.t;
+}
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — our dotted
+   names ("lmc.system_states_created") map dots and dashes to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render_prometheus metrics =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun view ->
+      match view with
+      | Metrics.Counter_view (name, v) ->
+          let n = sanitize name ^ "_total" in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n v)
+      | Metrics.Gauge_view (name, v) ->
+          let n = sanitize name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" n (float_str v))
+      | Metrics.Histogram_view (name, s) ->
+          let n = sanitize name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          (* Cumulative buckets over the non-empty log-scale ranges;
+             +Inf closes the series at the total count. *)
+          let cum = ref 0 in
+          List.iter
+            (fun (_, hi, count) ->
+              cum := !cum + count;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n hi !cum))
+            s.Metrics.buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.Metrics.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %d\n" n s.Metrics.sum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_count %d\n" n s.Metrics.count))
+    (Metrics.snapshot_all metrics);
+  Buffer.contents b
+
+(* Default /healthz payload: whatever supervisor gauges exist in the
+   registry (the online loop maintains them), translated to operator
+   terms, plus process memory.  Works degraded for offline runs —
+   absent gauges are simply omitted. *)
+let default_health metrics () =
+  let gauge name =
+    match Metrics.find_gauge metrics name with
+    | Some g -> Some (Metrics.gauge_value g)
+    | None -> None
+  in
+  let fields = ref [] in
+  (match gauge "online.last_snapshot_ts" with
+  | Some ts when ts > 0. ->
+      fields :=
+        ("last_snapshot_age_s", Dsm.Json.Float (Unix.gettimeofday () -. ts))
+        :: !fields
+  | _ -> ());
+  (match gauge "online.restart_budget_ms" with
+  | Some v -> fields := ("restart_budget_ms", Dsm.Json.Float v) :: !fields
+  | None -> ());
+  (match gauge "online.tier" with
+  | Some v -> fields := ("tier", Dsm.Json.Int (int_of_float v)) :: !fields
+  | None -> ());
+  !fields
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n"
+      status content_type (String.length body)
+  in
+  let payload = head ^ body in
+  let len = String.length payload in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off :=
+         !off + Unix.write_substring fd payload !off (len - !off)
+     done
+   with Unix.Unix_error _ -> ())
+
+let handle t fd =
+  let buf = Bytes.create 1024 in
+  let n = try Unix.read fd buf 0 1024 with Unix.Unix_error _ -> 0 in
+  if n > 0 then begin
+    let request = Bytes.sub_string buf 0 n in
+    let first_line =
+      match String.index_opt request '\r' with
+      | Some i -> String.sub request 0 i
+      | None -> (
+          match String.index_opt request '\n' with
+          | Some i -> String.sub request 0 i
+          | None -> request)
+    in
+    let path =
+      match String.split_on_char ' ' first_line with
+      | _meth :: path :: _ -> path
+      | _ -> "/"
+    in
+    ignore (Atomic.fetch_and_add t.requests 1);
+    match path with
+    | "/metrics" ->
+        respond fd ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (render_prometheus t.metrics)
+    | "/healthz" ->
+        let base =
+          [
+            ("status", Dsm.Json.String "ok");
+            ("uptime_s", Dsm.Json.Float (Unix.gettimeofday () -. t.started));
+          ]
+        in
+        let body =
+          Dsm.Json.to_string
+            (Dsm.Json.Obj (base @ t.health () @ Procstat.mem_fields ()))
+        in
+        respond fd ~status:"200 OK" ~content_type:"application/json"
+          (body ^ "\n")
+    | _ ->
+        respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found\n"
+  end
+
+let serve t () =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.sock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> try handle t fd with _ -> ()))
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ?(addr = "127.0.0.1") ?health ~metrics ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let health =
+    match health with Some h -> h | None -> default_health metrics
+  in
+  let t =
+    {
+      sock;
+      port;
+      metrics;
+      health;
+      stopping = Atomic.make false;
+      started = Unix.gettimeofday ();
+      thread = None;
+      requests = Atomic.make 0;
+    }
+  in
+  t.thread <- Some (Thread.create (serve t) ());
+  t
+
+let port t = t.port
+
+let requests t = Atomic.get t.requests
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    t.thread <- None;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

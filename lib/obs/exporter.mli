@@ -1,0 +1,43 @@
+(** Live telemetry endpoint: a tiny HTTP/1.0 server (one stdlib
+    thread, no dependencies) exposing a {!Metrics} registry.
+
+    - [/metrics] — Prometheus text exposition format.  Dots/dashes in
+      metric names map to ['_']; counters gain the [_total] suffix;
+      log-scale histograms render as cumulative [_bucket{le=...}]
+      series.
+    - [/healthz] — one JSON object: ["status"], ["uptime_s"], the
+      health callback's fields (by default the online supervisor's
+      gauges — degradation tier, restart budget remaining, last
+      snapshot age — when present in the registry) and process
+      GC/RSS figures.
+
+    Scrapes read atomics and take only the registration mutex, so a
+    running checker is never blocked mid-transition. *)
+
+type t
+
+(** [start ~metrics ~port ()] binds [addr] (default 127.0.0.1) and
+    spawns the listener thread.  [port = 0] picks a free port — read
+    it back with {!port}.  [health] overrides the /healthz payload
+    (minus the status/uptime/memory envelope).
+    Raises [Unix.Unix_error] if the bind fails. *)
+val start :
+  ?addr:string ->
+  ?health:(unit -> (string * Dsm.Json.t) list) ->
+  metrics:Metrics.t ->
+  port:int ->
+  unit ->
+  t
+
+(** The bound port (useful with [~port:0]). *)
+val port : t -> int
+
+(** Requests served so far. *)
+val requests : t -> int
+
+(** Stop the listener thread and close the socket.  Idempotent. *)
+val stop : t -> unit
+
+(** The /metrics payload for [metrics] — exposed for tests and for
+    rendering a final scrape without a live server. *)
+val render_prometheus : Metrics.t -> string

@@ -126,6 +126,49 @@ let histogram_snapshot h =
     buckets = !buckets;
   }
 
+(* Estimate the [q]-quantile from the bucket counts.  The estimate is
+   the upper bound of the bucket holding the rank-[ceil(q*count)]
+   observation, clamped by the observed max (the last bucket absorbs
+   everything above its lower bound, so its nominal [hi] can be far
+   beyond anything seen). *)
+let quantile (s : histogram_snapshot) q =
+  if s.count <= 0 then None
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int s.count))) in
+    let rec walk cum = function
+      | [] -> Some s.max
+      | (_, hi, n) :: rest ->
+          let cum = cum + n in
+          if cum >= rank then Some (min hi s.max) else walk cum rest
+    in
+    walk 0 s.buckets
+  end
+
+type view =
+  | Counter_view of string * int
+  | Gauge_view of string * float
+  | Histogram_view of string * histogram_snapshot
+
+(* One consistent, name-sorted pass over the registry under the
+   registration mutex — safe to call from a scraping thread while the
+   run keeps registering metrics. *)
+let snapshot_all t =
+  let metrics =
+    locked t (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl [])
+  in
+  let metrics =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) metrics
+  in
+  List.map
+    (fun (_, m) ->
+      match m with
+      | Counter c -> Counter_view (c.c_name, value c)
+      | Gauge g -> Gauge_view (g.g_name, gauge_value g)
+      | Histogram h -> Histogram_view (h.h_name, histogram_snapshot h))
+    metrics
+
 let metric_to_json = function
   | Counter c ->
       Dsm.Json.Obj

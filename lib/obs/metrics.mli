@@ -62,7 +62,23 @@ type histogram_snapshot = {
 
 val histogram_snapshot : histogram -> histogram_snapshot
 
+(** [quantile snapshot q] estimates the [q]-quantile (clamped to
+    [0..1]) from the log-scale bucket counts: the upper bound of the
+    bucket holding the rank-[ceil(q*count)] observation, clamped by
+    the observed maximum.  [None] on an empty histogram. *)
+val quantile : histogram_snapshot -> float -> int option
+
 (** {2 Export} *)
+
+type view =
+  | Counter_view of string * int
+  | Gauge_view of string * float
+  | Histogram_view of string * histogram_snapshot
+
+(** One consistent, name-sorted snapshot of every registered metric,
+    taken under the registration mutex — safe from a scraping thread
+    while checker domains keep recording. *)
+val snapshot_all : t -> view list
 
 (** One JSON object per registered metric, sorted by name — ready to
     be written as JSONL. *)

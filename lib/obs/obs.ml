@@ -2,6 +2,10 @@ module Metrics = Metrics
 module Sink = Sink
 module Trace = Trace
 module Replay = Replay
+module Prof = Prof
+module Exporter = Exporter
+module Timeseries = Timeseries
+module Procstat = Procstat
 
 type scope = {
   metrics : Metrics.t;
@@ -11,11 +15,17 @@ type scope = {
   progress_interval : float option;
   mutable next_beat : float;
   mutable beat_tick : int;
+  profiler : Prof.t option;
+  timeseries : Timeseries.t option;
+  (* Precomputed: any of progress / profiler / timeseries attached.
+     Keeps the heartbeat's common path to a load, a branch, an
+     increment and a mask even when all three are on. *)
+  ticking : bool;
 }
 
 let now () = Unix.gettimeofday ()
 
-let make ?metrics ?(sinks = []) ?progress () =
+let make ?metrics ?(sinks = []) ?progress ?profiler ?timeseries () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
@@ -28,11 +38,16 @@ let make ?metrics ?(sinks = []) ?progress () =
     next_beat =
       (match progress with Some iv -> now () +. iv | None -> infinity);
     beat_tick = 0;
+    profiler;
+    timeseries;
+    ticking =
+      progress <> None || profiler <> None || timeseries <> None;
   }
 
 let null = make ()
 
-let create ?metrics ?sinks ?progress () = make ?metrics ?sinks ?progress ()
+let create ?metrics ?sinks ?progress ?profiler ?timeseries () =
+  make ?metrics ?sinks ?progress ?profiler ?timeseries ()
 
 let is_null scope = scope == null
 
@@ -68,23 +83,60 @@ let span scope ?(fields = []) name f =
 
 (* Hot-loop safe: a branch and an integer increment on the common path;
    the clock is consulted only every 256 calls.  Meant to be called
-   from a single domain (the exploration loop). *)
+   from a single domain (the exploration loop).  The same tick gate
+   drives profiler sampling and the attached timeseries sampler, and
+   progress lines carry GC/RSS so memory pressure shows without any
+   extra flag. *)
 let heartbeat scope fields =
-  match scope.progress_interval with
-  | None -> ()
-  | Some iv ->
-      scope.beat_tick <- scope.beat_tick + 1;
-      if scope.beat_tick land 0xff = 0 then begin
-        let t = now () in
-        if t >= scope.next_beat then begin
-          scope.next_beat <- t +. iv;
-          emit scope "progress" (fields ())
-        end
-      end
+  if scope.ticking then begin
+    scope.beat_tick <- scope.beat_tick + 1;
+    if scope.beat_tick land 0xff = 0 then begin
+      (match scope.profiler with
+      | Some p -> Prof.boundary p
+      | None -> ());
+      match (scope.progress_interval, scope.timeseries) with
+      | None, None -> ()
+      | progress, timeseries -> (
+          let t = now () in
+          (match timeseries with
+          | Some ts -> Timeseries.maybe_sample ts ~now:t
+          | None -> ());
+          match progress with
+          | Some iv when t >= scope.next_beat ->
+              scope.next_beat <- t +. iv;
+              emit scope "progress" (fields () @ Procstat.mem_fields ())
+          | _ -> ())
+    end
+  end
+
+(* {2 Profiling} — all no-ops (one branch) without an attached
+   profiler, so they can sit on per-transition paths. *)
+
+let prof scope = scope.profiler
+
+(* Boundary-sampled frame for coarse phases (combination checking,
+   soundness verification, a whole run): entry and exit force a
+   sample, so neighbouring phases never bleed into each other. *)
+let frame scope name f =
+  match scope.profiler with
+  | None -> f ()
+  | Some p -> (
+      Prof.enter p name;
+      match f () with
+      | r ->
+          Prof.leave p;
+          r
+      | exception e ->
+          Prof.leave p;
+          raise e)
 
 let flush scope = List.iter Sink.flush scope.sinks
 
-let close scope = List.iter Sink.close scope.sinks
+let close scope =
+  (match scope.timeseries with
+  | Some ts -> Timeseries.close ts
+  | None -> ());
+  List.iter Sink.close scope.sinks
 
 let write_metrics_jsonl scope path =
   let oc = open_out path in

@@ -26,6 +26,19 @@ module Trace = Trace
 (** Witness replay for {!Trace} recordings. *)
 module Replay = Replay
 
+(** Sampling profiler over an explicit frame stack ([profile.v1],
+    collapsed-stack and speedscope exports). *)
+module Prof = Prof
+
+(** Live /metrics (Prometheus exposition) + /healthz HTTP endpoint. *)
+module Exporter = Exporter
+
+(** Bounded counter/gauge timeseries ring ([timeseries.v1]). *)
+module Timeseries = Timeseries
+
+(** GC and RSS readings shared by heartbeats, health and timeseries. *)
+module Procstat = Procstat
+
 type scope
 
 (** The disabled scope: no sinks, no heartbeat, a private throwaway
@@ -34,10 +47,18 @@ type scope
 val null : scope
 
 (** [create ?metrics ?sinks ?progress ()] builds a live scope.
-    [progress] is the heartbeat period in seconds; without it,
-    {!heartbeat} is free. *)
+    [progress] is the heartbeat period in seconds; without it (and
+    without a [timeseries]), {!heartbeat} is free.  An attached
+    [profiler] makes {!frame} live and is boundary-sampled from the
+    heartbeat tick gate; an attached [timeseries] is sampled from the
+    same gate and closed by {!close}. *)
 val create :
-  ?metrics:Metrics.t -> ?sinks:Sink.t list -> ?progress:float -> unit ->
+  ?metrics:Metrics.t ->
+  ?sinks:Sink.t list ->
+  ?progress:float ->
+  ?profiler:Prof.t ->
+  ?timeseries:Timeseries.t ->
+  unit ->
   scope
 
 val is_null : scope -> bool
@@ -70,14 +91,27 @@ val span :
 
 (** [heartbeat scope fields] is called from hot loops; roughly every
     [progress] seconds it emits one ["progress"] event with
-    [fields ()].  The common path is a branch plus an integer
-    increment — the clock is consulted every 256th call — so it can
-    sit on a per-transition path.  Call from one domain only. *)
+    [fields ()] plus GC/RSS figures.  The same tick gate drives the
+    attached {!Timeseries} sampler.  The common path is a branch plus
+    an integer increment — the clock is consulted every 256th call —
+    so it can sit on a per-transition path.  Call from one domain
+    only. *)
 val heartbeat : scope -> (unit -> (string * Dsm.Json.t) list) -> unit
+
+(** The attached profiler, if any — hot paths that push/pop per-
+    transition frames resolve it once and use {!Prof} directly.
+    Sampling boundaries ride {!heartbeat}'s tick gate (every 256th
+    beat), so per-transition code needs no separate profiler tick. *)
+val prof : scope -> Prof.t option
+
+(** [frame scope name f] runs [f] inside a boundary-sampled profiler
+    frame (see {!Prof.enter}); just [f ()] without a profiler. *)
+val frame : scope -> string -> (unit -> 'a) -> 'a
 
 val flush : scope -> unit
 
-(** Flush and close every sink (file sinks close their channels). *)
+(** Flush and close every sink (file sinks close their channels) and
+    dump the attached timeseries, if any. *)
 val close : scope -> unit
 
 (** Dump the scope's registry as JSONL, one metric per line. *)

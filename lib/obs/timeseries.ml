@@ -1,0 +1,137 @@
+(* Soak timeseries: interval-gated samples of every counter and gauge
+   in a Metrics registry — plus GC and RSS gauges refreshed at sample
+   time — retained in a bounded ring and dumped as timeseries.v1
+   JSONL at close.  A 10-minute soak at the default 1 s interval
+   yields a plottable trajectory (states/sec, store load factor,
+   frontier depth, memory pressure) in a few hundred lines.
+
+   The sampler piggybacks on the progress-heartbeat tick gate
+   (Obs.heartbeat calls [maybe_sample] at most every 256th
+   transition), so an attached-but-idle timeseries costs the same as
+   a progress heartbeat.  Samples drop oldest-first past [capacity];
+   the [ts_meta] trailer reports how many.  Like the flight
+   recorder's ring, [seq] numbers are assigned at dump time so the
+   stream stays strictly increasing across drops. *)
+
+type sample = { s_fields : (string * Dsm.Json.t) list }
+
+type t = {
+  metrics : Metrics.t;
+  interval : float;
+  capacity : int;
+  ring : sample Queue.t;
+  mutable dropped : int;
+  mutable taken : int;
+  mutable next : float;
+  clock0 : float;
+  path : string;
+  mutable closed : bool;
+  g_gc_minor : Metrics.gauge;
+  g_gc_major : Metrics.gauge;
+  g_heap_words : Metrics.gauge;
+  g_rss_bytes : Metrics.gauge;
+}
+
+let schema = "timeseries.v1"
+
+let create ?(interval = 1.0) ?(capacity = 4096) ~metrics path =
+  let now = Unix.gettimeofday () in
+  {
+    metrics;
+    interval = Float.max 0. interval;
+    capacity = max 1 capacity;
+    ring = Queue.create ();
+    dropped = 0;
+    taken = 0;
+    next = now;
+    clock0 = now;
+    path;
+    closed = false;
+    g_gc_minor = Metrics.gauge metrics "proc.gc_minor_collections";
+    g_gc_major = Metrics.gauge metrics "proc.gc_major_collections";
+    g_heap_words = Metrics.gauge metrics "proc.heap_words";
+    g_rss_bytes = Metrics.gauge metrics "proc.rss_bytes";
+  }
+
+let sample t ~now =
+  (* Refresh the process gauges first so both this sample and any
+     concurrent /metrics scrape see current memory figures. *)
+  let m = Procstat.sample () in
+  Metrics.set t.g_gc_minor (float_of_int m.Procstat.gc_minor);
+  Metrics.set t.g_gc_major (float_of_int m.Procstat.gc_major);
+  Metrics.set t.g_heap_words (float_of_int m.Procstat.heap_words);
+  Metrics.set t.g_rss_bytes (float_of_int m.Procstat.rss);
+  let counters = ref [] and gauges = ref [] in
+  List.iter
+    (fun view ->
+      match view with
+      | Metrics.Counter_view (name, v) ->
+          counters := (name, Dsm.Json.Int v) :: !counters
+      | Metrics.Gauge_view (name, v) ->
+          gauges := (name, Dsm.Json.Float v) :: !gauges
+      | Metrics.Histogram_view _ -> ())
+    (Metrics.snapshot_all t.metrics);
+  let s =
+    {
+      s_fields =
+        [
+          ("t", Dsm.Json.Float (now -. t.clock0));
+          ("counters", Dsm.Json.Obj (List.rev !counters));
+          ("gauges", Dsm.Json.Obj (List.rev !gauges));
+        ];
+    }
+  in
+  if Queue.length t.ring >= t.capacity then begin
+    ignore (Queue.pop t.ring);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.push s t.ring;
+  t.taken <- t.taken + 1
+
+let maybe_sample t ~now =
+  if (not t.closed) && now >= t.next then begin
+    t.next <- now +. t.interval;
+    sample t ~now
+  end
+
+let samples t = Queue.length t.ring
+
+let dropped t = t.dropped
+
+(* Dump the ring: a ts_run header, the retained samples, a ts_meta
+   trailer; one fresh seq space assigned here. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Always end with a final sample so short runs (shorter than one
+       interval) still dump a trajectory point. *)
+    sample t ~now:(Unix.gettimeofday ());
+    let oc = open_out t.path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let seq = ref (-1) in
+        let line ev fields =
+          incr seq;
+          output_string oc
+            (Dsm.Json.to_string
+               (Dsm.Json.Obj
+                  (("schema", Dsm.Json.String schema)
+                  :: ("seq", Dsm.Json.Int !seq)
+                  :: ("ev", Dsm.Json.String ev)
+                  :: fields)));
+          output_char oc '\n'
+        in
+        line "ts_run"
+          [
+            ("interval_s", Dsm.Json.Float t.interval);
+            ("capacity", Dsm.Json.Int t.capacity);
+          ];
+        Queue.iter (fun s -> line "sample" s.s_fields) t.ring;
+        line "ts_meta"
+          [
+            ("samples", Dsm.Json.Int (Queue.length t.ring));
+            ("dropped", Dsm.Json.Int t.dropped);
+            ("capacity", Dsm.Json.Int t.capacity);
+          ])
+  end

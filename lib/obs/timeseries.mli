@@ -1,0 +1,34 @@
+(** Soak timeseries: interval-gated samples of every counter and
+    gauge in a {!Metrics} registry, plus GC and RSS gauges refreshed
+    at each sample, kept in a bounded ring and dumped as
+    [timeseries.v1] JSONL at {!close}.
+
+    Attach one to an [Obs] scope and the progress-heartbeat tick gate
+    drives {!maybe_sample} — no extra hot-path cost beyond the
+    heartbeat's own branch. *)
+
+type t
+
+(** [create ~metrics path] samples [metrics] every [interval] seconds
+    (default 1.0) into a ring of [capacity] samples (default 4096,
+    oldest dropped first), written to [path] at {!close}. *)
+val create :
+  ?interval:float -> ?capacity:int -> metrics:Metrics.t -> string -> t
+
+(** Take a sample if the interval has elapsed; [now] is the caller's
+    clock reading (the heartbeat already has one). *)
+val maybe_sample : t -> now:float -> unit
+
+(** Take a sample unconditionally. *)
+val sample : t -> now:float -> unit
+
+(** Samples currently retained in the ring. *)
+val samples : t -> int
+
+(** Samples dropped to retention so far. *)
+val dropped : t -> int
+
+(** Take a final sample, then write the ring as [ts_run] header /
+    [sample] records / [ts_meta] trailer with a fresh strictly
+    increasing [seq] space.  Idempotent. *)
+val close : t -> unit

@@ -168,6 +168,17 @@ struct
        narrower checker. *)
     let sup = config.supervisor in
     let c_degraded = Obs.counter obs "online.degraded" in
+    (* Health gauges: /healthz reads these by name, so they are kept
+       current here — tier on every escalation, the restart budget
+       headroom after each audited run, and the wall-clock time of the
+       last checked-and-checkpointed snapshot. *)
+    let g_tier = Obs.gauge obs "online.tier" in
+    let g_budget = Obs.gauge obs "online.restart_budget_ms" in
+    let g_snap_ts = Obs.gauge obs "online.last_snapshot_ts" in
+    Obs.Metrics.set g_tier 0.;
+    (match sup.restart_budget_ms with
+    | Some ms -> Obs.Metrics.set g_budget (float_of_int ms)
+    | None -> ());
     let degradations = ref [] in
     (* Backoff jitter must not perturb the simulation's replayable
        streams, so it draws from its own stream off a derived seed. *)
@@ -189,6 +200,7 @@ struct
     in
     let escalate ~reason ~detail =
       if !tier < 3 then incr tier;
+      Obs.Metrics.set g_tier (float_of_int !tier);
       degraded ~reason ~detail
     in
     (* ---- Persistence (lib/store) ----------------------------------
@@ -343,6 +355,11 @@ struct
        memory budget escalates the degradation tier for the next one. *)
     let audit_budgets (result : Checker.result) =
       (match sup.restart_budget_ms with
+      | Some ms ->
+          Obs.Metrics.set g_budget
+            (Float.max 0. (float_of_int ms -. (result.Checker.elapsed *. 1000.)))
+      | None -> ());
+      (match sup.restart_budget_ms with
       | Some ms when result.Checker.elapsed *. 1000. >= float_of_int ms ->
           escalate ~reason:"restart_budget_exceeded"
             ~detail:
@@ -452,9 +469,10 @@ struct
     (* Checkpoint after every snapshot check, hit or miss: a SIGKILL at
        any point costs at most one check interval of progress. *)
     let check_snapshot snapshot =
-      let r = check_snapshot snapshot in
+      let r = Obs.frame obs "online.check" (fun () -> check_snapshot snapshot) in
       if Option.is_some r then found := true;
       save_progress ();
+      Obs.Metrics.set g_snap_ts (Unix.gettimeofday ());
       r
     in
     let rec loop () =

@@ -296,6 +296,7 @@ module Make (P : Dsm.Protocol.S) = struct
         true
 
   let run_until t deadline =
+    Obs.frame t.o.scope "sim.live" @@ fun () ->
     let rec loop () =
       match Event_queue.peek_time t.queue with
       | Some time when time <= deadline ->
