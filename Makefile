@@ -187,8 +187,11 @@ bench:
 # The telemetry section records within_bar in BENCH_lmc.json; the grep
 # enforces the <=5% overhead bar.
 bench-quick:
-	dune exec bench/main.exe -- --quick --only micro --only telemetry-overhead
+	dune exec bench/main.exe -- --quick --only micro --only telemetry-overhead \
+	  --only symmetry
 	grep -q '"within_bar":true' BENCH_lmc.json
+	grep -q '"symmetric_ok":true' BENCH_lmc.json
+	grep -q '"asymmetric_ok":true' BENCH_lmc.json
 
 clean:
 	dune clean

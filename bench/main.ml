@@ -1602,6 +1602,274 @@ let store_bench () =
           points))
 
 (* ------------------------------------------------------------------ *)
+(* Symmetry reduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What does audited orbit dedup buy, and what does it cost when it
+   buys nothing?  Three experiments:
+
+   1. The Fig. 10 LMC-GEN sweep on 3-node Paxos, reduction off vs the
+      audited orbit group: combinations materialized and elapsed time
+      per depth, with the cut ratio recorded.  Verdict-bearing numbers
+      (preliminary violations) must be bit-identical — reduction only
+      skips duplicate invariant evaluations.
+   2. Negative controls on protocols whose roles are genuinely
+      asymmetric (chain, pb-store): the audit must license nothing,
+      --symmetry auto must materialize exactly the same states as off,
+      and the audit's own cost is the only overhead.
+   3. (full mode) the §5.5 hunt with the checker reduced vs not: total
+      checking time across restarts, same planted bug.
+
+   The [symmetric_ok]/[asymmetric_ok] booleans gate `make bench-quick'
+   in CI. *)
+let symmetry_bench () =
+  header "Symmetry reduction: audited orbit dedup (LMC-GEN + hunt)";
+  let module Y1 = Lint.Symmetry.Make (Paxos1) in
+  let y =
+    Y1.run ~config:{ Y1.default_config with invariant = Some Paxos1.safety } ()
+  in
+  let orbit = y.Y1.verdict.Y1.orbit in
+  row "paxos audit: commutation=%s orbit=%s (%d probes, %.3f s)\n"
+    (Dsm.Symmetry.name y.Y1.verdict.Y1.commutation.Dsm.Symmetry.group)
+    (Dsm.Symmetry.name orbit) y.Y1.stats.Y1.probes y.Y1.stats.Y1.elapsed;
+  let max_depth = if !quick then 10 else 18 in
+  let sweep = ref [] in
+  let no_increase = ref true and verdicts_match = ref true in
+  for depth = 0 to max_depth do
+    let go symmetry =
+      L1.run
+        { L1.default_config with max_depth = Some depth; symmetry }
+        ~strategy:L1.General ~invariant:Paxos1.safety (paxos1_init ())
+    in
+    let off = go (Dsm.Symmetry.identity_group 3) in
+    let on = go orbit in
+    if on.system_states_created > off.system_states_created then
+      no_increase := false;
+    if
+      off.preliminary_violations <> on.preliminary_violations
+      || (off.sound_violation = None) <> (on.sound_violation = None)
+    then verdicts_match := false;
+    sweep := (depth, off, on) :: !sweep
+  done;
+  let sweep = List.rev !sweep in
+  row "\n-- LMC-GEN combinations checked vs depth, off vs reduced --\n";
+  row "%5s %14s %14s %7s %10s %10s\n" "depth" "off-system" "reduced-system"
+    "ratio" "off-s" "reduced-s";
+  List.iter
+    (fun (depth, (off : L1.result), (on : L1.result)) ->
+      row "%5d %14d %14d %7.2f %10.4f %10.4f\n" depth
+        off.system_states_created on.system_states_created
+        (float_of_int off.system_states_created
+        /. float_of_int (max 1 on.system_states_created))
+        off.elapsed on.elapsed)
+    sweep;
+  let _, off_last, on_last = List.nth sweep (List.length sweep - 1) in
+  let final_ratio =
+    float_of_int off_last.system_states_created
+    /. float_of_int (max 1 on_last.system_states_created)
+  in
+  let symmetric_ok = !no_increase && !verdicts_match && final_ratio >= 2.0 in
+  row "\ncut at depth %d: %.2fx (issue bar: 2x); verdicts %s\n" max_depth
+    final_ratio
+    (if !verdicts_match then "bit-identical" else "DIVERGED");
+  (* negative controls: asymmetric roles, the audit licenses nothing *)
+  let control_results = ref [] in
+  let control name audit_and_run =
+    let group_name, off_states, auto_states, off_s, auto_s =
+      audit_and_run ()
+    in
+    let states_equal = off_states = auto_states in
+    let within_noise = auto_s <= (off_s *. 1.5) +. 0.05 in
+    row "%-10s audit licenses %-4s  off %7d = auto %7d states  %s\n" name
+      group_name off_states auto_states
+      (if states_equal then "(identical)" else "(MISMATCH)");
+    control_results :=
+      ( name,
+        Dsm.Json.Obj
+          [
+            ("orbit", Dsm.Json.String group_name);
+            ("off_system", Dsm.Json.Int off_states);
+            ("auto_system", Dsm.Json.Int auto_states);
+            ("states_equal", Dsm.Json.Bool states_equal);
+            ("off_s", Dsm.Json.Float off_s);
+            ("auto_s", Dsm.Json.Float auto_s);
+            ("within_noise", Dsm.Json.Bool within_noise);
+          ] )
+      :: !control_results;
+    states_equal
+  in
+  let asym_control (type s m a)
+      (module P : Dsm.Protocol.S
+        with type state = s and type message = m and type action = a)
+      invariant () =
+    let module L = Lmc.Checker.Make (P) in
+    let module Y = Lint.Symmetry.Make (P) in
+    let y =
+      Y.run ~config:{ Y.default_config with invariant = Some invariant } ()
+    in
+    let go symmetry =
+      L.run
+        { L.default_config with symmetry }
+        ~strategy:L.General ~invariant
+        (Dsm.Protocol.initial_system (module P))
+    in
+    let off = go (Dsm.Symmetry.identity_group P.num_nodes) in
+    let auto = go y.Y.verdict.Y.orbit in
+    ( Dsm.Symmetry.name y.Y.verdict.Y.orbit,
+      off.L.system_states_created,
+      auto.L.system_states_created,
+      off.L.elapsed,
+      auto.L.elapsed )
+  in
+  let module Chain8 = Protocols.Chain.Make (struct
+    let length = 8
+  end) in
+  let module Pb = Protocols.Pb_store.Make (struct
+    let key = 7
+    let value = 42
+    let bug = Protocols.Pb_store.No_bug
+  end) in
+  let chain_ok =
+    control "chain" (asym_control (module Chain8) Chain8.prefix_closed)
+  in
+  let pb_ok =
+    control "pb-store" (asym_control (module Pb) Pb.read_your_writes)
+  in
+  let asymmetric_ok = chain_ok && pb_ok in
+  (* the §5.5 hunt, checker reduced vs not (full mode only: two long
+     online runs) *)
+  let hunt_json = ref Dsm.Json.Null in
+  if not !quick then begin
+    let module Live = Protocols.Paxos.Make (struct
+      let num_nodes = 3
+      let proposers = [ 0; 1; 2 ]
+      let max_attempts = 2
+      let max_index = 16
+      let fresh_proposals = true
+      let bug = Protocols.Paxos_core.Last_response_wins
+    end) in
+    let module Check = Protocols.Paxos.Make (struct
+      let num_nodes = 3
+      let proposers = [ 0; 1; 2 ]
+      let max_attempts = 2
+      let max_index = 16
+      let fresh_proposals = false
+      let bug = Protocols.Paxos_core.Last_response_wins
+    end) in
+    let module Yc = Lint.Symmetry.Make (Check) in
+    let yc =
+      Yc.run
+        ~config:{ Yc.default_config with invariant = Some Check.safety }
+        ()
+    in
+    let module Online_p = Online.Online_mc.Make (Live) (Check) in
+    let module Sim_p = Sim.Live_sim.Make (Live) in
+    let hunt symmetry =
+      let link =
+        Net.Lossy_link.create ~drop_prob:0.3 ~latency_min:0.05
+          ~latency_max:0.3 ()
+      in
+      let config =
+        {
+          Online_p.sim =
+            {
+              Sim_p.seed = 7;
+              link;
+              timer_min = 2.0;
+              timer_max = 20.0;
+              action_prob = None;
+              faults = Fault.Plan.empty;
+            };
+          check_interval = 30.0;
+          max_live_time = 3600.0;
+          checker =
+            {
+              Online_p.Checker.default_config with
+              time_limit = Some 5.0;
+              max_transitions = Some 100_000;
+              symmetry;
+            };
+          action_bounds = [ 1; 2 ];
+          steer = false;
+          steer_scope = `Exact_action;
+          supervisor = Online_p.default_supervisor;
+          store = None;
+        }
+      in
+      let strategy =
+        Online_p.Checker.Invariant_specific
+          { abstract = Check.abstraction; conflict = Check.conflicts }
+      in
+      Online_p.run config ~strategy ~invariant:Check.safety
+    in
+    let off = hunt (Dsm.Symmetry.identity_group 3) in
+    let on = hunt yc.Yc.verdict.Yc.orbit in
+    let found o =
+      match o.Online_p.report with
+      | Some r -> Printf.sprintf "found at %.0f s" r.Online_p.live_time
+      | None -> "not found"
+    in
+    row "\n-- §5.5 hunt, checker reduced vs not --\n";
+    row "off    : %s, %.1f s checking in %d runs\n" (found off)
+      off.Online_p.total_check_time off.Online_p.total_checks;
+    row "reduced: %s, %.1f s checking in %d runs (%.2fx)\n" (found on)
+      on.Online_p.total_check_time on.Online_p.total_checks
+      (off.Online_p.total_check_time
+      /. max 1e-9 on.Online_p.total_check_time);
+    let live_time o =
+      match o.Online_p.report with
+      | Some r -> Dsm.Json.Float r.Online_p.live_time
+      | None -> Dsm.Json.Null
+    in
+    hunt_json :=
+      Dsm.Json.Obj
+        [
+          ("off_found_at_s", live_time off);
+          ("reduced_found_at_s", live_time on);
+          ("off_check_time_s", Dsm.Json.Float off.Online_p.total_check_time);
+          ( "reduced_check_time_s",
+            Dsm.Json.Float on.Online_p.total_check_time );
+          ( "check_time_ratio",
+            Dsm.Json.Float
+              (off.Online_p.total_check_time
+              /. max 1e-9 on.Online_p.total_check_time) );
+          ("off_checks", Dsm.Json.Int off.Online_p.total_checks);
+          ("reduced_checks", Dsm.Json.Int on.Online_p.total_checks);
+        ]
+  end;
+  Bench_out.record "symmetry"
+    (Dsm.Json.Obj
+       [
+         ("orbit", Dsm.Json.String (Dsm.Symmetry.name orbit));
+         ( "sweep",
+           Dsm.Json.List
+             (List.map
+                (fun (depth, (off : L1.result), (on : L1.result)) ->
+                  Dsm.Json.Obj
+                    [
+                      ("depth", Dsm.Json.Int depth);
+                      ("off_system", Dsm.Json.Int off.system_states_created);
+                      ( "reduced_system",
+                        Dsm.Json.Int on.system_states_created );
+                      ("orbit_hits", Dsm.Json.Int on.orbit_hits);
+                      ( "ratio",
+                        Dsm.Json.Float
+                          (float_of_int off.system_states_created
+                          /. float_of_int (max 1 on.system_states_created))
+                      );
+                      ("off_s", Dsm.Json.Float off.elapsed);
+                      ("reduced_s", Dsm.Json.Float on.elapsed);
+                    ])
+                sweep) );
+         ("final_ratio", Dsm.Json.Float final_ratio);
+         ("verdicts_match", Dsm.Json.Bool !verdicts_match);
+         ("symmetric_ok", Dsm.Json.Bool symmetric_ok);
+         ("controls", Dsm.Json.Obj (List.rev !control_results));
+         ("asymmetric_ok", Dsm.Json.Bool asymmetric_ok);
+         ("hunt", !hunt_json);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1626,6 +1894,7 @@ let sections =
     ("par-functor", par_functor);
     ("fault-overhead", fault_overhead);
     ("store", store_bench);
+    ("symmetry", symmetry_bench);
   ]
 
 let main q o =

@@ -32,9 +32,23 @@ let required_fields = function
   | "run" -> Some [ ("protocol", is_string); ("mode", is_string) ]
   | "end" -> Some [ ("exit", is_int) ]
   | "lmc_run" -> Some [ ("protocol", is_string); ("nodes", is_int) ]
-  | "lmc_end" -> Some [ ("transitions", is_int); ("completed", is_bool) ]
+  | "lmc_end" ->
+      Some
+        [
+          ("transitions", is_int);
+          ("symmetry", is_string);
+          ("orbit_hits", is_int);
+          ("completed", is_bool);
+        ]
   | "bdfs_run" -> Some [ ("protocol", is_string); ("domains", is_int) ]
-  | "bdfs_end" -> Some [ ("transitions", is_int); ("completed", is_bool) ]
+  | "bdfs_end" ->
+      Some
+        [
+          ("transitions", is_int);
+          ("symmetry", is_string);
+          ("orbit_hits", is_int);
+          ("completed", is_bool);
+        ]
   | "step" ->
       Some
         [
@@ -82,6 +96,8 @@ let lint_kinds =
     "handler_exception";
     "nondeterministic_recovery";
     "store_digest_drift";
+    "broken_symmetry";
+    "unsound_orbit";
   ]
 
 let is_lint_kind = function

@@ -18,6 +18,26 @@ let checker_name = function
   | Lmc_opt -> "lmc-opt"
   | Lmc_auto -> "lmc-auto"
 
+(* The --symmetry flag.  [Sym_group] carries the CLI name ("full",
+   "rot"); the degree-dependent group is resolved per protocol.  A
+   named group is a *claim* and is audited before either checker may
+   exploit it; [Sym_auto] infers candidates and keeps whatever
+   survives its audit. *)
+type sym_mode = Sym_off | Sym_auto | Sym_group of string
+
+let sym_mode_name = function
+  | Sym_off -> "off"
+  | Sym_auto -> "auto"
+  | Sym_group s -> s
+
+(* Inverse of {!sym_mode_name}, for replaying a recorded run under the
+   symmetry mode it was produced with (the audit is deterministic, so
+   re-resolution reproduces the recorded group). *)
+let sym_mode_of_name = function
+  | Some "auto" -> Sym_auto
+  | Some "off" | None -> Sym_off
+  | Some s -> Sym_group s
+
 type check_params = {
   kind : checker_kind;
   max_depth : int option;
@@ -29,6 +49,7 @@ type check_params = {
   json : bool;  (* machine-readable result on stdout *)
   domains : int;  (* exploration pool width (--domains) *)
   verify_domains : int;  (* deferred-verification fan-out *)
+  symmetry : sym_mode;  (* audited symmetry reduction (--symmetry) *)
   obs : Obs.scope;  (* --metrics-out / --trace-out / --progress *)
   trace : Obs.Trace.t;  (* flight recorder (--record) *)
 }
@@ -49,20 +70,52 @@ type lint_result = {
 }
 
 let lint_protocol (module P : Dsm.Protocol.S) ~name ~max_depth
-    ~max_transitions =
+    ~max_transitions ~sym ?claim () =
   let module S = Lint.Sanitize.Make (P) in
+  let module Y = Lint.Symmetry.Make (P) in
   let r = S.run ~config:{ S.default_config with max_depth; max_transitions } () in
+  (* The symmetry audit rides along: --symmetry off skips it, a named
+     group claims it for every target, and auto audits the target's
+     own claim if it has one (the sym fixtures) or silently infers. *)
+  let sym_claim =
+    match sym with
+    | Sym_off -> `Skip
+    | Sym_group gname -> (
+        match Dsm.Symmetry.of_name gname ~degree:P.num_nodes with
+        | Some g -> `Claim g
+        | None -> `Skip)
+    | Sym_auto -> ( match claim with Some g -> `Claim g | None -> `Infer)
+  in
+  let y =
+    match sym_claim with
+    | `Skip -> None
+    | `Infer | `Claim _ ->
+        let claim =
+          match sym_claim with
+          | `Claim g -> Some (Dsm.Symmetry.with_id_maps g)
+          | _ -> None
+        in
+        Some
+          (Y.run
+             ~config:{ Y.default_config with max_depth; max_transitions; claim }
+             ())
+  in
+  let y_findings, y_probes, y_completed =
+    match y with
+    | None -> ([], 0, true)
+    | Some (y : Y.result) -> (y.findings, y.stats.probes, y.completed)
+  in
   {
     l_name = name;
     l_findings =
       List.map
         (fun (f : Lint.Report.finding) -> { f with protocol = name })
-        r.findings;
+        (r.findings @ y_findings);
     l_states = r.stats.global_states;
     l_transitions = r.stats.transitions;
-    l_probes = r.stats.probes;
+    l_probes = r.stats.probes + y_probes;
     l_elapsed = r.stats.elapsed;
-    l_completed = r.completed;
+    l_completed = r.completed && y_completed;
   }
 
 (* One bundled protocol instance, closed over its invariant, its
@@ -77,10 +130,11 @@ type runner = {
      interval:float -> max_live:float -> budget:float -> steer:bool ->
      faults:Fault.Plan.t -> crash_budget:int ->
      restart_budget_ms:int option -> max_retries:int option ->
-     store_dir:string option -> resume:bool ->
+     store_dir:string option -> resume:bool -> symmetry:sym_mode ->
      domains:int -> verify_domains:int -> int)
     option;
-  lint : max_depth:int option -> max_transitions:int -> lint_result;
+  lint :
+    max_depth:int option -> max_transitions:int -> sym:sym_mode -> lint_result;
   replay :
     mode:string ->
     header:(string * Dsm.Json.t) list ->
@@ -313,11 +367,64 @@ let make_scope ?(telemetry = no_telemetry) ?record ~metrics_out ~trace_out
 (* Generic drivers                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Resolve --symmetry to what each checker may exploit: the audited
+   commutation spec (B-DFS canonicalization) and the audited orbit
+   group (LMC combination dedup).  Nothing is reduced without its
+   audit passing here first; a claimed group that fails is demoted to
+   identity with a warning, never trusted. *)
+module Sym_resolver (P : Dsm.Protocol.S) = struct
+  module Y = Lint.Symmetry.Make (P)
+
+  let resolve ~invariant mode =
+    match mode with
+    | Sym_off ->
+        ( Dsm.Symmetry.id_spec ~degree:P.num_nodes,
+          Dsm.Symmetry.identity_group P.num_nodes )
+    | Sym_auto | Sym_group _ ->
+        let claim =
+          match mode with
+          | Sym_group gname -> (
+              match Dsm.Symmetry.of_name gname ~degree:P.num_nodes with
+              | Some g -> Some (Dsm.Symmetry.with_id_maps g)
+              | None ->
+                  Printf.eprintf
+                    "lmc_cli: unknown symmetry group %S (use full or rot)\n%!"
+                    gname;
+                  exit 2)
+          | _ -> None
+        in
+        let r =
+          Y.run
+            ~config:{ Y.default_config with claim; invariant = Some invariant }
+            ()
+        in
+        List.iter
+          (fun (f : Lint.Report.finding) ->
+            Printf.eprintf
+              "lmc_cli: symmetry claim rejected (%s: %s) — falling back to \
+               identity, no reduction\n\
+               %!"
+              (Lint.Report.kind_to_string f.kind)
+              f.subject)
+          r.findings;
+        Printf.eprintf
+          "lmc_cli: symmetry audit: commutation=%s orbit=%s (%d probes, \
+           %.3f s)\n\
+           %!"
+          (Dsm.Symmetry.name r.verdict.commutation.Dsm.Symmetry.group)
+          (Dsm.Symmetry.name r.verdict.orbit)
+          r.stats.probes r.stats.elapsed;
+        (r.verdict.commutation, r.verdict.orbit)
+end
+
 module Check_driver (P : Dsm.Protocol.S) = struct
   module G = Mc_global.Bdfs.Make (P)
   module L = Lmc.Checker.Make (P)
   module W = Lmc.Witness.Make (P)
   module WR = Witness_replayer (P)
+  module SR = Sym_resolver (P)
+
+  let resolve_symmetry = SR.resolve
 
   let pp_violation_trace trace =
     Format.printf "witness schedule:@.%a"
@@ -380,6 +487,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
 
   let run ?strategy ~invariant params =
     let init = Dsm.Protocol.initial_system (module P) in
+    let sym_spec, orbit_group = resolve_symmetry ~invariant params.symmetry in
     match params.kind with
     | Bdfs ->
         let cfg =
@@ -389,6 +497,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             time_limit = params.time_limit;
             crash_budget = params.crash_budget;
             domains = params.domains;
+            symmetry = sym_spec;
             obs = params.obs;
             trace = params.trace;
           }
@@ -397,9 +506,10 @@ module Check_driver (P : Dsm.Protocol.S) = struct
         if not params.json then
           Format.printf
             "B-DFS: %d transitions, %d global states, %d system states, \
-             depth %d, %.3f s, completed=%b@."
+             depth %d, %d orbit hits, %.3f s, completed=%b@."
             o.stats.transitions o.stats.global_states o.stats.system_states
-            o.stats.max_depth_reached o.stats.elapsed o.completed;
+            o.stats.max_depth_reached o.stats.orbit_hits o.stats.elapsed
+            o.completed;
         let violation =
           Option.map
             (fun (v : G.violation) ->
@@ -418,6 +528,10 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                 ("system_states", Dsm.Json.Int o.stats.system_states);
                 ("max_depth", Dsm.Json.Int o.stats.max_depth_reached);
                 ("domains", Dsm.Json.Int params.domains);
+                ( "symmetry",
+                  Dsm.Json.String
+                    (Dsm.Symmetry.name sym_spec.Dsm.Symmetry.group) );
+                ("orbit_hits", Dsm.Json.Int o.stats.orbit_hits);
                 ("elapsed_s", Dsm.Json.Float o.stats.elapsed);
                 ("completed", Dsm.Json.Bool o.completed);
               ];
@@ -455,6 +569,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             crash_budget = params.crash_budget;
             domains = params.domains;
             verify_domains = params.verify_domains;
+            symmetry = orbit_group;
             obs = params.obs;
             trace = params.trace;
           }
@@ -463,10 +578,10 @@ module Check_driver (P : Dsm.Protocol.S) = struct
         if not params.json then
           Format.printf
             "LMC: %d transitions, %d node states, |I+|=%d, %d system \
-             states, %d preliminary violations (%d rejected), %.3f s, \
-             completed=%b@."
+             states, %d orbit hits, %d preliminary violations (%d \
+             rejected), %.3f s, completed=%b@."
             r.transitions r.total_node_states r.net_messages
-            r.system_states_created r.preliminary_violations
+            r.system_states_created r.orbit_hits r.preliminary_violations
             r.soundness_rejections r.elapsed r.completed;
         let violation =
           Option.map
@@ -499,6 +614,9 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                    verification *)
                 ("domains", Dsm.Json.Int params.domains);
                 ("verify_domains", Dsm.Json.Int params.verify_domains);
+                ( "symmetry",
+                  Dsm.Json.String (Dsm.Symmetry.name orbit_group) );
+                ("orbit_hits", Dsm.Json.Int r.orbit_hits);
                 ("elapsed_s", Dsm.Json.Float r.elapsed);
                 ("completed", Dsm.Json.Bool r.completed);
               ];
@@ -583,6 +701,12 @@ module Check_driver (P : Dsm.Protocol.S) = struct
             Option.value ~default:1 (jint (jfield "verify_domains" header))
           in
           let max_depth = jint (jfield "max_depth" header) in
+          (* Re-run under the recorded symmetry mode: the audit is
+             deterministic, so resolving the mode again reproduces the
+             group the recording was explored with (reduction changes
+             which states are expanded, hence the step stream). *)
+          let sym_mode = sym_mode_of_name (jstr (jfield "symmetry" header)) in
+          let sym_spec, orbit_group = resolve_symmetry ~invariant sym_mode in
           let sink, captured = Obs.Sink.memory () in
           let trace = Obs.Trace.of_sink sink in
           (* The re-run emits its own framing header so record sequence
@@ -600,13 +724,20 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                    | None -> Dsm.Json.Null );
                  ("domains", Dsm.Json.Int domains);
                  ("verify_domains", Dsm.Json.Int verify_domains);
+                 ("symmetry", Dsm.Json.String (sym_mode_name sym_mode));
                ]);
           let init = Dsm.Protocol.initial_system (module P) in
           (match kind with
           | Bdfs ->
               ignore
                 (G.run
-                   { G.default_config with max_depth; domains; trace }
+                   {
+                     G.default_config with
+                     max_depth;
+                     domains;
+                     trace;
+                     symmetry = sym_spec;
+                   }
                    ~invariant init)
           | _ ->
               let strategy =
@@ -623,6 +754,7 @@ module Check_driver (P : Dsm.Protocol.S) = struct
                      domains;
                      verify_domains;
                      trace;
+                     symmetry = orbit_group;
                    }
                    ~strategy ~invariant init));
           Obs.Trace.close trace;
@@ -688,6 +820,7 @@ struct
   module O = Online.Online_mc.Make (Live) (Check)
   module S = Sim.Live_sim.Make (Live)
   module WR = Witness_replayer (Check)
+  module SR = Sym_resolver (Check)
 
   (* Hunt traces segment into wall-clock-budgeted checker restarts, so
      the exploration half is not re-explorable; witnesses, recorded
@@ -702,8 +835,11 @@ struct
 
   let run ?strategy ?action_prob ?(faults = Fault.Plan.empty)
       ?(crash_budget = 0) ?restart_budget_ms ?max_retries ?store_dir
-      ?(resume = false) ~obs ~trace ~invariant ~seed ~drop ~interval
-      ~max_live ~budget ~steer ~domains ~verify_domains () =
+      ?(resume = false) ?(symmetry = Sym_off) ~obs ~trace ~invariant ~seed
+      ~drop ~interval ~max_live ~budget ~steer ~domains ~verify_domains () =
+    (* audited once, up front; every budgeted restart reuses the
+       verdict (the protocol does not change between restarts) *)
+    let _, orbit_group = SR.resolve ~invariant symmetry in
     let link =
       Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05 ~latency_max:0.3
         ()
@@ -730,6 +866,7 @@ struct
             crash_budget;
             domains;
             verify_domains;
+            symmetry = orbit_group;
             trace;
           };
         action_bounds = [ 1; 2 ];
@@ -786,9 +923,9 @@ let tree_runner =
         D.run ~invariant:T.received_implies_sent params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module T) ~name:"tree" ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:T.received_implies_sent ~header ~records ~domains
@@ -808,9 +945,9 @@ let chain_runner =
         D.run ~invariant:C.prefix_closed params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module C) ~name:"chain" ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:C.prefix_closed ~header ~records ~domains ());
@@ -829,9 +966,9 @@ let ping_runner =
         D.run ~invariant:P.no_excess_pongs params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module P) ~name:"ping" ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:P.no_excess_pongs ~header ~records ~domains ());
@@ -861,9 +998,9 @@ let randtree_runner ~buggy =
         D.run ~invariant:R.disjointness params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module R) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:R.disjointness ~header ~records ~domains ());
@@ -914,18 +1051,18 @@ let paxos_runner ~buggy =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
              ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
-             ~resume ~domains ~verify_domains ->
+             ~resume ~symmetry ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
                  { abstract = Check.abstraction; conflict = Check.conflicts })
-            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs ~trace
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~symmetry ~obs ~trace
             ~invariant:Check.safety ~seed ~drop ~interval ~max_live ~budget
             ~steer ~domains ~verify_domains ());
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module Bench) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode ~header ~records ~domains ->
         (* hunt witnesses were recorded by the hunt's own Check
@@ -973,7 +1110,7 @@ let onepaxos_runner ~buggy =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
              ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
-             ~resume ~domains ~verify_domains ->
+             ~resume ~symmetry ~domains ~verify_domains ->
           H.run
             ~strategy:
               (H.O.Checker.Invariant_specific
@@ -982,13 +1119,13 @@ let onepaxos_runner ~buggy =
               match a with
               | Protocols.Onepaxos.Claim_leadership -> 0.1
               | _ -> 1.0)
-            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs ~trace
+            ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~symmetry ~obs ~trace
             ~invariant:OP.safety ~seed ~drop ~interval ~max_live ~budget
             ~steer ~domains ~verify_domains ());
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module OP) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode ~header ~records ~domains ->
         if mode = "hunt" then H.replay_witnesses records
@@ -1027,9 +1164,9 @@ let twophase_runner ~buggy =
           ~invariant:T.atomicity params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module T) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -1066,9 +1203,9 @@ let ring_runner ~buggy =
           ~invariant:R.agreement params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module R) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -1106,9 +1243,9 @@ let mutex_runner ~buggy =
           ~invariant:M.mutual_exclusion params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module M) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -1144,9 +1281,9 @@ let abp_runner ~buggy =
           params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module FA) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay
@@ -1176,9 +1313,9 @@ let pb_runner ~buggy =
       (fun params -> D.run ~invariant:P.read_your_writes params);
     hunt = None;
     lint =
-      (fun ~max_depth ~max_transitions ->
+      (fun ~max_depth ~max_transitions ~sym ->
         lint_protocol (module P) ~name:name ~max_depth
-          ~max_transitions);
+          ~max_transitions ~sym ());
     replay =
       (fun ~mode:_ ~header ~records ~domains ->
         D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
@@ -1207,18 +1344,47 @@ let pb_crash_runner =
       Some
         (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
              ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
-             ~resume ~domains ~verify_domains ->
-          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~obs
+             ~resume ~symmetry ~domains ~verify_domains ->
+          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries ?store_dir ~resume ~symmetry ~obs
             ~trace ~invariant:P.read_your_writes ~seed ~drop ~interval
             ~max_live ~budget ~steer ~domains ~verify_domains ());
     lint =
-      (fun ~max_depth ~max_transitions ->
-        lint_protocol (module P) ~name ~max_depth ~max_transitions);
+      (fun ~max_depth ~max_transitions ~sym ->
+        lint_protocol (module P) ~name ~max_depth ~max_transitions ~sym ());
     replay =
       (fun ~mode ~header ~records ~domains ->
         if mode = "hunt" then H.replay_witnesses records
         else
           D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
+  }
+
+(* The genuinely symmetric fixture as a checkable instance: a harmless
+   invariant (pairwise progress gap, never violated, slot-symmetric)
+   gives `check --symmetry auto` something to orbit-audit, and the
+   protocol's full S_3 commutation makes it the B-DFS reduction demo —
+   canonicalization collapses permuted interleavings close to n!. *)
+let sym_flood_runner =
+  let module F = Protocols.Lint_fixtures.Sym_flood in
+  let module D = Check_driver (F) in
+  let invariant =
+    Dsm.Invariant.for_all_pairs ~name:"bounded-progress-gap"
+      (fun _ a _ b ->
+        if abs (a - b) > 100 then
+          Some (Printf.sprintf "progress gap %d" (abs (a - b)))
+        else None)
+  in
+  {
+    name = "sym-flood";
+    description = "S3-symmetric ping-pong flood (symmetry-reduction demo)";
+    check = (fun params -> D.run ~invariant params);
+    hunt = None;
+    lint =
+      (fun ~max_depth ~max_transitions ~sym ->
+        lint_protocol (module F) ~name:"sym-flood" ~max_depth
+          ~max_transitions ~sym ());
+    replay =
+      (fun ~mode:_ ~header ~records ~domains ->
+        D.replay ~invariant ~header ~records ~domains ());
   }
 
 let runners =
@@ -1243,6 +1409,7 @@ let runners =
     pb_runner ~buggy:false;
     pb_runner ~buggy:true;
     pb_crash_runner;
+    sym_flood_runner;
   ]
 
 let find_runner name =
@@ -1254,30 +1421,45 @@ let find_runner name =
 
 (* The planted-defect fixtures are lint-only targets: they exist so
    the suite (and `make lint') can prove each sanitizer class fires,
-   and they have no invariant worth model-checking. *)
+   and they have no invariant worth model-checking.  The fourth
+   component is the fixture's symmetry *claim*, audited whenever the
+   lint runs with --symmetry auto (the default) — how the sym-broken
+   fixture's defect is reached. *)
 let lint_fixtures =
   [
     ( "fixture-nondet",
       "planted defect: hidden counter leaks into a reply payload",
-      (module Protocols.Lint_fixtures.Nondet : Dsm.Protocol.S) );
+      (module Protocols.Lint_fixtures.Nondet : Dsm.Protocol.S),
+      None );
     ( "fixture-noncanon",
       "planted defect: equal states with divergent Marshal sharing",
-      (module Protocols.Lint_fixtures.Noncanon : Dsm.Protocol.S) );
+      (module Protocols.Lint_fixtures.Noncanon : Dsm.Protocol.S),
+      None );
     ( "fixture-dead",
       "planted defect: a broadcast message nobody reacts to",
-      (module Protocols.Lint_fixtures.Dead_letter : Dsm.Protocol.S) );
+      (module Protocols.Lint_fixtures.Dead_letter : Dsm.Protocol.S),
+      None );
     ( "fixture-flaky-recovery",
       "planted defect: an epoch counter leaks into on_recover",
-      (module Protocols.Lint_fixtures.Flaky_recovery : Dsm.Protocol.S) );
+      (module Protocols.Lint_fixtures.Flaky_recovery : Dsm.Protocol.S),
+      None );
+    ( "fixture-sym-broken",
+      "planted defect: claims full symmetry but node 0 counts pings double",
+      (module Protocols.Lint_fixtures.Sym_broken : Dsm.Protocol.S),
+      Some (Dsm.Symmetry.full 3) );
+    ( "fixture-sym-flood",
+      "positive control: genuinely S3-symmetric ping-pong flood",
+      (module Protocols.Lint_fixtures.Sym_flood : Dsm.Protocol.S),
+      Some (Dsm.Symmetry.full 3) );
   ]
 
 let lint_targets =
   List.map (fun r -> (r.name, r.lint)) runners
   @ List.map
-      (fun (name, _, m) ->
+      (fun (name, _, m, claim) ->
         ( name,
-          fun ~max_depth ~max_transitions ->
-            lint_protocol m ~name ~max_depth ~max_transitions ))
+          fun ~max_depth ~max_transitions ~sym ->
+            lint_protocol m ~name ~max_depth ~max_transitions ~sym ?claim () ))
       lint_fixtures
 
 (* ------------------------------------------------------------------ *)
@@ -1768,7 +1950,7 @@ let list_cmd =
     List.iter (fun r -> Format.printf "%-16s %s@." r.name r.description) runners;
     Format.printf "@.lint-only targets (`lmc_cli lint'):@.";
     List.iter
-      (fun (name, descr, _) -> Format.printf "%-16s %s@." name descr)
+      (fun (name, descr, _, _) -> Format.printf "%-16s %s@." name descr)
       lint_fixtures;
     0
   in
@@ -1954,7 +2136,7 @@ let make_trace ~record ~record_ring =
 (* The CLI frames each recording with [run]/[end] records; the header
    carries what `lmc replay' needs to re-run the exploration. *)
 let emit_run_header trace ~protocol ~mode ~checker ~max_depth ~domains
-    ~verify_domains =
+    ~verify_domains ~symmetry =
   if Obs.Trace.enabled trace then
     ignore
       (Obs.Trace.emit trace ~ev:"run"
@@ -1968,6 +2150,7 @@ let emit_run_header trace ~protocol ~mode ~checker ~max_depth ~domains
              | None -> Dsm.Json.Null );
            ("domains", Dsm.Json.Int domains);
            ("verify_domains", Dsm.Json.Int verify_domains);
+           ("symmetry", Dsm.Json.String (sym_mode_name symmetry));
          ])
 
 let emit_run_end trace code =
@@ -2008,11 +2191,45 @@ let crash_budget_arg =
   in
   Arg.(value & opt int 0 & info [ "crash-budget" ] ~doc ~docv:"N")
 
+(* --symmetry MODE.  Named groups are validated here for spelling; the
+   degree-dependent group is built per protocol at resolution time. *)
+let sym_mode_conv =
+  let parse = function
+    | "auto" -> Ok Sym_auto
+    | "off" | "id" | "identity" -> Ok Sym_off
+    | s -> (
+        match Dsm.Symmetry.of_name s ~degree:2 with
+        | Some _ -> Ok (Sym_group s)
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown symmetry mode %S; use auto, off, full or rot" s)))
+  in
+  let print ppf = function
+    | Sym_off -> Format.pp_print_string ppf "off"
+    | Sym_auto -> Format.pp_print_string ppf "auto"
+    | Sym_group s -> Format.pp_print_string ppf s
+  in
+  Arg.conv (parse, print)
+
+let symmetry_arg =
+  let doc =
+    "Symmetry reduction: $(b,off) (the default; bit-identical to \
+     builds without the feature), $(b,auto) (infer candidate \
+     role-permutation groups and exploit whatever survives the \
+     commutation/orbit audits), or a named group ($(b,full), \
+     $(b,rot)) audited as a claim.  A claim that fails its audit is \
+     rejected with a warning and the run falls back to identity — no \
+     reduction is ever applied unaudited."
+  in
+  Arg.(value & opt sym_mode_conv Sym_off & info [ "symmetry" ] ~doc ~docv:"MODE")
+
 let check_cmd =
   let doc = "Model-check a protocol offline from its initial state." in
   let run protocol checker max_depth time_limit crash_budget verbose minimize
-      dot json metrics_out trace_out progress domains verify_domains record
-      record_ring telemetry =
+      dot json metrics_out trace_out progress domains verify_domains symmetry
+      record record_ring telemetry =
     match find_runner protocol with
     | Error e ->
         prerr_endline e;
@@ -2029,12 +2246,12 @@ let check_cmd =
           (fun () ->
             emit_run_header trace ~protocol ~mode:"check"
               ~checker:(checker_name checker) ~max_depth ~domains
-              ~verify_domains;
+              ~verify_domains ~symmetry;
             let code =
               r.check
                 { kind = checker; max_depth; time_limit; crash_budget;
                   verbose; minimize; dot; json; obs; domains; verify_domains;
-                  trace }
+                  symmetry; trace }
             in
             emit_run_end trace code;
             code)
@@ -2045,7 +2262,8 @@ let check_cmd =
       const run $ protocol_arg $ checker_arg $ depth_arg $ time_arg
       $ crash_budget_arg $ verbose_arg $ minimize_arg $ dot_arg $ json_arg
       $ metrics_out_arg $ trace_out_arg $ progress_arg $ domains_arg
-      $ verify_domains_arg $ record_arg $ record_ring_arg $ telemetry_term)
+      $ verify_domains_arg $ symmetry_arg $ record_arg $ record_ring_arg
+      $ telemetry_term)
 
 let seed_arg =
   let doc = "Simulation seed." in
@@ -2135,7 +2353,7 @@ let hunt_cmd =
      model checking, 3.3)."
   in
   let run protocol seed drop interval max_live budget steer faults
-      crash_budget restart_budget_ms max_retries store_dir resume
+      crash_budget restart_budget_ms max_retries store_dir resume symmetry
       metrics_out trace_out progress domains verify_domains record
       record_ring telemetry =
     if resume && store_dir = None then begin
@@ -2160,11 +2378,11 @@ let hunt_cmd =
             finish ())
           (fun () ->
             emit_run_header trace ~protocol ~mode:"hunt" ~checker:"lmc"
-              ~max_depth:None ~domains ~verify_domains;
+              ~max_depth:None ~domains ~verify_domains ~symmetry;
             let code =
               h ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
                 ~faults ~crash_budget ~restart_budget_ms ~max_retries
-                ~store_dir ~resume ~domains ~verify_domains
+                ~store_dir ~resume ~symmetry ~domains ~verify_domains
             in
             emit_run_end trace code;
             code)
@@ -2175,9 +2393,9 @@ let hunt_cmd =
       const run $ protocol_arg $ seed_arg $ drop_arg $ interval_arg
       $ max_live_arg $ budget_arg $ steer_arg $ faults_arg
       $ crash_budget_arg $ restart_budget_ms_arg $ max_retries_arg
-      $ store_arg $ resume_arg $ metrics_out_arg $ trace_out_arg
-      $ progress_arg $ domains_arg $ verify_domains_arg $ record_arg
-      $ record_ring_arg $ telemetry_term)
+      $ store_arg $ resume_arg $ symmetry_arg $ metrics_out_arg
+      $ trace_out_arg $ progress_arg $ domains_arg $ verify_domains_arg
+      $ record_arg $ record_ring_arg $ telemetry_term)
 
 let trace_file_arg =
   let doc = "A trace.v1 JSONL file produced by --record." in
@@ -2258,7 +2476,17 @@ let lint_cmd =
     in
     Arg.(value & opt (some string) None & info [ "allow" ] ~doc ~docv:"FILE")
   in
-  let run protocol all max_depth max_transitions out allow =
+  let lint_symmetry_arg =
+    let doc =
+      "Symmetry audit mode: $(b,auto) (the default: audit each \
+       target's own claim if it has one, silently infer otherwise), \
+       $(b,off) (sanitizers only), or a named group ($(b,full), \
+       $(b,rot)) claimed for every target."
+    in
+    Arg.(
+      value & opt sym_mode_conv Sym_auto & info [ "symmetry" ] ~doc ~docv:"MODE")
+  in
+  let run protocol all max_depth max_transitions out allow sym =
     let targets =
       match (protocol, all) with
       | Some _, true -> Error "use either -p or --all, not both"
@@ -2303,7 +2531,7 @@ let lint_cmd =
                 (fun (name, l) ->
                   Lint.Report.emit_start emitter ~protocol:name ~max_depth
                     ~max_transitions;
-                  let r = l ~max_depth ~max_transitions in
+                  let r = l ~max_depth ~max_transitions ~sym in
                   List.iter (Lint.Report.emit_finding emitter) r.l_findings;
                   Lint.Report.emit_end emitter ~protocol:name
                     ~findings:(List.length r.l_findings)
@@ -2351,7 +2579,7 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ protocol_opt_arg $ all_arg $ depth_arg $ transitions_arg
-      $ out_arg $ allow_arg)
+      $ out_arg $ allow_arg $ lint_symmetry_arg)
 
 let report_cmd =
   let doc =

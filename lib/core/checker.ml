@@ -55,6 +55,16 @@ module Make (P : Dsm.Protocol.S) = struct
         (* disk-backed stores shared across restarts; combination
            skips happen on the sequential apply path only, so verdicts
            stay bit-identical at any domain count *)
+    symmetry : Dsm.Symmetry.group;
+        (* audited role-permutation group for combination orbit
+           deduplication: combinations whose slot-permuted fingerprint
+           tuple was already proven invariant-clean are skipped.  Sound
+           iff the invariant is slot-symmetric under the group —
+           audited by [Lint.Symmetry]; the checker trusts the caller.
+           Only clean verdicts are orbit-shared, so the first violating
+           combination (verdict, witness, preliminary count) is
+           bit-identical to a run with the identity group.  All orbit
+           bookkeeping lives on the sequential apply path. *)
   }
 
   let default_config =
@@ -83,6 +93,7 @@ module Make (P : Dsm.Protocol.S) = struct
       trace = Obs.Trace.null;
       on_new_node_state = None;
       persist = None;
+      symmetry = Dsm.Symmetry.identity_group P.num_nodes;
     }
 
   type violation = {
@@ -109,6 +120,10 @@ module Make (P : Dsm.Protocol.S) = struct
         (** combinations skipped because a previous (or earlier) run
             already proved them invariant-clean; [0] without
             [config.persist] *)
+    orbit_hits : int;
+        (** combinations skipped because a slot permutation of them was
+            already proven invariant-clean this run; [0] with the
+            identity group *)
     completed : bool;
     elapsed : float;
     system_state_time : float;
@@ -207,6 +222,7 @@ module Make (P : Dsm.Protocol.S) = struct
     c_budget_exhausted : Obs.Metrics.counter;
     c_local_drops : Obs.Metrics.counter;
     c_store_hits : Obs.Metrics.counter;
+    c_orbit_hits : Obs.Metrics.counter;
     h_system_depth : Obs.Metrics.histogram;
     h_node_depth : Obs.Metrics.histogram;
     h_soundness_us : Obs.Metrics.histogram;
@@ -232,6 +248,7 @@ module Make (P : Dsm.Protocol.S) = struct
       c_budget_exhausted = Obs.counter scope "lmc.soundness_budget_exhausted";
       c_local_drops = Obs.counter scope "lmc.local_assert_drops";
       c_store_hits = Obs.counter scope "lmc.store_hits";
+      c_orbit_hits = Obs.counter scope "lmc.orbit_hits";
       h_system_depth = Obs.histogram scope "lmc.system_depth";
       h_node_depth = Obs.histogram scope "lmc.node_depth";
       h_soundness_us = Obs.histogram scope "lmc.soundness_us";
@@ -272,6 +289,11 @@ module Make (P : Dsm.Protocol.S) = struct
     net : net_entry Vec.t;
     net_by_fp : (Fingerprint.t, int) Hashtbl.t;
     seen_combos : (Fingerprint.t, unit) Hashtbl.t;
+    reduce : bool;  (* [config.symmetry] is non-trivial *)
+    orbit_clean : (Fingerprint.t, unit) Hashtbl.t;
+        (* canonical (least slot-permuted) fingerprints of combinations
+           proven invariant-clean this run; read and written on the
+           sequential apply path only *)
     rejected : 'k rejected Vec.t;
     pool : Par.Pool.t option;
         (* exploration pool ([config.domains]); independent of the
@@ -284,6 +306,7 @@ module Make (P : Dsm.Protocol.S) = struct
     mutable transitions : int;
     mutable system_states_created : int;
     mutable store_hits : int;
+    mutable orbit_hits : int;
     mutable preliminary_violations : int;
     mutable soundness_calls : int;
     mutable sequences_checked : int;
@@ -823,26 +846,65 @@ module Make (P : Dsm.Protocol.S) = struct
   let tuple_fp tuple =
     Fingerprint.combine (Array.to_list (Array.map (fun e -> e.fp) tuple))
 
+  (* With a non-trivial symmetry group, combinations are keyed by the
+     fingerprint of the lexicographically-least slot permutation of
+     their tuple — which is the raw fingerprint of a real combination
+     (the orbit representative), so persisted stores stay meaningful
+     whether or not later runs reduce.  With the identity group this
+     is [tuple_fp] bit for bit. *)
+  let ctuple_fp t tuple =
+    if t.reduce then
+      Dsm.Symmetry.canonical_combo t.config.symmetry
+        (Array.map (fun e -> e.fp) tuple)
+    else tuple_fp tuple
+
+  let orbit_hit t =
+    t.orbit_hits <- t.orbit_hits + 1;
+    Obs.Metrics.incr t.o.c_orbit_hits
+
+  let mark_orbit_clean t = function
+    | Some cfp when t.reduce -> Hashtbl.replace t.orbit_clean cfp ()
+    | _ -> ()
+
   (* With [config.persist], every combination consults the on-disk set
      of proven-clean combinations before a system state is created: a
      hit is work some earlier restart already did.  Only clean
      verdicts are recorded — a violating combination must be re-judged
      from every snapshot, because soundness depends on the snapshot it
      is scheduled from.  All store reads and writes below happen on
-     the sequential apply path, in submission order. *)
+     the sequential apply path, in submission order.
+
+     With [config.symmetry], the in-memory orbit set is consulted
+     first: a hit means a slot permutation of this tuple was already
+     proven clean this run.  Violating combinations never enter the
+     set, so reduction can only skip invariant evaluations that would
+     have come back clean. *)
   let consider_combo t (tuple : 'k entry array) =
     check_budget t;
     let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
     if depth_allows t sdepth then begin
+      let cfp =
+        if t.reduce || t.config.persist <> None then
+          Some (ctuple_fp t tuple)
+        else None
+      in
+      let orbit_seen =
+        match cfp with
+        | Some f when t.reduce -> Hashtbl.mem t.orbit_clean f
+        | _ -> false
+      in
+      if orbit_seen then orbit_hit t
+      else
       let stored =
-        match t.config.persist with
-        | None -> None
-        | Some p -> Some (p, tuple_fp tuple)
+        match (t.config.persist, cfp) with
+        | Some p, Some f -> Some (p, f)
+        | _ -> None
       in
       match stored with
-      | Some (p, cfp) when Store.Fp_set.mem p.p_combos cfp ->
+      | Some (p, f) when Store.Fp_set.mem p.p_combos f ->
           t.store_hits <- t.store_hits + 1;
-          Obs.Metrics.incr t.o.c_store_hits
+          Obs.Metrics.incr t.o.c_store_hits;
+          mark_orbit_clean t cfp
       | _ -> (
       t.system_states_created <- t.system_states_created + 1;
       Obs.Metrics.incr t.o.c_system_states;
@@ -853,10 +915,11 @@ module Make (P : Dsm.Protocol.S) = struct
         timed t t.ph_invariant_us (fun () ->
             Dsm.Invariant.check t.invariant system)
       with
-      | None -> (
-          match stored with
-          | Some (p, cfp) -> ignore (Store.Fp_set.add p.p_combos cfp)
-          | None -> ())
+      | None ->
+          (match stored with
+          | Some (p, f) -> ignore (Store.Fp_set.add p.p_combos f)
+          | None -> ());
+          mark_orbit_clean t cfp
       | Some violation ->
           t.preliminary_violations <- t.preliminary_violations + 1;
           Obs.Metrics.incr t.o.c_prelim;
@@ -902,6 +965,7 @@ module Make (P : Dsm.Protocol.S) = struct
 
   type combo_verdict =
     | C_gated  (* system depth beyond the bound: budget check only *)
+    | C_orbit  (* orbit prefilter hit: a slot image was proven clean *)
     | C_seen  (* store prefilter hit: proven clean by an earlier run *)
     | C_ok
     | C_viol of P.state array * Dsm.Invariant.violation
@@ -915,28 +979,50 @@ module Make (P : Dsm.Protocol.S) = struct
       t.store_hits <- t.store_hits + 1;
       Obs.Metrics.incr t.o.c_store_hits
     in
-    (* The prefilter in [flush_combos] is read-only and ran against the
-       store as of flush time; the check-and-insert here is the
-       authoritative one, in apply (= submission) order, so the store
-       and every counter evolve exactly as the inline path's would. *)
+    (* The prefilters in [flush_combos] are read-only and ran against
+       the store / orbit set as of flush time; the checks here are the
+       authoritative ones, in apply (= submission) order, so the store,
+       the orbit set and every counter evolve exactly as the inline
+       path's would.  The orbit check comes first, as in
+       [consider_combo]: an earlier apply in this very batch may have
+       proven a slot image of this tuple clean. *)
+    let orbit_seen =
+      match (verdict, cfp) with
+      | C_gated, _ -> false
+      | _, Some f when t.reduce -> Hashtbl.mem t.orbit_clean f
+      | _ -> false
+    in
+    if orbit_seen then orbit_hit t
+    else
     let store_skip =
       match (t.config.persist, cfp, verdict) with
-      | _, _, (C_gated | C_seen) -> false
+      | _, _, (C_gated | C_orbit | C_seen) -> false
       | Some p, Some f, C_ok -> not (Store.Fp_set.add p.p_combos f)
       | Some p, Some f, C_viol _ -> Store.Fp_set.mem p.p_combos f
       | _ -> false
     in
     match verdict with
     | C_gated -> ()
-    | C_seen -> store_hit ()
-    | (C_ok | C_viol _) when store_skip -> store_hit ()
+    | C_orbit ->
+        (* prefilter said so and the authoritative check above did not:
+           impossible, the orbit set only grows *)
+        orbit_hit t
+    | C_seen ->
+        store_hit ();
+        mark_orbit_clean t cfp
+    | (C_ok | C_viol _) when store_skip ->
+        store_hit ();
+        mark_orbit_clean t cfp
     | C_ok | C_viol _ -> (
+        (match verdict with
+        | C_ok -> mark_orbit_clean t cfp
+        | _ -> ());
         t.system_states_created <- t.system_states_created + 1;
         Obs.Metrics.incr t.o.c_system_states;
         Obs.Metrics.observe t.o.h_system_depth sdepth;
         if sdepth > t.max_system_depth then t.max_system_depth <- sdepth;
         match verdict with
-        | C_gated | C_seen | C_ok -> ()
+        | C_gated | C_orbit | C_seen | C_ok -> ()
         | C_viol (system, violation) ->
             t.preliminary_violations <- t.preliminary_violations + 1;
             Obs.Metrics.incr t.o.c_prelim;
@@ -984,10 +1070,26 @@ module Make (P : Dsm.Protocol.S) = struct
                    match cfp with Some f -> f | None -> assert false)
                  items)
       in
+      (* Orbit prefilter, sequential and read-only (flush runs on the
+         apply path): spare the pool the invariant work on combinations
+         whose orbit was already proven clean as of flush time.  A miss
+         is re-decided at apply — an earlier apply in this batch can
+         still orbit-cover a later item. *)
+      let orbit_seen =
+        if not t.reduce then [||]
+        else
+          Array.map
+            (fun (_, _, cfp) ->
+              match cfp with
+              | Some f -> Hashtbl.mem t.orbit_clean f
+              | None -> false)
+            items
+      in
       let verdicts =
         Par.Pool.tabulate pool ~chunk:combo_chunk n (fun i ->
             let tuple, sdepth, _ = items.(i) in
             if not (depth_allows t sdepth) then C_gated
+            else if orbit_seen <> [||] && orbit_seen.(i) then C_orbit
             else if seen <> [||] && seen.(i) then C_seen
             else
               let system = Array.map (fun (e : 'k entry) -> e.state) tuple in
@@ -1014,9 +1116,11 @@ module Make (P : Dsm.Protocol.S) = struct
     | Some pool ->
         let sdepth = Array.fold_left (fun acc e -> acc + e.depth) 0 tuple in
         let cfp =
-          match t.config.persist with
-          | None -> None
-          | Some _ -> Some (tuple_fp tuple)
+          (* computed at submit time — sequential, so canonicalization
+             order never depends on domain scheduling *)
+          if t.reduce || t.config.persist <> None then
+            Some (ctuple_fp t tuple)
+          else None
         in
         ignore (Vec.push t.combo_buf (Array.copy tuple, sdepth, cfp));
         if Vec.length t.combo_buf >= combo_buf_max then flush_combos t pool
@@ -1791,6 +1895,8 @@ module Make (P : Dsm.Protocol.S) = struct
         net = Vec.create ();
         net_by_fp = Hashtbl.create 256;
         seen_combos = Hashtbl.create 256;
+        reduce = not (Dsm.Symmetry.is_trivial config.symmetry);
+        orbit_clean = Hashtbl.create 4096;
         rejected = Vec.create ();
         pool;
         combo_buf = Vec.create ();
@@ -1798,6 +1904,7 @@ module Make (P : Dsm.Protocol.S) = struct
         transitions = 0;
         system_states_created = 0;
         store_hits = 0;
+        orbit_hits = 0;
         preliminary_violations = 0;
         soundness_calls = 0;
         sequences_checked = 0;
@@ -1890,6 +1997,8 @@ module Make (P : Dsm.Protocol.S) = struct
           ("soundness_calls", Dsm.Json.Int t.soundness_calls);
           ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
           ("store_hits", Dsm.Json.Int t.store_hits);
+          ("symmetry", Dsm.Json.String (Dsm.Symmetry.name config.symmetry));
+          ("orbit_hits", Dsm.Json.Int t.orbit_hits);
           ("completed", Dsm.Json.Bool (not t.truncated));
           ("domains", Dsm.Json.Int explore_domains);
           ("verify_domains", Dsm.Json.Int config.verify_domains);
@@ -1935,6 +2044,9 @@ module Make (P : Dsm.Protocol.S) = struct
              ( "preliminary_violations",
                Dsm.Json.Int t.preliminary_violations );
              ("sound_violation", Dsm.Json.Bool (t.sound_violation <> None));
+             ( "symmetry",
+               Dsm.Json.String (Dsm.Symmetry.name config.symmetry) );
+             ("orbit_hits", Dsm.Json.Int t.orbit_hits);
              ("completed", Dsm.Json.Bool (not t.truncated));
            ]);
       Obs.Trace.flush config.trace
@@ -1953,6 +2065,7 @@ module Make (P : Dsm.Protocol.S) = struct
       soundness_budget_exhausted = t.soundness_budget_exhausted;
       local_assert_drops = t.local_assert_drops;
       store_hits = t.store_hits;
+      orbit_hits = t.orbit_hits;
       completed = not t.truncated;
       elapsed;
       system_state_time = t.system_state_time;

@@ -9,6 +9,8 @@ type kind =
   | Handler_exception
   | Nondeterministic_recovery
   | Store_digest_drift
+  | Broken_symmetry
+  | Unsound_orbit
 
 let all_kinds =
   [
@@ -22,6 +24,8 @@ let all_kinds =
     Handler_exception;
     Nondeterministic_recovery;
     Store_digest_drift;
+    Broken_symmetry;
+    Unsound_orbit;
   ]
 
 let kind_to_string = function
@@ -35,6 +39,8 @@ let kind_to_string = function
   | Handler_exception -> "handler_exception"
   | Nondeterministic_recovery -> "nondeterministic_recovery"
   | Store_digest_drift -> "store_digest_drift"
+  | Broken_symmetry -> "broken_symmetry"
+  | Unsound_orbit -> "unsound_orbit"
 
 let kind_of_string s =
   match

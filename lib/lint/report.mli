@@ -40,6 +40,17 @@ type kind =
           did not read back bit-identical to its 64-bit folding — a
           corrupted persistence layer would silently skip unexplored
           states on resume *)
+  | Broken_symmetry
+      (** a claimed role-permutation failed the commutation audit:
+          [permute (handle (s, e))] and [handle (permute s, permute e)]
+          disagreed on [(state', sends)] fingerprints for some reachable
+          invocation — exploiting the group in B-DFS would merge
+          inequivalent global states *)
+  | Unsound_orbit
+      (** the invariant is not slot-symmetric under a claimed group:
+          some reachable combination and a permutation of it disagreed
+          on the invariant's verdict — orbit-deduplicating LMC
+          combinations under the group could skip a violating one *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result

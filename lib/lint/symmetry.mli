@@ -1,0 +1,84 @@
+(** Symmetry inference and the audits that license symmetry reduction.
+
+    A role-permutation group is only safe to exploit if it actually
+    commutes with the protocol, and a {e claimed} symmetry (a protocol
+    author's annotation, or an explicit [--symmetry <group>] flag) is
+    exactly the kind of assertion that drifts out of date.  This pass
+    has three jobs:
+
+    {ol
+    {- {b Inference}: propose candidate groups for a [Dsm.Protocol.S]
+       instance — the full symmetric group [S_n], the rotation group
+       [C_n], identity-only as the fallback — by probing [initial],
+       [enabled_actions], and handler behaviour across node ids.}
+    {- {b Commutation audit}: re-execute every distinct reachable
+       handler/action invocation (bounded BFS, the same machinery as
+       {!Sanitize}) under every generator [p] of the group and check
+       [permute (handle (s, e)) = handle (permute s, permute e)] on
+       [(state', sends)] fingerprints, plus [initial], [on_recover]
+       and [enabled_actions] equivariance.  A group that passes is safe
+       for {e global-state} reduction in [Mc_global.Bdfs].}
+    {- {b Orbit audit}: check that the safety invariant's verdict is
+       invariant under {e slot} permutation of a combination tuple
+       (states unchanged, only their assignment to nodes permuted) —
+       over every reachable global tuple and a bounded deterministic
+       sample of LMC-style cross-product combinations.  A group that
+       passes is safe for {e combination orbit} deduplication in
+       [Lmc.Checker], which never skips exploration, only duplicate
+       invariant evaluations, so handler commutation is not required.}}
+
+    Findings ([Broken_symmetry], [Unsound_orbit]) are emitted only for
+    {e claimed} groups: an inferred candidate that fails its audit is
+    silently demoted (that is the audit doing its job), but a claim
+    that fails is a defect in the annotation and goes through the
+    [Report]/allowlist pipeline.  A claimed-but-broken group poisons
+    the claim entirely: the verdict falls back to identity for both
+    reduction layers, so the checkers refuse to reduce. *)
+
+module Make (P : Dsm.Protocol.S) : sig
+  type config = {
+    max_depth : int option;
+    max_transitions : int;  (** handler-invocation budget for the BFS *)
+    initial_net : P.message Dsm.Envelope.t list;
+    claim : (P.state, P.message) Dsm.Symmetry.spec option;
+        (** audit exactly this group (emitting findings on failure)
+            instead of inferring candidates *)
+    invariant : P.state Dsm.Invariant.t option;
+        (** safety invariant to orbit-audit; [None] disables orbit
+            reduction (verdict [orbit] stays identity) *)
+    max_combo_samples : int;
+        (** budget for sampled cross-product combinations in the orbit
+            audit *)
+  }
+
+  val default_config : config
+
+  type stats = {
+    global_states : int;
+    transitions : int;
+    probes : int;  (** commutation + orbit re-executions *)
+    elapsed : float;
+  }
+
+  (** What the checkers are licensed to exploit. *)
+  type verdict = {
+    commutation : (P.state, P.message) Dsm.Symmetry.spec;
+        (** largest audited group (with its mappers) under which every
+            probed invocation commuted — safe for global-state
+            canonicalization in B-DFS *)
+    orbit : Dsm.Symmetry.group;
+        (** largest audited group under which the invariant is
+            slot-symmetric — safe for LMC combination orbit dedup *)
+    candidates : Dsm.Symmetry.group list;
+        (** the groups inference proposed (strongest first), for logs *)
+  }
+
+  type result = {
+    findings : Report.finding list;
+    verdict : verdict;
+    stats : stats;
+    completed : bool;  (** false when [max_transitions] truncated *)
+  }
+
+  val run : ?config:config -> unit -> result
+end

@@ -25,6 +25,10 @@ module Make (P : Dsm.Protocol.S) = struct
     max_depth_reached : int;
     retained_bytes : int;
     store_hits : int;
+    orbit_hits : int;
+        (* successors deduplicated against a different orbit
+           representative (the successor itself was not in canonical
+           form); 0 with the identity group *)
     elapsed : float;
   }
 
@@ -60,6 +64,19 @@ module Make (P : Dsm.Protocol.S) = struct
            is a consumable multiset, not the LMC's monotone I+, but
            message provenance still applies: a delivery's consumed
            fingerprint references the step that produced it. *)
+    symmetry : (P.state, P.message) Dsm.Symmetry.spec;
+        (* audited role-permutation group (with identifier mappers for
+           states and messages): the visited set and parent links are
+           keyed by the least fingerprint over the group's images of a
+           global state, so permutation-equivalent states are explored
+           once.  Exploration, traces and witnesses stay in original
+           coordinates — every recorded step is a real transition, so
+           witness replay is untouched.  Sound iff every handler,
+           [enabled_actions], [initial], [on_recover] and the invariant
+           commute with the group's action — audited by
+           [Lint.Symmetry]; the checker trusts the caller.  Default:
+           identity spec (no reduction, fingerprints bit-identical to
+           before). *)
   }
 
   let default_config =
@@ -75,6 +92,7 @@ module Make (P : Dsm.Protocol.S) = struct
       visited_store = None;
       obs = Obs.null;
       trace = Obs.Trace.null;
+      symmetry = Dsm.Symmetry.id_spec ~degree:P.num_nodes;
     }
 
   (* The canonical fingerprint of a global state: node states are
@@ -88,6 +106,48 @@ module Make (P : Dsm.Protocol.S) = struct
 
   let system_fingerprint nodes = Fingerprint.of_value nodes
 
+  (* Fingerprint of the image of [g] under one permutation: node
+     [p.(i)] takes node [i]'s identifier-rewritten state, envelopes
+     are renamed and re-sorted into the multiset's canonical binding
+     order (a permutation is a bijection on envelopes, so multiplicity
+     structure is preserved), crash counters travel with their node. *)
+  let permuted_fp (spec : (P.state, P.message) Dsm.Symmetry.spec) p g =
+    let rename = Dsm.Symmetry.apply p in
+    let nodes' =
+      Dsm.Symmetry.permute_slots p
+        (Array.map (spec.Dsm.Symmetry.map_state rename) g.nodes)
+    in
+    let bindings' =
+      List.sort compare
+        (List.map
+           (fun ((e : P.message Envelope.t), c) ->
+             ( {
+                 Envelope.src = rename e.Envelope.src;
+                 dst = rename e.Envelope.dst;
+                 payload = spec.Dsm.Symmetry.map_message rename e.payload;
+               },
+               c ))
+           (Net.Multiset.bindings g.net))
+    in
+    if Array.exists (fun c -> c > 0) g.crashes then
+      Fingerprint.of_value
+        (nodes', bindings', Dsm.Symmetry.permute_slots p g.crashes)
+    else Fingerprint.of_value (nodes', bindings')
+
+  (* Canonical (least-over-orbit) fingerprint, given the state's raw
+     fingerprint.  With the identity group this IS the raw fingerprint
+     — reduction off reproduces prior runs bit for bit. *)
+  let canonical_fp (spec : (P.state, P.message) Dsm.Symmetry.spec) g raw =
+    if Dsm.Symmetry.is_trivial spec.Dsm.Symmetry.group then raw
+    else
+      List.fold_left
+        (fun best p ->
+          if Dsm.Symmetry.is_identity p then best
+          else
+            let f = permuted_fp spec p g in
+            if Fingerprint.compare f best < 0 then f else best)
+        raw spec.Dsm.Symmetry.group.Dsm.Symmetry.elements
+
   (* Per-entry analytic footprint of the visited set: fingerprint key
      plus hash-table slot overhead (next pointer, depth). *)
   let visited_entry_bytes = Fingerprint.size + 48
@@ -100,6 +160,7 @@ module Make (P : Dsm.Protocol.S) = struct
     c_transitions : Obs.Metrics.counter;
     c_global_states : Obs.Metrics.counter;
     c_system_states : Obs.Metrics.counter;
+    c_orbit_hits : Obs.Metrics.counter;
     h_depth : Obs.Metrics.histogram;
   }
 
@@ -110,6 +171,7 @@ module Make (P : Dsm.Protocol.S) = struct
       c_transitions = Obs.counter scope "bdfs.transitions";
       c_global_states = Obs.counter scope "bdfs.global_states";
       c_system_states = Obs.counter scope "bdfs.system_states";
+      c_orbit_hits = Obs.counter scope "bdfs.orbit_hits";
       h_depth = Obs.histogram scope "bdfs.depth";
     }
 
@@ -169,13 +231,15 @@ module Make (P : Dsm.Protocol.S) = struct
            ("domains", Dsm.Json.Int domains);
          ])
 
-  let record_run_end ~trace (outcome : outcome) =
+  let record_run_end ~trace ~symmetry (outcome : outcome) =
     ignore
       (Obs.Trace.emit trace ~ev:"bdfs_end"
          [
            ("transitions", Dsm.Json.Int outcome.stats.transitions);
            ("global_states", Dsm.Json.Int outcome.stats.global_states);
            ("violation", Dsm.Json.Bool (outcome.violation <> None));
+           ("symmetry", Dsm.Json.String (Dsm.Symmetry.name symmetry));
+           ("orbit_hits", Dsm.Json.Int outcome.stats.orbit_hits);
            ("completed", Dsm.Json.Bool outcome.completed);
          ]);
     Obs.Trace.flush trace
@@ -184,14 +248,21 @@ module Make (P : Dsm.Protocol.S) = struct
     config : config;
     o : obs_handles;
     tracing : bool;
+    reduce : bool;  (* [config.symmetry] is non-trivial *)
     binj : (Fingerprint.t, int) Hashtbl.t;
     root : P.state array;  (* starting states, for witness records *)
     invariant : P.state Dsm.Invariant.t;
-    visited : (Fingerprint.t, int) Hashtbl.t;  (* fingerprint -> min depth *)
+    visited : (Fingerprint.t, int) Hashtbl.t;
+        (* canonical fingerprint -> min depth; with the identity group
+           canonical = raw, so keys are unchanged from prior runs *)
     parents :
       (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
       Hashtbl.t;
+        (* keyed by canonical fingerprints; each key resolves to the
+           unique first-visited (original-coordinate) state of its
+           orbit, so a rebuilt chain is a real executable path *)
     mutable transitions : int;
+    mutable orbit_hits : int;
     mutable system_states : Fingerprint.Set.t;
     mutable max_depth_reached : int;
     mutable violation : violation option;
@@ -318,7 +389,10 @@ module Make (P : Dsm.Protocol.S) = struct
             Dsm.Json.Float (Unix.gettimeofday () -. s.started) );
         ])
 
-  let rec explore s g fp depth =
+  (* [fp] is the raw fingerprint of [g] (trace records stay in
+     original coordinates, so witness replay re-derives them); [cfp]
+     its canonical form, keying the visited and parent tables. *)
+  let rec explore s g fp cfp depth =
     heartbeat s;
     if out_of_budget s then begin
       s.truncated <- true;
@@ -334,21 +408,28 @@ module Make (P : Dsm.Protocol.S) = struct
           s.transitions <- s.transitions + 1;
           Obs.Metrics.incr s.o.c_transitions;
           let fp' = fingerprint g' in
+          let cfp' = canonical_fp s.config.symmetry g' fp' in
           let depth' = depth + 1 in
           let revisit_shallower =
-            match Hashtbl.find_opt s.visited fp' with
+            match Hashtbl.find_opt s.visited cfp' with
             | Some d -> depth' < d
             | None -> true
           in
-          if revisit_shallower then begin
-            let first_visit = not (Hashtbl.mem s.visited fp') in
+          if not revisit_shallower then begin
+            if s.reduce && not (Fingerprint.equal fp' cfp') then begin
+              s.orbit_hits <- s.orbit_hits + 1;
+              Obs.Metrics.incr s.o.c_orbit_hits
+            end
+          end
+          else begin
+            let first_visit = not (Hashtbl.mem s.visited cfp') in
             if first_visit then begin
               Obs.Metrics.incr s.o.c_global_states;
               Obs.Metrics.observe s.o.h_depth depth'
             end;
-            Hashtbl.replace s.visited fp' depth';
+            Hashtbl.replace s.visited cfp' depth';
             if s.config.track_traces && first_visit then
-              Hashtbl.replace s.parents fp' (Some fp, step);
+              Hashtbl.replace s.parents cfp' (Some cfp, step);
             if first_visit then begin
               if s.tracing then
                 record_global_step ~trace:s.config.trace ~inj:s.binj step
@@ -360,11 +441,11 @@ module Make (P : Dsm.Protocol.S) = struct
               end;
               match Dsm.Invariant.check s.invariant g'.nodes with
               | Some violation ->
-                  record_violation s g' fp' depth' violation;
+                  record_violation s g' cfp' depth' violation;
                   if s.config.stop_on_violation then raise Stop
               | None -> ()
             end;
-            explore s g' fp' depth'
+            explore s g' fp' cfp' depth'
           end)
         (successors ~crash_budget:s.config.crash_budget g)
 
@@ -381,12 +462,15 @@ module Make (P : Dsm.Protocol.S) = struct
         config;
         o = make_obs_handles config;
         tracing = Obs.Trace.enabled config.trace;
+        reduce =
+          not (Dsm.Symmetry.is_trivial config.symmetry.Dsm.Symmetry.group);
         binj = Hashtbl.create 256;
         root = Array.copy init;
         invariant;
         visited = Hashtbl.create 4096;
         parents = Hashtbl.create 4096;
         transitions = 0;
+        orbit_hits = 0;
         system_states = Fingerprint.Set.empty;
         max_depth_reached = 0;
         violation = None;
@@ -396,17 +480,18 @@ module Make (P : Dsm.Protocol.S) = struct
     in
     if s.tracing then record_run_header ~trace:config.trace ~domains:1;
     let fp = fingerprint g in
-    Hashtbl.replace s.visited fp 0;
+    let cfp = canonical_fp config.symmetry g fp in
+    Hashtbl.replace s.visited cfp 0;
     Obs.Metrics.incr s.o.c_global_states;
     (* The root has no parent entry; [rebuild_trace] stops there. *)
     s.system_states <-
       Fingerprint.Set.add (system_fingerprint g.nodes) s.system_states;
     Obs.Metrics.incr s.o.c_system_states;
     (match Dsm.Invariant.check invariant g.nodes with
-    | Some violation -> record_violation s g fp 0 violation
+    | Some violation -> record_violation s g cfp 0 violation
     | None -> ());
     (if not (config.stop_on_violation && s.violation <> None) then
-       try explore s g fp 0 with Stop -> ());
+       try explore s g fp cfp 0 with Stop -> ());
     let elapsed = Unix.gettimeofday () -. s.started in
     let retained_bytes =
       (Hashtbl.length s.visited * visited_entry_bytes)
@@ -422,13 +507,14 @@ module Make (P : Dsm.Protocol.S) = struct
             max_depth_reached = s.max_depth_reached;
             retained_bytes;
             store_hits = 0;
+            orbit_hits = s.orbit_hits;
             elapsed;
           };
         violation = s.violation;
         completed = not s.truncated;
       }
     in
-    if s.tracing then record_run_end ~trace:config.trace outcome;
+    if s.tracing then record_run_end ~trace:config.trace ~symmetry:config.symmetry.Dsm.Symmetry.group outcome;
     outcome
 
   (* ----- parallel frontier expansion (domains > 1) -----
@@ -446,12 +532,15 @@ module Make (P : Dsm.Protocol.S) = struct
      exhausted space are identical. *)
 
   type succ_compute =
-    | S_seen  (* already visited at an earlier layer: counts as a
-                 transition, nothing else to do *)
+    | S_seen of bool
+        (* already visited at an earlier layer: counts as a transition,
+           nothing else to do.  The flag marks an orbit hit — the
+           successor was not itself in canonical form. *)
     | S_new of
         (P.message, P.action) Trace.step
         * global
-        * Fingerprint.t
+        * Fingerprint.t  (* raw fingerprint, for trace records *)
+        * Fingerprint.t  (* canonical fingerprint, for the visited set *)
         * Fingerprint.t  (* system fingerprint of the node states *)
         * Dsm.Invariant.violation option
         * P.message Envelope.t list  (* sent messages, for the recorder *)
@@ -468,10 +557,12 @@ module Make (P : Dsm.Protocol.S) = struct
     fparents :
       (Fingerprint.t, Fingerprint.t option * (P.message, P.action) Trace.step)
       Hashtbl.t;
+    freduce : bool;
     mutable ftransitions : int;
     mutable ffresh : int;  (* states first visited by THIS run *)
     mutable fstore_hits : int;
         (* successors already present in the persistent visited set *)
+    mutable forbit_hits : int;
     mutable fsystem_states : Fingerprint.Set.t;
     mutable fmax_depth : int;
     mutable fviolation : violation option;
@@ -537,9 +628,12 @@ module Make (P : Dsm.Protocol.S) = struct
         fvisited = Par.Shard_tbl.create 4096;
         fstore = config.visited_store;
         fparents = Hashtbl.create 4096;
+        freduce =
+          not (Dsm.Symmetry.is_trivial config.symmetry.Dsm.Symmetry.group);
         ftransitions = 0;
         ffresh = 0;
         fstore_hits = 0;
+        forbit_hits = 0;
         fsystem_states = Fingerprint.Set.empty;
         fmax_depth = 0;
         fviolation = None;
@@ -572,15 +666,16 @@ module Make (P : Dsm.Protocol.S) = struct
       fresh
     in
     let root_fp = fingerprint g in
-    ignore (fadd root_fp 0);
+    let root_cfp = canonical_fp config.symmetry g root_fp in
+    ignore (fadd root_cfp 0);
     s.fsystem_states <-
       Fingerprint.Set.add (system_fingerprint g.nodes) s.fsystem_states;
     Obs.Metrics.incr s.fo.c_system_states;
     (match Dsm.Invariant.check invariant g.nodes with
-    | Some violation -> frecord_violation s g root_fp 0 violation
+    | Some violation -> frecord_violation s g root_cfp 0 violation
     | None -> ());
     let stop () = config.stop_on_violation && s.fviolation <> None in
-    let frontier = ref [| (g, root_fp) |] in
+    let frontier = ref [| (g, root_fp, root_cfp) |] in
     let depth = ref 0 in
     (try
        while Array.length !frontier > 0 && not (stop ()) do
@@ -589,6 +684,7 @@ module Make (P : Dsm.Protocol.S) = struct
                ("transitions", Dsm.Json.Int s.ftransitions);
                ("global_states", Dsm.Json.Int s.ffresh);
                ("store_hits", Dsm.Json.Int s.fstore_hits);
+               ("orbit_hits", Dsm.Json.Int s.forbit_hits);
                ("depth", Dsm.Json.Int !depth);
                ( "elapsed_s",
                  Dsm.Json.Float (Unix.gettimeofday () -. s.fstarted) );
@@ -606,16 +702,20 @@ module Make (P : Dsm.Protocol.S) = struct
               caught again at merge time). *)
            let computed =
              Par.Pool.tabulate pool ~chunk:4 (Array.length layer) (fun i ->
-                 let g, _fp = layer.(i) in
+                 let g, _fp, _cfp = layer.(i) in
                  List.map
                    (fun (step, g', out) ->
                      let fp' = fingerprint g' in
-                     if fseen fp' then S_seen
+                     let cfp' = canonical_fp config.symmetry g' fp' in
+                     if fseen cfp' then
+                       S_seen
+                         (s.freduce && not (Fingerprint.equal fp' cfp'))
                      else
                        S_new
                          ( step,
                            g',
                            fp',
+                           cfp',
                            system_fingerprint g'.nodes,
                            Dsm.Invariant.check invariant g'.nodes,
                            out ))
@@ -623,10 +723,14 @@ module Make (P : Dsm.Protocol.S) = struct
            in
            (* Sequential merge in submission order. *)
            let next = ref [] in
+           let orbit_hit () =
+             s.forbit_hits <- s.forbit_hits + 1;
+             Obs.Metrics.incr s.fo.c_orbit_hits
+           in
            (try
               Array.iteri
                 (fun i succs ->
-                  let _, parent_fp = layer.(i) in
+                  let _, parent_fp, parent_cfp = layer.(i) in
                   List.iter
                     (fun succ ->
                       if fout_of_budget s then begin
@@ -636,17 +740,18 @@ module Make (P : Dsm.Protocol.S) = struct
                       s.ftransitions <- s.ftransitions + 1;
                       Obs.Metrics.incr s.fo.c_transitions;
                       match succ with
-                      | S_seen ->
+                      | S_seen orbit ->
+                          if orbit then orbit_hit ();
                           if s.fstore <> None then
                             s.fstore_hits <- s.fstore_hits + 1
-                      | S_new (step, g', fp', sys_fp, viol, out) ->
-                          if fadd fp' depth' then begin
+                      | S_new (step, g', fp', cfp', sys_fp, viol, out) ->
+                          if fadd cfp' depth' then begin
                             Obs.Metrics.observe s.fo.h_depth depth';
                             if depth' > s.fmax_depth then
                               s.fmax_depth <- depth';
                             if config.track_traces then
-                              Hashtbl.replace s.fparents fp'
-                                (Some parent_fp, step);
+                              Hashtbl.replace s.fparents cfp'
+                                (Some parent_cfp, step);
                             if s.ftracing then
                               record_global_step ~trace:config.trace
                                 ~inj:s.fbinj step out ~fp_before:parent_fp
@@ -659,11 +764,15 @@ module Make (P : Dsm.Protocol.S) = struct
                             end;
                             (match viol with
                             | Some violation ->
-                                frecord_violation s g' fp' depth' violation;
+                                frecord_violation s g' cfp' depth' violation;
                                 if config.stop_on_violation then raise Stop
                             | None -> ());
-                            next := (g', fp') :: !next
-                          end)
+                            next := (g', fp', cfp') :: !next
+                          end
+                          else if
+                            s.freduce
+                            && not (Fingerprint.equal fp' cfp')
+                          then orbit_hit ())
                     succs)
                 computed
             with Stop -> ());
@@ -694,13 +803,14 @@ module Make (P : Dsm.Protocol.S) = struct
             max_depth_reached = s.fmax_depth;
             retained_bytes;
             store_hits = s.fstore_hits;
+            orbit_hits = s.forbit_hits;
             elapsed;
           };
         violation = s.fviolation;
         completed = not s.ftruncated;
       }
     in
-    if s.ftracing then record_run_end ~trace:config.trace outcome;
+    if s.ftracing then record_run_end ~trace:config.trace ~symmetry:config.symmetry.Dsm.Symmetry.group outcome;
     outcome
 
   let run config ~invariant ?(initial_net = []) init =

@@ -41,6 +41,11 @@ module Make (P : Dsm.Protocol.S) : sig
         (** successors whose fingerprint was already present in
             [visited_store] (earlier run or this one); [0] without a
             store *)
+    orbit_hits : int;
+        (** successors deduplicated against a {e different} member of
+            their symmetry orbit (their raw fingerprint was new but the
+            canonical one was already visited); [0] with the identity
+            group *)
     elapsed : float;  (** wall-clock seconds *)
   }
 
@@ -112,6 +117,23 @@ module Make (P : Dsm.Protocol.S) : sig
             guarantee (identical streams for any domain count) applies
             among frontier runs, which emit only from the sequential
             merge.  Defaults to {!Obs.Trace.null}. *)
+    symmetry : (P.state, P.message) Dsm.Symmetry.spec;
+        (** audited role-permutation symmetry for global-state
+            canonicalization.  Every successor's fingerprint is reduced
+            to the lexicographically least over its orbit (node states
+            renamed and slot-permuted, envelopes renamed, crash counts
+            permuted) before the visited-set lookup, so each orbit is
+            explored once.  {b Sound iff handlers, [enabled_actions],
+            [initial], [on_recover] and the invariant all commute with
+            the group} — audit with [Lint.Symmetry] before passing
+            anything but the identity spec.  Witness traces are
+            recorded in original coordinates: parent chains are keyed
+            by canonical fingerprints but store the concrete
+            first-visited state of each orbit, so a rebuilt trace is a
+            real executable path.  With [visited_store], the persisted
+            key becomes the canonical fingerprint; share a store file
+            only between runs using the same symmetry setting.
+            Default: the identity spec (no reduction). *)
   }
 
   val default_config : config

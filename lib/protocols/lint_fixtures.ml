@@ -175,3 +175,94 @@ module Flaky_recovery = struct
     | Pong -> Format.fprintf ppf "Pong"
   let pp_action ppf Kick = Format.fprintf ppf "Kick"
 end
+
+(* ----- broken symmetry claim -----
+
+   A ping-pong flood whose author claims the full symmetric group S_3:
+   no node id appears in any state or message, every node broadcasts
+   the same greeting, every reply goes back to the envelope's source —
+   it looks role-symmetric.  But the Ping handler secretly branches on
+   [self]: node 0 counts each ping double.  Re-executing the same
+   delivery under a role permutation then disagrees with permuting the
+   result, which is exactly what the commutation audit probes; a
+   checker that trusted the claim would fold distinct states (node 0
+   ahead by one) into one orbit and silently skip reachable
+   behaviour.  Everything else is deterministic, canonical and
+   handled, so the sanitizer suite stays clean and the one finding is
+   [broken_symmetry]. *)
+module Sym_broken = struct
+  let name = "fixture-sym-broken"
+  let num_nodes = 3
+
+  type state = int
+  type message = Ping | Pong
+  type action = Hello
+
+  let initial _ = 0
+
+  let others self =
+    List.filter (fun d -> d <> self) (Dsm.Node_id.all num_nodes)
+
+  let handle_message ~self st (env : message Envelope.t) =
+    match env.payload with
+    | Ping ->
+        (* The planted defect: node 0 is special-cased. *)
+        let bump = if self = 0 then 2 else 1 in
+        (st + bump, [ Envelope.make ~src:self ~dst:env.src Pong ])
+    | Pong -> (st + 16, [])
+
+  let enabled_actions ~self:_ st = if st = 0 then [ Hello ] else []
+
+  let handle_action ~self _st Hello =
+    (1, List.map (fun d -> Envelope.make ~src:self ~dst:d Ping) (others self))
+
+  let on_recover = Dsm.Protocol.default_on_recover
+
+  let pp_state ppf s = Format.fprintf ppf "%d" s
+  let pp_message ppf = function
+    | Ping -> Format.fprintf ppf "Ping"
+    | Pong -> Format.fprintf ppf "Pong"
+  let pp_action ppf Hello = Format.fprintf ppf "Hello"
+end
+
+(* ----- genuinely symmetric flood -----
+
+   The same ping-pong flood with the special case removed: states and
+   messages mention no node ids, every node runs identical code, and
+   destinations are equivariant (broadcast to everyone else, reply to
+   the source).  The commutation audit passes the full symmetric
+   group, so this fixture is the positive control: inference must
+   propose S_3 and both checkers may reduce.  Distinct interleavings
+   leave the nodes at permuted progress counts, so global-state
+   canonicalization in B-DFS collapses close to [n!] of the space. *)
+module Sym_flood = struct
+  let name = "fixture-sym-flood"
+  let num_nodes = 3
+
+  type state = int
+  type message = Ping | Pong
+  type action = Hello
+
+  let initial _ = 0
+
+  let others self =
+    List.filter (fun d -> d <> self) (Dsm.Node_id.all num_nodes)
+
+  let handle_message ~self st (env : message Envelope.t) =
+    match env.payload with
+    | Ping -> (st + 1, [ Envelope.make ~src:self ~dst:env.src Pong ])
+    | Pong -> (st + 16, [])
+
+  let enabled_actions ~self:_ st = if st = 0 then [ Hello ] else []
+
+  let handle_action ~self _st Hello =
+    (1, List.map (fun d -> Envelope.make ~src:self ~dst:d Ping) (others self))
+
+  let on_recover = Dsm.Protocol.default_on_recover
+
+  let pp_state ppf s = Format.fprintf ppf "%d" s
+  let pp_message ppf = function
+    | Ping -> Format.fprintf ppf "Ping"
+    | Pong -> Format.fprintf ppf "Pong"
+  let pp_action ppf Hello = Format.fprintf ppf "Hello"
+end

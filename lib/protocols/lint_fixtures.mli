@@ -13,9 +13,23 @@
       to: [dead_message].
     - {!Flaky_recovery} — node 0's [on_recover] folds a module-level
       epoch counter into the recovered state:
-      [nondeterministic_recovery]. *)
+      [nondeterministic_recovery].
+    - {!Sym_broken} — looks role-symmetric (no ids in states or
+      messages) and claims the full symmetric group, but the Ping
+      handler secretly branches on [self]: [broken_symmetry] when the
+      claim is audited.  Clean under the sanitizer suite — the defect
+      is only visible to the commutation audit.
+    - {!Sym_flood} — the positive control: the same flood with the
+      special case removed, genuinely symmetric under [S_3].  No
+      finding; inference proposes the full group and both checkers may
+      reduce. *)
 
 module Nondet : Dsm.Protocol.S
 module Noncanon : Dsm.Protocol.S
 module Dead_letter : Dsm.Protocol.S
 module Flaky_recovery : Dsm.Protocol.S
+module Sym_broken : Dsm.Protocol.S
+
+(** [state] stays concrete so runners can state invariants over the
+    progress counters. *)
+module Sym_flood : Dsm.Protocol.S with type state = int

@@ -504,6 +504,256 @@ let test_lint_v1_round_trip () =
         evs)
 
 (* ------------------------------------------------------------------ *)
+(* Symmetry: inference, commutation/orbit audits, canonicalization     *)
+(* ------------------------------------------------------------------ *)
+
+module Sym = Dsm.Symmetry
+module Y_broken = Lint.Symmetry.Make (Protocols.Lint_fixtures.Sym_broken)
+module Y_flood = Lint.Symmetry.Make (Protocols.Lint_fixtures.Sym_flood)
+
+(* The invariant the sym-flood runner checks: slot-symmetric (it never
+   looks at node identifiers), so the orbit audit should license the
+   full group. *)
+let flood_gap =
+  Dsm.Invariant.for_all_pairs ~name:"bounded-progress-gap"
+    (fun _ a _ b ->
+      if abs (a - b) > 100 then Some "progress gap exceeds 100" else None)
+
+(* The planted claim defect: fixture-sym-broken claims [S_3] but its
+   Ping handler special-cases node 0.  The audit must report exactly
+   one [broken_symmetry] finding and poison the claim entirely —
+   identity verdict for BOTH reduction layers, so no checker ever
+   reduces under the broken group. *)
+let test_sym_broken_claim_caught () =
+  let r =
+    Y_broken.run
+      ~config:
+        {
+          Y_broken.default_config with
+          claim = Some (Sym.with_id_maps (Sym.full 3));
+        }
+      ()
+  in
+  if not r.Y_broken.completed then fail "audit budget exhausted";
+  (match r.Y_broken.findings with
+  | [ f ] ->
+      check Alcotest.string "kind" "broken_symmetry"
+        (R.kind_to_string f.R.kind);
+      check Alcotest.string "subject" "Ping" f.R.subject
+  | fs ->
+      fail
+        (Printf.sprintf "expected exactly one finding, got %d"
+           (List.length fs)));
+  check Alcotest.bool "commutation poisoned to identity" true
+    (Sym.is_trivial r.Y_broken.verdict.Y_broken.commutation.Sym.group);
+  check Alcotest.bool "orbit poisoned to identity" true
+    (Sym.is_trivial r.Y_broken.verdict.Y_broken.orbit)
+
+(* Same protocol, no claim: inference proposes candidates, the audit
+   silently demotes them (that is the audit doing its job), and no
+   finding reaches the report pipeline. *)
+let test_sym_broken_inference_silent () =
+  let r = Y_broken.run () in
+  if not r.Y_broken.completed then fail "audit budget exhausted";
+  check Alcotest.int "no findings" 0 (List.length r.Y_broken.findings);
+  check Alcotest.bool "commutation demoted to identity" true
+    (Sym.is_trivial r.Y_broken.verdict.Y_broken.commutation.Sym.group)
+
+(* The positive control: the same flood without the special case is
+   genuinely [S_3]-symmetric, so the claimed group passes both audits
+   and the verdict licenses both reduction layers. *)
+let test_sym_flood_claim_passes () =
+  let r =
+    Y_flood.run
+      ~config:
+        {
+          Y_flood.default_config with
+          claim = Some (Sym.with_id_maps (Sym.full 3));
+          invariant = Some flood_gap;
+        }
+      ()
+  in
+  if not r.Y_flood.completed then fail "audit budget exhausted";
+  check Alcotest.int "no findings" 0 (List.length r.Y_flood.findings);
+  check Alcotest.string "commutation = full" "full"
+    (Sym.name r.Y_flood.verdict.Y_flood.commutation.Sym.group);
+  check Alcotest.string "orbit = full" "full"
+    (Sym.name r.Y_flood.verdict.Y_flood.orbit)
+
+(* And inference finds the same group without being told. *)
+let test_sym_flood_inferred () =
+  let r =
+    Y_flood.run
+      ~config:{ Y_flood.default_config with invariant = Some flood_gap }
+      ()
+  in
+  check Alcotest.int "no findings" 0 (List.length r.Y_flood.findings);
+  check Alcotest.string "commutation = full" "full"
+    (Sym.name r.Y_flood.verdict.Y_flood.commutation.Sym.group);
+  check Alcotest.string "orbit = full" "full"
+    (Sym.name r.Y_flood.verdict.Y_flood.orbit)
+
+(* A slot-asymmetric invariant on an identifier-free protocol breaks
+   both reduction layers at once (with identity mappers the full
+   action IS slot permutation), and the broken claim masks the orbit
+   verdict: one [broken_symmetry] finding, both layers refused. *)
+let test_sym_asym_invariant_poisons_claim () =
+  let asym =
+    Dsm.Invariant.for_all_nodes ~name:"node0-even" (fun i s ->
+        if i = 0 && s mod 2 = 1 then Some "node 0 odd" else None)
+  in
+  let r =
+    Y_flood.run
+      ~config:
+        {
+          Y_flood.default_config with
+          claim = Some (Sym.with_id_maps (Sym.full 3));
+          invariant = Some asym;
+        }
+      ()
+  in
+  (match r.Y_flood.findings with
+  | [ f ] ->
+      check Alcotest.string "kind" "broken_symmetry"
+        (R.kind_to_string f.R.kind);
+      check Alcotest.string "subject" "invariant" f.R.subject
+  | fs ->
+      fail
+        (Printf.sprintf "expected exactly one finding, got %d"
+           (List.length fs)));
+  check Alcotest.bool "commutation refused" true
+    (Sym.is_trivial r.Y_flood.verdict.Y_flood.commutation.Sym.group);
+  check Alcotest.bool "orbit refused" true
+    (Sym.is_trivial r.Y_flood.verdict.Y_flood.orbit)
+
+(* The genuine [unsound_orbit] path needs the two layers to diverge:
+   states that embed node identifiers, mapped by the spec, so the
+   invariant IS equivariant under the full action (rewrite ids, then
+   permute slots — B-DFS reduction stays licensed) yet is not under
+   LMC's slot-only permutation (states travel to other nodes
+   untouched). *)
+module Owner = struct
+  let name = "test-owner"
+  let num_nodes = 3
+
+  type state = int  (* the node's own identifier, set at [initial] *)
+  type message = Nop [@warning "-37"]  (* no sender exists; audit probes only *)
+  type action = Never [@warning "-37"]
+
+  let initial self = self
+  let handle_message ~self:_ st (_ : message Dsm.Envelope.t) = (st, [])
+  let enabled_actions ~self:_ _ = []
+  let handle_action ~self:_ st (Never : action) = (st, [])
+  let on_recover = Dsm.Protocol.default_on_recover
+  let pp_state ppf s = Format.fprintf ppf "%d" s
+  let pp_message ppf Nop = Format.fprintf ppf "Nop"
+  let pp_action ppf Never = Format.fprintf ppf "Never"
+end
+
+let test_sym_unsound_orbit () =
+  let module Y = Lint.Symmetry.Make (Owner) in
+  let claim =
+    {
+      Sym.group = Sym.full 3;
+      map_state = (fun rename s -> rename s);
+      map_message = (fun _ m -> m);
+    }
+  in
+  let owns_own_id =
+    Dsm.Invariant.for_all_nodes ~name:"owns-own-id" (fun i s ->
+        if s <> i then Some "identifier moved to another slot" else None)
+  in
+  let r =
+    Y.run
+      ~config:
+        {
+          Y.default_config with
+          claim = Some claim;
+          invariant = Some owns_own_id;
+        }
+      ()
+  in
+  (match r.Y.findings with
+  | [ f ] ->
+      check Alcotest.string "kind" "unsound_orbit"
+        (R.kind_to_string f.R.kind);
+      check Alcotest.string "subject" "invariant" f.R.subject
+  | fs ->
+      fail
+        (Printf.sprintf "expected exactly one finding, got %d"
+           (List.length fs)));
+  check Alcotest.string "commutation survives" "full"
+    (Sym.name r.Y.verdict.Y.commutation.Sym.group);
+  check Alcotest.bool "orbit refused" true
+    (Sym.is_trivial r.Y.verdict.Y.orbit)
+
+(* Orbit canonicalization: the canonical tuple is orbit-invariant and
+   lexicographically least; for the full group that is the sorted
+   tuple.  A transposition is not a rotation, so under [C_3] it lands
+   in a different orbit. *)
+let test_orbit_canonicalization () =
+  let fp i = Dsm.Fingerprint.of_value i in
+  let hex t =
+    String.concat "," (List.map Dsm.Fingerprint.to_hex (Array.to_list t))
+  in
+  let a = fp 1 and b = fp 2 and c = fp 3 in
+  let full = Sym.full 3 and rot = Sym.rotations 3 in
+  let sorted =
+    Array.of_list (List.sort Dsm.Fingerprint.compare [ a; b; c ])
+  in
+  let orbit =
+    [
+      [| a; b; c |]; [| a; c; b |]; [| b; a; c |];
+      [| b; c; a |]; [| c; a; b |]; [| c; b; a |];
+    ]
+  in
+  List.iter
+    (fun t ->
+      check Alcotest.string "full: sorted representative" (hex sorted)
+        (hex (Sym.canonical_tuple full t));
+      check Alcotest.string "full: combo orbit-invariant"
+        (Dsm.Fingerprint.to_hex (Sym.canonical_combo full [| a; b; c |]))
+        (Dsm.Fingerprint.to_hex (Sym.canonical_combo full t)))
+    orbit;
+  (* rotations: the three cyclic shifts share a representative... *)
+  let r0 = Sym.canonical_combo rot [| a; b; c |] in
+  List.iter
+    (fun t ->
+      check Alcotest.string "rot: combo orbit-invariant"
+        (Dsm.Fingerprint.to_hex r0)
+        (Dsm.Fingerprint.to_hex (Sym.canonical_combo rot t)))
+    [ [| b; c; a |]; [| c; a; b |] ];
+  (* ...and a transposition does not. *)
+  check Alcotest.bool "rot: transposition is a different orbit" false
+    (Dsm.Fingerprint.equal r0 (Sym.canonical_combo rot [| a; c; b |]));
+  (* identity group: canonicalization is the identity *)
+  let id = Sym.identity_group 3 in
+  check Alcotest.string "id: untouched"
+    (hex [| b; a; c |])
+    (hex (Sym.canonical_tuple id [| b; a; c |]))
+
+(* Every kind — including the two symmetry kinds — must round-trip
+   through the string encoding the lint.v1 stream and the allowlists
+   use. *)
+let test_kind_round_trip () =
+  check Alcotest.bool "broken_symmetry registered" true
+    (List.mem R.Broken_symmetry R.all_kinds);
+  check Alcotest.bool "unsound_orbit registered" true
+    (List.mem R.Unsound_orbit R.all_kinds);
+  List.iter
+    (fun k ->
+      let s = R.kind_to_string k in
+      match R.kind_of_string s with
+      | Ok k' ->
+          check Alcotest.string ("round-trip " ^ s) s (R.kind_to_string k')
+      | Error e -> fail (s ^ ": " ^ e))
+    R.all_kinds;
+  check Alcotest.bool "unknown kind rejected" true
+    (match R.kind_of_string "no_such_kind" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lint"
@@ -553,5 +803,23 @@ let () =
             test_allowlist_rejects_garbage;
           Alcotest.test_case "lint.v1 round-trip" `Quick
             test_lint_v1_round_trip;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "broken claim caught" `Quick
+            test_sym_broken_claim_caught;
+          Alcotest.test_case "broken inference silent" `Quick
+            test_sym_broken_inference_silent;
+          Alcotest.test_case "flood claim passes" `Quick
+            test_sym_flood_claim_passes;
+          Alcotest.test_case "flood group inferred" `Quick
+            test_sym_flood_inferred;
+          Alcotest.test_case "asymmetric invariant poisons claim" `Quick
+            test_sym_asym_invariant_poisons_claim;
+          Alcotest.test_case "unsound orbit refused" `Quick
+            test_sym_unsound_orbit;
+          Alcotest.test_case "orbit canonicalization" `Quick
+            test_orbit_canonicalization;
+          Alcotest.test_case "kind round-trip" `Quick test_kind_round_trip;
         ] );
     ]

@@ -205,6 +205,52 @@ let prop_chain_linear =
       && o.stats.transitions = n
       && o.violation = None)
 
+(* ---------- symmetry reduction ----------
+
+   On the genuinely S3-symmetric flood fixture, canonical-fingerprint
+   dedup must cut the explored global states (toward the |S_3| = 6
+   bound) without changing the verdict, and the layered frontier mode
+   must agree exactly with the DFS on the reduced space.  The audit
+   is run first — the checker only ever sees a licensed group. *)
+
+let test_bdfs_symmetry_reduction () =
+  let module F = Protocols.Lint_fixtures.Sym_flood in
+  let module G = Mc_global.Bdfs.Make (F) in
+  let module Y = Lint.Symmetry.Make (F) in
+  let gap =
+    Dsm.Invariant.for_all_pairs ~name:"bounded-progress-gap" (fun _ a _ b ->
+        if abs (a - b) > 100 then Some "progress gap" else None)
+  in
+  let y = Y.run ~config:{ Y.default_config with invariant = Some gap } () in
+  check Alcotest.string "audit licenses the full group" "full"
+    (Dsm.Symmetry.name y.Y.verdict.Y.commutation.Dsm.Symmetry.group);
+  let go ?(domains = 1) symmetry =
+    G.run
+      { G.default_config with max_depth = Some 6; domains; symmetry }
+      ~invariant:gap
+      (Dsm.Protocol.initial_system (module F))
+  in
+  let off = go (Dsm.Symmetry.id_spec ~degree:3) in
+  let on = go y.Y.verdict.Y.commutation in
+  check Alcotest.bool "off completed" true off.completed;
+  check Alcotest.bool "on completed" true on.completed;
+  check Alcotest.bool "off clean" true (off.violation = None);
+  check Alcotest.bool "on clean" true (on.violation = None);
+  check Alcotest.int "no orbit hits when off" 0 off.stats.orbit_hits;
+  check Alcotest.bool "orbit hits counted" true (on.stats.orbit_hits > 0);
+  check Alcotest.bool "global states cut >= 2x" true
+    (off.stats.global_states >= 2 * on.stats.global_states);
+  check Alcotest.bool "transitions cut" true
+    (off.stats.transitions > on.stats.transitions);
+  (* layered frontier expansion agrees with the DFS on the reduced
+     space — orbit bookkeeping lives on the sequential merge path *)
+  let on2 = go ~domains:2 y.Y.verdict.Y.commutation in
+  check Alcotest.int "frontier: same states" on.stats.global_states
+    on2.stats.global_states;
+  check Alcotest.int "frontier: same transitions" on.stats.transitions
+    on2.stats.transitions;
+  check Alcotest.bool "frontier: clean" true (on2.violation = None)
+
 let () =
   Alcotest.run "mc_global"
     [
@@ -238,5 +284,10 @@ let () =
           Alcotest.test_case "initial net" `Quick test_initial_net;
           Alcotest.test_case "memory accounting" `Quick
             test_retained_bytes_grow;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "sym-flood reduction" `Quick
+            test_bdfs_symmetry_reduction;
         ] );
     ]
