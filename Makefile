@@ -2,7 +2,8 @@
 # unit tests, and a CLI smoke test asserting that the observability
 # output stays parseable JSONL.
 
-.PHONY: all build test check lint bench bench-quick soak soak-telemetry clean
+.PHONY: all build test check lint bench bench-quick soak soak-telemetry \
+  soak-scenario clean
 
 all: build
 
@@ -59,8 +60,32 @@ soak: build
 	done
 	$(MAKE) soak-resume
 	$(MAKE) soak-telemetry
+	$(MAKE) soak-scenario
 	dune exec bin/jsonl_check.exe -- soak/*.jsonl
 	@echo "soak: OK"
+
+# Scenario-suite leg: the bundled churn/partition/load scenarios plus
+# the planted-SWIM hunts, once per checker domain count.  `--all`
+# already exits non-zero on any verdict mismatch; on top of that the
+# two runs' per-scenario verdicts must be identical — domain count
+# must never change what a scenario concludes.  The scenario.v1
+# streams land in soak/ and validate with the other artifacts.
+soak-scenario: build
+	mkdir -p soak
+	dune exec bin/lmc_cli.exe -- scenario --all --domains 1 \
+	  --out soak/scenario-d1.jsonl > soak/scenario-d1.out
+	dune exec bin/lmc_cli.exe -- scenario --all --domains 2 \
+	  --out soak/scenario-d2.jsonl > soak/scenario-d2.out
+	@v1=$$(sed -n \
+	  's/.*"ev":"scenario_end","name":"\([^"]*\)","verdict":"\([^"]*\)".*/\1=\2/p' \
+	  soak/scenario-d1.jsonl); \
+	v2=$$(sed -n \
+	  's/.*"ev":"scenario_end","name":"\([^"]*\)","verdict":"\([^"]*\)".*/\1=\2/p' \
+	  soak/scenario-d2.jsonl); \
+	echo "soak-scenario: domains=1 verdicts:"; echo "$$v1"; \
+	test -n "$$v1" && test "$$v1" = "$$v2" \
+	  || { echo "soak-scenario: verdicts diverge across domains"; exit 1; }
+	@echo "soak-scenario: OK"
 
 # Live-telemetry leg: one supervised hunt runs with the exporter up
 # (--serve) plus the profiler and timeseries ring enabled.  While the
@@ -188,10 +213,11 @@ bench:
 # enforces the <=5% overhead bar.
 bench-quick:
 	dune exec bench/main.exe -- --quick --only micro --only telemetry-overhead \
-	  --only symmetry
+	  --only symmetry --only churn
 	grep -q '"within_bar":true' BENCH_lmc.json
 	grep -q '"symmetric_ok":true' BENCH_lmc.json
 	grep -q '"asymmetric_ok":true' BENCH_lmc.json
+	grep -q '"churn_within_bar":true' BENCH_lmc.json
 
 clean:
 	dune clean

@@ -1514,6 +1514,145 @@ let fault_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Churn: dynamic node sets under join/leave storms                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The scenario harness's churn machinery — join/leave node events and
+   the per-envelope membership filter in Live_sim — rides the same hot
+   path every steady-state deployment pays for.  Events/sec at 100
+   and 500 nodes under a storm of ten leave/rejoin pairs.  An active
+   storm legitimately shrinks the workload (departed nodes break the
+   forwarding chains), so the 10% bar is held against an inert plan —
+   the same clauses scheduled beyond the horizon, which pays the
+   mechanism cost on an identical trajectory (as in fault-overhead);
+   the active storm's throughput is reported alongside. *)
+let churn_bench () =
+  header "Churn: dynamic node sets at 100 and 500 nodes";
+  let horizon = if !quick then 60. else 300. in
+  let rounds = if !quick then 3 else 6 in
+  let plan_of clauses =
+    match Fault.Plan.of_string (String.concat ";" clauses) with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  (* ten leave/rejoin pairs; [base] pushes the whole storm past the
+     horizon to make the inert variant *)
+  let storm ?(base = 0) nodes =
+    plan_of
+      (List.concat_map
+         (fun i ->
+           let n = (1 + (i * nodes / 10)) mod nodes in
+           [
+             Printf.sprintf "leave:node=%d,at=%d" n (base + 5 + (4 * i));
+             Printf.sprintf "join:node=%d,at=%d" n (base + 45 + (4 * i));
+           ])
+         [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+  in
+  let run_at nodes faults =
+    let module P = struct
+      let name = "bench-churn"
+      let num_nodes = nodes
+
+      type state = int
+      type message = int (* remaining hops *)
+      type action = unit
+
+      let initial _ = 0
+
+      let fwd self ttl =
+        if ttl <= 0 then []
+        else
+          [
+            Dsm.Envelope.make ~src:self
+              ~dst:((self + 1) mod num_nodes)
+              (ttl - 1);
+          ]
+
+      let handle_message ~self st (env : message Dsm.Envelope.t) =
+        (st + 1, fwd self env.Dsm.Envelope.payload)
+
+      let enabled_actions ~self:_ _ = [ () ]
+      let handle_action ~self st () = (st + 1, fwd self 8)
+      let on_recover = Dsm.Protocol.default_on_recover
+      let pp_state = Format.pp_print_int
+      let pp_message ppf ttl = Format.fprintf ppf "tok%d" ttl
+      let pp_action ppf () = Format.pp_print_string ppf "launch"
+    end in
+    let module S = Sim.Live_sim.Make (P) in
+    let config =
+      {
+        S.seed = 11;
+        link =
+          Net.Lossy_link.create ~drop_prob:0.05 ~latency_min:0.05
+            ~latency_max:0.3 ();
+        timer_min = 0.5;
+        timer_max = 1.5;
+        action_prob = None;
+        faults;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let sim = S.create config in
+    S.run_until sim horizon;
+    (Unix.gettimeofday () -. t0, S.events_executed sim, S.churn_events sim)
+  in
+  let fleet_rows = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun nodes ->
+      let active = storm nodes in
+      let inert = storm ~base:9_000_000 nodes in
+      (* interleaved rounds, per-mode minimum, as in fault-overhead *)
+      let empty_s = ref infinity and inert_s = ref infinity in
+      let storm_s = ref infinity in
+      let empty_ev = ref 0 and inert_ev = ref 0 in
+      let storm_ev = ref 0 and churn = ref 0 in
+      for _ = 1 to rounds do
+        let t, ev, _ = run_at nodes Fault.Plan.empty in
+        empty_s := min !empty_s t;
+        empty_ev := ev;
+        let t, ev, _ = run_at nodes inert in
+        inert_s := min !inert_s t;
+        inert_ev := ev;
+        let t, ev, c = run_at nodes active in
+        storm_s := min !storm_s t;
+        storm_ev := ev;
+        churn := c
+      done;
+      let eps t ev = float_of_int ev /. max 1e-9 t in
+      let empty_eps = eps !empty_s !empty_ev in
+      let inert_eps = eps !inert_s !inert_ev in
+      let storm_eps = eps !storm_s !storm_ev in
+      let within = !inert_ev = !empty_ev && inert_eps >= 0.9 *. empty_eps in
+      ok := !ok && within;
+      row
+        "%4d nodes: empty %10.0f ev/s, inert %10.0f ev/s, storm %10.0f \
+         ev/s (%d churn)  %s\n"
+        nodes empty_eps inert_eps storm_eps !churn
+        (if within then "ok" else "REGRESSION");
+      fleet_rows :=
+        ( string_of_int nodes,
+          Dsm.Json.Obj
+            [
+              ("empty_events_per_s", Dsm.Json.Float empty_eps);
+              ("inert_events_per_s", Dsm.Json.Float inert_eps);
+              ("storm_events_per_s", Dsm.Json.Float storm_eps);
+              ("churn_events", Dsm.Json.Int !churn);
+              ("inert_identical", Dsm.Json.Bool (!inert_ev = !empty_ev));
+              ("within", Dsm.Json.Bool within);
+            ] )
+        :: !fleet_rows)
+    [ 100; 500 ];
+  row "inert-churn throughput within 10%% of the empty plan: %b\n" !ok;
+  Bench_out.record "churn"
+    (Dsm.Json.Obj
+       [
+         ("horizon_s", Dsm.Json.Float horizon);
+         ("fleets", Dsm.Json.Obj (List.rev !fleet_rows));
+         ("churn_within_bar", Dsm.Json.Bool !ok);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* lib/store: mmap'd visited set vs the heap table, and warm restarts   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1893,6 +2032,7 @@ let sections =
     ("scaling", scaling);
     ("par-functor", par_functor);
     ("fault-overhead", fault_overhead);
+    ("churn", churn_bench);
     ("store", store_bench);
     ("symmetry", symmetry_bench);
   ]

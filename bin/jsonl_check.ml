@@ -3,7 +3,7 @@
    "trace.v1" from the flight recorder, "lint.v1" from `lmc lint
    --out', "store.v1" from the persistent-checkpoint layer,
    "profile.v1" from the sampling profiler, "timeseries.v1" from the
-   heartbeat gauge ring) are
+   heartbeat gauge ring, "scenario.v1" from `lmc scenario') are
    well-formed records: known record kind, the fields that kind
    requires, and strictly increasing [seq] numbers per schema.  Exits
    0 when every file is well-formed, 1 with line-numbered diagnostics
@@ -15,6 +15,7 @@ let lint_schema = "lint.v1"
 let store_schema = "store.v1"
 let profile_schema = "profile.v1"
 let timeseries_schema = "timeseries.v1"
+let scenario_schema = "scenario.v1"
 
 let field name fields = List.assoc_opt name fields
 
@@ -178,6 +179,37 @@ let timeseries_required_fields = function
       Some [ ("samples", is_int); ("dropped", is_int); ("capacity", is_int) ]
   | _ -> None
 
+(* The scenario runner (lib/sim/scenario.ml + `lmc scenario'): one
+   [scenario_run] header per scenario with its full recipe, one
+   [scenario_end] with the verdict/expectation reconciliation. *)
+let scenario_required_fields = function
+  | "scenario_run" ->
+      Some
+        [
+          ("name", is_string);
+          ("protocol", is_string);
+          ("nodes", is_int);
+          ("seed", is_int);
+          ("plan", is_string);
+          ("kind", is_string);
+          ("expected", is_string);
+          ("domains", is_int);
+        ]
+  | "scenario_end" ->
+      Some
+        [
+          ("name", is_string);
+          ("verdict", is_string);
+          ("expected", is_string);
+          ("pass", is_bool);
+          ("steps", is_int);
+          ("churn", is_int);
+          ("fleet", is_int);
+          ("detail", is_string);
+          ("elapsed", is_number);
+        ]
+  | _ -> None
+
 let check_record ~required_fields ~last_seq fields =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
@@ -219,7 +251,8 @@ let check_file path =
   and last_lint_seq = ref (-1)
   and last_store_seq = ref (-1)
   and last_profile_seq = ref (-1)
-  and last_timeseries_seq = ref (-1) in
+  and last_timeseries_seq = ref (-1)
+  and last_scenario_seq = ref (-1) in
   let validate ~required_fields ~last_seq ~schema lineno fields =
     let seq, errors = check_record ~required_fields ~last_seq:!last_seq fields in
     last_seq := seq;
@@ -271,6 +304,15 @@ let check_file path =
               validate ~required_fields:timeseries_required_fields
                 ~last_seq:last_timeseries_seq ~schema:timeseries_schema
                 lineno fields
+            in
+            loop (lineno + 1) (ok && ok')
+        | Ok (Dsm.Json.Obj fields)
+          when field "schema" fields = Some (Dsm.Json.String scenario_schema)
+          ->
+            let ok' =
+              validate ~required_fields:scenario_required_fields
+                ~last_seq:last_scenario_seq ~schema:scenario_schema lineno
+                fields
             in
             loop (lineno + 1) (ok && ok')
         | Ok _ -> loop (lineno + 1) ok

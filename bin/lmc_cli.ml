@@ -1358,6 +1358,55 @@ let pb_crash_runner =
           D.replay ~invariant:P.read_your_writes ~header ~records ~domains ());
   }
 
+(* The SWIM instances share one constructor: the clean protocol plus
+   the two planted-bug variants.  Both bugs hide behind the fault
+   plan: [No_suspicion] is harmless until a reorder:/dup: storm ages
+   live probes past the checker's widening bounds, and [Ack_race]
+   needs a crash-with-recovery of the relay (live crash clauses plus
+   --crash-budget for the checker's own crash exploration). *)
+let swim_runner bug =
+  let module P = Protocols.Swim.Make (struct
+    let num_servers = 4
+    let bug = bug
+  end) in
+  let module D = Check_driver (P) in
+  let module H = Hunt_driver (P) (P) in
+  let name, description =
+    match bug with
+    | Protocols.Swim.No_bug ->
+        ("swim", "4-node SWIM gossip membership (ping-req/suspicion/refutation)")
+    | Protocols.Swim.No_suspicion ->
+        ( "swim-nosuspect",
+          "SWIM declaring death on timeout alone (needs reorder:/dup: \
+           faults or link loss; control runs want --drop 0)" )
+    | Protocols.Swim.Ack_race ->
+        ( "swim-ackrace",
+          "SWIM relay losing ack ownership across a crash (needs relay \
+           crash:+--crash-budget)" )
+  in
+  {
+    name;
+    description;
+    check = (fun params -> D.run ~invariant:P.membership_safety params);
+    hunt =
+      Some
+        (fun ~obs ~trace ~seed ~drop ~interval ~max_live ~budget ~steer
+             ~faults ~crash_budget ~restart_budget_ms ~max_retries ~store_dir
+             ~resume ~symmetry ~domains ~verify_domains ->
+          H.run ~faults ~crash_budget ?restart_budget_ms ?max_retries
+            ?store_dir ~resume ~symmetry ~obs ~trace
+            ~invariant:P.membership_safety ~seed ~drop ~interval ~max_live
+            ~budget ~steer ~domains ~verify_domains ());
+    lint =
+      (fun ~max_depth ~max_transitions ~sym ->
+        lint_protocol (module P) ~name ~max_depth ~max_transitions ~sym ());
+    replay =
+      (fun ~mode ~header ~records ~domains ->
+        if mode = "hunt" then H.replay_witnesses records
+        else
+          D.replay ~invariant:P.membership_safety ~header ~records ~domains ());
+  }
+
 (* The genuinely symmetric fixture as a checkable instance: a harmless
    invariant (pairwise progress gap, never violated, slot-symmetric)
    gives `check --symmetry auto` something to orbit-audit, and the
@@ -1409,6 +1458,9 @@ let runners =
     pb_runner ~buggy:false;
     pb_runner ~buggy:true;
     pb_crash_runner;
+    swim_runner Protocols.Swim.No_bug;
+    swim_runner Protocols.Swim.No_suspicion;
+    swim_runner Protocols.Swim.Ack_race;
     sym_flood_runner;
   ]
 
@@ -2636,10 +2688,425 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const run $ trace_file_arg $ metrics_arg $ report_profile_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Named scenarios                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The bundled suite.  The scenario layer (lib/sim/scenario.ml) is
+   protocol-generic; the concrete closures live here because only the
+   CLI sees both the protocol registry and the online checker.  Every
+   scenario is a pure value — name, seed, plan and expected verdict
+   are fixed, so the same scenario replays bit-identically at any
+   --domains count. *)
+
+let parse_plan ~name plan =
+  if plan = "" then Fault.Plan.empty
+  else
+    match Fault.Plan.of_string plan with
+    | Ok p -> p
+    | Error e -> invalid_arg (Printf.sprintf "scenario %s: %s" name e)
+
+let popcount membership =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 membership
+
+(* Membership events the plan schedules, for the hunt-side report
+   (soaks count executed churn from the simulator itself). *)
+let plan_churn faults =
+  List.length
+    (List.filter
+       (fun (_, ev) ->
+         match ev with
+         | `Join _ | `Leave _ -> true
+         | `Crash _ | `Recover _ -> false)
+       (Fault.Plan.node_events faults))
+
+let swim_soak ~name ~description ~nodes ~seed ~plan ?(drop = 0.1)
+    ?(check_every = 5.) ~duration () =
+  let faults = parse_plan ~name plan in
+  {
+    Sim.Scenario.name;
+    description;
+    protocol = "swim";
+    nodes;
+    seed;
+    plan;
+    kind = Sim.Scenario.Soak;
+    expected = Sim.Scenario.Clean;
+    run =
+      (fun ~domains:_ ->
+        let module P = Protocols.Swim.Make (struct
+          let num_servers = nodes
+          let bug = Protocols.Swim.No_bug
+        end) in
+        let module K = Sim.Scenario.Soak (P) in
+        let link =
+          Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05
+            ~latency_max:0.3 ()
+        in
+        K.run ~check_every ~invariant:P.membership_safety ~duration
+          {
+            K.S.seed;
+            link;
+            timer_min = 2.0;
+            timer_max = 20.0;
+            action_prob = None;
+            faults;
+          });
+  }
+
+let ping_soak ~name ~description ~seed ~plan ~duration () =
+  let faults = parse_plan ~name plan in
+  {
+    Sim.Scenario.name;
+    description;
+    protocol = "ping";
+    nodes = 3;
+    seed;
+    plan;
+    kind = Sim.Scenario.Soak;
+    expected = Sim.Scenario.Clean;
+    run =
+      (fun ~domains:_ ->
+        let module P = Protocols.Ping.Make (struct
+          let num_servers = 2
+        end) in
+        let module K = Sim.Scenario.Soak (P) in
+        let link =
+          Net.Lossy_link.create ~drop_prob:0.2 ~latency_min:0.05
+            ~latency_max:0.3 ()
+        in
+        K.run ~invariant:P.no_excess_pongs ~duration
+          {
+            K.S.seed;
+            link;
+            timer_min = 2.0;
+            timer_max = 20.0;
+            action_prob = None;
+            faults;
+          });
+  }
+
+let pb_soak ~name ~description ~seed ~plan ~duration () =
+  let faults = parse_plan ~name plan in
+  {
+    Sim.Scenario.name;
+    description;
+    protocol = "pb-store";
+    nodes = 3;
+    seed;
+    plan;
+    kind = Sim.Scenario.Soak;
+    expected = Sim.Scenario.Clean;
+    run =
+      (fun ~domains:_ ->
+        let module P = Protocols.Pb_store.Make (struct
+          let key = 7
+          let value = 42
+          let bug = Protocols.Pb_store.No_bug
+        end) in
+        let module K = Sim.Scenario.Soak (P) in
+        let link =
+          Net.Lossy_link.create ~drop_prob:0.2 ~latency_min:0.05
+            ~latency_max:0.3 ()
+        in
+        K.run ~invariant:P.read_your_writes ~duration
+          {
+            K.S.seed;
+            link;
+            timer_min = 2.0;
+            timer_max = 20.0;
+            action_prob = None;
+            faults;
+          });
+  }
+
+(* Hunt-kind scenarios drive the full online checker, same shape as
+   `lmc hunt' but with the scenario's fixed knobs.  The checker's
+   crash budget mirrors the plan: a scenario whose plan crashes the
+   relay also lets the checker explore one crash per node path. *)
+let swim_hunt ~name ~description ~bug ~protocol ~seed ~plan ~drop
+    ~crash_budget ~interval ~max_live ~budget ~expected () =
+  let nodes = 4 in
+  let faults = parse_plan ~name plan in
+  {
+    Sim.Scenario.name;
+    description;
+    protocol;
+    nodes;
+    seed;
+    plan;
+    kind = Sim.Scenario.Hunt;
+    expected;
+    run =
+      (fun ~domains ->
+        let module P = Protocols.Swim.Make (struct
+          let num_servers = nodes
+          let bug = bug
+        end) in
+        let module O = Online.Online_mc.Make (P) (P) in
+        let module S = Sim.Live_sim.Make (P) in
+        let link =
+          Net.Lossy_link.create ~drop_prob:drop ~latency_min:0.05
+            ~latency_max:0.3 ()
+        in
+        let config =
+          {
+            O.sim =
+              {
+                S.seed;
+                link;
+                timer_min = 2.0;
+                timer_max = 20.0;
+                action_prob = None;
+                faults;
+              };
+            check_interval = interval;
+            max_live_time = max_live;
+            checker =
+              {
+                O.Checker.default_config with
+                time_limit = Some budget;
+                max_transitions = Some 100_000;
+                crash_budget;
+                domains;
+              };
+            action_bounds = [ 1; 2 ];
+            steer = false;
+            steer_scope = `Node;
+            supervisor =
+              { O.default_supervisor with checksum_snapshots = true };
+            store = None;
+          }
+        in
+        let outcome =
+          O.run config ~strategy:O.Checker.General
+            ~invariant:P.membership_safety
+        in
+        let fleet = popcount outcome.O.membership in
+        let churn = plan_churn faults in
+        match outcome.O.report with
+        | Some r ->
+            let v = r.O.violation.O.Checker.violation in
+            {
+              Sim.Scenario.verdict = Sim.Scenario.Violation;
+              detail =
+                Printf.sprintf "%s: %s (witness %d event(s) at t=%.0f)"
+                  v.Dsm.Invariant.invariant v.Dsm.Invariant.detail
+                  r.O.violation.O.Checker.system_depth r.O.live_time;
+              steps = outcome.O.states_explored;
+              churn;
+              fleet;
+            }
+        | None ->
+            {
+              Sim.Scenario.verdict = Sim.Scenario.Clean;
+              detail = "";
+              steps = outcome.O.states_explored;
+              churn;
+              fleet;
+            });
+  }
+
+let scenario_suite () =
+  [
+    swim_soak ~name:"churn-storm"
+      ~description:
+        "8-node SWIM fleet under join/leave waves with a crash-recovery \
+         in the middle"
+      ~nodes:8 ~seed:11
+      ~plan:
+        "join:node=6,at=15;leave:node=2,at=20;leave:node=5,at=25;\
+         crash:node=1,at=30,recover=45;join:node=2,at=50;leave:node=7,at=70;\
+         join:node=5,at=80"
+      ~duration:120. ();
+    ping_soak ~name:"partition-heal"
+      ~description:
+        "client/2-server ping under a 40 s partition that heals mid-run"
+      ~seed:3 ~plan:"part:from=20,until=60,cut=0+1/2" ~duration:120. ();
+    pb_soak ~name:"crash-recover-waves"
+      ~description:
+        "primary-backup store through three crash-recovery waves"
+      ~seed:5
+      ~plan:
+        "crash:node=0,at=20,recover=30;crash:node=1,at=45,recover=60;\
+         crash:node=0,at=80,recover=95"
+      ~duration:120. ();
+    swim_soak ~name:"skewed-load"
+      ~description:
+        "6-node SWIM under open-loop client load, 4/s bursting then \
+         trickling, with one departure"
+      ~nodes:6 ~seed:19
+      ~plan:"load:rate=4,from=5,until=60;load:rate=1,from=70,until=110;\
+             leave:node=4,at=40"
+      ~duration:120. ();
+    swim_soak ~name:"churn-500"
+      ~description:
+        "500-node SWIM fleet absorbing join/leave churn (scale soak)"
+      ~nodes:500 ~seed:23
+      ~plan:
+        "leave:node=17,at=10;leave:node=230,at=15;join:node=499,at=5;\
+         leave:node=400,at=20;join:node=17,at=35;leave:node=88,at=40;\
+         join:node=230,at=50"
+      ~drop:0.05 ~check_every:10. ~duration:60. ();
+    swim_hunt ~name:"nosuspect-storm"
+      ~description:
+        "no-suspicion SWIM under an ack-delaying reorder/dup storm \
+         (expected: false-positive death verdict)"
+      ~bug:Protocols.Swim.No_suspicion ~protocol:"swim-nosuspect" ~seed:11
+      ~plan:"reorder:p=0.8,window=40;dup:p=0.3" ~drop:0.0 ~crash_budget:0
+      ~interval:15. ~max_live:600. ~budget:2.0
+      ~expected:Sim.Scenario.Violation ();
+    swim_hunt ~name:"nosuspect-calm"
+      ~description:
+        "no-suspicion SWIM on a calm network (control: the bug stays \
+         latent without the storm)"
+      ~bug:Protocols.Swim.No_suspicion ~protocol:"swim-nosuspect" ~seed:11
+      ~plan:"" ~drop:0.0 ~crash_budget:0 ~interval:15. ~max_live:60.
+      ~budget:1.0 ~expected:Sim.Scenario.Clean ();
+    swim_hunt ~name:"ackrace-crash"
+      ~description:
+        "ack-race SWIM with the relay crash-recovering mid-duty \
+         (expected: phantom forwarded ack)"
+      ~bug:Protocols.Swim.Ack_race ~protocol:"swim-ackrace" ~seed:5
+      ~plan:
+        "crash:node=2,at=30,recover=45;crash:node=2,at=120,recover=135;\
+         crash:node=2,at=240,recover=255"
+      ~drop:0.3 ~crash_budget:1 ~interval:15. ~max_live:900. ~budget:2.0
+      ~expected:Sim.Scenario.Violation ();
+    swim_hunt ~name:"ackrace-calm"
+      ~description:
+        "ack-race SWIM with no crashes (control: the stale seq is never \
+         armed)"
+      ~bug:Protocols.Swim.Ack_race ~protocol:"swim-ackrace" ~seed:5 ~plan:""
+      ~drop:0.3 ~crash_budget:0 ~interval:15. ~max_live:60. ~budget:1.0
+      ~expected:Sim.Scenario.Clean ();
+  ]
+
+let scenario_cmd =
+  let doc =
+    "Run named workload + fault-plan scenario bundles (churn storms, \
+     partition-heal, crash waves, skewed load, planted-SWIM hunts) with \
+     expected verdicts."
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the bundled scenarios and exit.")
+  in
+  let run_name_arg =
+    let doc = "Run a single scenario by name." in
+    Arg.(value & opt (some string) None & info [ "run" ] ~doc ~docv:"NAME")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Run every bundled scenario; the exit code is 0 iff every \
+             verdict matches its expectation.")
+  in
+  let scenario_out_arg =
+    let doc = "Stream scenario.v1 JSONL records to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let run list_ run_name all_ out domains =
+    let suite = scenario_suite () in
+    if list_ then begin
+      Format.printf "%-18s %-5s %-14s %6s %-10s %s@." "NAME" "KIND"
+        "PROTOCOL" "NODES" "EXPECTED" "DESCRIPTION";
+      List.iter
+        (fun (s : Sim.Scenario.t) ->
+          Format.printf "%-18s %-5s %-14s %6d %-10s %s@." s.name
+            (Sim.Scenario.kind_to_string s.kind)
+            s.protocol s.nodes
+            (Sim.Scenario.verdict_to_string s.expected)
+            s.description)
+        suite;
+      0
+    end
+    else
+      let chosen =
+        match (run_name, all_) with
+        | Some _, true -> Error "use either --run or --all, not both"
+        | None, false -> Error "pass --list, --run NAME or --all"
+        | None, true -> Ok suite
+        | Some name, false -> (
+            match
+              List.find_opt (fun (s : Sim.Scenario.t) -> s.name = name) suite
+            with
+            | Some s -> Ok [ s ]
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown scenario %S; try `lmc_cli scenario --list'"
+                     name))
+      in
+      match chosen with
+      | Error e ->
+          Printf.eprintf "lmc_cli: %s\n%!" e;
+          2
+      | Ok scenarios -> (
+          let events, close_sink =
+            match out with
+            | None -> (Sim.Scenario.Events.null, fun () -> ())
+            | Some path -> (
+                match Obs.Sink.jsonl_file path with
+                | sink ->
+                    ( Sim.Scenario.Events.of_sink sink,
+                      fun () -> Obs.Sink.close sink )
+                | exception Sys_error msg ->
+                    Printf.eprintf "lmc_cli: %s\n%!" msg;
+                    exit 2)
+          in
+          Fun.protect ~finally:close_sink (fun () ->
+              Format.printf "%-18s %-5s %-10s %-10s %-4s %s@." "NAME" "KIND"
+                "EXPECTED" "VERDICT" "OK" "DETAIL";
+              let outcomes =
+                Sim.Scenario.run_all ~domains events scenarios
+              in
+              List.iter
+                (fun (o : Sim.Scenario.outcome) ->
+                  Format.printf "%-18s %-5s %-10s %-10s %-4s %s@."
+                    o.scenario.Sim.Scenario.name
+                    (Sim.Scenario.kind_to_string o.scenario.Sim.Scenario.kind)
+                    (Sim.Scenario.verdict_to_string
+                       o.scenario.Sim.Scenario.expected)
+                    (Sim.Scenario.verdict_to_string o.report.Sim.Scenario.verdict)
+                    (if o.pass then "ok" else "FAIL")
+                    (Printf.sprintf
+                       "%d step(s), %d churn, fleet %d, %.1fs%s"
+                       o.report.Sim.Scenario.steps
+                       o.report.Sim.Scenario.churn o.report.Sim.Scenario.fleet
+                       o.elapsed
+                       (if o.report.Sim.Scenario.detail = "" then ""
+                        else "; " ^ o.report.Sim.Scenario.detail)))
+                outcomes;
+              let failed =
+                List.filter (fun (o : Sim.Scenario.outcome) -> not o.pass)
+                  outcomes
+              in
+              Format.printf "scenario: %d run, %d verdict mismatch(es)@."
+                (List.length outcomes) (List.length failed);
+              if failed = [] then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc)
+    Term.(
+      const run $ list_flag $ run_name_arg $ all_flag $ scenario_out_arg
+      $ domains_arg)
+
 let () =
   let doc = "local model checking of distributed protocols (NSDI'11)" in
   let info = Cmd.info "lmc_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; check_cmd; hunt_cmd; lint_cmd; replay_cmd; report_cmd ]))
+          [
+            list_cmd;
+            check_cmd;
+            hunt_cmd;
+            scenario_cmd;
+            lint_cmd;
+            replay_cmd;
+            report_cmd;
+          ]))

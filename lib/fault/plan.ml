@@ -11,6 +11,9 @@ type spec =
   | Duplicate of { prob : float; from_ : float; until : float }
   | Reorder of { prob : float; window : float; from_ : float; until : float }
   | Corrupt of { prob : float; from_ : float; until : float }
+  | Join of { node : int; at : float }
+  | Leave of { node : int; at : float }
+  | Load of { rate : float; from_ : float; until : float }
 
 type t = spec list
 
@@ -136,6 +139,13 @@ let parse_clause clause =
                         (parse_int clause "node") in
           let* at = Result.bind (required clause kvs "at")
                       (parse_float clause "at") in
+          let* () =
+            if at < 0. then
+              Error
+                (Printf.sprintf
+                   "fault plan: clause %S: at must be non-negative" clause)
+            else Ok ()
+          in
           let* recover =
             match lookup kvs "recover" with
             | None -> Ok None
@@ -200,10 +210,39 @@ let parse_clause clause =
                         (parse_float clause "p") in
           let* from_, until = window clause kvs in
           Ok (Corrupt { prob; from_; until })
+      | ("join" | "leave") as kind ->
+          let* () = reject_unknown clause kvs [ "node"; "at" ] in
+          let* node = Result.bind (required clause kvs "node")
+                        (parse_int clause "node") in
+          let* at = Result.bind (required clause kvs "at")
+                      (parse_float clause "at") in
+          let* () =
+            if at < 0. then
+              Error
+                (Printf.sprintf
+                   "fault plan: clause %S: at must be non-negative" clause)
+            else Ok ()
+          in
+          if kind = "join" then Ok (Join { node; at })
+          else Ok (Leave { node; at })
+      | "load" ->
+          let* () = reject_unknown clause kvs [ "rate"; "from"; "until" ] in
+          let* rate = Result.bind (required clause kvs "rate")
+                        (parse_float clause "rate") in
+          let* () =
+            if rate <= 0. || not (Float.is_finite rate) then
+              Error
+                (Printf.sprintf
+                   "fault plan: clause %S: rate must be positive" clause)
+            else Ok ()
+          in
+          let* from_, until = window clause kvs in
+          Ok (Load { rate; from_; until })
       | k ->
           Error
             (Printf.sprintf
-               "fault plan: unknown clause kind %S (crash|part|dup|reorder|corrupt)"
+               "fault plan: unknown clause kind %S \
+                (crash|part|dup|reorder|corrupt|join|leave|load)"
                k))
 
 let check_prob spec prob =
@@ -224,7 +263,7 @@ let of_string s =
           | Duplicate { prob; _ } | Reorder { prob; _ } | Corrupt { prob; _ }
             ->
               check_prob clause prob
-          | Crash _ | Partition _ -> Ok ()
+          | Crash _ | Partition _ | Join _ | Leave _ | Load _ -> Ok ()
         in
         Ok (spec :: acc))
       (Ok []) clauses
@@ -266,6 +305,12 @@ let spec_to_string = function
         (window_str from_ until)
   | Corrupt { prob; from_; until } ->
       Printf.sprintf "corrupt:p=%g%s" prob (window_str from_ until)
+  | Join { node; at } ->
+      Printf.sprintf "join:node=%d,at=%s" node (float_str at)
+  | Leave { node; at } ->
+      Printf.sprintf "leave:node=%d,at=%s" node (float_str at)
+  | Load { rate; from_; until } ->
+      Printf.sprintf "load:rate=%g%s" rate (window_str from_ until)
 
 let to_string plan = String.concat ";" (List.map spec_to_string plan)
 
@@ -283,7 +328,8 @@ let validate ~num_nodes plan =
     (fun acc spec ->
       let* () = acc in
       match spec with
-      | Crash { node; _ } -> check_node node
+      | Crash { node; _ } | Join { node; _ } | Leave { node; _ } ->
+          check_node node
       | Partition { groups; _ } ->
           List.fold_left
             (fun acc g ->
@@ -294,7 +340,7 @@ let validate ~num_nodes plan =
                   check_node n)
                 (Ok ()) g)
             (Ok ()) groups
-      | Duplicate _ | Reorder _ | Corrupt _ -> Ok ())
+      | Duplicate _ | Reorder _ | Corrupt _ | Load _ -> Ok ())
     (Ok ()) plan
 
 (* ----- pure injection queries ----- *)
@@ -305,12 +351,18 @@ let node_events plan =
       (function
         | Crash { node; at; recover; persistence } -> (
             ((at, `Crash node)
-             : float * [ `Crash of int | `Recover of int * persistence ])
+             : float
+               * [ `Crash of int
+                 | `Recover of int * persistence
+                 | `Join of int
+                 | `Leave of int ])
             ::
             (match recover with
             | None -> []
             | Some r -> [ (r, `Recover (node, persistence)) ]))
-        | Partition _ | Duplicate _ | Reorder _ | Corrupt _ -> [])
+        | Join { node; at } -> [ (at, `Join node) ]
+        | Leave { node; at } -> [ (at, `Leave node) ]
+        | Partition _ | Duplicate _ | Reorder _ | Corrupt _ | Load _ -> [])
       plan
   in
   (* stable: simultaneous events keep plan order *)
@@ -370,3 +422,75 @@ let rec fate_loop ~time ~roll corrupt duplicate extra = function
   | _ :: rest -> fate_loop ~time ~roll corrupt duplicate extra rest
 
 let message_fate plan ~time ~roll = fate_loop ~time ~roll false false 0. plan
+
+let message_clauses plan =
+  List.filter
+    (function
+      | Duplicate _ | Reorder _ | Corrupt _ | Partition _ -> true
+      | Crash _ | Join _ | Leave _ | Load _ -> false)
+    plan
+
+(* The earliest membership event decides the starting side: a node
+   whose first event is a join begins outside the fleet, one whose
+   first event is a leave (or that has no membership clause) begins
+   inside it.  Ties keep plan order, matching [node_events]'s stable
+   sort and hence the execution order of simultaneous events. *)
+let starts_absent plan ~node =
+  let earliest = ref None in
+  List.iter
+    (fun spec ->
+      let consider kind at =
+        match !earliest with
+        | Some (_, t) when t <= at -> ()
+        | _ -> earliest := Some (kind, at)
+      in
+      match spec with
+      | Join { node = n; at } when n = node -> consider `Join at
+      | Leave { node = n; at } when n = node -> consider `Leave at
+      | _ -> ())
+    plan;
+  match !earliest with Some (`Join, _) -> true | _ -> false
+
+(* Membership is a pure function of (plan, time): replay the schedule
+   up to [time] over the starting map.  The online resume path audits
+   a checkpoint's saved membership against this before trusting it. *)
+let membership_at plan ~num_nodes ~time =
+  let m =
+    Array.init num_nodes (fun n -> not (starts_absent plan ~node:n))
+  in
+  List.iter
+    (fun (t, ev) ->
+      if t <= time then
+        match ev with
+        | `Join n -> m.(n) <- true
+        | `Leave n -> m.(n) <- false
+        | `Crash _ | `Recover _ -> ())
+    (node_events plan);
+  m
+
+(* a named loop for the same reason as [fate_loop]: the simulator asks
+   after every load arrival, and the walk must not allocate *)
+let rec load_rate_loop ~time acc = function
+  | [] -> acc
+  | Load { rate; from_; until } :: rest when active ~time from_ until ->
+      load_rate_loop ~time (acc +. rate) rest
+  | _ :: rest -> load_rate_loop ~time acc rest
+
+let load_rate plan ~time = load_rate_loop ~time 0. plan
+
+let has_load plan =
+  List.exists (function Load _ -> true | _ -> false) plan
+
+(* The earliest load window opening strictly after [time]; lets the
+   simulator's arrival process sleep across gaps between windows
+   instead of polling. *)
+let next_load_start plan ~time =
+  List.fold_left
+    (fun acc spec ->
+      match spec with
+      | Load { from_; _ } when from_ > time -> (
+          match acc with
+          | Some t when t <= from_ -> acc
+          | _ -> Some from_)
+      | _ -> acc)
+    None plan

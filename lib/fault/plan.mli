@@ -19,11 +19,24 @@
     dup:p=0.1                                 duplicate 10% of sends
     reorder:p=0.3,window=2                    extra latency U[0,2) on 30%
     corrupt:p=0.05,from=5,until=50            corrupt (drop) 5% of sends
+    join:node=3,at=25                         node 3 joins the fleet at t=25
+    leave:node=1,at=70                        node 1 departs at t=70
+    load:rate=2,from=10,until=90              open-loop client traffic,
+                                              2 arrivals/sec in [10,90)
     v}
 
     [from]/[until] default to the whole run.  Probabilistic clauses
-    ([dup]/[reorder]/[corrupt]) draw from a dedicated fault RNG stream,
-    so the base simulation's random choices are untouched by the plan. *)
+    ([dup]/[reorder]/[corrupt]) and the [load] arrival process draw
+    from a dedicated fault RNG stream, so the base simulation's random
+    choices are untouched by the plan.
+
+    Churn semantics: a node named by a [join] clause starts {e absent}
+    (its slot exists but it receives no traffic and takes no actions
+    until its join time); a [leave] clause removes a present node —
+    envelopes addressed to it afterwards are dropped and counted as
+    fault drops.  Both are membership events, distinct from crashes:
+    a crashed node is still a member (it may recover), a departed node
+    is not. *)
 
 (** What survives a crash, for recovery scheduled by a plan:
     [Full] — the state is kept verbatim (amnesia-free restart);
@@ -56,6 +69,13 @@ type spec =
       until : float;
     }
   | Corrupt of { prob : float; from_ : float; until : float }
+  | Join of { node : int; at : float }  (** node enters the fleet at [at] *)
+  | Leave of { node : int; at : float }  (** node departs at [at] *)
+  | Load of {
+      rate : float;  (** mean arrivals per second (Poisson, seeded) *)
+      from_ : float;
+      until : float;
+    }
 
 type t = spec list
 
@@ -80,10 +100,41 @@ val validate : num_nodes:int -> t -> (unit, string) result
     Everything below is a deterministic function of the plan and its
     arguments; the simulator supplies time and random rolls. *)
 
-(** Crash/recovery schedule entries, sorted by time (ties keep plan
-    order).  Recoveries carry the persistence mode of their crash. *)
+(** Crash/recovery/membership schedule entries, sorted by time (ties
+    keep plan order).  Recoveries carry the persistence mode of their
+    crash. *)
 val node_events :
-  t -> (float * [ `Crash of int | `Recover of int * persistence ]) list
+  t ->
+  (float
+  * [ `Crash of int
+    | `Recover of int * persistence
+    | `Join of int
+    | `Leave of int ])
+  list
+
+(** Whether [node] begins the run outside the fleet: true when its
+    earliest membership event is a [join] (ties keep plan order,
+    matching {!node_events}).  Nodes with no membership clause start
+    present. *)
+val starts_absent : t -> node:int -> bool
+
+(** Summed rate of the [load] clauses active at [time], in arrivals
+    per second; [0.] when none are active. *)
+val load_rate : t -> time:float -> float
+
+(** The membership map the plan implies at [time] (a pure function:
+    the starting map with every join/leave at or before [time]
+    replayed).  Lets a resume audit a checkpoint's saved membership
+    without re-running the simulation. *)
+val membership_at : t -> num_nodes:int -> time:float -> bool array
+
+(** Whether the plan has any [load] clause at all (gates scheduling
+    the arrival process). *)
+val has_load : t -> bool
+
+(** The earliest [load] window opening strictly after [time], if any —
+    the arrival process sleeps to it across rate-zero gaps. *)
+val next_load_start : t -> time:float -> float option
 
 (** Whether [src -> dst] traffic is cut at [time] by an active
     partition (same cut, different groups). *)
@@ -97,3 +148,10 @@ val partitioned : t -> time:float -> src:int -> dst:int -> bool
 type fate = { corrupt : bool; duplicate : bool; extra_latency : float }
 
 val message_fate : t -> time:float -> roll:(unit -> float) -> fate
+
+(** The sub-plan [message_fate]/[partitioned] can ever consult: crash,
+    churn and load clauses never touch a message in flight, so callers
+    on the per-send hot path filter once up front instead of walking
+    the whole plan per delivery.  Filtering preserves clause order,
+    hence the roll-consumption pattern and bit-identical replay. *)
+val message_clauses : t -> t

@@ -71,6 +71,9 @@ struct
     states_explored : int;
         (* system states created, cumulative across resumed phases *)
     store_hits : int;  (* combination-store hits, cumulative *)
+    membership : bool array;
+        (* the fleet at the end of the hunt (all-present without
+           churn clauses) *)
   }
 
   (* The first live-controllable step of a witness: the earliest
@@ -234,24 +237,61 @@ struct
                 (Some (open_cold ()), None)
             | Ok c ->
                 let m = Store.Checkpoint.meta c in
-                checks := m.Store.Checkpoint.m_checks;
-                states_total := m.Store.Checkpoint.m_states;
-                hits_total := m.Store.Checkpoint.m_hits;
-                (* the simulation is deterministic in its seed, so
-                   replaying up to the saved time restores the exact
-                   live state the previous phase died in *)
-                if m.Store.Checkpoint.m_live_time > 0. then
-                  Sim_p.run_until sim m.Store.Checkpoint.m_live_time;
-                Store.Events.emit events ~ev:"resume"
-                  [
-                    ("dir", Dsm.Json.String sc.dir);
-                    ( "live_time",
-                      Dsm.Json.Float m.Store.Checkpoint.m_live_time );
-                    ("checks", Dsm.Json.Int m.Store.Checkpoint.m_checks);
-                    ("states", Dsm.Json.Int m.Store.Checkpoint.m_states);
-                    ("hits", Dsm.Json.Int m.Store.Checkpoint.m_hits);
-                  ];
-                (Some c, Some m.Store.Checkpoint.m_live_time)
+                (* Membership audit: the saved map must equal the one
+                   our plan implies at the saved time — a mismatch
+                   means the checkpoint was written under a different
+                   fault plan (or an incompatible format) and resuming
+                   it would silently check the wrong fleet. *)
+                let expected =
+                  Fault.Plan.membership_at config.sim.Sim_p.faults
+                    ~num_nodes:Check.num_nodes
+                    ~time:m.Store.Checkpoint.m_live_time
+                in
+                if m.Store.Checkpoint.m_membership <> expected then begin
+                  degraded ~reason:"membership_mismatch"
+                    ~detail:
+                      (Printf.sprintf
+                         "checkpoint fleet %s, plan implies %s at t=%.1f"
+                         (String.concat ""
+                            (Array.to_list
+                               (Array.map
+                                  (fun b -> if b then "1" else "0")
+                                  m.Store.Checkpoint.m_membership)))
+                         (String.concat ""
+                            (Array.to_list
+                               (Array.map
+                                  (fun b -> if b then "1" else "0")
+                                  expected)))
+                         m.Store.Checkpoint.m_live_time);
+                  Store.Checkpoint.close c;
+                  (Some (open_cold ()), None)
+                end
+                else begin
+                  checks := m.Store.Checkpoint.m_checks;
+                  states_total := m.Store.Checkpoint.m_states;
+                  hits_total := m.Store.Checkpoint.m_hits;
+                  (* the simulation is deterministic in its seed, so
+                     replaying up to the saved time restores the exact
+                     live state the previous phase died in *)
+                  if m.Store.Checkpoint.m_live_time > 0. then
+                    Sim_p.run_until sim m.Store.Checkpoint.m_live_time;
+                  Store.Events.emit events ~ev:"resume"
+                    [
+                      ("dir", Dsm.Json.String sc.dir);
+                      ( "live_time",
+                        Dsm.Json.Float m.Store.Checkpoint.m_live_time );
+                      ("checks", Dsm.Json.Int m.Store.Checkpoint.m_checks);
+                      ("states", Dsm.Json.Int m.Store.Checkpoint.m_states);
+                      ("hits", Dsm.Json.Int m.Store.Checkpoint.m_hits);
+                      ( "fleet",
+                        Dsm.Json.Int
+                          (Array.fold_left
+                             (fun acc b -> if b then acc + 1 else acc)
+                             0
+                             m.Store.Checkpoint.m_membership) );
+                    ];
+                  (Some c, Some m.Store.Checkpoint.m_live_time)
+                end
           end
     in
     let persist =
@@ -268,7 +308,9 @@ struct
       match ckpt with
       | None -> ()
       | Some c ->
-          Store.Checkpoint.save c ~live_time:(Sim_p.now sim) ~checks:!checks
+          Store.Checkpoint.save c
+            ~membership:(Sim_p.membership sim)
+            ~live_time:(Sim_p.now sim) ~checks:!checks
             ~states:!states_total ~hits:!hits_total ~found:!found;
           Obs.Metrics.set
             (Obs.gauge obs "online.store_occupancy")
@@ -383,7 +425,9 @@ struct
       else begin
         let wire =
           Sim.Snapshot.to_string
-            (Sim.Snapshot.make ~time:(Sim_p.now sim) snapshot)
+            (Sim.Snapshot.make
+               ~membership:(Sim_p.membership sim)
+               ~time:(Sim_p.now sim) snapshot)
         in
         let wire =
           match sup.snapshot_tamper with Some f -> f wire | None -> wire
@@ -538,6 +582,7 @@ struct
       resumed_at;
       states_explored = !states_total;
       store_hits = !hits_total;
+      membership = Sim_p.membership sim;
     }
 
   let pp_report ppf r =

@@ -157,6 +157,13 @@ module Make
     store_hits : int;
         (** combinations skipped because the persistent store already
             proved them clean, cumulative across phases *)
+    membership : bool array;
+        (** the live fleet's membership map at the end of the hunt —
+            all-present unless the plan has join/leave clauses.  A
+            resumed hunt restores this from the deterministic
+            fast-forward; the checkpoint's saved map is audited
+            against the plan at load time (mismatch degrades with
+            ["membership_mismatch"] and cold-starts). *)
   }
 
   (** [run ?obs config ~strategy ~invariant] drives the hunt.  When

@@ -1,0 +1,326 @@
+type bug = No_bug | No_suspicion | Ack_race
+
+module type CONFIG = sig
+  val num_servers : int
+  val bug : bug
+end
+
+(* Tunables shared by live runs and checkers.  A direct probe times
+   out after [ping_timeout_rounds] of the origin's own probe rounds
+   (ticks); a relay is asked after [relay_after_rounds]; a suspected
+   peer is declared dead after [suspicion_rounds] further rounds. *)
+let ping_timeout_rounds = 3
+
+let relay_after_rounds = 1
+
+let suspicion_rounds = 2
+
+type peer_status =
+  | Alive of int  (* last known incarnation *)
+  | Suspect of int * int  (* incarnation suspected at, rounds suspected *)
+  | Dead of int * int
+      (* incarnation, rounds the peer spent suspected before the
+         verdict — the audit trail [no_unsuspected_death] checks *)
+
+type probe = {
+  p_target : int;
+  p_seq : int;
+  p_rounds : int;  (* probe rounds since the ping went out *)
+  p_relayed : bool;  (* ping-req already sent for this probe *)
+}
+
+type relay_duty = { r_origin : int; r_seq : int }
+
+type swim_state = {
+  incarnation : int;
+  counter : int;  (* local probe counter; seqs encode it with the id *)
+  peers : (int * peer_status) list;  (* sorted, every peer, no self *)
+  probe : probe option;  (* at most one outstanding probe *)
+  relay : relay_duty option;  (* forwarded-ack debt from a ping-req *)
+  stale_seq : int option;
+      (* [Ack_race] only: the durable remnant of a relay duty whose
+         origin was lost in a crash; never set on the correct path *)
+  phantom : bool;  (* received a forwarded ack we never asked for *)
+}
+
+type swim_message =
+  | Ping of { seq : int }
+  | Ack of { seq : int }
+  | Ping_req of { target : int; seq : int }
+  | Relay_ping of { seq : int }
+  | Relay_ack of { seq : int }
+  | Fwd_ack of { seq : int }
+  | Suspect_notice of { inc : int }
+  | Refute of { inc : int }
+
+type swim_action = Probe_round
+
+module Make (C : CONFIG) = struct
+  let name = "swim"
+
+  let num_nodes = C.num_servers
+
+  type state = swim_state
+
+  type message = swim_message
+
+  type action = swim_action
+
+  let initial self =
+    {
+      incarnation = 0;
+      counter = 0;
+      peers =
+        (* [Alive (opaque 0)] rather than the literal [Alive 0]: the
+           literal is a static constant, so every peer would alias one
+           physical block and Marshal would emit back-references —
+           states rebuilt to incarnation 0 through [set_peer] allocate
+           fresh blocks and would digest differently despite being
+           structurally equal. *)
+        List.filter_map
+          (fun n ->
+            if n = self then None else Some (n, Alive (Sys.opaque_identity 0)))
+          (List.init num_nodes (fun i -> i));
+      probe = None;
+      relay = None;
+      stale_seq = None;
+      phantom = false;
+    }
+
+  let env ~src ~dst m = Dsm.Envelope.make ~src ~dst m
+
+  (* Sequence numbers carry their issuer: [seq mod num_nodes] is the
+     origin's id.  A forwarded ack whose embedded issuer is not the
+     receiver is a phantom — in the correct protocol every ack echoes
+     the origin's own seq verbatim, so no schedule (reordering,
+     duplication, loss) can fabricate one; only the [Ack_race] relay
+     stitching a stale durable seq onto a new origin can. *)
+  let make_seq ~self counter = (counter * num_nodes) + self
+
+  let seq_issuer seq = ((seq mod num_nodes) + num_nodes) mod num_nodes
+
+  let set_peer peers n status =
+    List.map (fun (p, st) -> if p = n then (p, status) else (p, st)) peers
+
+  let peer_status peers n = List.assoc_opt n peers
+
+  (* Deterministic relay choice: the first node that is neither the
+     origin nor the target, in id order.  Determinism keeps replays
+     bit-identical; whether the relay happens to be crashed is the
+     fault plan's business. *)
+  let pick_relay ~self ~target =
+    let rec go n =
+      if n >= num_nodes then None
+      else if n <> self && n <> target then Some n
+      else go (n + 1)
+    in
+    go 0
+
+  (* Round-robin probe target over the peers not yet declared dead. *)
+  let pick_target ~counter peers =
+    let eligible =
+      List.filter_map
+        (fun (p, st) -> match st with Dead _ -> None | _ -> Some p)
+        peers
+    in
+    match eligible with
+    | [] -> None
+    | ps -> Some (List.nth ps (counter mod List.length ps))
+
+  (* One probe round: age suspicions, then advance (or start) the
+     outstanding probe. *)
+  let age_suspicions s =
+    let peers =
+      List.map
+        (fun (p, st) ->
+          match st with
+          | Suspect (inc, rounds) when rounds + 1 >= suspicion_rounds ->
+              (p, Dead (inc, rounds + 1))
+          | Suspect (inc, rounds) -> (p, Suspect (inc, rounds + 1))
+          | st -> (p, st))
+        s.peers
+    in
+    { s with peers }
+
+  let peer_inc s n =
+    match peer_status s.peers n with
+    | Some (Alive i) | Some (Suspect (i, _)) | Some (Dead (i, _)) -> i
+    | None -> 0
+
+  let start_probe ~self s =
+    match pick_target ~counter:s.counter s.peers with
+    | None -> (s, [])
+    | Some target ->
+        let seq = make_seq ~self s.counter in
+        ( {
+            s with
+            counter = s.counter + 1;
+            probe =
+              Some
+                { p_target = target; p_seq = seq; p_rounds = 0;
+                  p_relayed = false };
+          },
+          [ env ~src:self ~dst:target (Ping { seq }) ] )
+
+  let probe_timeout ~self s p =
+    let inc = peer_inc s p.p_target in
+    match C.bug with
+    | No_suspicion ->
+        (* the planted bug: a missing ack is treated as proof of
+           death — no suspicion period, no chance to refute *)
+        ( { s with probe = None; peers = set_peer s.peers p.p_target
+                                           (Dead (inc, 0)) },
+          [] )
+    | No_bug | Ack_race ->
+        ( { s with probe = None;
+            peers = set_peer s.peers p.p_target (Suspect (inc, 0)) },
+          [ env ~src:self ~dst:p.p_target (Suspect_notice { inc }) ] )
+
+  let advance_probe ~self s =
+    match s.probe with
+    | None -> start_probe ~self s
+    | Some p ->
+        let rounds = p.p_rounds + 1 in
+        if rounds >= ping_timeout_rounds then probe_timeout ~self s p
+        else if rounds >= relay_after_rounds && not p.p_relayed then
+          let s =
+            { s with probe = Some { p with p_rounds = rounds;
+                                    p_relayed = true } }
+          in
+          match pick_relay ~self ~target:p.p_target with
+          | None -> (s, [])
+          | Some relay ->
+              ( s,
+                [ env ~src:self ~dst:relay
+                    (Ping_req { target = p.p_target; seq = p.p_seq }) ] )
+        else ({ s with probe = Some { p with p_rounds = rounds } }, [])
+
+  let handle_action ~self s Probe_round =
+    let s = age_suspicions s in
+    advance_probe ~self s
+
+  let enabled_actions ~self:_ _ = [ Probe_round ]
+
+  (* An ack (direct or forwarded) that matches the outstanding probe
+     clears it and marks the target alive again. *)
+  let accept_ack s seq =
+    match s.probe with
+    | Some p when p.p_seq = seq ->
+        let inc = peer_inc s p.p_target in
+        { s with probe = None;
+          peers = set_peer s.peers p.p_target (Alive inc) }
+    | _ -> s (* stale or duplicated ack: ignore *)
+
+  let handle_message ~self s e =
+    let src = e.Dsm.Envelope.src in
+    match e.Dsm.Envelope.payload with
+    | Ping { seq } -> (s, [ env ~src:self ~dst:src (Ack { seq }) ])
+    | Ack { seq } -> (accept_ack s seq, [])
+    | Ping_req { target; seq } ->
+        (* take on the relay duty; under [Ack_race] a stale durable
+           seq left by a crash is stitched onto the new origin *)
+        let seq', stale_seq =
+          match (C.bug, s.stale_seq) with
+          | Ack_race, Some s0 -> (s0, None)
+          | _ -> (seq, s.stale_seq)
+        in
+        ( { s with relay = Some { r_origin = src; r_seq = seq' };
+            stale_seq },
+          [ env ~src:self ~dst:target (Relay_ping { seq = seq' }) ] )
+    | Relay_ping { seq } -> (s, [ env ~src:self ~dst:src (Relay_ack { seq }) ])
+    | Relay_ack { seq } -> (
+        match s.relay with
+        | Some r when r.r_seq = seq ->
+            ( { s with relay = None },
+              [ env ~src:self ~dst:r.r_origin (Fwd_ack { seq }) ] )
+        | _ -> (s, []) (* no matching duty: a duplicate or stale ack *))
+    | Fwd_ack { seq } ->
+        if seq_issuer seq <> self then ({ s with phantom = true }, [])
+        else (accept_ack s seq, [])
+    | Suspect_notice { inc } ->
+        if inc >= s.incarnation then
+          let inc' = inc + 1 in
+          ( { s with incarnation = inc' },
+            [ env ~src:self ~dst:src (Refute { inc = inc' }) ] )
+        else (s, [])
+    | Refute { inc } -> (
+        match peer_status s.peers src with
+        | Some (Suspect (i, _)) when inc > i ->
+            ({ s with peers = set_peer s.peers src (Alive inc) }, [])
+        | Some (Alive i) when inc > i ->
+            ({ s with peers = set_peer s.peers src (Alive inc) }, [])
+        | _ -> (s, []))
+
+  (* Probes and relay duties are volatile; the membership view,
+     incarnation, and probe counter are durable.  The [Ack_race] bug
+     is precisely a recovery leak: the relay duty's seq field survives
+     the crash while its origin does not. *)
+  let on_recover ~self:_ s =
+    let stale_seq =
+      match (C.bug, s.relay) with
+      | Ack_race, Some r -> Some r.r_seq
+      | _ -> None
+    in
+    { s with probe = None; relay = None; stale_seq }
+
+  let pp_status ppf = function
+    | Alive i -> Format.fprintf ppf "alive@%d" i
+    | Suspect (i, r) -> Format.fprintf ppf "suspect@%d+%d" i r
+    | Dead (i, r) -> Format.fprintf ppf "dead@%d/%d" i r
+
+  let pp_state ppf s =
+    Format.fprintf ppf "Swim{inc=%d c=%d probe=%s relay=%s%s%s [%s]}"
+      s.incarnation s.counter
+      (match s.probe with
+      | None -> "-"
+      | Some p ->
+          Printf.sprintf "%d#%d+%d%s" p.p_target p.p_seq p.p_rounds
+            (if p.p_relayed then "r" else ""))
+      (match s.relay with
+      | None -> "-"
+      | Some r -> Printf.sprintf "%d#%d" r.r_origin r.r_seq)
+      (match s.stale_seq with
+      | None -> ""
+      | Some q -> Printf.sprintf " stale=%d" q)
+      (if s.phantom then " PHANTOM" else "")
+      (String.concat ","
+         (List.map
+            (fun (p, st) -> Format.asprintf "%d:%a" p pp_status st)
+            s.peers))
+
+  let pp_message ppf = function
+    | Ping { seq } -> Format.fprintf ppf "Ping(#%d)" seq
+    | Ack { seq } -> Format.fprintf ppf "Ack(#%d)" seq
+    | Ping_req { target; seq } ->
+        Format.fprintf ppf "PingReq(%d,#%d)" target seq
+    | Relay_ping { seq } -> Format.fprintf ppf "RelayPing(#%d)" seq
+    | Relay_ack { seq } -> Format.fprintf ppf "RelayAck(#%d)" seq
+    | Fwd_ack { seq } -> Format.fprintf ppf "FwdAck(#%d)" seq
+    | Suspect_notice { inc } -> Format.fprintf ppf "Suspect(@%d)" inc
+    | Refute { inc } -> Format.fprintf ppf "Refute(@%d)" inc
+
+  let pp_action ppf Probe_round = Format.pp_print_string ppf "probe-round"
+
+  let no_unsuspected_death =
+    Dsm.Invariant.for_all_nodes ~name:"no-unsuspected-death" (fun _ s ->
+        List.fold_left
+          (fun acc (p, st) ->
+            match (acc, st) with
+            | Some _, _ -> acc
+            | None, Dead (_, rounds) when rounds < suspicion_rounds ->
+                Some
+                  (Printf.sprintf
+                     "peer %d declared dead after %d suspicion rounds (< %d)"
+                     p rounds suspicion_rounds)
+            | None, _ -> None)
+          None s.peers)
+
+  let no_phantom_ack =
+    Dsm.Invariant.for_all_nodes ~name:"no-phantom-ack" (fun _ s ->
+        if s.phantom then
+          Some "received a forwarded ack for a probe this node never issued"
+        else None)
+
+  let membership_safety =
+    Dsm.Invariant.conj [ no_unsuspected_death; no_phantom_ack ]
+end

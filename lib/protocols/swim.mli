@@ -1,0 +1,104 @@
+(** SWIM-style gossip membership (ping / ping-req / suspicion /
+    incarnation refutation).
+
+    Every node continuously probes its peers, one probe per
+    [Probe_round] tick: a direct [Ping] first, a [Ping_req] through a
+    deterministic relay when the ack is slow, a timeout after
+    {!ping_timeout_rounds} rounds.  The correct protocol never
+    declares a peer dead on a timeout alone — it {e suspects} it,
+    notifies it, and gives it {!suspicion_rounds} rounds to refute
+    with a bumped incarnation.  This is exactly the class of protocol
+    the paper's fault plans exist for: the safety argument lives in
+    the timeout/suspicion/refutation logic, not in the state-space
+    mechanics.
+
+    Two planted bugs:
+
+    - [No_suspicion] — a direct-probe timeout declares the peer dead
+      immediately, skipping the suspicion period.  Harmless on a calm
+      network (acks beat the next probe round easily); a [reorder:]
+      plan delaying acks past probe rounds (plus [dup:] noise) makes
+      the timeout fire against a perfectly healthy peer.  Caught by
+      {!no_unsuspected_death}, which audits every death verdict for
+      its suspicion rounds.
+
+    - [Ack_race] — the relay's forwarded-ack duty is half-durable:
+      the seq survives a crash, the origin does not.  After recovery
+      the next [Ping_req] stitches the stale seq onto the new origin,
+      whose forwarded ack then carries a seq it never issued.  Needs a
+      crash-with-recovery of the relay to surface.  Caught by
+      {!no_phantom_ack} via issuer-encoding in the seq numbers. *)
+
+type bug = No_bug | No_suspicion | Ack_race
+
+module type CONFIG = sig
+  val num_servers : int
+
+  val bug : bug
+end
+
+(** Probe rounds before a missing ack becomes a timeout verdict. *)
+val ping_timeout_rounds : int
+
+(** Probe rounds before a relay is asked to ping indirectly. *)
+val relay_after_rounds : int
+
+(** Suspicion rounds a peer gets to refute before it is declared
+    dead. *)
+val suspicion_rounds : int
+
+type peer_status =
+  | Alive of int  (** last known incarnation *)
+  | Suspect of int * int  (** incarnation, rounds suspected so far *)
+  | Dead of int * int
+      (** incarnation, rounds spent suspected before the verdict *)
+
+type probe = {
+  p_target : int;
+  p_seq : int;
+  p_rounds : int;
+  p_relayed : bool;
+}
+
+type relay_duty = { r_origin : int; r_seq : int }
+
+type swim_state = {
+  incarnation : int;
+  counter : int;
+  peers : (int * peer_status) list;
+  probe : probe option;
+  relay : relay_duty option;
+  stale_seq : int option;
+  phantom : bool;
+}
+
+type swim_message =
+  | Ping of { seq : int }
+  | Ack of { seq : int }
+  | Ping_req of { target : int; seq : int }
+  | Relay_ping of { seq : int }
+  | Relay_ack of { seq : int }
+  | Fwd_ack of { seq : int }
+  | Suspect_notice of { inc : int }
+  | Refute of { inc : int }
+
+type swim_action = Probe_round
+
+module Make (_ : CONFIG) : sig
+  include
+    Dsm.Protocol.S
+      with type state = swim_state
+       and type message = swim_message
+       and type action = swim_action
+
+  (** Every death verdict must have served its full suspicion period
+      (node-local, so the [Automatic] strategy prunes on it). *)
+  val no_unsuspected_death : swim_state Dsm.Invariant.t
+
+  (** No node ever receives a forwarded ack for a probe it never
+      issued (node-local; issuer identity is encoded in the seq). *)
+  val no_phantom_ack : swim_state Dsm.Invariant.t
+
+  (** Conjunction of the two. *)
+  val membership_safety : swim_state Dsm.Invariant.t
+end

@@ -26,6 +26,11 @@ module Make (P : Dsm.Protocol.S) = struct
     | Tick of Dsm.Node_id.t * int
     | Crash of Dsm.Node_id.t
     | Recover of Dsm.Node_id.t * Fault.Plan.persistence
+    | Join of Dsm.Node_id.t
+    | Leave of Dsm.Node_id.t
+    | Arrival
+        (* next point of the plan's open-loop load process; carries no
+           payload, the target node is drawn at execution time *)
 
   (* Metric handles resolved once at [create]; see the LMC checker for
      the cost model. *)
@@ -37,6 +42,8 @@ module Make (P : Dsm.Protocol.S) = struct
     c_faults : Obs.Metrics.counter;
     c_fault_drops : Obs.Metrics.counter;
     c_duplicated : Obs.Metrics.counter;
+    c_churn : Obs.Metrics.counter;
+    c_load : Obs.Metrics.counter;
   }
 
   let make_obs_handles scope =
@@ -48,6 +55,8 @@ module Make (P : Dsm.Protocol.S) = struct
       c_faults = Obs.counter scope "sim.fault_events";
       c_fault_drops = Obs.counter scope "sim.fault_drops";
       c_duplicated = Obs.counter scope "sim.messages_duplicated";
+      c_churn = Obs.counter scope "sim.churn_events";
+      c_load = Obs.counter scope "sim.load_arrivals";
     }
 
   type t = {
@@ -64,10 +73,18 @@ module Make (P : Dsm.Protocol.S) = struct
            link/node streams: an empty plan leaves the base run's
            random choices bit-identical *)
     injecting : bool;  (* plan non-empty; gates all fault work *)
+    msg_faults : Fault.Plan.t;
+        (* the plan filtered to message-affecting clauses, once at
+           creation: the per-send fate walk must not scan churn, crash
+           or load clauses it can never apply *)
+    msg_injecting : bool;  (* msg_faults non-empty; gates the fate walk *)
     fault_roll : unit -> float;
         (* the fault stream's roll, allocated once: [send] is the hot
            path and must not build a closure per message *)
     up : bool array;
+    present : bool array;
+        (* membership: an absent slot holds the node's canonical
+           initial state and neither receives traffic nor ticks *)
     tick_epoch : int array;
     mutable clock : float;
     mutable events_executed : int;
@@ -76,6 +93,8 @@ module Make (P : Dsm.Protocol.S) = struct
     mutable fault_events : int;
     mutable fault_drops : int;
     mutable messages_duplicated : int;
+    mutable churn_events : int;
+    mutable load_arrivals : int;
   }
 
   let schedule_tick t n =
@@ -83,6 +102,45 @@ module Make (P : Dsm.Protocol.S) = struct
     let delay = Rng.range rng t.config.timer_min t.config.timer_max in
     Event_queue.push t.queue ~time:(t.clock +. delay)
       (Tick (n, t.tick_epoch.(n)))
+
+  (* Exponential inter-arrival at the rate active now (a seeded Poisson
+     process); across rate-zero gaps the process sleeps to the next
+     window start instead of polling.  All draws come from the fault
+     stream, so a load clause never perturbs node or link randomness. *)
+  let schedule_arrival t =
+    let rate = Fault.Plan.load_rate t.config.faults ~time:t.clock in
+    if rate > 0. then begin
+      let u = Rng.float t.fault_rng in
+      let delay = -.log (1. -. u) /. rate in
+      Event_queue.push t.queue ~time:(t.clock +. delay) Arrival
+    end
+    else
+      match Fault.Plan.next_load_start t.config.faults ~time:t.clock with
+      | Some time -> Event_queue.push t.queue ~time Arrival
+      | None -> ()
+
+  let live_up_count t =
+    let c = ref 0 in
+    for n = 0 to P.num_nodes - 1 do
+      if t.present.(n) && t.up.(n) then incr c
+    done;
+    !c
+
+  (* [k]th present-and-up node, 0-based; [-1] when out of range *)
+  let nth_live t k =
+    let seen = ref 0 and found = ref (-1) in
+    (try
+       for n = 0 to P.num_nodes - 1 do
+         if t.present.(n) && t.up.(n) then begin
+           if !seen = k then begin
+             found := n;
+             raise Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    !found
 
   let create ?(obs = Obs.null) ?(trace = Obs.Trace.null) config =
     if config.timer_min <= 0. || config.timer_max < config.timer_min then
@@ -107,8 +165,14 @@ module Make (P : Dsm.Protocol.S) = struct
         link_rng;
         fault_rng;
         injecting = not (Fault.Plan.is_empty config.faults);
+        msg_faults = Fault.Plan.message_clauses config.faults;
+        msg_injecting =
+          not (Fault.Plan.is_empty (Fault.Plan.message_clauses config.faults));
         fault_roll = (fun () -> Rng.float fault_rng);
         up = Array.make P.num_nodes true;
+        present =
+          Array.init P.num_nodes (fun n ->
+              not (Fault.Plan.starts_absent config.faults ~node:n));
         tick_epoch = Array.make P.num_nodes 0;
         clock = 0.;
         events_executed = 0;
@@ -117,23 +181,40 @@ module Make (P : Dsm.Protocol.S) = struct
         fault_events = 0;
         fault_drops = 0;
         messages_duplicated = 0;
+        churn_events = 0;
+        load_arrivals = 0;
       }
     in
-    List.iter (fun n -> schedule_tick t n) (Dsm.Node_id.all P.num_nodes);
+    List.iter
+      (fun n -> if t.present.(n) then schedule_tick t n)
+      (Dsm.Node_id.all P.num_nodes);
     List.iter
       (fun (time, ev) ->
         Event_queue.push t.queue ~time
           (match ev with
           | `Crash n -> Crash n
-          | `Recover (n, p) -> Recover (n, p)))
+          | `Recover (n, p) -> Recover (n, p)
+          | `Join n -> Join n
+          | `Leave n -> Leave n))
       (Fault.Plan.node_events config.faults);
+    if Fault.Plan.has_load config.faults then schedule_arrival t;
     t
 
   let now t = t.clock
 
   let states t = Array.copy t.states
 
-  let snapshot t = Snapshot.make ~time:t.clock t.states
+  let snapshot t =
+    Snapshot.make ~membership:t.present ~time:t.clock t.states
+
+  let live_nodes t =
+    let live = ref [] in
+    for n = P.num_nodes - 1 downto 0 do
+      if t.present.(n) then live := n :: !live
+    done;
+    !live
+
+  let membership t = Array.copy t.present
 
   let push_delivery t env extra =
     let latency =
@@ -149,10 +230,10 @@ module Make (P : Dsm.Protocol.S) = struct
       t.messages_dropped <- t.messages_dropped + 1;
       Obs.Metrics.incr t.o.c_dropped
     end
-    else if not t.injecting then push_delivery t env 0.
+    else if not t.msg_injecting then push_delivery t env 0.
     else begin
       let fate =
-        Fault.Plan.message_fate t.config.faults ~time:t.clock
+        Fault.Plan.message_fate t.msg_faults ~time:t.clock
           ~roll:t.fault_roll
       in
       if fate.Fault.Plan.corrupt then begin
@@ -210,15 +291,21 @@ module Make (P : Dsm.Protocol.S) = struct
   let count_fault t = t.fault_events <- t.fault_events + 1;
     Obs.Metrics.incr t.o.c_faults
 
+  let count_churn t = t.churn_events <- t.churn_events + 1;
+    Obs.Metrics.incr t.o.c_churn
+
   let execute t = function
     | Deliver env ->
         let node = env.Dsm.Envelope.dst in
-        if t.injecting && not t.up.(node) then
+        if t.injecting && not t.present.(node) then
+          count_fault_drop t ~node ~src:env.Dsm.Envelope.src ~why:"departed"
+            env
+        else if t.injecting && not t.up.(node) then
           count_fault_drop t ~node ~src:env.Dsm.Envelope.src ~why:"crashed"
             env
         else if
-          t.injecting
-          && Fault.Plan.partitioned t.config.faults ~time:t.clock
+          t.msg_injecting
+          && Fault.Plan.partitioned t.msg_faults ~time:t.clock
                ~src:env.Dsm.Envelope.src ~dst:node
         then
           count_fault_drop t ~node ~src:env.Dsm.Envelope.src
@@ -259,21 +346,64 @@ module Make (P : Dsm.Protocol.S) = struct
           record_live t ~kind:"crash" ~node:n ~src:(-1) ~label:"crash"
     | Recover (n, persistence) ->
         count_fault t;
+        (* a recovery for a node that has since departed is void: the
+           slot stays canonical until a join re-admits it *)
+        if t.present.(n) then begin
+          t.up.(n) <- true;
+          t.tick_epoch.(n) <- t.tick_epoch.(n) + 1;
+          t.states.(n) <-
+            (match persistence with
+            | Fault.Plan.Full -> t.states.(n)
+            | Fault.Plan.Volatile -> P.initial n
+            | Fault.Plan.Hook -> P.on_recover ~self:n t.states.(n));
+          if t.tracing then
+            record_live t ~kind:"recover" ~node:n ~src:(-1)
+              ~label:
+                (match persistence with
+                | Fault.Plan.Full -> "recover full"
+                | Fault.Plan.Volatile -> "recover volatile"
+                | Fault.Plan.Hook -> "recover hook");
+          schedule_tick t n
+        end
+    | Join n ->
+        count_churn t;
+        t.present.(n) <- true;
         t.up.(n) <- true;
         t.tick_epoch.(n) <- t.tick_epoch.(n) + 1;
-        t.states.(n) <-
-          (match persistence with
-          | Fault.Plan.Full -> t.states.(n)
-          | Fault.Plan.Volatile -> P.initial n
-          | Fault.Plan.Hook -> P.on_recover ~self:n t.states.(n));
         if t.tracing then
-          record_live t ~kind:"recover" ~node:n ~src:(-1)
-            ~label:
-              (match persistence with
-              | Fault.Plan.Full -> "recover full"
-              | Fault.Plan.Volatile -> "recover volatile"
-              | Fault.Plan.Hook -> "recover hook");
+          record_live t ~kind:"join" ~node:n ~src:(-1) ~label:"join";
         schedule_tick t n
+    | Leave n ->
+        count_churn t;
+        t.present.(n) <- false;
+        t.tick_epoch.(n) <- t.tick_epoch.(n) + 1;
+        (* the departed slot returns to its canonical initial state so
+           snapshots stay sound: an absent node reads as one that has
+           not acted yet *)
+        t.states.(n) <- P.initial n;
+        if t.tracing then
+          record_live t ~kind:"leave" ~node:n ~src:(-1) ~label:"leave"
+    | Arrival ->
+        (if Fault.Plan.load_rate t.config.faults ~time:t.clock > 0. then begin
+           let live = live_up_count t in
+           if live > 0 then begin
+             let node = nth_live t (Rng.int t.fault_rng live) in
+             t.load_arrivals <- t.load_arrivals + 1;
+             Obs.Metrics.incr t.o.c_load;
+             match P.enabled_actions ~self:node t.states.(node) with
+             | [] ->
+                 if t.tracing then
+                   record_live t ~kind:"load" ~node ~src:(-1) ~label:"idle"
+             | actions ->
+                 let action = Rng.pick t.fault_rng actions in
+                 if t.tracing then
+                   record_live t ~kind:"load" ~node ~src:(-1)
+                     ~label:(Format.asprintf "%a" P.pp_action action);
+                 apply t node (fun () ->
+                     P.handle_action ~self:node t.states.(node) action)
+           end
+         end);
+        schedule_arrival t
 
   let heartbeat t =
     Obs.heartbeat t.o.scope (fun () ->
@@ -312,4 +442,6 @@ module Make (P : Dsm.Protocol.S) = struct
   let fault_events t = t.fault_events
   let fault_drops t = t.fault_drops
   let messages_duplicated t = t.messages_duplicated
+  let churn_events t = t.churn_events
+  let load_arrivals t = t.load_arrivals
 end

@@ -12,7 +12,16 @@
     reordering, and corruption-as-drop.  Fault randomness draws from a
     dedicated stream split off the same seed, so an empty plan leaves
     the base run bit-identical and a non-empty plan is itself exactly
-    replayable (same seed + same plan = same trace). *)
+    replayable (same seed + same plan = same trace).
+
+    The fleet is dynamic: [join]/[leave] clauses admit and remove
+    nodes at plan times.  The state array keeps a fixed width — an
+    absent slot holds the node's canonical initial state, ticks no
+    timers, and drops (and counts as fault drops) any envelope
+    addressed to it.  A [load] clause drives an open-loop Poisson
+    arrival process (seeded, from the fault stream): each arrival
+    fires one enabled action at a uniformly drawn present-and-up
+    node. *)
 
 module Make (P : Dsm.Protocol.S) : sig
   type config = {
@@ -51,7 +60,15 @@ module Make (P : Dsm.Protocol.S) : sig
   (** Copy of the node states at the current time. *)
   val states : t -> P.state array
 
+  (** Snapshots carry the membership map; see {!Snapshot}. *)
   val snapshot : t -> P.state Snapshot.t
+
+  (** Indices of the nodes currently in the fleet, ascending.  Without
+      [join]/[leave] clauses this is every node. *)
+  val live_nodes : t -> int list
+
+  (** Copy of the membership map (width [P.num_nodes]). *)
+  val membership : t -> bool array
 
   (** [run_until t time] processes events up to [time] (inclusive of
       events scheduled exactly at [time]). *)
@@ -75,4 +92,11 @@ module Make (P : Dsm.Protocol.S) : sig
   val fault_drops : t -> int
 
   val messages_duplicated : t -> int
+
+  (** Executed join/leave events from the plan. *)
+  val churn_events : t -> int
+
+  (** Executed load-process arrivals (inside an active window, with at
+      least one present-and-up node to land on). *)
+  val load_arrivals : t -> int
 end

@@ -1,11 +1,31 @@
-type 'state t = { time : float; states : 'state array }
+type 'state t = {
+  time : float;
+  states : 'state array;
+  membership : bool array;
+}
 
-let make ~time states =
+let make ?membership ~time states =
   if Array.length states = 0 then invalid_arg "Snapshot.make: no nodes";
-  { time; states = Array.copy states }
+  let membership =
+    match membership with
+    | None -> Array.make (Array.length states) true
+    | Some m ->
+        if Array.length m <> Array.length states then
+          invalid_arg "Snapshot.make: membership width mismatch";
+        Array.copy m
+  in
+  { time; states = Array.copy states; membership }
 
 let initial (type s) (module P : Dsm.Protocol.S with type state = s) =
-  { time = 0.; states = Dsm.Protocol.initial_system (module P) }
+  let states = Dsm.Protocol.initial_system (module P) in
+  { time = 0.; states; membership = Array.make (Array.length states) true }
+
+let live_nodes snapshot =
+  let live = ref [] in
+  for n = Array.length snapshot.membership - 1 downto 0 do
+    if snapshot.membership.(n) then live := n :: !live
+  done;
+  !live
 
 type error = Corrupt_snapshot of string
 
@@ -16,8 +36,10 @@ let pp_error ppf (Corrupt_snapshot why) =
    the marshalled snapshot.  The digest is checked before any byte
    reaches [Marshal], so a torn or bit-flipped snapshot surfaces as a
    typed [Corrupt_snapshot] instead of a segfault-adjacent
-   [Marshal.from_string] failure. *)
-let magic = "lmcsnp01"
+   [Marshal.from_string] failure.  "02" added the membership map; old
+   "01" snapshots fail the magic check and read as corrupt, which
+   degrades to a cold start — the documented contract. *)
+let magic = "lmcsnp02"
 
 let to_string snapshot =
   let payload = Marshal.to_string snapshot [] in
@@ -41,5 +63,8 @@ let of_string s =
       | snapshot ->
           if Array.length snapshot.states = 0 then
             Error (Corrupt_snapshot "empty snapshot")
+          else if
+            Array.length snapshot.membership <> Array.length snapshot.states
+          then Error (Corrupt_snapshot "membership width mismatch")
           else Ok snapshot
       | exception _ -> Error (Corrupt_snapshot "unmarshal failure")

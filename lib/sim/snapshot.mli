@@ -5,14 +5,30 @@
     node-local states only: like the paper's [findBugs] (Fig. 9, line
     2), the shared network [I+] restarts empty, so in-flight messages
     at snapshot time are treated as lost — sound under the lossy
-    network assumption of section 4.3. *)
+    network assumption of section 4.3.
 
-type 'state t = { time : float; states : 'state array }
+    Under churn the fleet is dynamic, but the snapshot keeps a fixed
+    width: [states] always spans every slot the protocol declares, and
+    [membership.(n)] says whether slot [n] was part of the fleet at
+    capture time.  Absent slots hold the node's canonical initial
+    state, so fixed-width checkers restarted from the snapshot stay
+    sound (an absent node behaves like one that has not acted yet). *)
 
-val make : time:float -> 'state array -> 'state t
+type 'state t = {
+  time : float;
+  states : 'state array;
+  membership : bool array;  (** same width as [states] *)
+}
+
+(** [membership] defaults to all-present; when given it must match the
+    width of the state vector. *)
+val make : ?membership:bool array -> time:float -> 'state array -> 'state t
 
 (** Initial-system snapshot at time 0, for offline checking. *)
 val initial : (module Dsm.Protocol.S with type state = 's) -> 's t
+
+(** Indices of the present nodes, ascending. *)
+val live_nodes : 'state t -> int list
 
 (** {2 Checksummed transport encoding}
 

@@ -6,6 +6,7 @@ type meta = {
   m_states : int;
   m_hits : int;
   m_found : bool;
+  m_membership : bool array;
 }
 
 type t = {
@@ -24,7 +25,7 @@ let pp_error ppf (Corrupt_checkpoint why) =
 
 (* meta.bin: magic, MD5 of the payload, marshalled [meta] — the same
    torn-write discipline as [Sim.Snapshot]. *)
-let meta_magic = "lmcckpt1"
+let meta_magic = "lmcckpt2"
 
 let meta_file dir = Filename.concat dir "meta.bin"
 let combos_file dir = Filename.concat dir "combos.fps"
@@ -108,6 +109,7 @@ let create ?(events = Events.null) ~dir ~protocol ~num_nodes ~seed () =
       m_states = 0;
       m_hits = 0;
       m_found = false;
+      m_membership = Array.make num_nodes true;
     }
   in
   write_file_atomic (meta_file dir) (meta_to_string meta);
@@ -141,6 +143,13 @@ let load ?(events = Events.null) ~dir ~protocol ~num_nodes ~seed () =
         (Corrupt_checkpoint
            (Printf.sprintf "seed mismatch: checkpoint has %d, hunt is %d"
               meta.m_seed seed))
+    else if Array.length meta.m_membership <> num_nodes then
+      Error
+        (Corrupt_checkpoint
+           (Printf.sprintf
+              "membership width mismatch: checkpoint has %d slots, hunt has %d"
+              (Array.length meta.m_membership)
+              num_nodes))
     else Ok ()
   in
   let load_set path =
@@ -186,7 +195,7 @@ let iplus t = t.iplus
 
 let events t = t.events
 
-let save t ~live_time ~checks ~states ~hits ~found =
+let save ?membership t ~live_time ~checks ~states ~hits ~found =
   Fp_set.flush t.combos;
   Array.iter Fp_set.flush t.node_states;
   Fp_set.flush t.iplus;
@@ -198,6 +207,10 @@ let save t ~live_time ~checks ~states ~hits ~found =
       m_states = states;
       m_hits = hits;
       m_found = found;
+      m_membership =
+        (match membership with
+        | None -> t.meta.m_membership
+        | Some m -> Array.copy m);
     };
   write_file_atomic (meta_file t.dir) (meta_to_string t.meta);
   Events.emit t.events ~ev:"flush"

@@ -36,6 +36,9 @@ type meta = {
   m_states : int;  (** cumulative system states created *)
   m_hits : int;  (** cumulative combination-store hits *)
   m_found : bool;  (** a sound violation had been reported *)
+  m_membership : bool array;
+      (** the fleet's membership map at the last save — under churn
+          plans a resume must restore the same fleet it left *)
 }
 
 type error = Corrupt_checkpoint of string
@@ -82,8 +85,10 @@ val iplus : t -> Fp_set.t
 val events : t -> Events.t
 
 (** Persist progress: flushes every store file and atomically replaces
-    [meta.bin]; emits a ["flush"] record. *)
+    [meta.bin]; emits a ["flush"] record.  [membership] (default: keep
+    the stored map) records the fleet at this save point. *)
 val save :
+  ?membership:bool array ->
   t ->
   live_time:float ->
   checks:int ->

@@ -32,6 +32,11 @@ let test_roundtrip () =
       "reorder:p=0.3,window=2";
       "corrupt:p=0.05,from=5,until=50";
       "crash:node=1,at=5;dup:p=0.5;corrupt:p=1";
+      "join:node=3,at=25";
+      "leave:node=1,at=70";
+      "load:rate=2,from=10,until=90";
+      "load:rate=0.5";
+      "join:node=2,at=5;leave:node=2,at=30;load:rate=1.5,from=2,until=8";
     ]
 
 let test_diagnostics () =
@@ -51,6 +56,15 @@ let test_diagnostics () =
       "part:from=1,cut=0/1" (* partition without until *);
       "part:from=1,until=2,cut=0+1" (* fewer than two groups *);
       "crash:node=0,at=1,persist=wat" (* bad persistence mode *);
+      "crash:node=0,at=-3" (* negative crash time *);
+      "join:node=0,at=-5" (* negative join time *);
+      "leave:node=1,at=-0.5" (* negative leave time *);
+      "join:node=0" (* join without a time *);
+      "leave:at=3" (* leave without a node *);
+      "load:rate=0" (* rate must be positive *);
+      "load:rate=-2,from=1,until=9" (* negative rate *);
+      "load:from=1,until=9" (* load without a rate *);
+      "join:node=0,at=5,p=1" (* unknown key on a membership clause *);
     ]
 
 let test_validate () =
@@ -58,17 +72,86 @@ let test_validate () =
   (match Fault.Plan.validate ~num_nodes:3 p with
   | Ok () -> fail "node 9 accepted for a 3-node instance"
   | Error _ -> ());
-  match Fault.Plan.validate ~num_nodes:3 (parse "crash:node=2,at=1") with
+  (match Fault.Plan.validate ~num_nodes:3 (parse "join:node=3,at=1") with
+  | Ok () -> fail "join of node 3 accepted for a 3-node instance"
+  | Error _ -> ());
+  (match Fault.Plan.validate ~num_nodes:3 (parse "leave:node=7,at=1") with
+  | Ok () -> fail "leave of node 7 accepted for a 3-node instance"
+  | Error _ -> ());
+  match
+    Fault.Plan.validate ~num_nodes:3
+      (parse "crash:node=2,at=1;join:node=1,at=2;leave:node=0,at=3")
+  with
   | Ok () -> ()
   | Error e -> fail e
 
 let test_node_events_sorted () =
   let p = parse "crash:node=1,at=50,recover=60;crash:node=0,at=10" in
-  match Fault.Plan.node_events p with
+  (match Fault.Plan.node_events p with
   | [ (10., `Crash 0); (50., `Crash 1); (60., `Recover (1, Fault.Plan.Hook)) ]
     ->
       ()
-  | evs -> fail (Printf.sprintf "unexpected schedule (%d events)" (List.length evs))
+  | evs ->
+      fail (Printf.sprintf "unexpected schedule (%d events)" (List.length evs)));
+  let churny = parse "leave:node=2,at=30;join:node=1,at=5;crash:node=0,at=10" in
+  match Fault.Plan.node_events churny with
+  | [ (5., `Join 1); (10., `Crash 0); (30., `Leave 2) ] -> ()
+  | evs ->
+      fail
+        (Printf.sprintf "unexpected churn schedule (%d events)"
+           (List.length evs))
+
+let test_membership_queries () =
+  let p = parse "join:node=2,at=10;leave:node=0,at=20;join:node=0,at=40" in
+  check Alcotest.bool "join-first node starts absent" true
+    (Fault.Plan.starts_absent p ~node:2);
+  check Alcotest.bool "leave-first node starts present" false
+    (Fault.Plan.starts_absent p ~node:0);
+  check Alcotest.bool "unmentioned node starts present" false
+    (Fault.Plan.starts_absent p ~node:1);
+  let m time = Fault.Plan.membership_at p ~num_nodes:3 ~time in
+  check
+    Alcotest.(list bool)
+    "t=0: joiner absent"
+    [ true; true; false ]
+    (Array.to_list (m 0.));
+  check
+    Alcotest.(list bool)
+    "t=15: joined"
+    [ true; true; true ]
+    (Array.to_list (m 15.));
+  check
+    Alcotest.(list bool)
+    "t=25: node 0 departed"
+    [ false; true; true ]
+    (Array.to_list (m 25.));
+  check
+    Alcotest.(list bool)
+    "t=50: node 0 rejoined"
+    [ true; true; true ]
+    (Array.to_list (m 50.))
+
+let test_load_queries () =
+  let p = parse "load:rate=2,from=10,until=20;load:rate=0.5,from=15,until=30" in
+  check Alcotest.bool "has_load" true (Fault.Plan.has_load p);
+  check Alcotest.bool "no load clause" false (Fault.Plan.has_load []);
+  check (Alcotest.float 1e-9) "outside every window" 0.
+    (Fault.Plan.load_rate p ~time:5.);
+  check (Alcotest.float 1e-9) "single window" 2.
+    (Fault.Plan.load_rate p ~time:12.);
+  check (Alcotest.float 1e-9) "overlapping windows sum" 2.5
+    (Fault.Plan.load_rate p ~time:17.);
+  check (Alcotest.float 1e-9) "until is exclusive" 0.5
+    (Fault.Plan.load_rate p ~time:20.);
+  (match Fault.Plan.next_load_start p ~time:0. with
+  | Some t -> check (Alcotest.float 1e-9) "next window opening" 10. t
+  | None -> fail "expected a next load window");
+  (match Fault.Plan.next_load_start p ~time:12. with
+  | Some t -> check (Alcotest.float 1e-9) "second opening" 15. t
+  | None -> fail "expected the second window");
+  match Fault.Plan.next_load_start p ~time:16. with
+  | Some t -> fail (Printf.sprintf "no opening expected, got %g" t)
+  | None -> ()
 
 let test_partitioned_window () =
   let p = parse "part:from=10,until=30,cut=0+1/2" in
@@ -118,6 +201,46 @@ let test_message_fate_rolls () =
   in
   check Alcotest.int "inactive clause rolls nothing" 0 !rolls;
   check Alcotest.bool "inactive clause is a no-op" false fate.Fault.Plan.corrupt
+
+(* qcheck round-trips for the three membership/load clause kinds:
+   print-parse is the identity on the parsed value, not just on the
+   printed form. *)
+let churn_clause_gen =
+  QCheck.Gen.(
+    let join_leave =
+      let* kind = oneofl [ "join"; "leave" ] in
+      let* node = int_range 0 9 in
+      let* at10 = int_range 0 500 in
+      return (Printf.sprintf "%s:node=%d,at=%.1f" kind node (float_of_int at10 /. 10.))
+    in
+    let load =
+      let* rate10 = int_range 1 100 in
+      let* windowed = bool in
+      let* from_ = int_range 0 50 in
+      let* len = int_range 1 50 in
+      return
+        (if windowed then
+           Printf.sprintf "load:rate=%.1f,from=%d,until=%d"
+             (float_of_int rate10 /. 10.)
+             from_ (from_ + len)
+         else Printf.sprintf "load:rate=%.1f" (float_of_int rate10 /. 10.))
+    in
+    oneof [ join_leave; load ])
+
+let churn_plan_gen =
+  QCheck.Gen.(
+    let* clauses = list_size (int_range 1 6) churn_clause_gen in
+    return (String.concat ";" clauses))
+
+let prop_churn_clause_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"join/leave/load round-trip through of_string/to_string"
+    (QCheck.make churn_plan_gen ~print:(fun s -> s))
+    (fun s ->
+      let p = parse s in
+      let printed = Fault.Plan.to_string p in
+      let p' = parse printed in
+      p = p' && printed = Fault.Plan.to_string p')
 
 (* ---------- live-sim injection ---------- *)
 
@@ -169,6 +292,79 @@ let test_partition_drops () =
   S.run_until sim 30.0;
   check Alcotest.bool "cut traffic dropped at delivery" true
     (S.fault_drops sim > 0)
+
+let test_churn_membership () =
+  let sim =
+    S.create (sim_config (parse "leave:node=2,at=10;join:node=2,at=30"))
+  in
+  S.run_until sim 5.0;
+  check Alcotest.(list int) "full fleet before the leave" [ 0; 1; 2 ]
+    (S.live_nodes sim);
+  S.run_until sim 20.0;
+  check Alcotest.(list int) "node 2 departed" [ 0; 1 ] (S.live_nodes sim);
+  check Alcotest.(list bool) "membership map matches" [ true; true; false ]
+    (Array.to_list (S.membership sim));
+  S.run_until sim 40.0;
+  check Alcotest.(list int) "node 2 rejoined" [ 0; 1; 2 ] (S.live_nodes sim);
+  check Alcotest.int "one leave + one join" 2 (S.churn_events sim);
+  (* the snapshot carries the membership map of its capture time *)
+  let snap = S.snapshot sim in
+  check Alcotest.(list int) "snapshot live set" [ 0; 1; 2 ]
+    (Sim.Snapshot.live_nodes snap)
+
+let test_departed_traffic_dropped () =
+  (* ping's client (node 0) keeps probing both servers; server 2 being
+     out of the fleet turns that traffic into fault drops *)
+  let sim = S.create (sim_config (parse "leave:node=2,at=1")) in
+  S.run_until sim 30.0;
+  check Alcotest.bool "envelopes to the departed node dropped" true
+    (S.fault_drops sim > 0);
+  check Alcotest.(list int) "fleet stays shrunk" [ 0; 1 ] (S.live_nodes sim)
+
+let test_join_starts_absent () =
+  (* a node whose first membership event is a join begins outside the
+     fleet *)
+  let sim = S.create (sim_config (parse "join:node=2,at=15")) in
+  S.run_until sim 5.0;
+  check Alcotest.(list int) "starts without the joiner" [ 0; 1 ]
+    (S.live_nodes sim);
+  S.run_until sim 20.0;
+  check Alcotest.(list int) "joiner arrived" [ 0; 1; 2 ] (S.live_nodes sim)
+
+let test_load_arrivals () =
+  let sim = S.create (sim_config (parse "load:rate=5,from=2,until=20")) in
+  S.run_until sim 25.0;
+  check Alcotest.bool "arrivals fired inside the window" true
+    (S.load_arrivals sim > 0);
+  let before = S.load_arrivals sim in
+  S.run_until sim 60.0;
+  check Alcotest.int "no arrivals after the window closes" before
+    (S.load_arrivals sim);
+  let quiet = S.create (sim_config Fault.Plan.empty) in
+  S.run_until quiet 25.0;
+  check Alcotest.int "no load clause, no arrivals" 0 (S.load_arrivals quiet)
+
+let test_churn_deterministic () =
+  (* join/leave/load clauses keep the bit-identical-replay contract *)
+  let run () =
+    let sim =
+      S.create
+        (sim_config ~drop:0.2
+           (parse
+              "leave:node=2,at=5;join:node=2,at=12;load:rate=3,from=1,until=30"))
+    in
+    S.run_until sim 40.0;
+    ( Dsm.Fingerprint.of_value (S.states sim),
+      S.events_executed sim,
+      S.churn_events sim,
+      S.load_arrivals sim )
+  in
+  let fp1, ev1, ch1, ld1 = run () in
+  let fp2, ev2, ch2, ld2 = run () in
+  check Alcotest.bool "identical states" true (Dsm.Fingerprint.equal fp1 fp2);
+  check Alcotest.int "identical event counts" ev1 ev2;
+  check Alcotest.int "identical churn counts" ch1 ch2;
+  check Alcotest.int "identical arrival counts" ld1 ld2
 
 (* ---------- determinism ---------- *)
 
@@ -297,9 +493,13 @@ let () =
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "node events sorted" `Quick
             test_node_events_sorted;
+          Alcotest.test_case "membership queries" `Quick
+            test_membership_queries;
+          Alcotest.test_case "load queries" `Quick test_load_queries;
           Alcotest.test_case "partition window" `Quick test_partitioned_window;
           Alcotest.test_case "message fate rolls" `Quick
             test_message_fate_rolls;
+          QCheck_alcotest.to_alcotest prop_churn_clause_roundtrip;
         ] );
       ( "live-sim",
         [
@@ -310,6 +510,19 @@ let () =
           Alcotest.test_case "duplication and corruption" `Quick
             test_duplication_and_corruption;
           Alcotest.test_case "partition drops" `Quick test_partition_drops;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "membership follows join/leave" `Quick
+            test_churn_membership;
+          Alcotest.test_case "departed traffic dropped" `Quick
+            test_departed_traffic_dropped;
+          Alcotest.test_case "join starts absent" `Quick
+            test_join_starts_absent;
+          Alcotest.test_case "load arrivals windowed" `Quick
+            test_load_arrivals;
+          Alcotest.test_case "churn runs deterministic" `Quick
+            test_churn_deterministic;
         ] );
       ( "determinism",
         [

@@ -528,6 +528,135 @@ let test_online_corrupt_checkpoint_falls_back () =
     (phase2.resumed_at = None);
   check Alcotest.bool "loop kept running" true (phase2.total_checks > 0)
 
+(* A hunt killed between churn events must restore the checkpointed
+   membership on resume — Store.Checkpoint carries the fleet map and
+   Online_mc audits it against what Fault.Plan.membership_at says the
+   resume instant should look like.  A bug-free protocol keeps both
+   the resumed and the unkilled hunt running out the full plan, so
+   their final fleets are comparable regardless of discovery timing. *)
+module Live_ok = Protocols.Paxos.Make (struct
+  include Common
+
+  let bug = Protocols.Paxos_core.No_bug
+  let fresh_proposals = true
+end)
+
+module Check_ok = Protocols.Paxos.Make (struct
+  include Common
+
+  let bug = Protocols.Paxos_core.No_bug
+  let fresh_proposals = false
+end)
+
+module O_ok = Online.Online_mc.Make (Live_ok) (Check_ok)
+module Sim_ok = Sim.Live_sim.Make (Live_ok)
+
+let churn_plan = "leave:node=2,at=12;join:node=2,at=70;leave:node=1,at=100"
+
+let churn_config ~max_live_time ~store ~plan =
+  let faults =
+    match Fault.Plan.of_string plan with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  {
+    O_ok.sim =
+      {
+        Sim_ok.seed = 10;
+        link = lossy ();
+        timer_min = 2.0;
+        timer_max = 20.0;
+        action_prob = None;
+        faults;
+      };
+    check_interval = 30.0;
+    max_live_time;
+    checker =
+      {
+        O_ok.Checker.default_config with
+        time_limit = Some 3.0;
+        max_transitions = Some 30_000;
+      };
+    action_bounds = [ 1 ];
+    steer = false;
+    steer_scope = `Exact_action;
+    supervisor = O_ok.default_supervisor;
+    store;
+  }
+
+let test_online_churn_resume () =
+  with_dir @@ fun dir ->
+  (* phase 1: killed at t = 30, after the leave but before the rejoin *)
+  let phase1 =
+    O_ok.run
+      (churn_config ~max_live_time:30.0
+         ~store:(Some { O_ok.dir; resume = false })
+         ~plan:churn_plan)
+      ~strategy:O_ok.Checker.General ~invariant:Check_ok.safety
+  in
+  check Alcotest.bool "phase 1 stays clean" true (phase1.report = None);
+  check
+    Alcotest.(array bool)
+    "phase 1 checkpointed mid-churn: node 2 departed"
+    [| true; true; false |]
+    phase1.membership;
+  (* phase 2: resume inside the churn window and run out the plan *)
+  let phase2 =
+    O_ok.run
+      (churn_config ~max_live_time:240.0
+         ~store:(Some { O_ok.dir; resume = true })
+         ~plan:churn_plan)
+      ~strategy:O_ok.Checker.General ~invariant:Check_ok.safety
+  in
+  (match phase2.resumed_at with
+  | Some t ->
+      check Alcotest.bool "resumed inside the churn window" true
+        (t > 12.0 && t <= 30.0)
+  | None -> fail "phase 2 did not resume from the checkpoint");
+  check Alcotest.bool "checkpointed membership passed the plan audit" true
+    (not (List.mem "membership_mismatch" phase2.degradations));
+  (* the restored fleet must end exactly where an unkilled hunt ends:
+     node 2 rejoined at t = 70, node 1 left at t = 100 *)
+  let unkilled =
+    O_ok.run
+      (churn_config ~max_live_time:240.0 ~store:None ~plan:churn_plan)
+      ~strategy:O_ok.Checker.General ~invariant:Check_ok.safety
+  in
+  check
+    Alcotest.(array bool)
+    "unkilled run ends with the post-churn fleet"
+    [| true; false; true |]
+    unkilled.membership;
+  check
+    Alcotest.(array bool)
+    "restored membership matches the unkilled run" unkilled.membership
+    phase2.membership
+
+let test_online_churn_plan_mismatch () =
+  with_dir @@ fun dir ->
+  let phase1 =
+    O_ok.run
+      (churn_config ~max_live_time:30.0
+         ~store:(Some { O_ok.dir; resume = false })
+         ~plan:churn_plan)
+      ~strategy:O_ok.Checker.General ~invariant:Check_ok.safety
+  in
+  check Alcotest.bool "phase 1 ran" true (phase1.total_checks > 0);
+  (* resuming under a different plan: the checkpoint's fleet map no
+     longer matches what the new plan says t = 30 should look like,
+     so the supervisor records the mismatch and cold-starts *)
+  let phase2 =
+    O_ok.run
+      (churn_config ~max_live_time:30.0
+         ~store:(Some { O_ok.dir; resume = true })
+         ~plan:"")
+      ~strategy:O_ok.Checker.General ~invariant:Check_ok.safety
+  in
+  check Alcotest.bool "membership mismatch degradation recorded" true
+    (List.mem "membership_mismatch" phase2.degradations);
+  check Alcotest.bool "fell back to a cold start" true
+    (phase2.resumed_at = None)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -569,5 +698,9 @@ let () =
           Alcotest.test_case "kill and resume" `Quick test_online_resume;
           Alcotest.test_case "corrupt checkpoint falls back cold" `Quick
             test_online_corrupt_checkpoint_falls_back;
+          Alcotest.test_case "churn survives kill and resume" `Quick
+            test_online_churn_resume;
+          Alcotest.test_case "plan mismatch on resume cold-starts" `Quick
+            test_online_churn_plan_mismatch;
         ] );
     ]

@@ -1,0 +1,356 @@
+(* Unit tests for the SWIM gossip-membership protocol: the probe /
+   ping-req / suspicion / refutation lifecycle, crash-recovery
+   semantics, the two planted bugs, and the invariants that catch
+   them.  Handlers are driven directly — a 4-node instance, node ids
+   0..3, relay choice deterministic (first id that is neither origin
+   nor target). *)
+
+open Protocols.Swim
+
+module P = Protocols.Swim.Make (struct
+  let num_servers = 4
+
+  let bug = No_bug
+end)
+
+module P_nosuspect = Protocols.Swim.Make (struct
+  let num_servers = 4
+
+  let bug = No_suspicion
+end)
+
+module P_ackrace = Protocols.Swim.Make (struct
+  let num_servers = 4
+
+  let bug = Ack_race
+end)
+
+let check = Alcotest.check
+
+let fail = Alcotest.fail
+
+let env ~src ~dst payload = Dsm.Envelope.make ~src ~dst payload
+
+let expect_one = function
+  | [ e ] -> e
+  | l -> fail (Printf.sprintf "expected one message, got %d" (List.length l))
+
+let expect_none label = function
+  | [] -> ()
+  | l -> fail (Printf.sprintf "%s: expected no messages, got %d" label (List.length l))
+
+let status s n =
+  match List.assoc_opt n s.peers with
+  | Some st -> st
+  | None -> fail (Printf.sprintf "no peer entry for %d" n)
+
+(* system state: [node]'s state substituted into an otherwise-initial
+   fleet, for invariant checks *)
+let system (type s) (module M : Dsm.Protocol.S with type state = s) node s =
+  Array.init 4 (fun n -> if n = node then s else M.initial n)
+
+let clean label inv states =
+  match Dsm.Invariant.check inv states with
+  | None -> ()
+  | Some v ->
+      fail (Printf.sprintf "%s: unexpected violation: %s" label v.Dsm.Invariant.detail)
+
+let violated label inv states =
+  match Dsm.Invariant.check inv states with
+  | Some _ -> ()
+  | None -> fail (Printf.sprintf "%s: expected a violation" label)
+
+(* ---------- probe lifecycle ---------- *)
+
+let test_probe_and_direct_ack () =
+  let s0, msgs = P.handle_action ~self:0 (P.initial 0) Probe_round in
+  let ping = expect_one msgs in
+  check Alcotest.int "first probe goes to peer 1" 1 ping.Dsm.Envelope.dst;
+  (match s0.probe with
+  | Some p ->
+      check Alcotest.int "probe target" 1 p.p_target;
+      check Alcotest.int "probe fresh" 0 p.p_rounds;
+      check Alcotest.int "seq encodes the issuer" 0 (p.p_seq mod 4)
+  | None -> fail "no outstanding probe after the round");
+  (* the target echoes the seq; the ack closes the probe *)
+  let s1, acks = P.handle_message ~self:1 (P.initial 1) ping in
+  ignore s1;
+  let ack = expect_one acks in
+  check Alcotest.int "ack returns to the origin" 0 ack.Dsm.Envelope.dst;
+  let s0', out = P.handle_message ~self:0 s0 ack in
+  expect_none "ack closes quietly" out;
+  check Alcotest.bool "probe cleared" true (s0'.probe = None);
+  (match status s0' 1 with
+  | Alive _ -> ()
+  | _ -> fail "target not alive after the ack");
+  clean "clean exchange" P.membership_safety (system (module P) 0 s0')
+
+let test_stale_ack_ignored () =
+  let s0, msgs = P.handle_action ~self:0 (P.initial 0) Probe_round in
+  ignore (expect_one msgs);
+  let wrong_seq = 999 * 4 in
+  let s0', out = P.handle_message ~self:0 s0 (env ~src:1 ~dst:0 (Ack { seq = wrong_seq })) in
+  expect_none "stale ack" out;
+  check Alcotest.bool "probe still outstanding" true (s0'.probe <> None)
+
+(* ---------- indirect probing through the relay ---------- *)
+
+let tick ~self s =
+  let s', msgs = P.handle_action ~self s Probe_round in
+  (s', msgs)
+
+let test_ping_req_roundtrip () =
+  (* origin 0 probes 1; the ack is slow, so the second round asks
+     relay 2 to ping indirectly; the forwarded ack settles the probe *)
+  let s0, _ = tick ~self:0 (P.initial 0) in
+  let s0, msgs = tick ~self:0 s0 in
+  let ping_req = expect_one msgs in
+  check Alcotest.int "relay is node 2" 2 ping_req.Dsm.Envelope.dst;
+  (match ping_req.Dsm.Envelope.payload with
+  | Ping_req { target; _ } -> check Alcotest.int "relayed target" 1 target
+  | _ -> fail "expected a ping-req");
+  let s2, relay_pings = P.handle_message ~self:2 (P.initial 2) ping_req in
+  let relay_ping = expect_one relay_pings in
+  check Alcotest.int "relay pings the target" 1 relay_ping.Dsm.Envelope.dst;
+  check Alcotest.bool "relay duty taken" true (s2.relay <> None);
+  let _, relay_acks = P.handle_message ~self:1 (P.initial 1) relay_ping in
+  let relay_ack = expect_one relay_acks in
+  let s2', fwd_acks = P.handle_message ~self:2 s2 relay_ack in
+  let fwd_ack = expect_one fwd_acks in
+  check Alcotest.int "forwarded ack reaches the origin" 0
+    fwd_ack.Dsm.Envelope.dst;
+  check Alcotest.bool "relay duty settled" true (s2'.relay = None);
+  let s0', out = P.handle_message ~self:0 s0 fwd_ack in
+  expect_none "forwarded ack closes quietly" out;
+  check Alcotest.bool "probe cleared by the forwarded ack" true
+    (s0'.probe = None);
+  check Alcotest.bool "no phantom on the correct path" false s0'.phantom;
+  clean "indirect exchange" P.membership_safety (system (module P) 0 s0')
+
+(* ---------- timeout, suspicion, refutation ---------- *)
+
+(* 4 rounds: start (rounds=0), then 1, 2, 3 >= ping_timeout_rounds *)
+let run_to_timeout handle_action ~self init act =
+  let rec go s n last_msgs =
+    if n = 0 then (s, last_msgs)
+    else
+      let s', msgs = handle_action ~self s act in
+      go s' (n - 1) msgs
+  in
+  go init 4 []
+
+let test_timeout_suspects_then_refutes () =
+  let s0, msgs =
+    run_to_timeout P.handle_action ~self:0 (P.initial 0) Probe_round
+  in
+  let notice = expect_one msgs in
+  (match notice.Dsm.Envelope.payload with
+  | Suspect_notice _ -> ()
+  | _ -> fail "timeout should send a suspect notice");
+  (match status s0 1 with
+  | Suspect (_, 0) -> ()
+  | _ -> fail "target should be suspected, not dead");
+  clean "suspicion is not death" P.membership_safety
+    (system (module P) 0 s0);
+  (* the suspected node bumps its incarnation and refutes *)
+  let s1, refutes = P.handle_message ~self:1 (P.initial 1) notice in
+  let refute = expect_one refutes in
+  check Alcotest.int "refutation incarnation" 1 s1.incarnation;
+  let s0', out = P.handle_message ~self:0 s0 refute in
+  expect_none "refutation closes quietly" out;
+  match status s0' 1 with
+  | Alive 1 -> ()
+  | _ -> fail "refutation should restore the peer to alive"
+
+let test_unrefuted_suspicion_becomes_death () =
+  let s0, _ =
+    run_to_timeout P.handle_action ~self:0 (P.initial 0) Probe_round
+  in
+  (* two more rounds age the suspicion into a fully-audited death *)
+  let s0, _ = tick ~self:0 s0 in
+  let s0, _ = tick ~self:0 s0 in
+  (match status s0 1 with
+  | Dead (_, rounds) ->
+      check Alcotest.bool "full suspicion period served" true
+        (rounds >= suspicion_rounds)
+  | _ -> fail "unrefuted suspicion should end in a death verdict");
+  clean "audited death is legal" P.membership_safety
+    (system (module P) 0 s0)
+
+(* ---------- planted bug: No_suspicion ---------- *)
+
+let test_nosuspect_bug_violates () =
+  let s0, msgs =
+    run_to_timeout P_nosuspect.handle_action ~self:0 (P_nosuspect.initial 0)
+      Probe_round
+  in
+  expect_none "buggy timeout sends nothing" msgs;
+  (match status s0 1 with
+  | Dead (_, 0) -> ()
+  | _ -> fail "the bug should declare death with no suspicion rounds");
+  violated "unsuspected death caught" P_nosuspect.no_unsuspected_death
+    (system (module P_nosuspect) 0 s0);
+  violated "conjunction catches it too" P_nosuspect.membership_safety
+    (system (module P_nosuspect) 0 s0)
+
+(* ---------- planted bug: Ack_race ---------- *)
+
+(* Drive origin [origin] through two rounds so its ping-req for
+   [target] is in flight. *)
+let ping_req_of handle_action initial ~origin act =
+  let s, _ = handle_action ~self:origin (initial origin) act in
+  let s, msgs = handle_action ~self:origin s act in
+  (s, expect_one msgs)
+
+let test_ackrace_bug_phantom () =
+  (* 1. origin 1 probes 0; relay 2 takes the duty *)
+  let _, req1 = ping_req_of P_ackrace.handle_action P_ackrace.initial ~origin:1 Probe_round in
+  check Alcotest.int "first duty lands on relay 2" 2 req1.Dsm.Envelope.dst;
+  let s2, _ = P_ackrace.handle_message ~self:2 (P_ackrace.initial 2) req1 in
+  check Alcotest.bool "duty pending" true (s2.relay <> None);
+  (* 2. the relay crash-recovers mid-duty: the seq survives, the
+        origin does not *)
+  let s2 = P_ackrace.on_recover ~self:2 s2 in
+  check Alcotest.bool "duty dropped by the crash" true (s2.relay = None);
+  check Alcotest.bool "stale seq leaked" true (s2.stale_seq <> None);
+  (* 3. a different origin (0, probing 1) enlists the same relay; the
+        stale seq is stitched onto the new duty *)
+  let s0, req2 = ping_req_of P_ackrace.handle_action P_ackrace.initial ~origin:0 Probe_round in
+  check Alcotest.int "second duty lands on relay 2" 2 req2.Dsm.Envelope.dst;
+  let s2, relay_pings = P_ackrace.handle_message ~self:2 s2 req2 in
+  check Alcotest.bool "stale seq consumed" true (s2.stale_seq = None);
+  let relay_ping = expect_one relay_pings in
+  (* 4. the target acks; the relay forwards an ack carrying a seq the
+        new origin never issued *)
+  let _, relay_acks =
+    P_ackrace.handle_message ~self:1 (P_ackrace.initial 1) relay_ping
+  in
+  let s2, fwd_acks =
+    P_ackrace.handle_message ~self:2 s2 (expect_one relay_acks)
+  in
+  ignore s2;
+  let fwd_ack = expect_one fwd_acks in
+  check Alcotest.int "phantom ack reaches the new origin" 0
+    fwd_ack.Dsm.Envelope.dst;
+  let s0', _ = P_ackrace.handle_message ~self:0 s0 fwd_ack in
+  check Alcotest.bool "phantom detected via the issuer encoding" true
+    s0'.phantom;
+  violated "phantom ack caught" P_ackrace.no_phantom_ack
+    (system (module P_ackrace) 0 s0');
+  check Alcotest.bool "probe still pending (the real ack was lost)" true
+    (s0'.probe <> None)
+
+let test_correct_relay_survives_crash () =
+  (* same schedule, correct protocol: recovery drops the duty cleanly
+     and the re-relayed seq still names its true issuer *)
+  let _, req1 = ping_req_of P.handle_action P.initial ~origin:1 Probe_round in
+  let s2, _ = P.handle_message ~self:2 (P.initial 2) req1 in
+  let s2 = P.on_recover ~self:2 s2 in
+  check Alcotest.bool "no stale seq on the correct path" true
+    (s2.stale_seq = None);
+  let s0, req2 = ping_req_of P.handle_action P.initial ~origin:0 Probe_round in
+  let s2, relay_pings = P.handle_message ~self:2 s2 req2 in
+  let _, relay_acks = P.handle_message ~self:1 (P.initial 1) (expect_one relay_pings) in
+  let _, fwd_acks = P.handle_message ~self:2 s2 (expect_one relay_acks) in
+  let s0', _ = P.handle_message ~self:0 s0 (expect_one fwd_acks) in
+  check Alcotest.bool "no phantom" false s0'.phantom;
+  check Alcotest.bool "probe settled by the honest forwarded ack" true
+    (s0'.probe = None)
+
+(* ---------- recovery volatility ---------- *)
+
+let test_recovery_volatility () =
+  let s, _ = tick ~self:0 (P.initial 0) in
+  let r = P.on_recover ~self:0 s in
+  check Alcotest.bool "probe volatile" true (r.probe = None);
+  check Alcotest.int "counter durable" s.counter r.counter;
+  check Alcotest.int "incarnation durable" s.incarnation r.incarnation
+
+(* ---------- scenario soak over the live simulator ---------- *)
+
+let parse s =
+  match Fault.Plan.of_string s with
+  | Ok p -> p
+  | Error e -> fail e
+
+let test_scenario_soak_churn_clean () =
+  let module K = Sim.Scenario.Soak (P) in
+  let faults = parse "leave:node=3,at=10;join:node=3,at=30" in
+  let report =
+    K.run ~invariant:P.membership_safety ~duration:60.
+      {
+        K.S.seed = 5;
+        link =
+          Net.Lossy_link.create ~drop_prob:0.1 ~latency_min:0.05
+            ~latency_max:0.3 ();
+        timer_min = 2.0;
+        timer_max = 20.0;
+        action_prob = None;
+        faults;
+      }
+  in
+  check Alcotest.bool "clean verdict" true
+    (report.Sim.Scenario.verdict = Sim.Scenario.Clean);
+  check Alcotest.int "both churn events executed" 2
+    report.Sim.Scenario.churn;
+  check Alcotest.int "full fleet at the end" 4 report.Sim.Scenario.fleet
+
+let test_scenario_soak_storm_violates () =
+  (* the no-suspicion bug surfaces in a plain soak once a reorder
+     storm delays acks past the probe timeout *)
+  let module K = Sim.Scenario.Soak (P_nosuspect) in
+  let report =
+    K.run ~invariant:P_nosuspect.membership_safety ~duration:300.
+      {
+        K.S.seed = 11;
+        link =
+          Net.Lossy_link.create ~drop_prob:0.0 ~latency_min:0.05
+            ~latency_max:0.3 ();
+        timer_min = 2.0;
+        timer_max = 20.0;
+        action_prob = None;
+        faults = parse "reorder:p=0.9,window=60";
+      }
+  in
+  check Alcotest.bool "storm verdict is a violation" true
+    (report.Sim.Scenario.verdict = Sim.Scenario.Violation);
+  check Alcotest.bool "detail names the invariant" true
+    (String.length report.Sim.Scenario.detail > 0)
+
+let () =
+  Alcotest.run "swim"
+    [
+      ( "probe",
+        [
+          Alcotest.test_case "probe and direct ack" `Quick
+            test_probe_and_direct_ack;
+          Alcotest.test_case "stale ack ignored" `Quick test_stale_ack_ignored;
+          Alcotest.test_case "ping-req round trip" `Quick
+            test_ping_req_roundtrip;
+        ] );
+      ( "suspicion",
+        [
+          Alcotest.test_case "timeout suspects, refutation heals" `Quick
+            test_timeout_suspects_then_refutes;
+          Alcotest.test_case "unrefuted suspicion becomes death" `Quick
+            test_unrefuted_suspicion_becomes_death;
+        ] );
+      ( "planted-bugs",
+        [
+          Alcotest.test_case "no-suspicion death violates" `Quick
+            test_nosuspect_bug_violates;
+          Alcotest.test_case "ack-race phantom across relay crash" `Quick
+            test_ackrace_bug_phantom;
+          Alcotest.test_case "correct relay survives the crash" `Quick
+            test_correct_relay_survives_crash;
+          Alcotest.test_case "recovery volatility" `Quick
+            test_recovery_volatility;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "churn soak stays clean" `Quick
+            test_scenario_soak_churn_clean;
+          Alcotest.test_case "reorder storm violates in the soak" `Quick
+            test_scenario_soak_storm_violates;
+        ] );
+    ]
